@@ -1,0 +1,122 @@
+// Command sctbench runs the empirical study of Thomson et al. (PPoPP'14)
+// over the 52 SCTBench benchmarks: the race-detection phase followed by
+// IPB, IDB, DFS, Rand and optionally MapleAlg, then renders Table 2,
+// Table 3, the Figure 2 Venn diagrams and the Figure 3/4 scatter data.
+//
+// Usage:
+//
+//	sctbench [-limit 10000] [-seed 1] [-bench regex] [-maple] [-table1]
+//	         [-fig3csv path] [-fig4csv path] [-par N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"time"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/explore"
+	"sctbench/internal/report"
+	"sctbench/internal/study"
+)
+
+func main() {
+	limit := flag.Int("limit", explore.DefaultLimit, "terminal-schedule limit per technique")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	benchRe := flag.String("bench", "", "regexp selecting benchmarks by name (default: all 52)")
+	withMaple := flag.Bool("maple", false, "also run the Maple-style idiom algorithm")
+	table1 := flag.Bool("table1", false, "print Table 1 (suite overview) and exit")
+	table3csv := flag.String("table3csv", "", "write the full Table 3 grid as CSV to this path")
+	fig3csv := flag.String("fig3csv", "", "write Figure 3 scatter data CSV to this path")
+	fig4csv := flag.String("fig4csv", "", "write Figure 4 scatter data CSV to this path")
+	par := flag.Int("par", 0, "parallel benchmark evaluations (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "progress output per phase")
+	flag.Parse()
+
+	if msg := study.Sanity(); msg != "" {
+		fmt.Fprintln(os.Stderr, "registry error:", msg)
+		os.Exit(1)
+	}
+
+	if *table1 {
+		fmt.Printf("%-14s %-60s %5s %8s  %s\n", "Suite", "Benchmark types", "used", "skipped", "skip reason")
+		for _, s := range bench.Table1() {
+			fmt.Printf("%-14s %-60s %5d %8d  %s\n", s.Name, s.Kinds, s.Used, s.Skipped, s.SkipReason)
+		}
+		return
+	}
+
+	benches := bench.All()
+	if *benchRe != "" {
+		re, err := regexp.Compile(*benchRe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -bench regexp:", err)
+			os.Exit(1)
+		}
+		var sel []*bench.Benchmark
+		for _, b := range benches {
+			if re.MatchString(b.Name) {
+				sel = append(sel, b)
+			}
+		}
+		benches = sel
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "no benchmarks selected")
+		os.Exit(1)
+	}
+
+	cfg := study.Config{
+		Limit:       *limit,
+		Seed:        *seed,
+		WithMaple:   *withMaple,
+		Parallelism: *par,
+	}
+	if *verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	rows := study.RunAll(benches, cfg)
+	elapsed := time.Since(start)
+
+	fmt.Println("=== Table 3: per-benchmark results ===")
+	fmt.Print(report.Table3(rows, *limit))
+	fmt.Println()
+	fmt.Println("=== Table 2: trivial-benchmark properties ===")
+	fmt.Print(report.Table2(rows, *limit))
+	fmt.Println()
+	fmt.Println("=== Figure 2a: bugs found (systematic techniques) ===")
+	fmt.Print(report.VennSystematic(rows).Format())
+	fmt.Println()
+	fmt.Println("=== Figure 2b: IDB vs Rand vs MapleAlg ===")
+	fmt.Print(report.VennVsNaive(rows).Format())
+
+	fmt.Println()
+	fmt.Println("=== Figure 3: schedules to first bug, IPB vs IDB (misses at the limit) ===")
+	fmt.Print(report.Fig3Scatter(report.Fig3Series(rows, *limit), *limit))
+	fmt.Println()
+	fmt.Println("=== Figure 4: worst case (non-buggy schedules within the bound) ===")
+	fmt.Print(report.Fig4Scatter(report.Fig4Series(rows, *limit), *limit))
+
+	if *table3csv != "" {
+		if err := os.WriteFile(*table3csv, []byte(report.Table3CSV(rows)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "table3:", err)
+		}
+	}
+	if *fig3csv != "" {
+		if err := os.WriteFile(*fig3csv, []byte(report.FigCSV(report.Fig3Series(rows, *limit))), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fig3:", err)
+		}
+	}
+	if *fig4csv != "" {
+		if err := os.WriteFile(*fig4csv, []byte(report.FigCSV(report.Fig4Series(rows, *limit))), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fig4:", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\n%d benchmarks in %s\n", len(rows), elapsed.Round(time.Millisecond))
+}

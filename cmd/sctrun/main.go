@@ -1,0 +1,217 @@
+// Command sctrun explores a single SCTBench benchmark with one technique
+// and prints what it finds, including the witness schedule and an optional
+// replay with a per-step trace — the debugging workflow the study's tools
+// support (reproducing a bug by forcing its schedule).
+//
+// Usage:
+//
+//	sctrun -bench CS.account_bad [-technique idb|ipb|dfs|rand|maple|sleepset]
+//	       [-limit 10000] [-seed 1] [-norace] [-replay] [-minimize]
+//	       [-save witness.json] [-load witness.json] [-log] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/explore"
+	"sctbench/internal/mapleidiom"
+	"sctbench/internal/race"
+	"sctbench/internal/sched"
+	"sctbench/internal/simplify"
+	"sctbench/internal/vthread"
+)
+
+func main() {
+	name := flag.String("bench", "", "benchmark name (see -list)")
+	tech := flag.String("technique", "idb", "ipb | idb | dfs | rand | maple")
+	limit := flag.Int("limit", explore.DefaultLimit, "terminal-schedule limit")
+	seed := flag.Uint64("seed", 1, "random seed")
+	noRace := flag.Bool("norace", false, "skip the race-detection phase (every access visible)")
+	replay := flag.Bool("replay", false, "replay the witness schedule and print it")
+	minimize := flag.Bool("minimize", false, "simplify the witness (merge blocks, reduce preemptions)")
+	savePath := flag.String("save", "", "write the witness to this JSON file")
+	loadPath := flag.String("load", "", "replay a witness JSON file instead of exploring")
+	logTrace := flag.Bool("log", false, "print a per-event trace when replaying")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-28s %2d threads  %-9s  %s\n", b.Name, b.Threads, b.BugKind, b.Desc)
+		}
+		return
+	}
+	b := bench.ByName(*name)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+
+	if *loadPath != "" {
+		replayWitnessFile(b, *loadPath, *logTrace)
+		return
+	}
+
+	var visible func(string) bool
+	var racyVars []string
+	if !*noRace {
+		phase := race.RunPhase(race.PhaseConfig{
+			Program: b.New(), Seed: *seed, MaxSteps: b.MaxSteps, BoundsCheck: b.BoundsCheck,
+		})
+		fmt.Printf("race phase: %d racy variable(s): %s\n", len(phase.Racy), strings.Join(phase.Racy, ", "))
+		racyVars = phase.Racy
+		visible = race.Promoted(phase.Racy)
+	}
+
+	if strings.EqualFold(*tech, "maple") {
+		res := mapleidiom.Run(mapleidiom.Config{
+			Program: b.New, Visible: visible, BoundsCheck: b.BoundsCheck,
+			MaxSteps: b.MaxSteps, Seed: *seed,
+		})
+		if !res.BugFound {
+			fmt.Printf("MapleAlg: no bug in %d schedules (%d candidate idioms)\n", res.Schedules, res.Candidates)
+			return
+		}
+		fmt.Printf("MapleAlg: bug after %d schedules: %v\n", res.SchedulesToFirstBug, res.Failure)
+		finishWitness(b, visible, racyVars, res.Witness, "maple", *replay, *minimize, *savePath, *logTrace)
+		return
+	}
+
+	if strings.EqualFold(*tech, "sleepset") {
+		res := explore.RunSleepSetDFS(explore.Config{
+			Program: b.New(), Visible: visible, BoundsCheck: b.BoundsCheck,
+			MaxSteps: b.MaxSteps, Limit: *limit,
+		})
+		if !res.BugFound {
+			fmt.Printf("sleep-set DFS: no bug within %d schedules (complete=%v)\n", res.Schedules, res.Complete)
+			return
+		}
+		fmt.Printf("sleep-set DFS: bug after %d schedules (%d executions): %v\n",
+			res.SchedulesToFirstBug, res.Executions, res.Failure)
+		finishWitness(b, visible, racyVars, res.Witness, "sleepset", *replay, *minimize, *savePath, *logTrace)
+		return
+	}
+
+	var t explore.Technique
+	switch strings.ToLower(*tech) {
+	case "ipb":
+		t = explore.IPB
+	case "idb":
+		t = explore.IDB
+	case "dfs":
+		t = explore.DFS
+	case "rand":
+		t = explore.Rand
+	default:
+		fmt.Fprintf(os.Stderr, "unknown technique %q\n", *tech)
+		os.Exit(1)
+	}
+	res := explore.Run(t, explore.Config{
+		Program: b.New(), Visible: visible, BoundsCheck: b.BoundsCheck,
+		MaxSteps: b.MaxSteps, Limit: *limit, Seed: *seed,
+	})
+	if !res.BugFound {
+		fmt.Printf("%s: no bug within %d schedules (bound reached %d, complete=%v)\n",
+			t, res.Schedules, res.Bound, res.Complete)
+		return
+	}
+	fmt.Printf("%s: bug at bound %d after %d schedules (%d total within bound, %d buggy)\n",
+		t, res.Bound, res.SchedulesToFirstBug, res.Schedules, res.BuggySchedules)
+	fmt.Printf("failure: %v\n", res.Failure)
+	fmt.Printf("witness: %v\n", res.Witness)
+	finishWitness(b, visible, racyVars, res.Witness, t.String(), *replay, *minimize, *savePath, *logTrace)
+}
+
+// finishWitness applies the post-discovery workflow: optional
+// minimisation, optional save, optional replay with trace logging.
+func finishWitness(b *bench.Benchmark, visible func(string) bool, racy []string,
+	witness sched.Schedule, technique string, replay, minimize bool, savePath string, logTrace bool) {
+	if minimize {
+		res := simplify.Minimize(b.New, witness, simplify.Options{
+			Visible: visible, BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps,
+		})
+		if res.Failure != nil {
+			fmt.Printf("minimized: PC %d -> %d (%d replays): %v\n",
+				res.OriginalPC, res.PC, res.Replays, res.Schedule)
+			witness = res.Schedule
+		}
+	}
+	if savePath != "" {
+		out, _ := replayOutcome(b, visible, witness, nil)
+		wf := &sched.WitnessFile{
+			Benchmark: b.Name, Technique: technique, Schedule: witness,
+			Racy: racy, PC: out.PC, DC: out.DC,
+		}
+		if out.Failure != nil {
+			wf.Failure = out.Failure.Error()
+		}
+		data, err := wf.Encode()
+		if err == nil {
+			err = os.WriteFile(savePath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+		} else {
+			fmt.Printf("witness saved to %s\n", savePath)
+		}
+	}
+	if replay {
+		var log *vthread.TraceLogger
+		if logTrace {
+			log = vthread.NewTraceLogger()
+		}
+		out, _ := replayOutcome(b, visible, witness, log)
+		fmt.Printf("replay: %v (PC=%d DC=%d, %d steps)\n", out.Failure, out.PC, out.DC, len(out.Trace))
+		if log != nil {
+			fmt.Print(log.String())
+		}
+	}
+}
+
+// replayWitnessFile loads a saved witness and replays it.
+func replayWitnessFile(b *bench.Benchmark, path string, logTrace bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	wf, err := sched.DecodeWitness(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	if wf.Benchmark != "" && wf.Benchmark != b.Name {
+		fmt.Fprintf(os.Stderr, "witness is for %s, not %s\n", wf.Benchmark, b.Name)
+		os.Exit(1)
+	}
+	var log *vthread.TraceLogger
+	if logTrace {
+		log = vthread.NewTraceLogger()
+	}
+	out, ok := replayOutcome(b, race.Promoted(wf.Racy), wf.Schedule, log)
+	if !ok {
+		fmt.Println("replay diverged: witness does not fit this benchmark build")
+		return
+	}
+	fmt.Printf("replay: %v (PC=%d DC=%d, %d steps)\n", out.Failure, out.PC, out.DC, len(out.Trace))
+	if log != nil {
+		fmt.Print(log.String())
+	}
+}
+
+// replayOutcome replays a schedule with optional logging.
+func replayOutcome(b *bench.Benchmark, visible func(string) bool, s sched.Schedule, log *vthread.TraceLogger) (*vthread.Outcome, bool) {
+	rep := vthread.NewReplay(s)
+	opts := vthread.Options{
+		Chooser: rep, Visible: visible, BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps,
+	}
+	if log != nil {
+		opts.Sink = log
+	}
+	out := vthread.NewWorld(opts).Run(b.New())
+	return out, !rep.Failed()
+}

@@ -1,0 +1,82 @@
+package sctbench_test
+
+import (
+	"fmt"
+
+	sctbench "sctbench"
+)
+
+// ExampleExplore demonstrates finding and replaying a lost-update bug.
+func ExampleExplore() {
+	program := func(t *sctbench.Thread) {
+		counter := t.NewVar("counter", 0)
+		inc := func(w *sctbench.Thread) { counter.Add(w, 1) }
+		a := t.Spawn(inc)
+		b := t.Spawn(inc)
+		t.Join(a)
+		t.Join(b)
+		t.Assert(counter.Load(t) == 2, "lost update: counter=%d", counter.Load(t))
+	}
+	res := sctbench.Explore(sctbench.IDB, sctbench.Config{Program: program})
+	fmt.Println("found:", res.BugFound)
+	fmt.Println("delay bound:", res.Bound)
+	fmt.Println("failure:", res.Failure.Message)
+	// Output:
+	// found: true
+	// delay bound: 1
+	// failure: lost update: counter=1
+}
+
+// ExampleReplay demonstrates deterministic reproduction of a witness.
+func ExampleReplay() {
+	program := func() sctbench.Program {
+		return func(t *sctbench.Thread) {
+			flag := t.NewVar("flag", 0)
+			w := t.Spawn(func(tw *sctbench.Thread) { flag.Store(tw, 1) })
+			if flag.Load(t) == 1 {
+				t.Fail("observed early publish")
+			}
+			t.Join(w)
+		}
+	}
+	res := sctbench.Explore(sctbench.DFS, sctbench.Config{Program: program()})
+	out, ok := sctbench.Replay(program(), res.Witness)
+	fmt.Println("replayed:", ok && out.Buggy())
+	// Output:
+	// replayed: true
+}
+
+// ExampleDetectRaces demonstrates the visible-operation promotion phase.
+func ExampleDetectRaces() {
+	program := func() sctbench.Program {
+		return func(t *sctbench.Thread) {
+			m := t.NewMutex("m")
+			locked := t.NewVar("locked", 0)
+			racy := t.NewVar("racy", 0)
+			w := t.Spawn(func(tw *sctbench.Thread) {
+				m.Lock(tw)
+				locked.Add(tw, 1)
+				m.Unlock(tw)
+				racy.Store(tw, 1)
+			})
+			_ = racy.Load(t)
+			t.Join(w)
+		}
+	}
+	racy := sctbench.DetectRaces(program(), 10, 1)
+	fmt.Println(racy)
+	// Output:
+	// [var/racy]
+}
+
+// ExampleRunOnce shows a single execution under the deterministic
+// round-robin scheduler — the zero-delay schedule of delay bounding.
+func ExampleRunOnce() {
+	out := sctbench.RunOnce(func(t *sctbench.Thread) {
+		w := t.Spawn(func(tw *sctbench.Thread) { tw.Yield() })
+		t.Join(w)
+	}, sctbench.WorldOptions{})
+	fmt.Println("preemptions:", out.PC, "delays:", out.DC)
+	// Output:
+	// preemptions: 0 delays: 0
+}

@@ -1,0 +1,60 @@
+// racepromote demonstrates the study's race-detection phase (§5): ten
+// uncontrolled executions under a vector-clock detector decide which
+// variables become scheduling points, and the systematic phases explore
+// only the interleavings of those promoted accesses — the reduction that
+// makes SCT tractable on programs with lots of well-synchronised state.
+//
+//	go run ./examples/racepromote
+package main
+
+import (
+	"fmt"
+
+	sctbench "sctbench"
+)
+
+func program() sctbench.Program {
+	return func(t *sctbench.Thread) {
+		m := t.NewMutex("m")
+		safe := t.NewVar("safeCounter", 0) // always locked: no race
+		racy := t.NewVar("racyFlag", 0)    // ad-hoc signalling: racy
+		worker := func(w *sctbench.Thread) {
+			for i := 0; i < 3; i++ {
+				m.Lock(w)
+				safe.Add(w, 1)
+				m.Unlock(w)
+			}
+			racy.Store(w, 1) // unsynchronised publish
+		}
+		a := t.Spawn(worker)
+		b := t.Spawn(worker)
+		t.Join(a)
+		t.Join(b)
+		t.Assert(safe.Load(t) == 6, "locked counter corrupted: %d", safe.Load(t))
+	}
+}
+
+func main() {
+	// Phase 1: dynamic race detection over 10 random executions.
+	racy := sctbench.DetectRaces(program(), 10, 42)
+	fmt.Println("racy variables (promoted to visible operations):")
+	for _, k := range racy {
+		fmt.Println("  ", k)
+	}
+
+	// Phase 2: systematic exploration with only the racy accesses (plus
+	// all synchronisation) as scheduling points.
+	promoted := sctbench.Explore(sctbench.IDB, sctbench.Config{
+		Program: program(),
+		Visible: sctbench.Promote(racy),
+	})
+	// Versus: everything visible (what a naive tool would do).
+	everything := sctbench.Explore(sctbench.IDB, sctbench.Config{Program: program()})
+
+	fmt.Printf("\nschedules to exhaust the space, promoted accesses only: %d (complete=%v)\n",
+		promoted.Schedules, promoted.Complete)
+	fmt.Printf("schedules explored with every access visible:           %d (complete=%v)\n",
+		everything.Schedules, everything.Complete)
+	fmt.Println("\nthe locked counter never yields a scheduling point in the promoted run,")
+	fmt.Println("which is why the paper's detection phase exists (§5).")
+}

@@ -1,0 +1,105 @@
+// Package bench contains the 52 SCTBench programs of the study,
+// re-implemented against the vthread substrate as behaviourally faithful
+// analogues of the original pthread benchmarks: same thread structure,
+// same synchronisation skeleton, same planted bug class, and — the
+// property the study actually measures — the same qualitative difficulty
+// for each exploration technique (which technique finds the bug, at what
+// bound, and roughly how hard it is for random scheduling).
+//
+// Substitutions relative to the originals are documented per suite in the
+// suite files and summarised in DESIGN.md §1/§6.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"sctbench/internal/vthread"
+)
+
+// Benchmark is one SCTBench entry.
+type Benchmark struct {
+	// ID is the Table 3 row id (0–51).
+	ID int
+	// Name is the Table 3 name, e.g. "CS.account_bad".
+	Name string
+	// Suite is the benchmark-suite name of Table 1.
+	Suite string
+	// Threads is the nominal thread count (Table 3 "# threads").
+	Threads int
+	// BugKind classifies the planted bug.
+	BugKind vthread.FailureKind
+	// Desc summarises the bug in one line.
+	Desc string
+	// BoundsCheck enables the modelled out-of-bounds detector for this
+	// benchmark (§4.2: manual assertions were added where the paper needed
+	// them; the two OOB benchmarks use the checker directly).
+	BoundsCheck bool
+	// MaxSteps overrides the per-execution step budget (0 = default).
+	MaxSteps int
+	// New builds a fresh instance of the program. Programs close over
+	// per-execution state, so every execution needs a fresh value.
+	New func() vthread.Program
+}
+
+// String returns "id name".
+func (b *Benchmark) String() string { return fmt.Sprintf("%02d %s", b.ID, b.Name) }
+
+var registry []*Benchmark
+
+// register adds a benchmark at package init; duplicate ids or names panic,
+// since the table layout of the study depends on both being unique.
+func register(b *Benchmark) {
+	for _, o := range registry {
+		if o.ID == b.ID {
+			panic(fmt.Sprintf("bench: duplicate id %d (%s, %s)", b.ID, o.Name, b.Name))
+		}
+		if o.Name == b.Name {
+			panic("bench: duplicate name " + b.Name)
+		}
+	}
+	registry = append(registry, b)
+}
+
+// All returns the 52 benchmarks sorted by Table 3 id.
+func All() []*Benchmark {
+	out := make([]*Benchmark, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range registry {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// ByID returns the benchmark with the given Table 3 id, or nil.
+func ByID(id int) *Benchmark {
+	for _, b := range registry {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// Suites returns the distinct suite names in first-appearance (Table 1)
+// order.
+func Suites() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, b := range All() {
+		if !seen[b.Suite] {
+			seen[b.Suite] = true
+			out = append(out, b.Suite)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,187 @@
+package bench
+
+// The CHESS benchmarks: test cases for the Cilk-style WorkStealQueue used
+// to evaluate preemption bounding in prior work [Musuvathi & Qadeer,
+// PLDI'07; CHESS, OSDI'08]. We implement the deque itself — owner
+// push/take at the tail, a thief stealing at the head — with two planted
+// bugs from the original's history:
+//
+//   - take reads the head *before* publishing the decremented tail, so its
+//     "more than one element left" fast path can trust a stale head;
+//   - steal claims the head with a check-then-act (load, verify, store)
+//     instead of an atomic compare-and-swap.
+//
+// Together these let an owner and a thief obtain the same item when their
+// windows interleave — which takes two precisely placed context switches,
+// the famous "WSQ needs two preemptions" result. The checker asserts
+// exactly-once delivery of every pushed item.
+//
+// The I/S variants wrap the same race in semaphore-gated hand-off traffic.
+// Every blocking operation is a free (non-preemptive) branch point for
+// preemption bounding but costs a delay under delay bounding, so the
+// zero-preemption schedule space alone exceeds the 10,000-schedule limit
+// and IPB misses the bugs that IDB still finds — the Table 3 signature of
+// chess.IWSQ/IWSQWS/SWSQ versus chess.WSQ.
+
+import "sctbench/internal/vthread"
+
+// wsq is the work-stealing deque under test. head/tail are SC atomics
+// (always visible); the item buffer is a shared array.
+type wsq struct {
+	head, tail *vthread.Atomic
+	items      *vthread.Array
+}
+
+func newWSQ(t *vthread.Thread, capacity int) *wsq {
+	return &wsq{
+		head:  t.NewAtomic("wsq.head", 0),
+		tail:  t.NewAtomic("wsq.tail", 0),
+		items: t.NewArray("wsq.items", capacity),
+	}
+}
+
+// push appends at the tail (owner only).
+func (q *wsq) push(t *vthread.Thread, v int) {
+	tl := q.tail.Load(t)
+	q.items.Set(t, tl, v)
+	q.tail.Store(t, tl+1)
+}
+
+// take removes from the tail (owner only). Planted bug: the head is read
+// first, so the fast path's "no conflict possible" conclusion can rest on
+// a stale value while a thief advances the head underneath it.
+func (q *wsq) take(t *vthread.Thread) (int, bool) {
+	hd := q.head.Load(t) // BUG: stale by the time it is trusted below
+	tl := q.tail.Load(t) - 1
+	if tl < hd {
+		return 0, false // empty
+	}
+	q.tail.Store(t, tl)
+	v := q.items.Get(t, tl)
+	if tl > hd {
+		return v, true // fast path: trusts the stale head
+	}
+	// Last element: arbitrate with thieves through the head.
+	ok := q.head.CAS(t, hd, hd+1)
+	q.tail.Store(t, hd+1)
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}
+
+// steal removes from the head (thief). Planted bug: check-then-act instead
+// of compare-and-swap — the verify and the store are separate operations.
+func (q *wsq) steal(t *vthread.Thread) (int, bool) {
+	hd := q.head.Load(t)
+	tl := q.tail.Load(t)
+	if hd >= tl {
+		return 0, false
+	}
+	v := q.items.Get(t, hd)
+	if q.head.Load(t) != hd { // BUG: not atomic with the store below
+		return 0, false
+	}
+	q.head.Store(t, hd+1)
+	return v, true
+}
+
+// wsqProgram runs an owner (push n, then drain n takes, then a tail of
+// bookkeeping traffic) and a thief (sts steal attempts) over the deque and
+// checks exactly-once delivery.
+//
+// pingPong > 0 (the I/S variants) additionally spawns two gate threads,
+// created *before* the owner and thief, that hand a token back and forth
+// pingPong times. While the owner and thief are parked, every gate block
+// point offers three enabled threads — a free, zero-preemption branch — so
+// the zero-preemption schedule space is exponential in pingPong and
+// iterative preemption bounding exhausts its 10,000-schedule budget
+// without ever testing a preemption. The duplicate-delivery race itself
+// needs only one delay (park the owner between its tail read and tail
+// publish; the thief's steals run under the deterministic scheduler), so
+// iterative delay bounding still finds it — the Table 3 signature of
+// chess.IWSQ/IWSQWS/SWSQ. The owner's tail traffic keeps depth-first
+// search busy among harmless deep reorderings.
+func wsqProgram(n, sts, pingPong, tail int) vthread.Program {
+	return func(t0 *vthread.Thread) {
+		q := newWSQ(t0, n+1)
+		seen := t0.NewArray("seen", n)
+		bookkeeping := t0.NewVar("bookkeeping", 0)
+		record := func(tw *vthread.Thread, v int) {
+			c := seen.Get(tw, v)
+			tw.Assert(c == 0, "item %d obtained twice", v)
+			seen.Set(tw, v, c+1)
+		}
+		var gates []*vthread.Thread
+		if pingPong > 0 {
+			a := t0.NewSem("gate.a", 0)
+			b := t0.NewSem("gate.b", 0)
+			gates = append(gates,
+				t0.Spawn(func(tw *vthread.Thread) {
+					for i := 0; i < pingPong; i++ {
+						a.P(tw)
+						b.V(tw)
+					}
+				}),
+				t0.Spawn(func(tw *vthread.Thread) {
+					for i := 0; i < pingPong; i++ {
+						a.V(tw)
+						b.P(tw)
+					}
+				}),
+			)
+		}
+		owner := t0.Spawn(func(tw *vthread.Thread) {
+			for i := 0; i < n; i++ {
+				q.push(tw, i)
+			}
+			for i := 0; i < n; i++ {
+				if v, ok := q.take(tw); ok {
+					record(tw, v)
+				}
+			}
+			for i := 0; i < tail; i++ {
+				bookkeeping.Add(tw, 1)
+			}
+		})
+		thief := t0.Spawn(func(tw *vthread.Thread) {
+			for s := 0; s < sts; s++ {
+				if v, ok := q.steal(tw); ok {
+					record(tw, v)
+				}
+			}
+		})
+		t0.Join(owner)
+		t0.Join(thief)
+		for _, g := range gates {
+			t0.Join(g)
+		}
+	}
+}
+
+func init() {
+	register(&Benchmark{
+		ID: 32, Name: "chess.IWSQ", Suite: "CHESS", Threads: 5,
+		BugKind: vthread.FailAssert,
+		Desc:    "work-stealing queue amid gate traffic: zero-preemption branching buries IPB",
+		New:     func() vthread.Program { return wsqProgram(6, 3, 20, 8) },
+	})
+	register(&Benchmark{
+		ID: 33, Name: "chess.IWSQWS", Suite: "CHESS", Threads: 5,
+		BugKind: vthread.FailAssert,
+		Desc:    "work-stealing queue with steal-half traffic: more items, same buried race",
+		New:     func() vthread.Program { return wsqProgram(8, 4, 24, 8) },
+	})
+	register(&Benchmark{
+		ID: 34, Name: "chess.SWSQ", Suite: "CHESS", Threads: 5,
+		BugKind: vthread.FailAssert,
+		Desc:    "synchronized work-stealing queue stress: longest gated run of the race",
+		New:     func() vthread.Program { return wsqProgram(10, 5, 28, 8) },
+	})
+	register(&Benchmark{
+		ID: 35, Name: "chess.WSQ", Suite: "CHESS", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "the classic WorkStealQueue owner/thief race",
+		New:     func() vthread.Program { return wsqProgram(3, 2, 0, 0) },
+	})
+}

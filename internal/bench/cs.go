@@ -1,0 +1,642 @@
+package bench
+
+// The Concurrency Software (CS) benchmarks [Cordeiro & Fischer, ICSE'11]:
+// small multithreaded algorithm test cases used to evaluate ESBMC. The
+// originals carry deliberately violated ("_sat"/"_bad") safety properties;
+// inputs were unconstrained and the paper picked concrete values, as do
+// we. Each analogue preserves the thread count, the synchronisation
+// skeleton and the bug's bound characteristics from Table 3.
+
+import "sctbench/internal/vthread"
+
+// joinAll joins threads in creation order.
+func joinAll(t *vthread.Thread, ts []*vthread.Thread) {
+	for _, c := range ts {
+		t.Join(c)
+	}
+}
+
+func init() {
+	register(&Benchmark{
+		ID: 3, Name: "CS.account_bad", Suite: "CS", Threads: 4,
+		BugKind: vthread.FailAssert,
+		Desc:    "bank transfer: withdraw ordered before deposit drives the balance negative",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				m := t0.NewMutex("account")
+				balance := t0.NewVar("balance", 0)
+				deposit := func(tw *vthread.Thread) {
+					m.Lock(tw)
+					balance.Add(tw, 100)
+					m.Unlock(tw)
+				}
+				withdraw := func(tw *vthread.Thread) {
+					m.Lock(tw)
+					// Bug: no funds check — assumes the deposit already
+					// happened (it does under round-robin).
+					balance.Add(tw, -50)
+					m.Unlock(tw)
+				}
+				audit := func(tw *vthread.Thread) {
+					m.Lock(tw)
+					b := balance.Load(tw)
+					m.Unlock(tw)
+					tw.Assert(b >= 0, "account overdrawn: balance=%d", b)
+				}
+				ts := []*vthread.Thread{t0.Spawn(deposit), t0.Spawn(withdraw), t0.Spawn(audit)}
+				joinAll(t0, ts)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 4, Name: "CS.arithmetic_prog_bad", Suite: "CS", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "arithmetic progression with a planted off-by-one property: violated on every schedule",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				m := t0.NewMutex("sum")
+				sum := t0.NewVar("sum", 0)
+				adder := func(lo, hi int) vthread.Program {
+					return func(tw *vthread.Thread) {
+						for i := lo; i <= hi; i++ {
+							m.Lock(tw)
+							sum.Add(tw, i)
+							m.Unlock(tw)
+						}
+					}
+				}
+				ts := []*vthread.Thread{t0.Spawn(adder(1, 5)), t0.Spawn(adder(6, 10))}
+				joinAll(t0, ts)
+				got := sum.Load(t0)
+				// The ESBMC "_bad" property: deliberately wrong expected
+				// value, so the assertion fails regardless of schedule.
+				t0.Assert(got == 56, "progression sum=%d, claimed 56", got)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 5, Name: "CS.bluetooth_driver_bad", Suite: "CS", Threads: 2,
+		BugKind: vthread.FailAssert,
+		Desc:    "driver used after a concurrent stop request tears it down (check-then-act race)",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				stopped := t0.NewVar("stopped", 0)
+				driverUp := t0.NewVar("driverUp", 1)
+				// The stopper mirrors the original's IoDecrement path.
+				t0.Spawn(func(tw *vthread.Thread) {
+					stopped.Store(tw, 1)
+					driverUp.Store(tw, 0)
+				})
+				// Main is the dispatch routine: checks the stop flag, then
+				// uses the driver. One preemption between check and use
+				// lets the stopper tear the driver down in between.
+				if stopped.Load(t0) == 0 {
+					t0.Assert(driverUp.Load(t0) == 1, "dispatch on stopped driver")
+				}
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 6, Name: "CS.carter01_bad", Suite: "CS", Threads: 5,
+		BugKind: vthread.FailDeadlock,
+		Desc:    "AB/BA lock-order inversion between two of four workers",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				a := t0.NewMutex("A")
+				b := t0.NewMutex("B")
+				work := t0.NewVar("work", 0)
+				lockAB := func(tw *vthread.Thread) {
+					a.Lock(tw)
+					b.Lock(tw)
+					work.Add(tw, 1)
+					b.Unlock(tw)
+					a.Unlock(tw)
+				}
+				lockBA := func(tw *vthread.Thread) {
+					b.Lock(tw)
+					a.Lock(tw)
+					work.Add(tw, 1)
+					a.Unlock(tw)
+					b.Unlock(tw)
+				}
+				helper := func(tw *vthread.Thread) {
+					a.Lock(tw)
+					work.Add(tw, 1)
+					a.Unlock(tw)
+				}
+				ts := []*vthread.Thread{
+					t0.Spawn(lockAB), t0.Spawn(lockBA),
+					t0.Spawn(helper), t0.Spawn(helper),
+				}
+				joinAll(t0, ts)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 7, Name: "CS.circular_buffer_bad", Suite: "CS", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "producer/consumer over a ring buffer with an unsynchronised element count",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				buf := t0.NewArray("ring", 4)
+				count := t0.NewVar("count", 0) // racy: updated by both sides
+				producer := func(tw *vthread.Thread) {
+					for i := 0; i < 2; i++ {
+						buf.Set(tw, i, 100+i)
+						count.Add(tw, 1) // load+store: splittable
+					}
+				}
+				consumer := func(tw *vthread.Thread) {
+					for i := 0; i < 2; i++ {
+						if count.Load(tw) > i {
+							v := buf.Get(tw, i)
+							tw.Assert(v == 100+i, "ring[%d]=%d, want %d", i, v, 100+i)
+						}
+						count.Add(tw, -1)
+					}
+				}
+				ts := []*vthread.Thread{t0.Spawn(producer), t0.Spawn(consumer)}
+				joinAll(t0, ts)
+				c := count.Load(t0)
+				t0.Assert(c == 0, "count=%d after balanced produce/consume", c)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 8, Name: "CS.deadlock01_bad", Suite: "CS", Threads: 3,
+		BugKind: vthread.FailDeadlock,
+		Desc:    "textbook AB/BA deadlock between two workers",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				a := t0.NewMutex("A")
+				b := t0.NewMutex("B")
+				x := t0.NewVar("x", 0)
+				ts := []*vthread.Thread{
+					t0.Spawn(func(tw *vthread.Thread) {
+						a.Lock(tw)
+						x.Add(tw, 1)
+						b.Lock(tw)
+						b.Unlock(tw)
+						a.Unlock(tw)
+					}),
+					t0.Spawn(func(tw *vthread.Thread) {
+						b.Lock(tw)
+						x.Add(tw, 1)
+						a.Lock(tw)
+						a.Unlock(tw)
+						b.Unlock(tw)
+					}),
+				}
+				joinAll(t0, ts)
+			}
+		},
+	})
+
+	for n := 2; n <= 7; n++ {
+		registerDinPhil(9+n-2, n)
+	}
+
+	register(&Benchmark{
+		ID: 15, Name: "CS.fsbench_bad", Suite: "CS", Threads: 28,
+		BugKind: vthread.FailAssert,
+		Desc:    "file-system flush: 27 workers claim slots in a 26-entry table (manual OOB assertion, §4.2)",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				const workers = 27
+				const slots = workers - 1
+				m := t0.NewMutex("alloc")
+				next := t0.NewVar("next", 0)
+				table := t0.NewArray("table", slots)
+				ts := make([]*vthread.Thread, workers)
+				for i := 0; i < workers; i++ {
+					ts[i] = t0.Spawn(func(tw *vthread.Thread) {
+						m.Lock(tw)
+						slot := next.Load(tw)
+						next.Store(tw, slot+1)
+						m.Unlock(tw)
+						// The paper added this assertion by hand: the
+						// original overflow corrupts memory silently.
+						tw.Assert(slot < slots, "slot %d overflows %d-entry table", slot, slots)
+						table.Set(tw, slot, 1)
+					})
+				}
+				joinAll(t0, ts)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 16, Name: "CS.lazy01_bad", Suite: "CS", Threads: 4,
+		BugKind: vthread.FailAssert,
+		Desc:    "three workers race to set a value; the checked outcome holds only for some orders",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				m := t0.NewMutex("m")
+				data := t0.NewVar("data", 0)
+				setter := func(v int) vthread.Program {
+					return func(tw *vthread.Thread) {
+						m.Lock(tw)
+						data.Store(tw, v)
+						m.Unlock(tw)
+					}
+				}
+				ts := []*vthread.Thread{t0.Spawn(setter(1)), t0.Spawn(setter(2)), t0.Spawn(setter(3))}
+				joinAll(t0, ts)
+				d := data.Load(t0)
+				// Round-robin finishes with the third setter last, so the
+				// "impossible" value is exactly the one RR produces.
+				t0.Assert(d != 3, "data=%d: last writer was the third setter", d)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 17, Name: "CS.phase01_bad", Suite: "CS", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "two-phase handshake with a planted always-false postcondition",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				s := t0.NewSem("phase", 0)
+				a := t0.NewVar("a", 0)
+				b := t0.NewVar("b", 0)
+				ts := []*vthread.Thread{
+					t0.Spawn(func(tw *vthread.Thread) {
+						a.Store(tw, 1)
+						s.V(tw)
+					}),
+					t0.Spawn(func(tw *vthread.Thread) {
+						s.P(tw)
+						b.Store(tw, a.Load(tw)+1)
+					}),
+				}
+				joinAll(t0, ts)
+				// Planted violation: claims the phases overlap, but the
+				// semaphore orders them on every schedule.
+				t0.Assert(a.Load(t0)+b.Load(t0) == 4, "a+b=%d, claimed 4", a.Load(t0)+b.Load(t0))
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 18, Name: "CS.queue_bad", Suite: "CS", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "SPSC queue with a racy size field: a mid-enqueue dequeue loses an element",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				items := t0.NewArray("items", 8)
+				size := t0.NewVar("size", 0) // racy
+				enq := func(tw *vthread.Thread, v int) {
+					n := size.Load(tw)
+					// Bug: the size is published before the element is
+					// written, so a concurrent dequeue in between reads an
+					// uninitialised cell.
+					size.Store(tw, n+1)
+					items.Set(tw, n, v)
+				}
+				deq := func(tw *vthread.Thread) int {
+					n := size.Load(tw)
+					if n == 0 {
+						return -1
+					}
+					v := items.Get(tw, n-1)
+					size.Store(tw, n-1)
+					return v
+				}
+				ts := []*vthread.Thread{
+					t0.Spawn(func(tw *vthread.Thread) {
+						enq(tw, 10)
+						enq(tw, 20)
+					}),
+					t0.Spawn(func(tw *vthread.Thread) {
+						v := deq(tw)
+						tw.Assert(v == -1 || v == 10 || v == 20, "dequeued garbage %d", v)
+					}),
+				}
+				joinAll(t0, ts)
+				n := size.Load(t0)
+				t0.Assert(n == 1 || n == 2, "size=%d after 2 enq / 1 deq", n)
+			}
+		},
+	})
+
+	registerReorder(19, "CS.reorder_10_bad", 8)  // 11 threads
+	registerReorder(20, "CS.reorder_20_bad", 18) // 21 threads
+	registerReorder(21, "CS.reorder_3_bad", 1)   // 4 threads
+	registerReorder(22, "CS.reorder_4_bad", 2)   // 5 threads
+	registerReorder(23, "CS.reorder_5_bad", 3)   // 6 threads
+
+	register(&Benchmark{
+		ID: 24, Name: "CS.stack_bad", Suite: "CS", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "two pushers on a stack with a racy top-of-stack index lose an element",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				cells := t0.NewArray("cells", 8)
+				top := t0.NewVar("top", 0) // racy
+				push := func(tw *vthread.Thread, v int) {
+					n := top.Load(tw)
+					cells.Set(tw, n, v)
+					top.Store(tw, n+1)
+				}
+				ts := []*vthread.Thread{
+					t0.Spawn(func(tw *vthread.Thread) { push(tw, 1); push(tw, 2) }),
+					t0.Spawn(func(tw *vthread.Thread) { push(tw, 3) }),
+				}
+				joinAll(t0, ts)
+				n := top.Load(t0)
+				t0.Assert(n == 3, "lost push: top=%d, want 3", n)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 25, Name: "CS.sync01_bad", Suite: "CS", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "semaphore handshake with a planted always-false postcondition",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				s := t0.NewSem("sync", 0)
+				v := t0.NewVar("v", 0)
+				ts := []*vthread.Thread{
+					t0.Spawn(func(tw *vthread.Thread) {
+						v.Store(tw, 1)
+						s.V(tw)
+					}),
+					t0.Spawn(func(tw *vthread.Thread) {
+						s.P(tw)
+						v.Add(tw, 1)
+					}),
+				}
+				joinAll(t0, ts)
+				t0.Assert(v.Load(t0) == 3, "v=%d, claimed 3", v.Load(t0))
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 26, Name: "CS.sync02_bad", Suite: "CS", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "condvar handshake with a planted always-false postcondition",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				m := t0.NewMutex("m")
+				c := t0.NewCond("c")
+				ready := t0.NewVar("ready", 0)
+				v := t0.NewVar("v", 0)
+				ts := []*vthread.Thread{
+					t0.Spawn(func(tw *vthread.Thread) {
+						m.Lock(tw)
+						v.Store(tw, 10)
+						ready.Store(tw, 1)
+						c.Signal(tw)
+						m.Unlock(tw)
+					}),
+					t0.Spawn(func(tw *vthread.Thread) {
+						m.Lock(tw)
+						for ready.Load(tw) == 0 {
+							c.Wait(tw, m)
+						}
+						v.Add(tw, 5)
+						m.Unlock(tw)
+					}),
+				}
+				joinAll(t0, ts)
+				t0.Assert(v.Load(t0) == 16, "v=%d, claimed 16", v.Load(t0))
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 27, Name: "CS.token_ring_bad", Suite: "CS", Threads: 5,
+		BugKind: vthread.FailAssert,
+		Desc:    "four stations pass a token without synchronisation; only creation order survives",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				token := t0.NewVar("token", 0) // racy
+				station := func(id int) vthread.Program {
+					return func(tw *vthread.Thread) {
+						got := token.Load(tw)
+						token.Store(tw, got+id)
+					}
+				}
+				ts := []*vthread.Thread{
+					t0.Spawn(station(1)), t0.Spawn(station(2)),
+					t0.Spawn(station(3)), t0.Spawn(station(4)),
+				}
+				joinAll(t0, ts)
+				got := token.Load(t0)
+				// Correct only when every station sees its predecessor's
+				// value: any reordering or overlap loses increments.
+				t0.Assert(got == 10, "token=%d, want 10", got)
+			}
+		},
+	})
+
+	registerTwostage(28, "CS.twostage_100_bad", 50) // 101 threads
+	registerTwostage(29, "CS.twostage_bad", 1)      // 3 threads
+
+	registerWronglock(30, "CS.wronglock_3_bad", 3) // 5 threads
+	registerWronglock(31, "CS.wronglock_bad", 7)   // 9 threads
+}
+
+// registerDinPhil builds CS.din_philN_sat: N philosophers with the classic
+// left-then-right fork order (deadlock-capable) and an ESBMC-style planted
+// "sat" assertion that is violated whenever all philosophers finish — so
+// the round-robin schedule is already buggy and essentially every schedule
+// is (Table 2's "every random schedule was buggy" group).
+func registerDinPhil(id, n int) {
+	register(&Benchmark{
+		ID: id, Name: "CS.din_phil" + itoa(n) + "_sat", Suite: "CS", Threads: n + 1,
+		BugKind: vthread.FailAssert,
+		Desc:    "dining philosophers: planted 'not all finish' property plus a real deadlock",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				forks := make([]*vthread.Mutex, n)
+				for i := range forks {
+					forks[i] = t0.NewMutex("fork" + itoa(i))
+				}
+				eaten := t0.NewVar("eaten", 0)
+				phil := func(i int) vthread.Program {
+					return func(tw *vthread.Thread) {
+						left, right := forks[i], forks[(i+1)%n]
+						left.Lock(tw)
+						right.Lock(tw)
+						eaten.Add(tw, 1)
+						right.Unlock(tw)
+						left.Unlock(tw)
+					}
+				}
+				ts := make([]*vthread.Thread, n)
+				for i := 0; i < n; i++ {
+					ts[i] = t0.Spawn(phil(i))
+				}
+				joinAll(t0, ts)
+				got := eaten.Load(t0)
+				t0.Assert(got != n, "all %d philosophers ate (the _sat property claims this is impossible)", got)
+			}
+		},
+	})
+}
+
+// registerReorder builds the §2 Example 2 adversary with `extra` duplicate
+// writers: the bug needs extra+1 delays but always just one preemption.
+// With many writers the schedule space explodes and nothing finds the bug
+// within the limit, matching rows 19 and 20.
+func registerReorder(id int, name string, extra int) {
+	register(&Benchmark{
+		ID: id, Name: name, Suite: "CS", Threads: extra + 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "reorder adversary: checker must run between one writer's two stores",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				x := t0.NewVar("x", 0)
+				y := t0.NewVar("y", 0)
+				writer := func(tw *vthread.Thread) {
+					x.Store(tw, 1)
+					y.Store(tw, 1)
+				}
+				ts := make([]*vthread.Thread, 0, extra+2)
+				for i := 0; i < extra+1; i++ {
+					ts = append(ts, t0.Spawn(writer))
+				}
+				ts = append(ts, t0.Spawn(func(tw *vthread.Thread) {
+					xv := x.Load(tw)
+					yv := y.Load(tw)
+					tw.Assert(xv == yv, "x=%d y=%d", xv, yv)
+				}))
+				joinAll(t0, ts)
+			}
+		},
+	})
+}
+
+// registerTwostage builds CS.twostage{,_100}_bad: `pairs` stage-one threads
+// publish data then a flag under separate locks, and `pairs` stage-two
+// threads read flag-then-data — the classic two-variable atomicity
+// violation, exposed when a reader runs between a writer's two updates.
+func registerTwostage(id int, name string, pairs int) {
+	register(&Benchmark{
+		ID: id, Name: name, Suite: "CS", Threads: 2*pairs + 1,
+		BugKind: vthread.FailAssert,
+		Desc:    "two-stage pipeline: flag set before data is complete",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				mData := t0.NewMutex("data")
+				mFlag := t0.NewMutex("flag")
+				data := t0.NewVar("data", 0)
+				flag := t0.NewVar("flag", 0)
+				writer := func(tw *vthread.Thread) {
+					mData.Lock(tw)
+					data.Store(tw, 42)
+					mData.Unlock(tw)
+					// Bug: the flag is set under a different lock, so a
+					// reader can observe flag==1 with stale data… but only
+					// in the window *between* these two sections.
+					mFlag.Lock(tw)
+					flag.Store(tw, 1)
+					mFlag.Unlock(tw)
+				}
+				reader := func(tw *vthread.Thread) {
+					mFlag.Lock(tw)
+					f := flag.Load(tw)
+					mFlag.Unlock(tw)
+					if f == 0 {
+						return
+					}
+					mData.Lock(tw)
+					d := data.Load(tw)
+					mData.Unlock(tw)
+					tw.Assert(d == 42, "flag set but data=%d", d)
+				}
+				_ = reader
+				ts := make([]*vthread.Thread, 0, 2*pairs)
+				for i := 0; i < pairs; i++ {
+					ts = append(ts, t0.Spawn(writerVariant(i, writer, data, flag, mData, mFlag)))
+				}
+				for i := 0; i < pairs; i++ {
+					ts = append(ts, t0.Spawn(reader))
+				}
+				joinAll(t0, ts)
+			}
+		},
+	})
+}
+
+// writerVariant plants the actual bug in exactly one writer: it sets the
+// flag *before* the data (the inverted two-stage update). With one pair
+// (twostage_bad) a single preemption exposes it; with 50 pairs
+// (twostage_100_bad) the buggy window is buried under 100 threads of
+// schedule noise and nothing finds it within the limit — matching the
+// paper, where the large-thread-count variants' bugs were found by no
+// technique.
+func writerVariant(i int, normal vthread.Program, data, flag *vthread.IntVar, mData, mFlag *vthread.Mutex) vthread.Program {
+	if i != 0 {
+		return normal
+	}
+	return func(tw *vthread.Thread) {
+		mFlag.Lock(tw)
+		flag.Store(tw, 1)
+		mFlag.Unlock(tw)
+		mData.Lock(tw)
+		data.Store(tw, 42)
+		mData.Unlock(tw)
+	}
+}
+
+// registerWronglock builds CS.wronglock{_3,}_bad: a writer updates shared
+// state under lock A in two steps; readers take lock B (the wrong lock!)
+// and assert they never observe the intermediate state. No non-preemptive
+// schedule splits the writer's update, so preemption bound 0 (which
+// explodes with the thread count) never finds it; one delay or preemption
+// of the writer does.
+func registerWronglock(id int, name string, readers int) {
+	register(&Benchmark{
+		ID: id, Name: name, Suite: "CS", Threads: readers + 2,
+		BugKind: vthread.FailAssert,
+		Desc:    "readers guard with the wrong lock and can observe a half-done update",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				right := t0.NewMutex("right")
+				wrong := t0.NewMutex("wrong")
+				v := t0.NewVar("v", 0) // racy: reader lock does not order it
+				ts := make([]*vthread.Thread, 0, readers+1)
+				ts = append(ts, t0.Spawn(func(tw *vthread.Thread) {
+					right.Lock(tw)
+					v.Store(tw, 1) // intermediate
+					v.Store(tw, 2) // final
+					right.Unlock(tw)
+				}))
+				for i := 0; i < readers; i++ {
+					ts = append(ts, t0.Spawn(func(tw *vthread.Thread) {
+						wrong.Lock(tw)
+						got := v.Load(tw)
+						wrong.Unlock(tw)
+						tw.Assert(got != 1, "observed half-done update")
+					}))
+				}
+				joinAll(t0, ts)
+			}
+		},
+	})
+}
+
+// itoa is a minimal integer-to-string helper (avoids strconv in hot paths
+// and keeps benchmark names allocation-free at init).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

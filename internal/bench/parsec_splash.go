@@ -1,0 +1,545 @@
+package bench
+
+// PARSEC 2.0 and SPLASH-2 analogues. The paper used the "test" inputs with
+// 2–3 worker threads and reduced parameters (§4.1, §6); we reduce the same
+// way. ferret's pipeline and streamcluster's barrier-phase structure are
+// preserved at miniature scale; the three SPLASH-2 programs share the real
+// suite's bug — a macro set that omits "wait for threads to terminate", so
+// the master can read results before the workers finish writing them.
+
+import "sctbench/internal/vthread"
+
+func init() {
+	register(&Benchmark{
+		ID: 39, Name: "parsec.ferret", Suite: "PARSEC", Threads: 11,
+		BugKind: vthread.FailAssert,
+		Desc:    "pipeline: a stage thread must stay unscheduled while all others drain the queue",
+		New:     func() vthread.Program { return ferret() },
+	})
+	register(&Benchmark{
+		ID: 40, Name: "parsec.streamcluster", Suite: "PARSEC", Threads: 5,
+		BugKind: vthread.FailAssert,
+		Desc:    "barrier phase: worker reads the median before the master finishes writing it",
+		New:     func() vthread.Program { return streamcluster1() },
+	})
+	register(&Benchmark{
+		ID: 41, Name: "parsec.streamcluster2", Suite: "PARSEC", Threads: 7,
+		BugKind: vthread.FailAssert,
+		Desc:    "three-worker variant: incorrect output when a straggler's contribution is dropped",
+		New:     func() vthread.Program { return streamcluster2() },
+	})
+	register(&Benchmark{
+		ID: 42, Name: "parsec.streamcluster3", Suite: "PARSEC", Threads: 5,
+		BugKind: vthread.FailAssert,
+		Desc:    "out-of-bounds access when the master leaves the barrier after a worker (manual assertion, §4.2)",
+		New:     func() vthread.Program { return streamcluster3() },
+	})
+
+	registerSplash(49, "splash2.barnes", 60)
+	registerSplash(50, "splash2.fft", 12)
+	registerSplash(51, "splash2.lu", 10)
+
+	register(&Benchmark{
+		ID: 43, Name: "radbench.bug1", Suite: "RADBench", Threads: 4,
+		BugKind: vthread.FailCrash,
+		Desc:    "SpiderMonkey: hash table destroyed while another thread still dereferences it",
+		New:     func() vthread.Program { return radbench1() },
+	})
+	register(&Benchmark{
+		ID: 44, Name: "radbench.bug2", Suite: "RADBench", Threads: 2,
+		BugKind: vthread.FailAssert,
+		Desc:    "two threads, three ordering constraints: needs exactly three preemptions = three delays",
+		New:     func() vthread.Program { return radbench2() },
+	})
+	register(&Benchmark{
+		ID: 45, Name: "radbench.bug3", Suite: "RADBench", Threads: 3,
+		BugKind: vthread.FailDeadlock,
+		Desc:    "NSPR: notify on the wrong monitor deadlocks the round-robin schedule itself",
+		New:     func() vthread.Program { return radbench3() },
+	})
+	register(&Benchmark{
+		ID: 46, Name: "radbench.bug4", Suite: "RADBench", Threads: 3,
+		BugKind: vthread.FailCrash,
+		Desc:    "lazily initialised lock: double initialisation leads to unlocking an unheld mutex",
+		New:     func() vthread.Program { return radbench4() },
+	})
+	register(&Benchmark{
+		ID: 47, Name: "radbench.bug5", Suite: "RADBench", Threads: 7,
+		BugKind: vthread.FailAssert,
+		Desc:    "idiom bug: remote dependency flip buried under six threads of noise",
+		New:     func() vthread.Program { return radbench5() },
+	})
+	register(&Benchmark{
+		ID: 48, Name: "radbench.bug6", Suite: "RADBench", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "condvar wakeup consumes a state change another waiter needed",
+		New:     func() vthread.Program { return radbench6() },
+	})
+}
+
+// ferret models the PARSEC content-similarity pipeline: a load stage
+// (spawned first) enqueues the work item; nine downstream stage threads
+// process queue traffic and shut the pipeline down when the last of them
+// finishes, checking that the load stage produced anything at all. The
+// bug: a pipeline drained and shut down with the load stage never
+// scheduled reports empty output. One delay achieves exactly that under
+// the round-robin scheduler (the delayed thread is revisited only after
+// all later threads run to completion); a random scheduler almost surely
+// reschedules the load stage long before nine others finish, so Rand
+// misses the bug — the Table 3 signature of this benchmark. Preemption
+// bounding drowns at bound zero: ten threads' exit orderings alone exceed
+// the schedule limit.
+func ferret() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		const consumers = 9
+		m := t0.NewMutex("pipe")
+		queued := t0.NewVar("queued", 0)
+		processed := t0.NewVar("processed", 0)
+		noise := t0.NewVar("noise", 0)
+		ts := make([]*vthread.Thread, 0, consumers+1)
+		// The load stage: its entire contribution is its first operation.
+		ts = append(ts, t0.Spawn(func(tw *vthread.Thread) {
+			m.Lock(tw)
+			queued.Add(tw, 1)
+			m.Unlock(tw)
+		}))
+		for i := 0; i < consumers; i++ {
+			ts = append(ts, t0.Spawn(func(tw *vthread.Thread) {
+				for round := 0; round < 6; round++ {
+					m.Lock(tw)
+					noise.Add(tw, 1)
+					m.Unlock(tw)
+				}
+				m.Lock(tw)
+				p := processed.Add(tw, 1)
+				if p == consumers {
+					// Shutdown: the pipeline must have seen the work item.
+					tw.Assert(queued.Load(tw) > 0,
+						"pipeline shut down before the load stage ran")
+				}
+				m.Unlock(tw)
+			}))
+		}
+		joinAll(t0, ts)
+	}
+}
+
+// streamcluster1: four workers iterate six barrier-separated phases; the
+// master is the last-created worker, so under round-robin it is the last
+// arriver, passes straight through the barrier and writes the phase median
+// before any waiter wakes. The actual PARSEC bug is the missing second
+// barrier after the write: waking a waiter before the master's store (one
+// preemption = one delay, since the master is still enabled) yields a
+// stale read. Only the first phase checks the median, so the deep phases
+// are pure schedule noise: their 3! wake orders per phase give a
+// zero-preemption space of ~6^6 that buries preemption bounding, and a
+// deep tail that keeps depth-first search away from the shallow bug.
+func streamcluster1() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		const workers = 4
+		const phases = 6
+		b := t0.NewBarrier("phase", workers)
+		median := t0.NewVar("median", -1)
+		ts := make([]*vthread.Thread, workers)
+		for i := 0; i < workers; i++ {
+			i := i
+			ts[i] = t0.Spawn(func(tw *vthread.Thread) {
+				for phase := 0; phase < phases; phase++ {
+					b.Arrive(tw)
+					if i == workers-1 {
+						median.Store(tw, phase) // the master's post-barrier write
+					} else if phase == 0 {
+						got := median.Load(tw)
+						tw.Assert(got == 0, "read stale median %d before the master wrote it", got)
+					}
+					// Missing barrier here in the original.
+				}
+			})
+		}
+		joinAll(t0, ts)
+	}
+}
+
+// streamcluster2: the three-versions variant with the paper's added output
+// check. Six workers accumulate the clustering cost with a racy
+// read-modify-write in the first phase only; a torn update (one
+// preemption/delay inside someone's Add) loses a contribution and the
+// final cost check fails. The second phase is pure barrier noise: its 5!
+// wake orders push the zero-preemption space past the limit for IPB and
+// give DFS a bug-free deep tail.
+func streamcluster2() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		const workers = 6
+		b := t0.NewBarrier("phase", workers)
+		cost := t0.NewVar("cost", 0)
+		ts := make([]*vthread.Thread, workers)
+		for i := 0; i < workers; i++ {
+			ts[i] = t0.Spawn(func(tw *vthread.Thread) {
+				cost.Add(tw, 10) // racy accumulate (phase 0)
+				b.Arrive(tw)
+				b.Arrive(tw) // phase 1: noise
+			})
+		}
+		joinAll(t0, ts)
+		got := cost.Load(t0)
+		// Output check added by the paper (§4.2).
+		t0.Assert(got == workers*10, "incorrect output: cost=%d, want %d", got, workers*10)
+	}
+}
+
+// streamcluster3: the previously unknown out-of-bounds access found by the
+// paper's OOB detector, and its IPB-beats-IDB outlier. The master (created
+// first) and the checker both arrive at the resize barrier early and
+// block; two noise workers arrive after long computations, the last one
+// passing straight through. At the wake point the deterministic scheduler
+// picks the master (creation order), which resizes the table before the
+// checker indexes the new extent — so the zero-delay schedule passes, and
+// exposing the bug needs exactly one delay to skip over the master. But
+// the wake choice is non-preemptive (the last arriver just left), so
+// preemption bounding reaches the bug at bound zero within a handful of
+// schedules, while delay bounding must enumerate ~the whole bound-one
+// space. The paper's Figure 4 calls this benchmark out as the worst case
+// for IDB.
+func streamcluster3() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		const workers = 4
+		b := t0.NewBarrier("resize", workers)
+		size := t0.NewVar("size", 2)
+		table := t0.NewArray("table", 8)
+		traffic := t0.NewVar("traffic", 0)
+		ts := make([]*vthread.Thread, workers)
+		for i := 0; i < workers; i++ {
+			i := i
+			ts[i] = t0.Spawn(func(tw *vthread.Thread) {
+				switch i {
+				case 0: // master
+					b.Arrive(tw)
+					size.Store(tw, 4)
+					table.Set(tw, 3, 1)
+				case 1: // checker: indexes the resized extent
+					b.Arrive(tw)
+					n := size.Load(tw)
+					// Manual assertion standing in for the OOB detector
+					// (§4.2): indexing element 3 is valid only after the
+					// master's resize.
+					tw.Assert(n >= 4, "index 3 out of bounds: table extent still %d", n)
+					_ = table.Get(tw, 3)
+				default: // noise arrivers with long pre-barrier phases
+					for r := 0; r < 300; r++ {
+						traffic.Add(tw, 1)
+					}
+					b.Arrive(tw)
+				}
+			})
+		}
+		joinAll(t0, ts)
+	}
+}
+
+// radbench1: SpiderMonkey's JSRuntime hash-table teardown race. The user
+// thread locks the runtime early in its life; the destroyer tears the
+// runtime down at the END of a long shutdown path; four traffic threads
+// generate thousands of scheduling points. The crash (locking a destroyed
+// mutex) needs just one delay — skip the user's very first operation and
+// the deterministic scheduler runs the whole destroyer before coming back
+// — but that delay sits at the shallowest point of the execution, which
+// depth-first-ordered bound-1 enumeration reaches only after the >10,000
+// deeper one-delay schedules. Every technique exhausts its budget first;
+// random scheduling would have to starve the user's first step across the
+// destroyer's entire shutdown path. This is the paper's "the large number
+// of scheduling points pushes the bug out of reach" benchmark.
+func radbench1() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		rt := t0.NewMutex("runtime")
+		traffic := t0.NewVar("traffic", 0)
+		churn := func(n int) func(tw *vthread.Thread) {
+			return func(tw *vthread.Thread) {
+				for r := 0; r < n; r++ {
+					traffic.Add(tw, 1)
+				}
+			}
+		}
+		ts := make([]*vthread.Thread, 0, 5)
+		// The destroyer: a long shutdown path, then the teardown.
+		ts = append(ts, t0.Spawn(func(tw *vthread.Thread) {
+			churn(1000)(tw)
+			rt.Destroy(tw)
+		}))
+		for i := 0; i < 4; i++ {
+			ts = append(ts, t0.Spawn(func(tw *vthread.Thread) { churn(1000)(tw) }))
+		}
+		// Main is the runtime user. Its lock is its first operation after
+		// the spawns, and main remains enabled throughout them, so under
+		// any zero-preemption schedule the lock precedes the teardown; the
+		// crash needs main's first step delayed past the destroyer's whole
+		// shutdown path.
+		rt.Lock(t0)
+		rt.Unlock(t0)
+		churn(1000)(t0)
+		joinAll(t0, ts)
+	}
+}
+
+// radbench2: the two-thread SpiderMonkey bug that needs three preemptions
+// — three separate ordering constraints between the same two threads:
+// the watcher must observe the armed flag before main disarms it, main
+// must then disarm-and-publish, and the watcher must observe the
+// publication with the flag already gone. With two threads, every delay
+// is a preemption and vice versa, so IPB and IDB explore identical
+// schedules (§6 of the paper notes exactly this). Noise operations pad
+// each segment so the bound-3 space is thousands of schedules and
+// unbounded DFS drowns in the 2^points interleavings.
+func radbench2() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		armed := t0.NewVar("armed", 0)
+		temp := t0.NewVar("temp", 0)
+		published := t0.NewVar("published", 0)
+		pad := t0.NewVar("pad", 0)
+		w := t0.Spawn(func(tw *vthread.Thread) {
+			sawArmed := armed.Load(tw) // constraint 1: inside the armed window
+			for r := 0; r < 4; r++ {
+				pad.Add(tw, 1)
+			}
+			sawTemp := temp.Load(tw)     // constraint 2: inside the temp window
+			sawPub := published.Load(tw) // constraint 3: after the publication
+			tw.Assert(!(sawArmed == 1 && sawTemp == 1 && sawPub == 1),
+				"watcher observed armed, temp and published states out of order")
+		})
+		armed.Store(t0, 1) // open window 1
+		for r := 0; r < 5; r++ {
+			pad.Add(t0, 1)
+		}
+		armed.Store(t0, 0)     // close window 1
+		temp.Store(t0, 1)      // open window 2
+		published.Store(t0, 1) // window 3 opens inside window 2…
+		temp.Store(t0, 0)      // …which closes immediately after
+		for r := 0; r < 5; r++ {
+			pad.Add(t0, 1)
+		}
+		t0.Join(w)
+	}
+}
+
+// radbench3: NSPR monitor misuse — a notification is consumed before the
+// peer waits and the reply notification is missing entirely, so the
+// round-robin schedule (and nearly every other) deadlocks immediately.
+func radbench3() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		m := t0.NewMutex("mon")
+		cv := t0.NewCond("mon.cv")
+		stage := t0.NewVar("stage", 0)
+		w := t0.Spawn(func(tw *vthread.Thread) {
+			m.Lock(tw)
+			cv.Signal(tw) // lost or stolen: nobody waits yet
+			stage.Store(tw, 1)
+			for stage.Load(tw) != 2 {
+				cv.Wait(tw, m)
+			}
+			m.Unlock(tw)
+		})
+		helper := t0.Spawn(func(tw *vthread.Thread) {
+			m.Lock(tw)
+			m.Unlock(tw)
+		})
+		m.Lock(t0)
+		for stage.Load(t0) != 1 {
+			cv.Wait(t0, m)
+		}
+		stage.Store(t0, 2)
+		// Missing cv.Signal(t0) — the second lost notification.
+		m.Unlock(t0)
+		t0.Join(w)
+		t0.Join(helper)
+	}
+}
+
+// radbench4: NSPR's lazily initialised lock. Both threads run the
+// "if (!initialised) { create lock; initialised = 1 }" pattern and then
+// lock through the global handle, unlocking through a *fresh* read of the
+// handle, as the original code does. A double initialisation replaces the
+// handle while a thread is inside its critical section; that thread (or
+// its peer) then unlocks a mutex it does not hold — a crash. The
+// interleaving needs two precisely placed delays (one in the
+// initialisation window, one inside a critical section), both early in
+// the execution, and a noise thread widens the bound-2 space past the
+// schedule limit: iterative delay bounding exhausts its budget at bound 2
+// while random scheduling stumbles into the window — the paper's
+// Rand-only benchmark.
+func radbench4() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		inited := t0.NewVar("inited", 0)
+		handle := vthread.NewRef[*vthread.Mutex](t0, "handle", nil)
+		noise := t0.NewVar("noise4", 0)
+		use := func(me, prefix int) vthread.Program {
+			return func(tw *vthread.Thread) {
+				for r := 0; r < prefix; r++ {
+					noise.Add(tw, 1)
+				}
+				if inited.Load(tw) == 0 {
+					for r := 0; r < 3; r++ {
+						noise.Add(tw, 1) // allocation work inside the window
+					}
+					handle.Store(tw, tw.NewMutex("lazy"+itoa(me)))
+					inited.Store(tw, 1)
+				}
+				m := handle.Load(tw)
+				m.Lock(tw)
+				for r := 0; r < 4; r++ {
+					noise.Add(tw, 1) // critical section
+				}
+				m2 := handle.Load(tw) // the original unlocks via the global
+				m2.Unlock(tw)         // crash if the handle moved underneath
+			}
+		}
+		// The second user's long prefix makes a double initialisation rare
+		// under random scheduling (the first user normally finishes its
+		// init long before the second's check) while keeping it reachable
+		// with two early delays.
+		w1 := t0.Spawn(use(1, 2))
+		w2 := t0.Spawn(use(2, 12))
+		w3 := t0.Spawn(func(tw *vthread.Thread) {
+			for r := 0; r < 200; r++ {
+				noise.Add(tw, 1)
+			}
+		})
+		t0.Join(w1)
+		t0.Join(w2)
+		t0.Join(w3)
+	}
+}
+
+// radbench5: the MapleAlg-only bug. The draft-state reader (created
+// early) performs its racy check as its very first operation; the writer
+// publishes at the end of a long path, behind four noise threads. Exactly
+// the same buried-shallow-window structure as radbench1 — systematic
+// techniques exhaust their budgets on deeper schedules and random
+// scheduling cannot starve the reader long enough — but unlike radbench1
+// the hazard is a plain publish/consume dependency on a shared variable,
+// so idiom-driven active testing (the Maple algorithm) profiles the
+// consume-before-publish order, flips it, holds the reader back, and
+// exposes the bug in a handful of runs.
+func radbench5() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		published := t0.NewVar("published", 0)
+		noise := t0.NewVar("noise5", 0)
+		churn := func(n int) func(tw *vthread.Thread) {
+			return func(tw *vthread.Thread) {
+				for r := 0; r < n; r++ {
+					noise.Add(tw, 1)
+				}
+			}
+		}
+		ts := make([]*vthread.Thread, 0, 6)
+		// Writer: publishes at the end of a long path.
+		ts = append(ts, t0.Spawn(func(tw *vthread.Thread) {
+			churn(1000)(tw)
+			published.Store(tw, 1)
+		}))
+		for i := 0; i < 5; i++ {
+			ts = append(ts, t0.Spawn(func(tw *vthread.Thread) { churn(1000)(tw) }))
+		}
+		// Main consumes the draft state right after the spawns; its load
+		// must be dragged past the writer's entire path for the bug to
+		// fire, which only the idiom-driven active scheduler does reliably.
+		if published.Load(t0) == 1 {
+			t0.Fail("consumed draft state after publication")
+		}
+		churn(1000)(t0)
+		joinAll(t0, ts)
+	}
+}
+
+// radbench6: a condvar wakeup consumes a state change that a second
+// waiter needed — one delay moves the signal between the two waiters'
+// checks.
+func radbench6() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		m := t0.NewMutex("m")
+		cv := t0.NewCond("cv")
+		avail := t0.NewVar("avail", 0)
+		shutdown := t0.NewVar("shutdown", 0)
+		pad := t0.NewVar("pad6", 0)
+		waiter := t0.Spawn(func(tw *vthread.Thread) {
+			m.Lock(tw)
+			if avail.Load(tw) == 0 && shutdown.Load(tw) == 0 {
+				cv.Wait(tw, m)
+			}
+			// Bug: "if" instead of "while" — a barger who consumed the
+			// state between the signal and this wakeup leaves nothing.
+			got := avail.Load(tw)
+			tw.Assert(got > 0, "woke with nothing available")
+			avail.Store(tw, got-1)
+			m.Unlock(tw)
+		})
+		barger := t0.Spawn(func(tw *vthread.Thread) {
+			m.Lock(tw)
+			if avail.Load(tw) > 0 { // barging path: consumes without waiting
+				avail.Add(tw, -1)
+			}
+			m.Unlock(tw)
+			for r := 0; r < 10; r++ {
+				pad.Add(tw, 1)
+			}
+		})
+		m.Lock(t0)
+		avail.Store(t0, 1)
+		cv.Signal(t0)
+		m.Unlock(t0)
+		m.Lock(t0)
+		if avail.Load(t0) == 0 { // producer tops up if the first was taken
+			avail.Store(t0, 1)
+			cv.Signal(t0)
+		}
+		m.Unlock(t0)
+		for r := 0; r < 10; r++ {
+			pad.Add(t0, 1)
+		}
+		// Shutdown protocol: after the barger is done, raise the shutdown
+		// flag and broadcast, so a lost-signal schedule manifests as the
+		// "woke with nothing available" assertion rather than a hang —
+		// mirroring the original test harness, which timed out and flagged
+		// the condition.
+		t0.Join(barger)
+		m.Lock(t0)
+		shutdown.Store(t0, 1)
+		cv.Broadcast(t0)
+		m.Unlock(t0)
+		t0.Join(waiter)
+	}
+}
+
+// registerSplash builds the three SPLASH-2 entries. All share one bug: the
+// provided macro set omits WAIT_FOR_END, so the master asserts the
+// workers' completion flags right after the last synchronisation point,
+// and a worker preempted between its final sync and its final store fails
+// the check. steps scales the pre-bug computation (the paper reduced
+// inputs until race detection completed; the step count is what differs
+// between barnes, fft and lu).
+func registerSplash(id int, name string, steps int) {
+	register(&Benchmark{
+		ID: id, Name: name, Suite: "SPLASH-2", Threads: 2,
+		BugKind: vthread.FailAssert,
+		Desc:    "missing WAIT_FOR_END macro: master checks results before the worker's last store",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				work := t0.NewVar("work", 0)
+				doneFlag := t0.NewVar("done", 0)
+				started := t0.NewSem("started", 0)
+				w := t0.Spawn(func(tw *vthread.Thread) {
+					for i := 0; i < steps; i++ {
+						work.Add(tw, 1)
+					}
+					started.V(tw)
+					// The worker's very last store: everything before it is
+					// ordered by the semaphore, this one is not.
+					doneFlag.Store(tw, 1)
+				})
+				started.P(t0)
+				// Missing WAIT_FOR_END: the master should Join(w) here.
+				d := doneFlag.Load(t0)
+				t0.Assert(d == 1, "master proceeded before worker termination (done=%d)", d)
+				t0.Join(w)
+			}
+		},
+	})
+}

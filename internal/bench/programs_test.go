@@ -1,0 +1,174 @@
+package bench
+
+// Focused per-program unit tests: controlled-schedule checks of individual
+// benchmark semantics, complementing the whole-suite sweeps in
+// bench_test.go and the technique signatures in signatures_test.go.
+
+import (
+	"testing"
+
+	"sctbench/internal/explore"
+	"sctbench/internal/vthread"
+)
+
+// firstBugUnder explores with the given technique at a small limit and
+// returns the failure, or nil.
+func firstBugUnder(t *testing.T, name string, tech explore.Technique, limit int) *vthread.Failure {
+	t.Helper()
+	b := ByName(name)
+	if b == nil {
+		t.Fatalf("missing %s", name)
+	}
+	r := explore.Run(tech, explore.Config{
+		Program: b.New(), BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps,
+		Limit: limit, Seed: 5,
+	})
+	if !r.BugFound {
+		return nil
+	}
+	return r.Failure
+}
+
+func TestAccountOverdraft(t *testing.T) {
+	f := firstBugUnder(t, "CS.account_bad", explore.IDB, 2000)
+	if f == nil {
+		t.Fatal("no overdraft found")
+	}
+	if f.Kind != vthread.FailAssert {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+}
+
+func TestDiningPhilosophersDeadlockReachable(t *testing.T) {
+	// Beyond the planted _sat assertion, the classic deadlock (all grab
+	// their left fork) must be a real behaviour of the program: some
+	// schedule must end in FailDeadlock.
+	b := ByName("CS.din_phil3_sat")
+	found := false
+	for seed := uint64(0); seed < 500 && !found; seed++ {
+		out := vthread.NewWorld(vthread.Options{
+			Chooser: vthread.NewRandom(seed),
+		}).Run(b.New())
+		if out.Failure != nil && out.Failure.Kind == vthread.FailDeadlock {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no schedule deadlocked the philosophers in 500 random runs")
+	}
+}
+
+func TestPbzip2CrashMentionsQueue(t *testing.T) {
+	f := firstBugUnder(t, "CB.pbzip2-0.9.4", explore.IDB, 2000)
+	if f == nil {
+		t.Fatal("no crash found")
+	}
+	if f.Kind != vthread.FailCrash {
+		t.Fatalf("kind = %v, want crash", f.Kind)
+	}
+}
+
+func TestWSQDuplicateDelivery(t *testing.T) {
+	f := firstBugUnder(t, "chess.WSQ", explore.IDB, 2000)
+	if f == nil {
+		t.Fatal("no duplicate delivery found")
+	}
+	if f.Kind != vthread.FailAssert {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+}
+
+func TestSplashFirstBugAtScheduleTwo(t *testing.T) {
+	// The paper reports first bug at schedule 2 with bound 1 for all three
+	// SPLASH-2 benchmarks, noting this is parameter-independent; our
+	// analogues must reproduce it exactly.
+	for _, name := range []string{"splash2.barnes", "splash2.fft", "splash2.lu"} {
+		b := ByName(name)
+		for _, model := range []explore.CostModel{explore.CostPreemptions, explore.CostDelays} {
+			r := explore.RunIterative(explore.Config{
+				Program: b.New(), Limit: 10000, Seed: 5,
+			}, model)
+			if !r.BugFound {
+				t.Errorf("%s/%v: bug not found", name, model)
+				continue
+			}
+			if r.SchedulesToFirstBug != 2 || r.Bound != 1 {
+				t.Errorf("%s/%v: first bug at %d (bound %d), want 2 (bound 1)",
+					name, model, r.SchedulesToFirstBug, r.Bound)
+			}
+		}
+	}
+}
+
+func TestDinPhilPreemptionBoundZeroCounts(t *testing.T) {
+	// The non-preemptive schedule counts of the dining philosophers are
+	// combinatorial invariants that match the paper exactly: 3, 13, 73,
+	// 501 for 2–5 philosophers. The bug is found at preemption bound 0 and
+	// the bound is then fully enumerated, so Schedules is exactly the
+	// zero-preemption count.
+	want := map[string]int{
+		"CS.din_phil2_sat": 3,
+		"CS.din_phil3_sat": 13,
+		"CS.din_phil4_sat": 73,
+		"CS.din_phil5_sat": 501,
+	}
+	for name, n := range want {
+		b := ByName(name)
+		r := explore.RunIterative(explore.Config{
+			Program: b.New(), Limit: 10000, Seed: 5,
+		}, explore.CostPreemptions)
+		if !r.BugFound || r.Bound != 0 {
+			t.Errorf("%s: found=%v bound=%d, want found at bound 0", name, r.BugFound, r.Bound)
+			continue
+		}
+		if r.Schedules != n {
+			t.Errorf("%s: %d zero-preemption schedules, want %d (paper Table 3)",
+				name, r.Schedules, n)
+		}
+	}
+}
+
+func TestStreamcluster3NeedsDelayNotPreemption(t *testing.T) {
+	// The Figure 4 outlier property at the program level: the bug is
+	// reachable with zero preemptions (IPB discovers at bound 0) but needs
+	// a delay (IDB discovers at bound 1; the unique zero-delay schedule —
+	// the round-robin schedule, checked separately — passes).
+	b := ByName("parsec.streamcluster3")
+	ipb := explore.RunIterative(explore.Config{
+		Program: b.New(), Limit: 10000, Seed: 5,
+	}, explore.CostPreemptions)
+	if !ipb.BugFound || ipb.Bound != 0 {
+		t.Errorf("IPB found=%v bound=%d, want found at preemption bound 0", ipb.BugFound, ipb.Bound)
+	}
+	idb := explore.RunIterative(explore.Config{
+		Program: b.New(), Limit: 10000, Seed: 5,
+	}, explore.CostDelays)
+	if !idb.BugFound || idb.Bound != 1 {
+		t.Errorf("IDB found=%v bound=%d, want found at delay bound 1", idb.BugFound, idb.Bound)
+	}
+}
+
+func TestSafestackUsesThreeWorkers(t *testing.T) {
+	b := ByName("misc.safestack")
+	out := vthread.NewWorld(vthread.Options{Chooser: vthread.RoundRobin()}).Run(b.New())
+	if out.Threads != 4 {
+		t.Errorf("threads = %d, want 4 (main + the three Vyukov workers)", out.Threads)
+	}
+	if out.Buggy() {
+		t.Errorf("round-robin schedule buggy: %v", out.Failure)
+	}
+}
+
+func TestFerretStarvationNeedsExactlyOneDelay(t *testing.T) {
+	b := ByName("parsec.ferret")
+	r := explore.RunIterative(explore.Config{
+		Program: b.New(), Limit: 10000, Seed: 5,
+	}, explore.CostDelays)
+	if !r.BugFound || r.Bound != 1 {
+		t.Errorf("found=%v bound=%d, want found at delay bound 1", r.BugFound, r.Bound)
+	}
+	if r.BuggySchedules != 1 {
+		t.Errorf("buggy schedules = %d, want exactly 1 (the delay must hit one specific operation, as the paper notes)",
+			r.BuggySchedules)
+	}
+}

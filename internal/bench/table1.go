@@ -1,0 +1,53 @@
+package bench
+
+// Table 1 static metadata: the benchmark suites, what they contain, and
+// what the paper had to skip (with the reasons of §4). The skipped
+// benchmarks are *not* implemented — they are exactly the programs SCT
+// cannot handle (networking, multiple processes, GUI nondeterminism) or
+// that contain no bug; recording them keeps Table 1 reproducible.
+
+// SuiteInfo is one Table 1 row.
+type SuiteInfo struct {
+	// Name is the suite name.
+	Name string
+	// Kinds describes the benchmark types, quoting Table 1.
+	Kinds string
+	// Used is the number of benchmarks included in SCTBench.
+	Used int
+	// Skipped is the number left out.
+	Skipped int
+	// SkipReason quotes the paper's reason for the skipped entries.
+	SkipReason string
+}
+
+// Table1 returns the suite overview. Used counts are computed from the
+// registry so the table can never drift from the implementation; skip
+// counts are the paper's.
+func Table1() []SuiteInfo {
+	used := make(map[string]int)
+	for _, b := range All() {
+		used[b.Suite]++
+	}
+	rows := []SuiteInfo{
+		{Name: "CB", Kinds: "Test cases for real applications", Skipped: 17,
+			SkipReason: "networked applications"},
+		{Name: "CHESS", Kinds: "Test cases for several versions of a work stealing queue", Skipped: 0,
+			SkipReason: ""},
+		{Name: "CS", Kinds: "Small test cases and some small programs", Skipped: 24,
+			SkipReason: "non-buggy"},
+		{Name: "Inspect", Kinds: "Small test cases and some small programs", Skipped: 28,
+			SkipReason: "non-buggy"},
+		{Name: "Miscellaneous", Kinds: "Test case for lock-free stack and a debugging library test case", Skipped: 0,
+			SkipReason: ""},
+		{Name: "PARSEC", Kinds: "Parallel workloads", Skipped: 29,
+			SkipReason: "non-buggy"},
+		{Name: "RADBench", Kinds: "Test cases for real applications", Skipped: 9,
+			SkipReason: "5 Chromium browser (GUI); 4 networking"},
+		{Name: "SPLASH-2", Kinds: "Parallel workloads", Skipped: 9,
+			SkipReason: "shared macro bug; three representative programs kept"},
+	}
+	for i := range rows {
+		rows[i].Used = used[rows[i].Name]
+	}
+	return rows
+}

@@ -1,0 +1,174 @@
+// Package explore implements the systematic and random exploration drivers
+// of the study (§5): unbounded depth-first search (DFS), iterative
+// preemption bounding (IPB), iterative delay bounding (IDB) and the naive
+// random scheduler (Rand), plus the schedule-limit accounting that Table 3
+// of the paper reports.
+package explore
+
+import (
+	"fmt"
+
+	"sctbench/internal/sched"
+	"sctbench/internal/vthread"
+)
+
+// CostModel selects which schedule cost a bounded search prunes on.
+type CostModel int
+
+const (
+	// CostNone disables pruning (unbounded DFS).
+	CostNone CostModel = iota
+	// CostPreemptions prunes on the preemption count PC (§2).
+	CostPreemptions
+	// CostDelays prunes on the delay count DC over the non-preemptive
+	// round-robin deterministic scheduler (§2).
+	CostDelays
+)
+
+// String returns the cost-model name.
+func (c CostModel) String() string {
+	switch c {
+	case CostNone:
+		return "none"
+	case CostPreemptions:
+		return "preemptions"
+	case CostDelays:
+		return "delays"
+	}
+	return "unknown"
+}
+
+// node is one scheduling point on the DFS stack: the canonical choice
+// order, the incremental cost of each choice, and which choice the current
+// execution takes.
+type node struct {
+	order []sched.ThreadID
+	costs []int
+	idx   int
+	base  int // cumulative cost of the prefix strictly before this point
+}
+
+// engine is a depth-first stateless-search driver. It doubles as the
+// vthread.Chooser of the executions it spawns: each execution replays the
+// choices on the stack and extends the deepest branch; backtracking advances
+// the deepest node with an untried (and, under a bound, affordable)
+// alternative.
+type engine struct {
+	cfg   Config
+	model CostModel
+	bound int // ignored when model == CostNone
+
+	stack   []node
+	running int // cumulative cost of the current execution so far
+
+	// pruned records that some alternative was skipped because it exceeded
+	// the bound; if a bounded pass completes without pruning, the whole
+	// schedule space has been explored.
+	pruned bool
+
+	executions int
+}
+
+func newEngine(cfg Config, model CostModel, bound int) *engine {
+	return &engine{cfg: cfg, model: model, bound: bound}
+}
+
+// Choose implements vthread.Chooser.
+func (e *engine) Choose(ctx vthread.Context) sched.ThreadID {
+	if ctx.Step < len(e.stack) {
+		nd := &e.stack[ctx.Step]
+		e.running = nd.base + nd.costs[nd.idx]
+		return nd.order[nd.idx]
+	}
+	order := sched.CanonicalOrder(ctx.Enabled, ctx.Last, ctx.NumThreads)
+	costs := make([]int, len(order))
+	for i, t := range order {
+		costs[i] = e.stepCost(ctx, t)
+	}
+	nd := node{order: order, costs: costs, base: e.running}
+	// The canonical first choice is the deterministic scheduler's pick and
+	// always has incremental cost zero under both models, so it is never
+	// pruned.
+	if costs[0] != 0 && e.model != CostNone {
+		panic(fmt.Sprintf("explore: canonical first choice has nonzero cost %d", costs[0]))
+	}
+	e.stack = append(e.stack, nd)
+	e.running = nd.base + costs[0]
+	return order[0]
+}
+
+// stepCost is the incremental schedule cost of picking choice at ctx.
+func (e *engine) stepCost(ctx vthread.Context, choice sched.ThreadID) int {
+	switch e.model {
+	case CostPreemptions:
+		return sched.PCStep(ctx.Last, ctx.LastEnabled, choice)
+	case CostDelays:
+		return sched.DCStep(ctx.Last, choice, ctx.NumThreads, func(t sched.ThreadID) bool {
+			for _, x := range ctx.Enabled {
+				if x == t {
+					return true
+				}
+			}
+			return false
+		})
+	default:
+		return 0
+	}
+}
+
+// runOnce executes the program once, replaying the stack prefix.
+func (e *engine) runOnce() *vthread.Outcome {
+	e.running = 0
+	e.executions++
+	w := vthread.NewWorld(vthread.Options{
+		Chooser:     e,
+		Visible:     e.cfg.Visible,
+		MaxSteps:    e.cfg.MaxSteps,
+		BoundsCheck: e.cfg.BoundsCheck,
+	})
+	out := w.Run(e.cfg.Program)
+	e.checkCost(out)
+	return out
+}
+
+// checkCost cross-validates the engine's running cost against the world's
+// independent online accounting; a mismatch means the cost model and the
+// substrate disagree, which is an implementation bug worth failing fast on.
+func (e *engine) checkCost(out *vthread.Outcome) {
+	if out.StepLimitHit {
+		return
+	}
+	switch e.model {
+	case CostPreemptions:
+		if out.PC != e.running {
+			panic(fmt.Sprintf("explore: engine PC %d != world PC %d", e.running, out.PC))
+		}
+	case CostDelays:
+		if out.DC != e.running {
+			panic(fmt.Sprintf("explore: engine DC %d != world DC %d", e.running, out.DC))
+		}
+	}
+}
+
+// backtrack advances the search to the next unexplored branch, returning
+// false when the (bounded) space is exhausted.
+func (e *engine) backtrack() bool {
+	for len(e.stack) > 0 {
+		nd := &e.stack[len(e.stack)-1]
+		advanced := false
+		for j := nd.idx + 1; j < len(nd.order); j++ {
+			if e.model != CostNone && nd.base+nd.costs[j] > e.bound {
+				e.pruned = true
+				continue
+			}
+			nd.idx = j
+			advanced = true
+			break
+		}
+		if advanced {
+			return true
+		}
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package explore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sctbench/internal/vthread"
+)
+
+// genProgram builds a small deterministic bug-free program from a shape
+// seed (mirrors the vthread property generator, kept local to avoid an
+// export just for tests).
+func genProgram(shape uint32) vthread.Program {
+	return func(t0 *vthread.Thread) {
+		nWorkers := int(shape%3) + 1
+		ops := int((shape/4)%2) + 1
+		m := t0.NewMutex("m")
+		v := t0.NewVar("v", 0)
+		ts := make([]*vthread.Thread, 0, nWorkers)
+		for i := 0; i < nWorkers; i++ {
+			ts = append(ts, t0.Spawn(func(tw *vthread.Thread) {
+				mix := shape
+				for o := 0; o < ops; o++ {
+					switch mix % 3 {
+					case 0:
+						m.Lock(tw)
+						v.Add(tw, 1)
+						m.Unlock(tw)
+					case 1:
+						v.Add(tw, 1)
+					default:
+						tw.Yield()
+					}
+					mix /= 3
+				}
+			}))
+		}
+		for _, c := range ts {
+			t0.Join(c)
+		}
+	}
+}
+
+// Property (§2): for every bound c, the set of schedules with at most c
+// delays is a subset of those with at most c preemptions — so the counted
+// totals per cumulative bound must satisfy IDB ≤ IPB, and at exhaustion
+// both equal the DFS total.
+func TestPropertyDelayBoundSubsetOfPreemptionBound(t *testing.T) {
+	f := func(shape uint32, boundRaw uint8) bool {
+		bound := int(boundRaw%3) + 1
+		dfs := RunDFS(Config{Program: genProgram(shape), Limit: 50000})
+		if !dfs.Complete {
+			return true // space too large for exhaustive comparison: skip
+		}
+		idb := RunIterative(Config{Program: genProgram(shape), Limit: 50000, MaxBound: bound}, CostDelays)
+		ipb := RunIterative(Config{Program: genProgram(shape), Limit: 50000, MaxBound: bound}, CostPreemptions)
+		if idb.Schedules > ipb.Schedules {
+			t.Logf("shape %d bound %d: IDB counted %d > IPB %d", shape, bound, idb.Schedules, ipb.Schedules)
+			return false
+		}
+		if idb.Complete && idb.Schedules != dfs.Schedules {
+			t.Logf("shape %d: complete IDB %d != DFS %d", shape, idb.Schedules, dfs.Schedules)
+			return false
+		}
+		if ipb.Complete && ipb.Schedules != dfs.Schedules {
+			t.Logf("shape %d: complete IPB %d != DFS %d", shape, ipb.Schedules, dfs.Schedules)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exploration never reports a bug on bug-free programs, and
+// counted schedule totals are positive.
+func TestPropertyNoFalsePositives(t *testing.T) {
+	f := func(shape uint32) bool {
+		for _, run := range []func() *Result{
+			func() *Result { return RunDFS(Config{Program: genProgram(shape), Limit: 2000}) },
+			func() *Result { return RunIterative(Config{Program: genProgram(shape), Limit: 2000}, CostDelays) },
+			func() *Result { return RunRand(Config{Program: genProgram(shape), Limit: 100, Seed: uint64(shape)}) },
+		} {
+			r := run()
+			if r.BugFound {
+				t.Logf("shape %d: spurious %v", shape, r.Failure)
+				return false
+			}
+			if r.Schedules <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DFS enumerates distinct terminal schedules — re-running it
+// yields the same count (exploration is deterministic).
+func TestPropertyDFSDeterministic(t *testing.T) {
+	f := func(shape uint32) bool {
+		a := RunDFS(Config{Program: genProgram(shape), Limit: 5000})
+		b := RunDFS(Config{Program: genProgram(shape), Limit: 5000})
+		return a.Schedules == b.Schedules && a.Complete == b.Complete &&
+			a.Executions == b.Executions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NewSchedules of a completed iterative search counts exactly
+// the schedules of the final bound — summing new counts over increasing
+// MaxBound reproduces the totals.
+func TestPropertyNewSchedulesPartition(t *testing.T) {
+	f := func(shape uint32) bool {
+		prevTotal := 0
+		for bound := 0; bound <= 3; bound++ {
+			r := RunIterative(Config{Program: genProgram(shape), Limit: 50000, MaxBound: bound}, CostDelays)
+			if r.LimitHit {
+				return true // not comparable
+			}
+			if r.Schedules != prevTotal+r.NewSchedules && r.Bound == bound {
+				t.Logf("shape %d bound %d: total %d != prev %d + new %d",
+					shape, bound, r.Schedules, prevTotal, r.NewSchedules)
+				return false
+			}
+			prevTotal = r.Schedules
+			if r.Complete {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

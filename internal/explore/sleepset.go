@@ -1,0 +1,172 @@
+package explore
+
+// Sleep-set partial-order reduction for the unbounded depth-first search —
+// the extension §7 of the paper names as future work ("various
+// partial-order reduction techniques that reduce the number of schedules
+// explored during systematic testing"). Following the paper's own
+// methodology note, POR is kept out of the bounded phases (the
+// interaction of POR and schedule bounding "is complex and the topic of
+// recent and ongoing work", §5): this explorer accelerates plain DFS.
+//
+// The classic algorithm [Godefroid '96]: each scheduling point carries a
+// sleep set of threads whose exploration there is provably redundant.
+// After exploring a branch via thread t, t joins the sleep set for the
+// remaining siblings; a child inherits the sleeping threads whose pending
+// operations are independent of the branch just taken. Independence comes
+// from the substrate's pending-operation footprints
+// (vthread.PendingInfo.Independent): operations commute when they touch
+// disjoint objects or share objects only read-only.
+
+import (
+	"sctbench/internal/sched"
+	"sctbench/internal/vthread"
+)
+
+type ssNode struct {
+	order []sched.ThreadID
+	infos []vthread.PendingInfo // pending op of order[i] at this point
+	idx   int
+	sleep map[sched.ThreadID]vthread.PendingInfo
+}
+
+// ssEngine is the sleep-set DFS driver; like engine, it is the Chooser of
+// the executions it spawns.
+type ssEngine struct {
+	cfg        Config
+	stack      []ssNode
+	executions int
+	// redundant marks the current execution as covered by an equivalent
+	// explored schedule: it reached a point where every enabled thread was
+	// asleep. The execution still runs to termination (the substrate has
+	// no abort-from-chooser path) but is not counted as a new schedule.
+	redundant bool
+}
+
+// Choose implements vthread.Chooser.
+func (e *ssEngine) Choose(ctx vthread.Context) sched.ThreadID {
+	if ctx.Step < len(e.stack) {
+		nd := &e.stack[ctx.Step]
+		return nd.order[nd.idx]
+	}
+	order := sched.CanonicalOrder(ctx.Enabled, ctx.Last, ctx.NumThreads)
+	infos := make([]vthread.PendingInfo, len(order))
+	for i, t := range order {
+		infos[i] = ctx.PendingOf(t)
+	}
+	var sleep map[sched.ThreadID]vthread.PendingInfo
+	if len(e.stack) > 0 {
+		parent := &e.stack[len(e.stack)-1]
+		sleep = childSleep(parent)
+	}
+	nd := ssNode{order: order, infos: infos, sleep: sleep}
+	// First choice: the first non-sleeping thread in canonical order. If
+	// everything enabled is asleep, this subtree is fully redundant
+	// (Mazurkiewicz-equivalent to an explored schedule): run it out to
+	// termination but do not count it, and offer no alternatives here.
+	nd.idx = firstAwake(nd, 0)
+	if nd.idx < 0 {
+		nd.idx = 0
+		e.redundant = true
+	}
+	e.stack = append(e.stack, nd)
+	return nd.order[nd.idx]
+}
+
+// childSleep computes the sleep set a child inherits: sleeping threads
+// (plus previously explored siblings) whose ops are independent of the
+// branch being taken now.
+func childSleep(parent *ssNode) map[sched.ThreadID]vthread.PendingInfo {
+	takenInfo := parent.infos[parent.idx]
+	out := make(map[sched.ThreadID]vthread.PendingInfo)
+	for t, info := range parent.sleep {
+		if t == parent.order[parent.idx] {
+			continue
+		}
+		if info.Independent(takenInfo) {
+			out[t] = info
+		}
+	}
+	// Previously explored siblings are the order entries before idx that
+	// were actually taken; with the firstAwake advance discipline those
+	// are exactly the non-sleeping ones before idx.
+	for i := 0; i < parent.idx; i++ {
+		t := parent.order[i]
+		if _, wasAsleep := parent.sleep[t]; wasAsleep {
+			continue
+		}
+		if parent.infos[i].Independent(takenInfo) {
+			out[t] = parent.infos[i]
+		}
+	}
+	return out
+}
+
+// firstAwake returns the first index >= from whose thread is not asleep,
+// or -1.
+func firstAwake(nd ssNode, from int) int {
+	for i := from; i < len(nd.order); i++ {
+		if _, asleep := nd.sleep[nd.order[i]]; !asleep {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *ssEngine) runOnce() *vthread.Outcome {
+	e.executions++
+	e.redundant = false
+	w := vthread.NewWorld(vthread.Options{
+		Chooser:     e,
+		Visible:     e.cfg.Visible,
+		MaxSteps:    e.cfg.MaxSteps,
+		BoundsCheck: e.cfg.BoundsCheck,
+	})
+	return w.Run(e.cfg.Program)
+}
+
+func (e *ssEngine) backtrack() bool {
+	for len(e.stack) > 0 {
+		nd := &e.stack[len(e.stack)-1]
+		next := firstAwake(*nd, nd.idx+1)
+		if next >= 0 {
+			nd.idx = next
+			return true
+		}
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	return false
+}
+
+// RunSleepSetDFS performs depth-first search with sleep-set partial-order
+// reduction. It explores a subset of RunDFS's terminal schedules covering
+// every Mazurkiewicz trace (one representative per equivalence class of
+// commuting operations), so it reaches the same failure states with —
+// often dramatically — fewer executions.
+func RunSleepSetDFS(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{Technique: DFS}
+	eng := &ssEngine{cfg: cfg}
+	for {
+		out := eng.runOnce()
+		r.observe(out)
+		// Redundant completions are not new schedules; a bug surfacing in
+		// one is still reported (defensively — by sleep-set theory an
+		// equivalent counted schedule reaches the same states).
+		if !out.StepLimitHit && (!eng.redundant || out.Buggy()) {
+			r.Schedules++
+			if out.Buggy() {
+				r.recordBug(out)
+			}
+		}
+		if r.Schedules >= cfg.Limit {
+			r.LimitHit = true
+			break
+		}
+		if !eng.backtrack() {
+			r.Complete = true
+			break
+		}
+	}
+	r.Executions = eng.executions
+	return r
+}

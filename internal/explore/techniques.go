@@ -1,0 +1,300 @@
+package explore
+
+import (
+	"fmt"
+
+	"sctbench/internal/sched"
+	"sctbench/internal/vthread"
+)
+
+// Technique enumerates the exploration techniques of the study.
+type Technique int
+
+const (
+	// DFS is unbounded depth-first search.
+	DFS Technique = iota
+	// IPB is iterative preemption bounding.
+	IPB
+	// IDB is iterative delay bounding.
+	IDB
+	// Rand is the naive random scheduler (10,000 independent runs).
+	Rand
+)
+
+// String returns the technique's name as used in the paper.
+func (t Technique) String() string {
+	switch t {
+	case DFS:
+		return "DFS"
+	case IPB:
+		return "IPB"
+	case IDB:
+		return "IDB"
+	case Rand:
+		return "Rand"
+	}
+	return "unknown"
+}
+
+// Config parameterises an exploration.
+type Config struct {
+	// Program is the program under test. It must be deterministic modulo
+	// scheduling (§2: "the only source of nondeterminism is the scheduler").
+	Program vthread.Program
+	// Visible restricts which shared variables are scheduling points (the
+	// promotion set produced by the race-detection phase). Nil promotes
+	// everything.
+	Visible func(key string) bool
+	// BoundsCheck enables the modelled out-of-bounds detector.
+	BoundsCheck bool
+	// MaxSteps bounds one execution's visible operations (0 = default).
+	MaxSteps int
+	// Limit is the terminal-schedule budget; the study uses 10,000.
+	// Zero means DefaultLimit.
+	Limit int
+	// Seed seeds the random scheduler (Rand only).
+	Seed uint64
+	// MaxBound caps iterative bounding (safety net; 0 means DefaultMaxBound).
+	MaxBound int
+	// MaxExecutions caps the total number of executions an iterative search
+	// may spend, counting re-executions of already-counted schedules at
+	// higher bounds (0 means DefaultMaxExecutions). Purely a guard rail;
+	// the study's benchmarks stay far below it.
+	MaxExecutions int
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultLimit         = 10000
+	DefaultMaxBound      = 32
+	DefaultMaxExecutions = 2_000_000
+)
+
+func (c Config) withDefaults() Config {
+	if c.Limit == 0 {
+		c.Limit = DefaultLimit
+	}
+	if c.MaxBound == 0 {
+		c.MaxBound = DefaultMaxBound
+	}
+	if c.MaxExecutions == 0 {
+		c.MaxExecutions = DefaultMaxExecutions
+	}
+	return c
+}
+
+// Result is the outcome of one exploration: the per-technique cell block of
+// a Table 3 row.
+type Result struct {
+	// Technique that produced this result.
+	Technique Technique
+	// BugFound reports whether any explored schedule exposed the bug.
+	BugFound bool
+	// Failure is the first failure observed (nil if none).
+	Failure *vthread.Failure
+	// Witness is the schedule of the first buggy execution (nil if none).
+	Witness sched.Schedule
+	// Bound is the smallest preemption/delay bound that exposed the bug, or
+	// the bound reached (but possibly not completed) when no bug was found.
+	// Zero and meaningless for DFS and Rand.
+	Bound int
+	// SchedulesToFirstBug counts terminal schedules explored up to and
+	// including the first buggy one (0 when no bug found).
+	SchedulesToFirstBug int
+	// Schedules is the total number of terminal schedules counted. For IPB
+	// and IDB a schedule is counted at the iteration whose bound equals its
+	// exact cost, so re-executions at higher bounds are not double-counted.
+	// For Rand it is the number of runs (duplicates possible).
+	Schedules int
+	// NewSchedules counts schedules with exactly Bound preemptions/delays
+	// (IPB/IDB only).
+	NewSchedules int
+	// BuggySchedules counts the explored schedules that exposed the bug.
+	BuggySchedules int
+	// Complete reports that the whole schedule space was explored.
+	Complete bool
+	// LimitHit reports that the schedule limit stopped the search.
+	LimitHit bool
+	// MaxEnabled and MaxSchedPoints are the per-benchmark statistics of
+	// Table 3: the maximum number of simultaneously enabled threads and the
+	// maximum number of scheduling points with >1 enabled thread, over all
+	// executions of this exploration.
+	MaxEnabled     int
+	MaxSchedPoints int
+	// Threads is the maximum number of threads created in any execution.
+	Threads int
+	// Executions counts actual program executions, including bounded-search
+	// re-executions (an implementation metric, not a paper column).
+	Executions int
+}
+
+// Run explores the program with the given technique.
+func Run(t Technique, cfg Config) *Result {
+	switch t {
+	case DFS:
+		return RunDFS(cfg)
+	case IPB:
+		return RunIterative(cfg, CostPreemptions)
+	case IDB:
+		return RunIterative(cfg, CostDelays)
+	case Rand:
+		return RunRand(cfg)
+	}
+	panic(fmt.Sprintf("explore: unknown technique %d", int(t)))
+}
+
+// observe folds an execution's statistics into the result.
+func (r *Result) observe(out *vthread.Outcome) {
+	if out.MaxEnabled > r.MaxEnabled {
+		r.MaxEnabled = out.MaxEnabled
+	}
+	if out.SchedPoints > r.MaxSchedPoints {
+		r.MaxSchedPoints = out.SchedPoints
+	}
+	if out.Threads > r.Threads {
+		r.Threads = out.Threads
+	}
+}
+
+// recordBug records the first bug.
+func (r *Result) recordBug(out *vthread.Outcome) {
+	r.BuggySchedules++
+	if !r.BugFound {
+		r.BugFound = true
+		r.Failure = out.Failure
+		r.Witness = out.Trace.Clone()
+		r.SchedulesToFirstBug = r.Schedules
+	}
+}
+
+// RunDFS performs unbounded depth-first search up to the schedule limit.
+// Matching the paper's methodology, the search does not stop at the first
+// bug: it continues to the limit (or exhaustion) so the fraction of buggy
+// schedules can be reported.
+func RunDFS(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{Technique: DFS}
+	eng := newEngine(cfg, CostNone, 0)
+	for {
+		out := eng.runOnce()
+		r.observe(out)
+		if !out.StepLimitHit {
+			r.Schedules++
+			if out.Buggy() {
+				r.recordBug(out)
+			}
+		}
+		if r.Schedules >= cfg.Limit {
+			r.LimitHit = true
+			break
+		}
+		if !eng.backtrack() {
+			r.Complete = true
+			break
+		}
+	}
+	r.Executions = eng.executions
+	return r
+}
+
+// RunIterative performs iterative schedule bounding (IPB for
+// CostPreemptions, IDB for CostDelays): all schedules with cost 0 are
+// explored, then cost 1, and so on. A terminal schedule is counted at the
+// iteration whose bound equals its exact cost, which makes NewSchedules
+// "schedules with exactly bound preemptions/delays" and keeps totals free
+// of double counting, as in the paper's Table 3. When a bug is found the
+// current bound is still enumerated to completion (within the limit), so
+// worst-case schedule counts (Figure 4) are well defined.
+func RunIterative(cfg Config, model CostModel) *Result {
+	cfg = cfg.withDefaults()
+	if model != CostPreemptions && model != CostDelays {
+		panic("explore: RunIterative needs a bounding cost model")
+	}
+	tech := IPB
+	if model == CostDelays {
+		tech = IDB
+	}
+	r := &Result{Technique: tech}
+	executions := 0
+
+	for bound := 0; bound <= cfg.MaxBound; bound++ {
+		r.Bound = bound
+		r.NewSchedules = 0
+		eng := newEngine(cfg, model, bound)
+		boundDone := false
+		for {
+			out := eng.runOnce()
+			r.observe(out)
+			if !out.StepLimitHit {
+				cost := out.PC
+				if model == CostDelays {
+					cost = out.DC
+				}
+				if cost == bound {
+					r.Schedules++
+					r.NewSchedules++
+					if out.Buggy() {
+						r.recordBug(out)
+					}
+				}
+			}
+			if r.Schedules >= cfg.Limit {
+				r.LimitHit = true
+				break
+			}
+			if executions+eng.executions >= cfg.MaxExecutions {
+				r.LimitHit = true
+				break
+			}
+			if !eng.backtrack() {
+				boundDone = true
+				break
+			}
+		}
+		executions += eng.executions
+		if r.LimitHit {
+			break
+		}
+		if boundDone && !eng.pruned {
+			// Nothing was pruned anywhere: every schedule costs at most
+			// bound, so the space is fully explored.
+			r.Complete = true
+			break
+		}
+		if r.BugFound {
+			// The bound that exposed the bug has been fully enumerated;
+			// stop, as in the paper's methodology (§5).
+			break
+		}
+	}
+	r.Executions = executions
+	return r
+}
+
+// RunRand performs Limit independent runs under the naive random scheduler.
+// No state is kept between runs, so duplicate schedules are possible and
+// the search never "completes" (§3 of the paper).
+func RunRand(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{Technique: Rand}
+	for i := 0; i < cfg.Limit; i++ {
+		w := vthread.NewWorld(vthread.Options{
+			Chooser:     vthread.NewRandom(cfg.Seed + uint64(i)*0x9e3779b9),
+			Visible:     cfg.Visible,
+			MaxSteps:    cfg.MaxSteps,
+			BoundsCheck: cfg.BoundsCheck,
+		})
+		out := w.Run(cfg.Program)
+		r.observe(out)
+		if out.StepLimitHit {
+			continue
+		}
+		r.Schedules++
+		if out.Buggy() {
+			r.recordBug(out)
+		}
+	}
+	r.Executions = cfg.Limit
+	r.LimitHit = true
+	return r
+}

@@ -1,0 +1,170 @@
+package mapleidiom
+
+import (
+	"testing"
+
+	"sctbench/internal/vthread"
+)
+
+// publishConsume is the idiom shape MapleAlg exists for: the reader's
+// check naturally precedes the writer's publication; flipping that
+// dependency exposes the bug.
+func publishConsume(readerNoise, writerNoise int) func() vthread.Program {
+	return func() vthread.Program {
+		return func(t0 *vthread.Thread) {
+			published := t0.NewVar("published", 0)
+			noise := t0.NewVar("noise", 0)
+			w := t0.Spawn(func(tw *vthread.Thread) {
+				for i := 0; i < writerNoise; i++ {
+					noise.Add(tw, 1)
+				}
+				published.Store(tw, 1)
+			})
+			if published.Load(t0) == 1 {
+				t0.Fail("consumed draft state")
+			}
+			for i := 0; i < readerNoise; i++ {
+				noise.Add(t0, 1)
+			}
+			t0.Join(w)
+		}
+	}
+}
+
+func TestActivePhaseForcesFlippedIdiom(t *testing.T) {
+	// Deep writer noise: randomised profiling essentially never sees the
+	// flipped order, so the bug can only come from the active phase.
+	res := Run(Config{Program: publishConsume(10, 60), Seed: 5})
+	if !res.BugFound {
+		t.Fatalf("active phase did not force the publish-before-consume flip (%d candidates)", res.Candidates)
+	}
+	if res.SchedulesToFirstBug <= 3 {
+		t.Fatalf("bug at schedule %d: found during profiling, not by the active phase", res.SchedulesToFirstBug)
+	}
+}
+
+func TestProfilingFindsRoundRobinBugImmediately(t *testing.T) {
+	p := func() vthread.Program {
+		return func(t0 *vthread.Thread) {
+			t0.Yield()
+			t0.Fail("buggy on every schedule")
+		}
+	}
+	res := Run(Config{Program: p, Seed: 1})
+	if !res.BugFound || res.SchedulesToFirstBug != 1 {
+		t.Fatalf("round-robin bug not found on schedule 1: %+v", res)
+	}
+	if res.Schedules != 1 {
+		t.Fatalf("MapleAlg kept running after a failing run: %d schedules", res.Schedules)
+	}
+}
+
+func TestNoBugNoFalsePositive(t *testing.T) {
+	p := func() vthread.Program {
+		return func(t0 *vthread.Thread) {
+			v := t0.NewVar("v", 0)
+			m := t0.NewMutex("m")
+			w := t0.Spawn(func(tw *vthread.Thread) {
+				m.Lock(tw)
+				v.Add(tw, 1)
+				m.Unlock(tw)
+			})
+			m.Lock(t0)
+			v.Add(t0, 1)
+			m.Unlock(t0)
+			t0.Join(w)
+		}
+	}
+	res := Run(Config{Program: p, Seed: 2})
+	if res.BugFound {
+		t.Fatalf("false positive: %v", res.Failure)
+	}
+	if res.Schedules == 0 {
+		t.Fatal("no executions performed")
+	}
+}
+
+func TestCandidatesAreFlipsOnly(t *testing.T) {
+	// A single writer with a reader ordered by a semaphore: all same-order
+	// dependencies, and the flip is infeasible — the run must terminate
+	// without a bug after trying the candidates.
+	p := func() vthread.Program {
+		return func(t0 *vthread.Thread) {
+			v := t0.NewVar("v", 0)
+			s := t0.NewSem("s", 0)
+			w := t0.Spawn(func(tw *vthread.Thread) {
+				v.Store(tw, 1)
+				s.V(tw)
+			})
+			s.P(t0)
+			_ = v.Load(t0)
+			t0.Join(w)
+		}
+	}
+	res := Run(Config{Program: p, Seed: 3})
+	if res.BugFound {
+		t.Fatalf("false positive: %v", res.Failure)
+	}
+	// The write→read order was observed; the flip (read before write) is a
+	// candidate but the semaphore makes it infeasible — the active run
+	// must still terminate.
+	if res.Schedules < 3 {
+		t.Fatalf("profiling incomplete: %d schedules", res.Schedules)
+	}
+}
+
+// blockingPublish makes the writer block halfway (a semaphore posted by a
+// later-created helper), so after one hold-back the round-robin default
+// wanders back to the reader: forcing the flip needs at least two steering
+// actions.
+func blockingPublish() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		published := t0.NewVar("published", 0)
+		noise := t0.NewVar("noise", 0)
+		s := t0.NewSem("s", 0)
+		w := t0.Spawn(func(tw *vthread.Thread) {
+			for i := 0; i < 5; i++ {
+				noise.Add(tw, 1)
+			}
+			s.P(tw) // blocks until the helper posts
+			for i := 0; i < 5; i++ {
+				noise.Add(tw, 1)
+			}
+			published.Store(tw, 1)
+		})
+		helper := t0.Spawn(func(tw *vthread.Thread) { s.V(tw) })
+		if published.Load(t0) == 1 {
+			t0.Fail("consumed draft state")
+		}
+		t0.Join(w)
+		t0.Join(helper)
+	}
+}
+
+func TestGiveUpBoundsInterference(t *testing.T) {
+	// With a single steering action the writer's block hands control back
+	// to the reader before the publication; with a real budget the reader
+	// is held again and the flip completes.
+	starved := Run(Config{Program: blockingPublish, Seed: 5, GiveUp: 1})
+	if starved.BugFound {
+		t.Fatal("GiveUp=1 should not reach the flip across the writer's block")
+	}
+	full := Run(Config{Program: blockingPublish, Seed: 5})
+	if !full.BugFound {
+		t.Fatal("default budget should force the flip across the writer's block")
+	}
+}
+
+func TestProfilerRecordsInterThreadDependencies(t *testing.T) {
+	p := newProfiler()
+	p.Access(0, "var/x", true)  // T0 writes x
+	p.Access(1, "var/x", false) // T1 reads x: idiom (w→r)
+	p.Access(1, "var/x", true)  // T1 writes x: idiom (r→w) same thread? no: last reader is T1 itself
+	p.Access(0, "var/x", false) // T0 reads x: idiom (w→r) from T1's write
+	if !p.seen[idiom{"var/x", true, false}] {
+		t.Error("write→read dependency not recorded")
+	}
+	if p.seen[idiom{"var/x", false, false}] {
+		t.Error("read→read recorded as an idiom")
+	}
+}

@@ -1,0 +1,81 @@
+package race
+
+import (
+	"sort"
+
+	"sctbench/internal/vthread"
+)
+
+// DefaultRuns is the number of uncontrolled executions of the detection
+// phase; the study uses ten (§5).
+const DefaultRuns = 10
+
+// PhaseConfig configures a race-detection phase.
+type PhaseConfig struct {
+	// Program is the program under test.
+	Program vthread.Program
+	// Runs is the number of randomly scheduled executions (0 = DefaultRuns).
+	Runs int
+	// Seed seeds the random schedules.
+	Seed uint64
+	// MaxSteps bounds each execution (0 = substrate default).
+	MaxSteps int
+	// BoundsCheck forwards the out-of-bounds detector setting.
+	BoundsCheck bool
+}
+
+// PhaseResult is the outcome of a detection phase.
+type PhaseResult struct {
+	// Racy is the union over all runs of variables involved in a race,
+	// sorted. These are the instructions "treated as visible operations"
+	// for the SCT phases.
+	Racy []string
+	// BugsSeen counts detection runs that happened to expose the program's
+	// bug (informational; the phase does not claim bug finding).
+	BugsSeen int
+}
+
+// RunPhase performs the detection phase of §5: it executes the program
+// Runs times under the naive random scheduler with *every* shared access
+// visible, running the vector-clock detector over each execution, and
+// returns the union of racy variables.
+func RunPhase(cfg PhaseConfig) PhaseResult {
+	runs := cfg.Runs
+	if runs == 0 {
+		runs = DefaultRuns
+	}
+	union := make(map[string]bool)
+	bugs := 0
+	for i := 0; i < runs; i++ {
+		d := NewDetector()
+		w := vthread.NewWorld(vthread.Options{
+			Chooser:     vthread.NewRandom(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15),
+			Sink:        d,
+			MaxSteps:    cfg.MaxSteps,
+			BoundsCheck: cfg.BoundsCheck,
+		})
+		out := w.Run(cfg.Program)
+		if out.Buggy() {
+			bugs++
+		}
+		for _, k := range d.Racy() {
+			union[k] = true
+		}
+	}
+	keys := make([]string, 0, len(union))
+	for k := range union {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return PhaseResult{Racy: keys, BugsSeen: bugs}
+}
+
+// Promoted converts a racy-variable list into the Visible predicate the
+// substrate consumes: exactly the flagged variables are scheduling points.
+func Promoted(racy []string) func(key string) bool {
+	set := make(map[string]bool, len(racy))
+	for _, k := range racy {
+		set[k] = true
+	}
+	return func(key string) bool { return set[key] }
+}

@@ -1,0 +1,181 @@
+// Package race implements the dynamic data-race detection phase of the
+// study (§5). A vector-clock detector (Djit+-style, the precise
+// happens-before algorithm FastTrack optimises) watches the event stream of
+// uncontrolled (randomly scheduled) executions; the variables it flags as
+// racy are promoted to visible operations for the SCT phases, and every
+// other shared access runs without a scheduling point.
+//
+// Happens-before edges come from the substrate's sync events: mutex
+// unlock→lock, semaphore V→P, condvar signal→wakeup, barrier entry→exit,
+// spawn→first step and exit→join, and atomic operations (modelled as
+// acquire+release, i.e. SC atomics). Sync objects accumulate release clocks
+// by joining, which is exact for totally ordered objects (mutexes) and a
+// sound over-approximation of happens-before for barriers and condvars —
+// over-approximating HB can only under-report races, never invent them.
+package race
+
+import (
+	"sort"
+
+	"sctbench/internal/vthread"
+)
+
+// VC is a vector clock indexed by thread id. The zero value is usable; it
+// grows on demand as threads are created.
+type VC []uint64
+
+func (v *VC) ensure(n int) {
+	for len(*v) < n {
+		*v = append(*v, 0)
+	}
+}
+
+// get returns component i (zero when beyond the allocated prefix).
+func (v VC) get(i int) uint64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+// join sets v to the componentwise maximum of v and o.
+func (v *VC) join(o VC) {
+	v.ensure(len(o))
+	for i, x := range o {
+		if x > (*v)[i] {
+			(*v)[i] = x
+		}
+	}
+}
+
+type varState struct {
+	// writes[t] is the local clock of thread t's last write; reads[t]
+	// likewise for reads (the Djit+ per-variable clocks).
+	writes VC
+	reads  VC
+}
+
+// Race describes one detected data race: two unordered accesses to the same
+// variable, at least one a write.
+type Race struct {
+	// Key identifies the variable ("var/…", "array/…", "ref/…").
+	Key string
+	// First and Second are the racing threads (Second is the later access).
+	First, Second vthread.ThreadID
+	// SecondWrite reports whether the later access was a write.
+	SecondWrite bool
+}
+
+// Detector is a vthread.EventSink that performs happens-before race
+// detection over one execution.
+type Detector struct {
+	clocks []VC          // per-thread clocks
+	syncs  map[string]VC // per-sync-object accumulated release clocks
+	vars   map[string]*varState
+	racy   map[string]bool
+	races  []Race
+}
+
+var _ vthread.EventSink = (*Detector)(nil)
+
+// NewDetector creates a detector for a single execution.
+func NewDetector() *Detector {
+	return &Detector{
+		syncs: make(map[string]VC),
+		vars:  make(map[string]*varState),
+		racy:  make(map[string]bool),
+	}
+}
+
+func (d *Detector) clock(t vthread.ThreadID) *VC {
+	for len(d.clocks) <= int(t) {
+		id := len(d.clocks)
+		c := make(VC, id+1)
+		c[id] = 1 // epoch 1: distinguishes "has run" from the zero clock
+		d.clocks = append(d.clocks, c)
+	}
+	return &d.clocks[t]
+}
+
+// Spawned implements vthread.EventSink. The explicit edge is carried by the
+// Release/Acquire pair on the child's thread key; Spawned only ensures the
+// clocks exist in creation order.
+func (d *Detector) Spawned(parent, child vthread.ThreadID) {
+	d.clock(parent)
+	d.clock(child)
+}
+
+// Acquire implements vthread.EventSink: the thread's clock absorbs the
+// object's accumulated release clock.
+func (d *Detector) Acquire(t vthread.ThreadID, key string) {
+	c := d.clock(t)
+	if l, ok := d.syncs[key]; ok {
+		c.join(l)
+	}
+}
+
+// Release implements vthread.EventSink: the object's clock absorbs the
+// thread's, and the thread advances to a fresh epoch.
+func (d *Detector) Release(t vthread.ThreadID, key string) {
+	c := d.clock(t)
+	l := d.syncs[key]
+	l.join(*c)
+	d.syncs[key] = l
+	(*c)[t]++
+}
+
+// Access implements vthread.EventSink: Djit+ read/write checks.
+func (d *Detector) Access(t vthread.ThreadID, key string, write bool) {
+	c := d.clock(t)
+	vs := d.vars[key]
+	if vs == nil {
+		vs = &varState{}
+		d.vars[key] = vs
+	}
+	// A write races with any unordered prior read or write; a read races
+	// with any unordered prior write.
+	d.check(key, t, *c, vs.writes, write)
+	if write {
+		d.check(key, t, *c, vs.reads, true)
+		vs.writes.ensure(int(t) + 1)
+		vs.writes[t] = c.get(int(t))
+	} else {
+		vs.reads.ensure(int(t) + 1)
+		vs.reads[t] = c.get(int(t))
+	}
+}
+
+func (d *Detector) check(key string, t vthread.ThreadID, c VC, prior VC, write bool) {
+	for u, clk := range prior {
+		if vthread.ThreadID(u) == t || clk == 0 {
+			continue
+		}
+		if clk > c.get(u) {
+			if !d.racy[key] {
+				d.racy[key] = true
+				d.races = append(d.races, Race{
+					Key:         key,
+					First:       vthread.ThreadID(u),
+					Second:      t,
+					SecondWrite: write,
+				})
+			}
+			return
+		}
+	}
+}
+
+// Racy returns the keys of the variables involved in at least one race
+// during this execution, sorted for determinism.
+func (d *Detector) Racy() []string {
+	out := make([]string, 0, len(d.racy))
+	for k := range d.racy {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Races returns one representative race per racy variable, in detection
+// order.
+func (d *Detector) Races() []Race { return d.races }

@@ -1,0 +1,228 @@
+package race
+
+import (
+	"strings"
+	"testing"
+
+	"sctbench/internal/vthread"
+)
+
+// detect runs one round-robin execution of p under the detector and
+// returns the racy keys.
+func detect(t *testing.T, p vthread.Program, seed uint64) []string {
+	t.Helper()
+	d := NewDetector()
+	w := vthread.NewWorld(vthread.Options{
+		Chooser: vthread.NewRandom(seed),
+		Sink:    d,
+	})
+	w.Run(p)
+	return d.Racy()
+}
+
+func hasKey(keys []string, name string) bool {
+	for _, k := range keys {
+		if strings.HasSuffix(k, "/"+name) || k == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUnprotectedCounterRaces(t *testing.T) {
+	p := func(t0 *vthread.Thread) {
+		v := t0.NewVar("counter", 0)
+		inc := func(tw *vthread.Thread) { v.Add(tw, 1) }
+		a := t0.Spawn(inc)
+		b := t0.Spawn(inc)
+		t0.Join(a)
+		t0.Join(b)
+	}
+	found := false
+	for seed := uint64(0); seed < 20 && !found; seed++ {
+		found = hasKey(detect(t, p, seed), "counter")
+	}
+	if !found {
+		t.Fatal("racy counter never detected over 20 random executions")
+	}
+}
+
+func TestLockProtectedCounterDoesNotRace(t *testing.T) {
+	p := func(t0 *vthread.Thread) {
+		v := t0.NewVar("counter", 0)
+		m := t0.NewMutex("m")
+		inc := func(tw *vthread.Thread) {
+			m.Lock(tw)
+			v.Add(tw, 1)
+			m.Unlock(tw)
+		}
+		a := t0.Spawn(inc)
+		b := t0.Spawn(inc)
+		t0.Join(a)
+		t0.Join(b)
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		if keys := detect(t, p, seed); len(keys) != 0 {
+			t.Fatalf("seed %d: false positive on lock-protected data: %v", seed, keys)
+		}
+	}
+}
+
+func TestSpawnAndJoinOrderAccesses(t *testing.T) {
+	p := func(t0 *vthread.Thread) {
+		v := t0.NewVar("v", 0)
+		v.Store(t0, 1) // before spawn: ordered by the spawn edge
+		w := t0.Spawn(func(tw *vthread.Thread) { v.Add(tw, 1) })
+		t0.Join(w)
+		v.Store(t0, 3) // after join: ordered by the join edge
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		if keys := detect(t, p, seed); len(keys) != 0 {
+			t.Fatalf("seed %d: spawn/join ordering not respected: %v", seed, keys)
+		}
+	}
+}
+
+func TestSemaphoreOrdersAccesses(t *testing.T) {
+	p := func(t0 *vthread.Thread) {
+		v := t0.NewVar("v", 0)
+		s := t0.NewSem("s", 0)
+		w := t0.Spawn(func(tw *vthread.Thread) {
+			v.Store(tw, 1)
+			s.V(tw)
+		})
+		s.P(t0)
+		_ = v.Load(t0) // ordered: V happens-before P
+		t0.Join(w)
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		if keys := detect(t, p, seed); len(keys) != 0 {
+			t.Fatalf("seed %d: semaphore edge not respected: %v", seed, keys)
+		}
+	}
+}
+
+func TestBarrierOrdersAccesses(t *testing.T) {
+	p := func(t0 *vthread.Thread) {
+		v := t0.NewVar("v", 0)
+		b := t0.NewBarrier("b", 2)
+		w := t0.Spawn(func(tw *vthread.Thread) {
+			v.Store(tw, 1)
+			b.Arrive(tw)
+		})
+		b.Arrive(t0)
+		_ = v.Load(t0) // ordered: the write is before the barrier
+		t0.Join(w)
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		if keys := detect(t, p, seed); len(keys) != 0 {
+			t.Fatalf("seed %d: barrier edge not respected: %v", seed, keys)
+		}
+	}
+}
+
+func TestAtomicsDoNotRace(t *testing.T) {
+	p := func(t0 *vthread.Thread) {
+		a := t0.NewAtomic("a", 0)
+		inc := func(tw *vthread.Thread) { a.Add(tw, 1) }
+		x := t0.Spawn(inc)
+		y := t0.Spawn(inc)
+		t0.Join(x)
+		t0.Join(y)
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		if keys := detect(t, p, seed); len(keys) != 0 {
+			t.Fatalf("seed %d: atomics reported racy: %v", seed, keys)
+		}
+	}
+}
+
+func TestAtomicFlagPublishesData(t *testing.T) {
+	// The busy-wait-free publication idiom: writer stores data then sets an
+	// atomic flag; reader checks the flag (sem-like edge) before reading.
+	p := func(t0 *vthread.Thread) {
+		data := t0.NewVar("data", 0)
+		flag := t0.NewAtomic("flag", 0)
+		w := t0.Spawn(func(tw *vthread.Thread) {
+			data.Store(tw, 42)
+			flag.Store(tw, 1)
+		})
+		for flag.Load(t0) == 0 {
+			t0.Yield()
+		}
+		_ = data.Load(t0)
+		t0.Join(w)
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		if keys := detect(t, p, seed); len(keys) != 0 {
+			t.Fatalf("seed %d: atomic publication flagged racy: %v", seed, keys)
+		}
+	}
+}
+
+func TestRunPhaseUnionsAcrossRuns(t *testing.T) {
+	// A race that manifests only in some interleavings must still be found
+	// across ten runs, and RunPhase must name both variables.
+	p := func(t0 *vthread.Thread) {
+		x := t0.NewVar("x", 0)
+		y := t0.NewVar("y", 0)
+		w := t0.Spawn(func(tw *vthread.Thread) {
+			x.Store(tw, 1)
+			y.Store(tw, 1)
+		})
+		_ = x.Load(t0)
+		_ = y.Load(t0)
+		t0.Join(w)
+	}
+	res := RunPhase(PhaseConfig{Program: p, Seed: 7})
+	if !hasKey(res.Racy, "x") || !hasKey(res.Racy, "y") {
+		t.Fatalf("racy = %v, want both x and y", res.Racy)
+	}
+}
+
+func TestPromotedPredicate(t *testing.T) {
+	vis := Promoted([]string{"var/x"})
+	if !vis("var/x") {
+		t.Error("promoted variable not visible")
+	}
+	if vis("var/y") {
+		t.Error("unpromoted variable visible")
+	}
+}
+
+func TestRacesReportsPairs(t *testing.T) {
+	var races []Race
+	p := func(t0 *vthread.Thread) {
+		v := t0.NewVar("v", 0)
+		w := t0.Spawn(func(tw *vthread.Thread) { v.Store(tw, 1) })
+		v.Store(t0, 2)
+		t0.Join(w)
+	}
+	for seed := uint64(0); seed < 20 && len(races) == 0; seed++ {
+		d := NewDetector()
+		vthread.NewWorld(vthread.Options{Chooser: vthread.NewRandom(seed), Sink: d}).Run(p)
+		races = d.Races()
+	}
+	if len(races) == 0 {
+		t.Fatal("no race pair reported")
+	}
+	r := races[0]
+	if r.Key != "var/v" || r.First == r.Second {
+		t.Fatalf("unexpected race %+v", r)
+	}
+}
+
+func TestVCJoinAndGet(t *testing.T) {
+	var a VC
+	a.join(VC{1, 5, 0})
+	a.join(VC{3, 2})
+	want := VC{3, 5, 0}
+	for i := range want {
+		if a.get(i) != want[i] {
+			t.Fatalf("join = %v, want %v", a, want)
+		}
+	}
+	if a.get(99) != 0 {
+		t.Fatal("get beyond prefix should be 0")
+	}
+}

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sctbench/internal/explore"
+	"sctbench/internal/study"
+)
+
+// Table3CSV renders the full per-benchmark grid in machine-readable form:
+// one row per benchmark, one column group per technique. This is the
+// artifact downstream comparisons consume (the paper's point about
+// schedule counts being implementation-independent, §5).
+func Table3CSV(rows []*study.Row) string {
+	var b strings.Builder
+	b.WriteString("id,name,threads,max_enabled,max_sched_points,racy_vars")
+	for _, tech := range []string{"ipb", "idb"} {
+		fmt.Fprintf(&b, ",%s_found,%s_bound,%s_first,%s_total,%s_new,%s_buggy", tech, tech, tech, tech, tech, tech)
+	}
+	b.WriteString(",dfs_found,dfs_first,dfs_total,dfs_buggy,dfs_complete")
+	b.WriteString(",rand_found,rand_first,rand_buggy")
+	b.WriteString(",maple_found,maple_first,maple_total\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%s,%d,%d,%d,%d", r.Bench.ID, r.Bench.Name,
+			r.Threads(), r.MaxEnabled(), r.MaxSchedPoints(), len(r.Racy))
+		for _, tech := range []explore.Technique{explore.IPB, explore.IDB} {
+			res := r.Results[tech]
+			if res == nil {
+				b.WriteString(",,,,,,")
+				continue
+			}
+			fmt.Fprintf(&b, ",%v,%d,%d,%d,%d,%d", res.BugFound, res.Bound,
+				res.SchedulesToFirstBug, res.Schedules, res.NewSchedules, res.BuggySchedules)
+		}
+		if res := r.Results[explore.DFS]; res != nil {
+			fmt.Fprintf(&b, ",%v,%d,%d,%d,%v", res.BugFound,
+				res.SchedulesToFirstBug, res.Schedules, res.BuggySchedules, res.Complete)
+		} else {
+			b.WriteString(",,,,,")
+		}
+		if res := r.Results[explore.Rand]; res != nil {
+			fmt.Fprintf(&b, ",%v,%d,%d", res.BugFound, res.SchedulesToFirstBug, res.BuggySchedules)
+		} else {
+			b.WriteString(",,,")
+		}
+		if r.Maple != nil {
+			fmt.Fprintf(&b, ",%v,%d,%d", r.Maple.BugFound, r.Maple.SchedulesToFirstBug, r.Maple.Schedules)
+		} else {
+			b.WriteString(",,,")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,271 @@
+// Package report renders the study's tables and figures from result rows:
+// Table 1 (suite overview), Table 2 (trivial-benchmark properties), Table 3
+// (the full per-benchmark grid), the Figure 2 Venn diagrams and the Figure
+// 3/4 scatter series. Output is plain text plus CSV, which is what the
+// paper's artifact scripts produced.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sctbench/internal/explore"
+	"sctbench/internal/study"
+)
+
+// limitMark renders schedule counts the way Table 3 does: 'L' at the
+// schedule limit.
+func limitMark(v, limit int) string {
+	if limit > 0 && v >= limit {
+		return "L"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// miss is the Table 3 "no bug found" marker (the paper uses a dagger).
+const miss = "x"
+
+// Table3 renders the full experimental grid for the given rows.
+func Table3(rows []*study.Row, limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-28s %3s %3s %6s | %-5s %28s | %-5s %28s | %22s | %14s\n",
+		"id", "name", "thr", "en", "pts",
+		"IPB", "bound/first/total/new/buggy",
+		"IDB", "bound/first/total/new/buggy",
+		"DFS first/total/buggy", "Rand first/buggy")
+	b.WriteString(strings.Repeat("-", 160) + "\n")
+	for _, r := range rows {
+		ipb := iterCells(r.Results[explore.IPB], limit)
+		idb := iterCells(r.Results[explore.IDB], limit)
+		dfs := dfsCells(r.Results[explore.DFS], limit)
+		rnd := randCells(r.Results[explore.Rand], limit)
+		fmt.Fprintf(&b, "%-3d %-28s %3d %3d %6d | %-34s | %-34s | %22s | %14s",
+			r.Bench.ID, r.Bench.Name, r.Threads(), r.MaxEnabled(), r.MaxSchedPoints(),
+			ipb, idb, dfs, rnd)
+		if r.Maple != nil {
+			found := miss
+			if r.Maple.BugFound {
+				found = "Y"
+			}
+			fmt.Fprintf(&b, " | %s %d/%d", found, r.Maple.SchedulesToFirstBug, r.Maple.Schedules)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func iterCells(r *explore.Result, limit int) string {
+	if r == nil {
+		return "-"
+	}
+	if !r.BugFound {
+		return fmt.Sprintf("%d %s %s %d %s", r.Bound, miss, limitMark(r.Schedules, limit), r.NewSchedules, miss)
+	}
+	return fmt.Sprintf("%d %d %s %d %d", r.Bound, r.SchedulesToFirstBug,
+		limitMark(r.Schedules, limit), r.NewSchedules, r.BuggySchedules)
+}
+
+func dfsCells(r *explore.Result, limit int) string {
+	if r == nil {
+		return "-"
+	}
+	pct := ""
+	if r.Schedules > 0 {
+		prefix := ""
+		if r.LimitHit {
+			prefix = "*"
+		}
+		pct = fmt.Sprintf(" %s%d%%", prefix, 100*r.BuggySchedules/r.Schedules)
+	}
+	if !r.BugFound {
+		return fmt.Sprintf("%s %s %d%s", miss, limitMark(r.Schedules, limit), r.BuggySchedules, pct)
+	}
+	return fmt.Sprintf("%d %s %d%s", r.SchedulesToFirstBug, limitMark(r.Schedules, limit), r.BuggySchedules, pct)
+}
+
+func randCells(r *explore.Result, limit int) string {
+	if r == nil {
+		return "-"
+	}
+	if !r.BugFound {
+		return fmt.Sprintf("%s 0", miss)
+	}
+	return fmt.Sprintf("%d %d", r.SchedulesToFirstBug, r.BuggySchedules)
+}
+
+// Venn is the found-by classification behind the Figure 2 diagrams.
+type Venn struct {
+	// Regions maps a subset label (e.g. "IPB∧IDB∧DFS") to benchmark count.
+	Regions map[string]int
+	// Names maps the label to the benchmark names in that region.
+	Names map[string][]string
+	// None lists benchmarks found by no technique in the diagram.
+	None []string
+}
+
+// venn3 builds a three-set Venn from membership predicates.
+func venn3(rows []*study.Row, names [3]string, in func(*study.Row, int) bool) *Venn {
+	v := &Venn{Regions: make(map[string]int), Names: make(map[string][]string)}
+	for _, r := range rows {
+		var parts []string
+		for i := 0; i < 3; i++ {
+			if in(r, i) {
+				parts = append(parts, names[i])
+			}
+		}
+		if len(parts) == 0 {
+			v.None = append(v.None, r.Bench.Name)
+			continue
+		}
+		label := strings.Join(parts, "∧")
+		v.Regions[label]++
+		v.Names[label] = append(v.Names[label], r.Bench.Name)
+	}
+	return v
+}
+
+// VennSystematic reproduces Figure 2a: IPB vs IDB vs DFS.
+func VennSystematic(rows []*study.Row) *Venn {
+	return venn3(rows, [3]string{"IPB", "IDB", "DFS"}, func(r *study.Row, i int) bool {
+		switch i {
+		case 0:
+			return r.Found(explore.IPB)
+		case 1:
+			return r.Found(explore.IDB)
+		default:
+			return r.Found(explore.DFS)
+		}
+	})
+}
+
+// VennVsNaive reproduces Figure 2b: IDB vs Rand vs MapleAlg.
+func VennVsNaive(rows []*study.Row) *Venn {
+	return venn3(rows, [3]string{"IDB", "Rand", "MapleAlg"}, func(r *study.Row, i int) bool {
+		switch i {
+		case 0:
+			return r.Found(explore.IDB)
+		case 1:
+			return r.Found(explore.Rand)
+		default:
+			return r.Maple != nil && r.Maple.BugFound
+		}
+	})
+}
+
+// Format renders a Venn as sorted "region: count" lines.
+func (v *Venn) Format() string {
+	var b strings.Builder
+	labels := make([]string, 0, len(v.Regions))
+	for l := range v.Regions {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%-22s %2d  %s\n", l, v.Regions[l], strings.Join(v.Names[l], ", "))
+	}
+	fmt.Fprintf(&b, "%-22s %2d  %s\n", "none", len(v.None), strings.Join(v.None, ", "))
+	return b.String()
+}
+
+// Table2 computes the trivial-benchmark properties of Table 2.
+func Table2(rows []*study.Row, limit int) string {
+	dbZero, under, half, all := 0, 0, 0, 0
+	for _, r := range rows {
+		if idb := r.Results[explore.IDB]; idb != nil && idb.BugFound && idb.Bound == 0 {
+			dbZero++
+		}
+		if dfs := r.Results[explore.DFS]; dfs != nil && dfs.Complete && dfs.Schedules < limit {
+			under++
+		}
+		if rnd := r.Results[explore.Rand]; rnd != nil && rnd.Schedules > 0 {
+			frac := float64(rnd.BuggySchedules) / float64(rnd.Schedules)
+			if frac > 0.5 {
+				half++
+			}
+			if rnd.BuggySchedules == rnd.Schedules {
+				all++
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-55s %s\n", "Property", "# benchmarks")
+	fmt.Fprintf(&b, "%-55s %d\n", "Bug found with DB = 0", dbZero)
+	fmt.Fprintf(&b, "%-55s %d\n", fmt.Sprintf("Total terminal schedules < %d", limit), under)
+	fmt.Fprintf(&b, "%-55s %d\n", "> 50% of random schedules were buggy", half)
+	fmt.Fprintf(&b, "%-55s %d\n", "Every random schedule was buggy", all)
+	return b.String()
+}
+
+// FigPoint is one benchmark's (IDB, IPB) pair for the Figure 3/4 scatter
+// plots.
+type FigPoint struct {
+	ID          int
+	Name        string
+	IDB, IPB    int
+	IDBTot      int
+	IPBTot      int
+	FoundEither bool
+}
+
+// Fig3Series produces the Figure 3 data: schedules to first bug (crosses)
+// and total schedules within the discovering bound (squares), for every
+// benchmark where at least one technique found the bug. Misses are plotted
+// at the limit, as in the paper.
+func Fig3Series(rows []*study.Row, limit int) []FigPoint {
+	var out []FigPoint
+	for _, r := range rows {
+		ipb, idb := r.Results[explore.IPB], r.Results[explore.IDB]
+		if ipb == nil || idb == nil {
+			continue
+		}
+		if !ipb.BugFound && !idb.BugFound {
+			continue
+		}
+		p := FigPoint{ID: r.Bench.ID, Name: r.Bench.Name, FoundEither: true,
+			IDB: limit, IPB: limit, IDBTot: idb.Schedules, IPBTot: ipb.Schedules}
+		if idb.BugFound {
+			p.IDB = idb.SchedulesToFirstBug
+		}
+		if ipb.BugFound {
+			p.IPB = ipb.SchedulesToFirstBug
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Fig4Series produces the Figure 4 data: the worst-case schedule counts
+// (total non-buggy schedules within the bound that exposed the bug).
+func Fig4Series(rows []*study.Row, limit int) []FigPoint {
+	var out []FigPoint
+	for _, r := range rows {
+		ipb, idb := r.Results[explore.IPB], r.Results[explore.IDB]
+		if ipb == nil || idb == nil {
+			continue
+		}
+		if !ipb.BugFound && !idb.BugFound {
+			continue
+		}
+		p := FigPoint{ID: r.Bench.ID, Name: r.Bench.Name, FoundEither: true,
+			IDB: limit, IPB: limit, IDBTot: idb.Schedules, IPBTot: ipb.Schedules}
+		if idb.BugFound {
+			p.IDB = idb.Schedules - idb.BuggySchedules
+		}
+		if ipb.BugFound {
+			p.IPB = ipb.Schedules - ipb.BuggySchedules
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FigCSV renders scatter points as CSV.
+func FigCSV(points []FigPoint) string {
+	var b strings.Builder
+	b.WriteString("id,name,idb,ipb,idb_total,ipb_total\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d,%s,%d,%d,%d,%d\n", p.ID, p.Name, p.IDB, p.IPB, p.IDBTot, p.IPBTot)
+	}
+	return b.String()
+}

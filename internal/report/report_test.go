@@ -1,0 +1,186 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/explore"
+	"sctbench/internal/study"
+)
+
+// rows runs a tiny study slice once per test binary.
+var cachedRows []*study.Row
+
+func studyRows(t *testing.T) []*study.Row {
+	t.Helper()
+	if cachedRows != nil {
+		return cachedRows
+	}
+	var benches []*bench.Benchmark
+	for _, n := range []string{"CS.account_bad", "CS.din_phil2_sat", "splash2.lu"} {
+		b := bench.ByName(n)
+		if b == nil {
+			t.Fatalf("missing benchmark %s", n)
+		}
+		benches = append(benches, b)
+	}
+	cachedRows = study.RunAll(benches, study.Config{
+		Limit: 300, Seed: 4, RaceRuns: 3, WithMaple: true, Parallelism: 2,
+	})
+	return cachedRows
+}
+
+func TestTable3RendersEveryRow(t *testing.T) {
+	rows := studyRows(t)
+	out := Table3(rows, 300)
+	for _, r := range rows {
+		if !strings.Contains(out, r.Bench.Name) {
+			t.Errorf("Table 3 missing %s", r.Bench.Name)
+		}
+	}
+	if !strings.Contains(out, "IPB") || !strings.Contains(out, "Rand") {
+		t.Error("Table 3 missing technique headers")
+	}
+}
+
+func TestTable2CountsTrivialGroups(t *testing.T) {
+	rows := studyRows(t)
+	out := Table2(rows, 300)
+	if !strings.Contains(out, "Bug found with DB = 0") {
+		t.Fatal("Table 2 missing the DB=0 property row")
+	}
+	// din_phil2_sat is buggy on the round-robin schedule: the DB=0 count
+	// must be at least 1.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "Bug found with DB = 0") && !strings.HasSuffix(strings.TrimSpace(l), " 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DB=0 count is zero, want >= 1:\n%s", out)
+	}
+}
+
+func TestVennRegionsPartitionBenchmarks(t *testing.T) {
+	rows := studyRows(t)
+	for _, v := range []*Venn{VennSystematic(rows), VennVsNaive(rows)} {
+		total := len(v.None)
+		for _, c := range v.Regions {
+			total += c
+		}
+		if total != len(rows) {
+			t.Errorf("Venn regions sum to %d, want %d", total, len(rows))
+		}
+		if v.Format() == "" {
+			t.Error("empty Venn rendering")
+		}
+	}
+}
+
+func TestVennSystematicInclusion(t *testing.T) {
+	// On these three easy benchmarks every systematic technique finds the
+	// bug: everything must land in the triple-overlap region.
+	v := VennSystematic(studyRows(t))
+	if v.Regions["IPB∧IDB∧DFS"] != len(studyRows(t)) {
+		t.Errorf("regions = %v, want all in IPB∧IDB∧DFS", v.Regions)
+	}
+}
+
+func TestFigSeriesAndCSV(t *testing.T) {
+	rows := studyRows(t)
+	f3 := Fig3Series(rows, 300)
+	f4 := Fig4Series(rows, 300)
+	if len(f3) != len(rows) || len(f4) != len(rows) {
+		t.Fatalf("series lengths %d/%d, want %d (all bugs found)", len(f3), len(f4), len(rows))
+	}
+	for i := range f3 {
+		if f3[i].IDB <= 0 || f3[i].IPB <= 0 {
+			t.Errorf("Fig3 point %d has non-positive coordinates: %+v", i, f3[i])
+		}
+		if f4[i].IDB < 0 || f4[i].IPB < 0 {
+			t.Errorf("Fig4 point %d negative: %+v", i, f4[i])
+		}
+		// Figure 4 plots non-buggy counts within the bound: never more
+		// than the total schedules.
+		if f4[i].IDB > f4[i].IDBTot || f4[i].IPB > f4[i].IPBTot {
+			t.Errorf("Fig4 point %d exceeds totals: %+v", i, f4[i])
+		}
+	}
+	csv := FigCSV(f3)
+	if !strings.HasPrefix(csv, "id,name,idb,ipb") {
+		t.Errorf("CSV header wrong: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if strings.Count(csv, "\n") != len(f3)+1 {
+		t.Errorf("CSV has %d lines, want %d", strings.Count(csv, "\n"), len(f3)+1)
+	}
+}
+
+func TestLimitMark(t *testing.T) {
+	if limitMark(300, 300) != "L" {
+		t.Error("at-limit value not marked L")
+	}
+	if limitMark(299, 300) != "299" {
+		t.Error("below-limit value mangled")
+	}
+}
+
+func TestMissedBugsPlottedAtLimit(t *testing.T) {
+	// Synthesize a row pair where IPB missed: the Fig3 IPB coordinate must
+	// sit at the limit, as in the paper's figures.
+	rows := studyRows(t)
+	r := rows[0]
+	saved := r.Results[explore.IPB]
+	r.Results[explore.IPB] = &explore.Result{Technique: explore.IPB, BugFound: false, Schedules: 300}
+	defer func() { r.Results[explore.IPB] = saved }()
+	f3 := Fig3Series(rows, 300)
+	found := false
+	for _, p := range f3 {
+		if p.ID == r.Bench.ID {
+			found = true
+			if p.IPB != 300 {
+				t.Errorf("missed IPB plotted at %d, want 300 (the limit)", p.IPB)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("row with IDB-found bug dropped from Figure 3")
+	}
+}
+
+func TestScatterRendersPoints(t *testing.T) {
+	pts := []FigPoint{
+		{ID: 1, IDB: 10, IPB: 100},
+		{ID: 2, IDB: 5000, IPB: 5000},
+	}
+	out := Fig3Scatter(pts, 10000)
+	if !strings.Contains(out, "o") {
+		t.Fatal("no points rendered")
+	}
+	if !strings.Contains(out, "IDB") || !strings.Contains(out, "IPB") {
+		t.Fatal("axes unlabeled")
+	}
+	if out2 := Fig4Scatter([]FigPoint{{IDB: 0, IPB: 0}}, 10000); !strings.Contains(out2, "o") {
+		t.Fatal("zero point not clamped onto the grid")
+	}
+}
+
+func TestTable3CSVShape(t *testing.T) {
+	rows := studyRows(t)
+	csv := Table3CSV(rows)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(rows)+1)
+	}
+	cols := strings.Count(lines[0], ",")
+	for i, l := range lines[1:] {
+		if strings.Count(l, ",") != cols {
+			t.Errorf("row %d has %d separators, header has %d", i, strings.Count(l, ","), cols)
+		}
+	}
+	if !strings.Contains(lines[0], "idb_bound") || !strings.Contains(lines[0], "maple_found") {
+		t.Errorf("header missing columns: %s", lines[0])
+	}
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Scatter renders Figure 3/4-style log-log scatter plots as text: IDB
+// schedule counts on the x-axis, IPB on the y-axis, both from 1 to the
+// limit, with the diagonal marked. Points above the diagonal are
+// benchmarks where IDB was faster (fewer schedules), the paper's
+// prevailing case.
+func Scatter(points []FigPoint, limit int, width, height int, xy func(FigPoint) (int, int)) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 24
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	lmax := math.Log10(float64(limit))
+	place := func(v int, span int) int {
+		if v < 1 {
+			v = 1
+		}
+		p := int(math.Round(math.Log10(float64(v)) / lmax * float64(span-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= span {
+			p = span - 1
+		}
+		return p
+	}
+	// Diagonal y = x.
+	for x := 0; x < width; x++ {
+		y := int(float64(x) / float64(width-1) * float64(height-1))
+		grid[height-1-y][x] = '.'
+	}
+	for _, p := range points {
+		xv, yv := xy(p)
+		x := place(xv, width)
+		y := place(yv, height)
+		grid[height-1-y][x] = 'o'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "IPB %d ^\n", limit)
+	for _, row := range grid {
+		b.WriteString("       |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("     1 +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("> IDB ")
+	fmt.Fprintf(&b, "%d   (log-log; 'o' benchmark, '.' diagonal)\n", limit)
+	return b.String()
+}
+
+// Fig3Scatter renders the schedules-to-first-bug comparison.
+func Fig3Scatter(points []FigPoint, limit int) string {
+	return Scatter(points, limit, 60, 24, func(p FigPoint) (int, int) { return p.IDB, p.IPB })
+}
+
+// Fig4Scatter renders the worst-case (non-buggy within bound) comparison.
+func Fig4Scatter(points []FigPoint, limit int) string {
+	return Scatter(points, limit, 60, 24, func(p FigPoint) (int, int) {
+		x, y := p.IDB, p.IPB
+		if x < 1 {
+			x = 1
+		}
+		if y < 1 {
+			y = 1
+		}
+		return x, y
+	})
+}

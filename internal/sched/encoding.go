@@ -1,0 +1,46 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// WitnessFile is the on-disk form of a reproducible bug witness: the
+// schedule plus everything needed to replay it faithfully (the promoted
+// visibility set and the exploration's cost summary). Serialised as JSON
+// by Encode/Decode; cmd/sctrun reads and writes these.
+type WitnessFile struct {
+	// Benchmark names the program under test (informational).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Technique names the search that found the witness (informational).
+	Technique string `json:"technique,omitempty"`
+	// Schedule is the thread choice sequence.
+	Schedule Schedule `json:"schedule"`
+	// Racy is the promoted-variable set the witness was recorded under;
+	// replaying under different visibility diverges.
+	Racy []string `json:"racy,omitempty"`
+	// PC and DC document the witness's costs.
+	PC int `json:"pc"`
+	DC int `json:"dc"`
+	// Failure is the human-readable failure the schedule exposes.
+	Failure string `json:"failure,omitempty"`
+}
+
+// Encode renders the witness as indented JSON.
+func (w *WitnessFile) Encode() ([]byte, error) {
+	return json.MarshalIndent(w, "", "  ")
+}
+
+// DecodeWitness parses a witness file.
+func DecodeWitness(data []byte) (*WitnessFile, error) {
+	var w WitnessFile
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("sched: bad witness file: %w", err)
+	}
+	for i, t := range w.Schedule {
+		if t < 0 {
+			return nil, fmt.Errorf("sched: witness step %d names invalid thread %d", i, t)
+		}
+	}
+	return &w, nil
+}

@@ -1,0 +1,36 @@
+package sched
+
+import "testing"
+
+func TestWitnessRoundTrip(t *testing.T) {
+	w := &WitnessFile{
+		Benchmark: "chess.WSQ",
+		Technique: "IDB",
+		Schedule:  Schedule{0, 0, 1, 2, 1},
+		Racy:      []string{"var/x"},
+		PC:        2,
+		DC:        2,
+		Failure:   "assertion in T1: item 1 obtained twice",
+	}
+	data, err := w.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWitness(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schedule.Equal(w.Schedule) || got.Benchmark != w.Benchmark ||
+		got.PC != w.PC || got.DC != w.DC || len(got.Racy) != 1 {
+		t.Fatalf("round trip mangled witness: %+v", got)
+	}
+}
+
+func TestDecodeWitnessRejectsGarbage(t *testing.T) {
+	if _, err := DecodeWitness([]byte("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodeWitness([]byte(`{"schedule":[0,-3]}`)); err == nil {
+		t.Error("negative thread id accepted")
+	}
+}

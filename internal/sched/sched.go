@@ -1,0 +1,167 @@
+// Package sched defines the schedule formalism of §2 of Thomson et al.
+// (PPoPP'14): schedules as thread-id sequences, preemption counts, and the
+// delay counts of delay-bounded scheduling over the non-preemptive
+// round-robin deterministic scheduler.
+//
+// The cost functions are written incrementally — cost of appending one
+// choice to a schedule prefix — because that is how both the execution
+// substrate (online accounting) and the exploration engines (pruning)
+// consume them. The recursive definitions of the paper are recovered by
+// summation, which the property tests verify.
+package sched
+
+// ThreadID identifies a virtual thread; ids are assigned in creation order
+// starting at 0, which is what round-robin distance is defined over.
+type ThreadID int
+
+// NoThread is the "no previous step" sentinel for the first scheduling
+// point (a schedule of length zero or one has no preemptions or delays).
+const NoThread ThreadID = -1
+
+// Schedule is a list of thread identifiers: the thread executing at each
+// step of an execution (§2).
+type Schedule []ThreadID
+
+// Clone returns an independent copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two schedules are identical.
+func (s Schedule) Equal(o Schedule) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schedule as "⟨T0 T0 T1 …⟩".
+func (s Schedule) String() string {
+	out := make([]byte, 0, 4*len(s)+8)
+	out = append(out, "<"...)
+	for i, t := range s {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, 'T')
+		out = appendInt(out, int(t))
+	}
+	return string(append(out, '>'))
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// ContextSwitches counts the steps at which execution switches threads
+// (preemptive or not).
+func (s Schedule) ContextSwitches() int {
+	n := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// PCStep is the preemption cost of scheduling choice after a step by last,
+// where lastEnabled reports whether last is still enabled at this point:
+//
+//	PC(α·t) = PC(α) + 1  if last(α) ≠ t ∧ last(α) ∈ enabled(α)
+//	PC(α·t) = PC(α)      otherwise
+//
+// At the first step (last == NoThread) the cost is zero.
+func PCStep(last ThreadID, lastEnabled bool, choice ThreadID) int {
+	if last == NoThread {
+		return 0
+	}
+	if choice != last && lastEnabled {
+		return 1
+	}
+	return 0
+}
+
+// Distance is the round-robin distance from x to y over n threads: the
+// unique d in [0, n) with (x+d) mod n == y.
+func Distance(x, y ThreadID, n int) int {
+	if n <= 0 {
+		panic("sched: Distance over non-positive thread count")
+	}
+	d := int(y-x) % n
+	if d < 0 {
+		d += n
+	}
+	return d
+}
+
+// DCStep is the delay cost of scheduling choice after a step by last, over
+// n threads with the given enabledness predicate: the number of enabled
+// threads skipped when moving round-robin from last to choice,
+//
+//	delays(α,t) = |{x : 0 ≤ x < distance(last(α),t) ∧ (last(α)+x) mod N ∈ enabled(α)}|
+//
+// At the first step (last == NoThread) the cost is zero.
+func DCStep(last, choice ThreadID, n int, enabled func(ThreadID) bool) int {
+	if last == NoThread {
+		return 0
+	}
+	d := Distance(last, choice, n)
+	delays := 0
+	for x := 0; x < d; x++ {
+		if enabled(ThreadID((int(last) + x) % n)) {
+			delays++
+		}
+	}
+	return delays
+}
+
+// CanonicalOrder returns the choice order used by every systematic engine
+// in this repository: the deterministic scheduler's pick first (the
+// non-preemptive continuation when last is enabled, otherwise the next
+// enabled thread round-robin from last), then the remaining enabled threads
+// in round-robin order. Consequently the first terminal schedule explored
+// by DFS, iterative preemption bounding and iterative delay bounding is the
+// same non-preemptive round-robin schedule, as §3 of the paper requires.
+//
+// enabled must be non-empty and sorted ascending. The result is freshly
+// allocated.
+func CanonicalOrder(enabled []ThreadID, last ThreadID, n int) []ThreadID {
+	if len(enabled) == 0 {
+		panic("sched: CanonicalOrder over empty enabled set")
+	}
+	out := make([]ThreadID, 0, len(enabled))
+	start := last
+	if start == NoThread {
+		start = 0
+	}
+	// Walk the ring once starting at last (so the continuation, cost 0 for
+	// both PC and DC, comes first), appending enabled threads in ring order.
+	for x := 0; x < n; x++ {
+		id := ThreadID((int(start) + x) % n)
+		for _, e := range enabled {
+			if e == id {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	if len(out) != len(enabled) {
+		panic("sched: enabled ids out of range of thread count")
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		x, y ThreadID
+		n    int
+		want int
+	}{
+		{0, 0, 1, 0},
+		{0, 1, 4, 1},
+		{1, 0, 4, 3}, // the paper's example: distance(1,0) with four threads is 3
+		{3, 2, 5, 4},
+		{2, 2, 5, 0},
+		{4, 0, 5, 1},
+	}
+	for _, c := range cases {
+		if got := Distance(c.x, c.y, c.n); got != c.want {
+			t.Errorf("Distance(%d,%d,%d) = %d, want %d", c.x, c.y, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDistanceIsUnique(t *testing.T) {
+	// For all x, y, n: (x + Distance(x,y,n)) mod n == y and 0 <= d < n.
+	f := func(xr, yr uint8, nr uint8) bool {
+		n := int(nr%16) + 1
+		x := ThreadID(int(xr) % n)
+		y := ThreadID(int(yr) % n)
+		d := Distance(x, y, n)
+		return d >= 0 && d < n && ThreadID((int(x)+d)%n) == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCStep(t *testing.T) {
+	if got := PCStep(NoThread, false, 0); got != 0 {
+		t.Errorf("first step cost = %d, want 0", got)
+	}
+	if got := PCStep(1, true, 1); got != 0 {
+		t.Errorf("continuation cost = %d, want 0", got)
+	}
+	if got := PCStep(1, true, 2); got != 1 {
+		t.Errorf("preemptive switch cost = %d, want 1", got)
+	}
+	if got := PCStep(1, false, 2); got != 0 {
+		t.Errorf("non-preemptive switch cost = %d, want 0", got)
+	}
+}
+
+func TestDCStepPaperExample(t *testing.T) {
+	// §2: last(α) = 3, enabled(α) = {0,2,3,4}, N = 5. delays(α,2) = 3
+	// because threads 3, 4 and 0 are skipped (but not 1: it is disabled).
+	enabled := map[ThreadID]bool{0: true, 2: true, 3: true, 4: true}
+	got := DCStep(3, 2, 5, func(t ThreadID) bool { return enabled[t] })
+	if got != 3 {
+		t.Fatalf("delays = %d, want 3", got)
+	}
+}
+
+func TestDCStepContinuationIsFree(t *testing.T) {
+	// Continuing the last thread, or taking the first enabled thread in
+	// round-robin order when the last is disabled, costs zero delays.
+	enabled := map[ThreadID]bool{1: true, 3: true}
+	if got := DCStep(1, 1, 4, func(t ThreadID) bool { return enabled[t] }); got != 0 {
+		t.Errorf("continuing enabled last costs %d, want 0", got)
+	}
+	// last = 2 disabled; next enabled round-robin is 3.
+	if got := DCStep(2, 3, 4, func(t ThreadID) bool { return enabled[t] }); got != 0 {
+		t.Errorf("first enabled after disabled last costs %d, want 0", got)
+	}
+	// Skipping the enabled 3 to reach 1 costs one delay.
+	if got := DCStep(2, 1, 4, func(t ThreadID) bool { return enabled[t] }); got != 1 {
+		t.Errorf("skipping one enabled thread costs %d, want 1", got)
+	}
+}
+
+func TestDCStepSkippingEnabledLastCosts(t *testing.T) {
+	// When the last thread is still enabled, scheduling any other thread
+	// must skip it: at least one delay. This is the delay/preemption
+	// correspondence for the common case.
+	enabled := map[ThreadID]bool{0: true, 1: true, 2: true}
+	for choice := ThreadID(1); choice <= 2; choice++ {
+		got := DCStep(0, choice, 3, func(t ThreadID) bool { return enabled[t] })
+		if got < 1 {
+			t.Errorf("DCStep(0,%d) = %d, want >= 1", choice, got)
+		}
+	}
+}
+
+func TestDelayCountDominatesPreemptionCount(t *testing.T) {
+	// Property (§2): the set of schedules with at most c delays is a subset
+	// of those with at most c preemptions — equivalently, per-step
+	// DC >= PC for every legal step. Check on random configurations.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		n := rng.Intn(8) + 2
+		enabled := make(map[ThreadID]bool)
+		var ids []ThreadID
+		for id := 0; id < n; id++ {
+			if rng.Intn(2) == 0 {
+				enabled[ThreadID(id)] = true
+				ids = append(ids, ThreadID(id))
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		last := ThreadID(rng.Intn(n))
+		choice := ids[rng.Intn(len(ids))]
+		isEnabled := func(t ThreadID) bool { return enabled[t] }
+		pc := PCStep(last, enabled[last], choice)
+		dc := DCStep(last, choice, n, isEnabled)
+		if dc < pc {
+			t.Fatalf("n=%d last=%d (enabled=%v) choice=%d: DC=%d < PC=%d",
+				n, last, enabled[last], choice, dc, pc)
+		}
+	}
+}
+
+func TestCanonicalOrderFirstChoiceIsFree(t *testing.T) {
+	// The canonical first choice must always cost zero under both models —
+	// it is the deterministic scheduler's own pick.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		n := rng.Intn(8) + 1
+		var enab []ThreadID
+		set := make(map[ThreadID]bool)
+		for id := 0; id < n; id++ {
+			if rng.Intn(2) == 0 {
+				enab = append(enab, ThreadID(id))
+				set[ThreadID(id)] = true
+			}
+		}
+		if len(enab) == 0 {
+			continue
+		}
+		last := ThreadID(rng.Intn(n))
+		order := CanonicalOrder(enab, last, n)
+		if len(order) != len(enab) {
+			t.Fatalf("order %v does not cover enabled %v", order, enab)
+		}
+		first := order[0]
+		if pc := PCStep(last, set[last], first); pc != 0 {
+			t.Fatalf("canonical first %d after %d has PC %d", first, last, pc)
+		}
+		if dc := DCStep(last, first, n, func(t ThreadID) bool { return set[t] }); dc != 0 {
+			t.Fatalf("canonical first %d after %d has DC %d", first, last, dc)
+		}
+	}
+}
+
+func TestCanonicalOrderNonPreemptiveContinuationFirst(t *testing.T) {
+	order := CanonicalOrder([]ThreadID{0, 1, 2}, 1, 3)
+	want := []ThreadID{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleHelpers(t *testing.T) {
+	s := Schedule{0, 0, 1, 0}
+	if s.ContextSwitches() != 2 {
+		t.Errorf("ContextSwitches = %d, want 2", s.ContextSwitches())
+	}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c[0] = 3
+	if s.Equal(c) {
+		t.Error("clone aliases original")
+	}
+	if s.Equal(Schedule{0, 0, 1}) {
+		t.Error("length-differing schedules reported equal")
+	}
+}

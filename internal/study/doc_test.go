@@ -1,0 +1,53 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/explore"
+)
+
+// TestProgressCallback verifies that the per-phase progress hook fires for
+// every pipeline stage — the study driver's -v output depends on it.
+func TestProgressCallback(t *testing.T) {
+	var lines []string
+	b := bench.ByName("CS.sync01_bad")
+	RunBenchmark(b, Config{
+		Limit: 50, Seed: 1, RaceRuns: 2, WithMaple: true,
+		Progress: func(format string, args ...any) {
+			lines = append(lines, format)
+		},
+	})
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"race phase", "done"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("progress output missing %q:\n%s", want, joined)
+		}
+	}
+	// 1 race line + 4 technique lines + 1 maple line.
+	if len(lines) != 6 {
+		t.Errorf("progress fired %d times, want 6", len(lines))
+	}
+}
+
+// TestRowAggregatesAreMaxima checks that the Table 3 statistics columns
+// take maxima across techniques rather than the last writer.
+func TestRowAggregatesAreMaxima(t *testing.T) {
+	row := &Row{Results: map[explore.Technique]*explore.Result{
+		explore.IPB: {MaxEnabled: 3, MaxSchedPoints: 10, Threads: 4},
+		explore.IDB: {MaxEnabled: 5, MaxSchedPoints: 7, Threads: 4},
+	}}
+	if row.MaxEnabled() != 5 {
+		t.Errorf("MaxEnabled = %d, want 5", row.MaxEnabled())
+	}
+	if row.MaxSchedPoints() != 10 {
+		t.Errorf("MaxSchedPoints = %d, want 10", row.MaxSchedPoints())
+	}
+	if row.Threads() != 4 {
+		t.Errorf("Threads = %d, want 4", row.Threads())
+	}
+	if row.Found(explore.Rand) {
+		t.Error("Found() true for absent technique")
+	}
+}

@@ -1,0 +1,92 @@
+package study
+
+import (
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/explore"
+)
+
+func TestSanity(t *testing.T) {
+	if msg := Sanity(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestRunBenchmarkPipeline(t *testing.T) {
+	b := bench.ByName("CS.account_bad")
+	row := RunBenchmark(b, Config{Limit: 300, Seed: 2, RaceRuns: 3, WithMaple: true})
+	if row.Bench != b {
+		t.Fatal("row lost its benchmark")
+	}
+	if len(row.Results) != 4 {
+		t.Fatalf("got %d technique results, want 4", len(row.Results))
+	}
+	for _, tech := range []explore.Technique{explore.IPB, explore.IDB, explore.DFS, explore.Rand} {
+		if row.Results[tech] == nil {
+			t.Errorf("missing %s result", tech)
+		}
+	}
+	if row.Maple == nil {
+		t.Error("missing MapleAlg result")
+	}
+	if !row.Found(explore.IDB) {
+		t.Error("IDB should find the account bug")
+	}
+	if row.Threads() != 4 {
+		t.Errorf("Threads() = %d, want 4", row.Threads())
+	}
+	if row.MaxEnabled() < 2 || row.MaxSchedPoints() == 0 {
+		t.Errorf("stats not aggregated: enabled=%d points=%d", row.MaxEnabled(), row.MaxSchedPoints())
+	}
+}
+
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	var benches []*bench.Benchmark
+	for _, n := range []string{"CS.account_bad", "CS.sync01_bad", "splash2.fft"} {
+		benches = append(benches, bench.ByName(n))
+	}
+	seq := RunAll(benches, Config{Limit: 200, Seed: 3, RaceRuns: 3, Parallelism: 1})
+	par := RunAll(benches, Config{Limit: 200, Seed: 3, RaceRuns: 3, Parallelism: 4})
+	for i := range seq {
+		for _, tech := range []explore.Technique{explore.IPB, explore.IDB, explore.DFS, explore.Rand} {
+			a, b := seq[i].Results[tech], par[i].Results[tech]
+			if a.BugFound != b.BugFound || a.Schedules != b.Schedules ||
+				a.SchedulesToFirstBug != b.SchedulesToFirstBug || a.Bound != b.Bound {
+				t.Errorf("%s/%s: parallel run diverged: %+v vs %+v",
+					seq[i].Bench.Name, tech, a, b)
+			}
+		}
+	}
+}
+
+func TestTechniqueSubset(t *testing.T) {
+	b := bench.ByName("CS.sync01_bad")
+	row := RunBenchmark(b, Config{
+		Limit: 100, Seed: 1, RaceRuns: 2,
+		Techniques: []explore.Technique{explore.IDB},
+	})
+	if len(row.Results) != 1 || row.Results[explore.IDB] == nil {
+		t.Fatalf("technique subset not honoured: %v", row.Results)
+	}
+}
+
+func TestSeedsAreStable(t *testing.T) {
+	if seedFor(1, 3, 2) != seedFor(1, 3, 2) {
+		t.Fatal("seedFor not deterministic")
+	}
+	if seedFor(1, 3, 2) == seedFor(1, 4, 2) || seedFor(1, 3, 2) == seedFor(1, 3, 3) {
+		t.Fatal("seedFor does not separate benchmarks/phases")
+	}
+}
+
+func TestRaceBugsSeenCounted(t *testing.T) {
+	// din_phil2_sat is buggy on essentially every schedule: the detection
+	// phase must see the bug in (at least most of) its runs.
+	b := bench.ByName("CS.din_phil2_sat")
+	row := RunBenchmark(b, Config{Limit: 50, Seed: 6, RaceRuns: 5,
+		Techniques: []explore.Technique{explore.IDB}})
+	if row.RaceBugsSeen < 3 {
+		t.Errorf("RaceBugsSeen = %d, want most of 5 runs", row.RaceBugsSeen)
+	}
+}

@@ -1,0 +1,173 @@
+package vthread
+
+// Chan is a bounded FIFO channel for programs under test, built from the
+// substrate's own primitives (mutex + two condition variables), so its
+// blocking behaviour is fully visible to the scheduler. It models Go
+// channels closely enough to port channel-based programs onto the
+// substrate: sends block when full, receives block when empty, Close
+// releases all waiters, receive from a closed empty channel returns
+// ok=false, and send on a closed channel is a crash (as in Go).
+type Chan struct {
+	key      string
+	m        *Mutex
+	sendable *Cond
+	recvable *Cond
+	buf      []int
+	head     int
+	n        int
+	closed   bool
+}
+
+// NewChan creates a channel with the given unique name and capacity.
+// Capacity zero is rendezvous-like: implemented as a one-slot buffer whose
+// sender immediately hands off, which preserves the interleaving-relevant
+// behaviour (a send is a synchronisation with the receive) under the
+// substrate's serial execution.
+func (t *Thread) NewChan(name string, capacity int) *Chan {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Chan{
+		key:      "chan/" + name,
+		m:        t.NewMutex(name + ".chan.m"),
+		sendable: t.NewCond(name + ".chan.send"),
+		recvable: t.NewCond(name + ".chan.recv"),
+		buf:      make([]int, capacity),
+	}
+}
+
+// Send enqueues v, blocking while the channel is full. Sending on a
+// closed channel is a modelled crash (Go panics).
+func (c *Chan) Send(t *Thread, v int) {
+	c.m.Lock(t)
+	for c.n == len(c.buf) && !c.closed {
+		c.sendable.Wait(t, c.m)
+	}
+	if c.closed {
+		t.crash("send on closed channel %s", c.key)
+	}
+	c.buf[(c.head+c.n)%len(c.buf)] = v
+	c.n++
+	c.recvable.Signal(t)
+	c.m.Unlock(t)
+}
+
+// Recv dequeues a value, blocking while the channel is empty and open.
+// ok is false when the channel is closed and drained.
+func (c *Chan) Recv(t *Thread) (v int, ok bool) {
+	c.m.Lock(t)
+	for c.n == 0 && !c.closed {
+		c.recvable.Wait(t, c.m)
+	}
+	if c.n == 0 {
+		c.m.Unlock(t)
+		return 0, false
+	}
+	v = c.buf[c.head]
+	c.head = (c.head + 1) % len(c.buf)
+	c.n--
+	c.sendable.Signal(t)
+	c.m.Unlock(t)
+	return v, true
+}
+
+// TrySend attempts a non-blocking send, reporting success.
+func (c *Chan) TrySend(t *Thread, v int) bool {
+	c.m.Lock(t)
+	defer c.m.Unlock(t)
+	if c.closed {
+		t.crash("send on closed channel %s", c.key)
+	}
+	if c.n == len(c.buf) {
+		return false
+	}
+	c.buf[(c.head+c.n)%len(c.buf)] = v
+	c.n++
+	c.recvable.Signal(t)
+	return true
+}
+
+// TryRecv attempts a non-blocking receive.
+func (c *Chan) TryRecv(t *Thread) (v int, ok bool) {
+	c.m.Lock(t)
+	defer c.m.Unlock(t)
+	if c.n == 0 {
+		return 0, false
+	}
+	v = c.buf[c.head]
+	c.head = (c.head + 1) % len(c.buf)
+	c.n--
+	c.sendable.Signal(t)
+	return v, true
+}
+
+// Close closes the channel, waking all blocked senders and receivers.
+// Closing twice is a modelled crash (Go panics).
+func (c *Chan) Close(t *Thread) {
+	c.m.Lock(t)
+	if c.closed {
+		t.crash("close of closed channel %s", c.key)
+	}
+	c.closed = true
+	c.sendable.Broadcast(t)
+	c.recvable.Broadcast(t)
+	c.m.Unlock(t)
+}
+
+// Len returns the buffered element count (invisible inspection helper).
+func (c *Chan) Len() int { return c.n }
+
+// RWMutex is a writer-preferring reader/writer lock built on the
+// substrate's enabledness machinery: readers share, writers exclude, and
+// a waiting writer blocks new readers (no writer starvation under fair
+// schedules).
+type RWMutex struct {
+	key            string
+	readers        int
+	writer         *Thread
+	waitingWriters int
+}
+
+// NewRWMutex creates a reader/writer lock with the given unique name.
+func (t *Thread) NewRWMutex(name string) *RWMutex {
+	return &RWMutex{key: "rwmutex/" + name}
+}
+
+// RLock acquires the lock shared. Disabled while a writer holds it or
+// waits for it.
+func (l *RWMutex) RLock(t *Thread) {
+	t.visible(pendingOp{kind: opRLock, rw: l})
+	l.readers++
+	t.sinkAcquire(l.key)
+}
+
+// RUnlock releases a shared hold; releasing without holding is a crash.
+func (l *RWMutex) RUnlock(t *Thread) {
+	t.visible(pendingOp{kind: opRUnlock, rw: l})
+	if l.readers == 0 {
+		t.crash("RUnlock of %s with no readers", l.key)
+	}
+	t.sinkRelease(l.key)
+	l.readers--
+}
+
+// Lock acquires the lock exclusive. The thread is disabled while readers
+// or another writer hold the lock; while it waits, new readers are held
+// off (writer preference).
+func (l *RWMutex) Lock(t *Thread) {
+	l.waitingWriters++
+	t.visible(pendingOp{kind: opWLock, rw: l})
+	l.waitingWriters--
+	l.writer = t
+	t.sinkAcquire(l.key)
+}
+
+// Unlock releases the exclusive hold; releasing without holding crashes.
+func (l *RWMutex) Unlock(t *Thread) {
+	t.visible(pendingOp{kind: opWUnlock, rw: l})
+	if l.writer != t {
+		t.crash("Unlock of %s not held by %s", l.key, t.name)
+	}
+	t.sinkRelease(l.key)
+	l.writer = nil
+}

@@ -1,0 +1,250 @@
+package vthread
+
+import "testing"
+
+func TestChanSendRecvFIFO(t *testing.T) {
+	var got []int
+	out := runRR(t, func(t0 *Thread) {
+		c := t0.NewChan("c", 2)
+		w := t0.Spawn(func(tw *Thread) {
+			for i := 1; i <= 4; i++ {
+				c.Send(tw, i)
+			}
+			c.Close(tw)
+		})
+		for {
+			v, ok := c.Recv(t0)
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		t0.Join(w)
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (FIFO violated)", got, want)
+		}
+	}
+}
+
+func TestChanBlocksWhenFull(t *testing.T) {
+	// A producer over a 1-slot channel with no consumer deadlocks on the
+	// second send — detected as a deadlock, not a hang.
+	out := runRR(t, func(t0 *Thread) {
+		c := t0.NewChan("c", 1)
+		c.Send(t0, 1)
+		c.Send(t0, 2)
+	})
+	if out.Failure == nil || out.Failure.Kind != FailDeadlock {
+		t.Fatalf("Failure = %v, want deadlock", out.Failure)
+	}
+}
+
+func TestChanRecvBlocksWhenEmpty(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		c := t0.NewChan("c", 1)
+		c.Recv(t0)
+	})
+	if out.Failure == nil || out.Failure.Kind != FailDeadlock {
+		t.Fatalf("Failure = %v, want deadlock", out.Failure)
+	}
+}
+
+func TestChanSendOnClosedCrashes(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		c := t0.NewChan("c", 1)
+		c.Close(t0)
+		c.Send(t0, 1)
+	})
+	if out.Failure == nil || out.Failure.Kind != FailCrash {
+		t.Fatalf("Failure = %v, want crash", out.Failure)
+	}
+}
+
+func TestChanDoubleCloseCrashes(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		c := t0.NewChan("c", 1)
+		c.Close(t0)
+		c.Close(t0)
+	})
+	if out.Failure == nil || out.Failure.Kind != FailCrash {
+		t.Fatalf("Failure = %v, want crash", out.Failure)
+	}
+}
+
+func TestChanRecvFromClosedDrains(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		c := t0.NewChan("c", 2)
+		c.Send(t0, 7)
+		c.Close(t0)
+		v, ok := c.Recv(t0)
+		t0.Assert(ok && v == 7, "drain got (%d,%v)", v, ok)
+		_, ok = c.Recv(t0)
+		t0.Assert(!ok, "closed empty channel reported ok")
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+}
+
+func TestChanTryOps(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		c := t0.NewChan("c", 1)
+		t0.Assert(c.TrySend(t0, 1), "TrySend on empty failed")
+		t0.Assert(!c.TrySend(t0, 2), "TrySend on full succeeded")
+		v, ok := c.TryRecv(t0)
+		t0.Assert(ok && v == 1, "TryRecv got (%d,%v)", v, ok)
+		_, ok = c.TryRecv(t0)
+		t0.Assert(!ok, "TryRecv on empty succeeded")
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+}
+
+func TestChanProducerConsumerUnderRandomSchedules(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		sum := 0
+		w := NewWorld(Options{Chooser: NewRandom(seed)})
+		out := w.Run(func(t0 *Thread) {
+			c := t0.NewChan("c", 2)
+			prod := t0.Spawn(func(tw *Thread) {
+				for i := 1; i <= 5; i++ {
+					c.Send(tw, i)
+				}
+				c.Close(tw)
+			})
+			cons := t0.Spawn(func(tw *Thread) {
+				for {
+					v, ok := c.Recv(tw)
+					if !ok {
+						return
+					}
+					sum += v
+				}
+			})
+			t0.Join(prod)
+			t0.Join(cons)
+		})
+		if out.Buggy() {
+			t.Fatalf("seed %d: %v", seed, out.Failure)
+		}
+		if sum != 15 {
+			t.Fatalf("seed %d: sum = %d, want 15", seed, sum)
+		}
+	}
+}
+
+func TestRWMutexSharedReaders(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		l := t0.NewRWMutex("l")
+		inside := 0
+		reader := func(tw *Thread) {
+			l.RLock(tw)
+			inside++
+			tw.Yield()
+			tw.Assert(inside >= 1, "reader evicted")
+			inside--
+			l.RUnlock(tw)
+		}
+		a := t0.Spawn(reader)
+		b := t0.Spawn(reader)
+		t0.Join(a)
+		t0.Join(b)
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+}
+
+func TestRWMutexWriterExcludesReaders(t *testing.T) {
+	for seed := uint64(0); seed < 80; seed++ {
+		w := NewWorld(Options{Chooser: NewRandom(seed)})
+		out := w.Run(func(t0 *Thread) {
+			l := t0.NewRWMutex("l")
+			readers, writers := 0, 0
+			check := func(tw *Thread) {
+				tw.Assert(writers == 0 || (writers == 1 && readers == 0),
+					"rw invariant: readers=%d writers=%d", readers, writers)
+			}
+			rd := func(tw *Thread) {
+				l.RLock(tw)
+				readers++
+				check(tw)
+				tw.Yield()
+				readers--
+				l.RUnlock(tw)
+			}
+			wr := func(tw *Thread) {
+				l.Lock(tw)
+				writers++
+				check(tw)
+				tw.Yield()
+				writers--
+				l.Unlock(tw)
+			}
+			ts := []*Thread{t0.Spawn(rd), t0.Spawn(wr), t0.Spawn(rd), t0.Spawn(wr)}
+			for _, c := range ts {
+				t0.Join(c)
+			}
+		})
+		if out.Buggy() {
+			t.Fatalf("seed %d: %v", seed, out.Failure)
+		}
+	}
+}
+
+func TestRWMutexMisuseCrashes(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		l := t0.NewRWMutex("l")
+		l.RUnlock(t0)
+	})
+	if out.Failure == nil || out.Failure.Kind != FailCrash {
+		t.Fatalf("Failure = %v, want crash", out.Failure)
+	}
+	out = runRR(t, func(t0 *Thread) {
+		l := t0.NewRWMutex("l")
+		l.Unlock(t0)
+	})
+	if out.Failure == nil || out.Failure.Kind != FailCrash {
+		t.Fatalf("Failure = %v, want crash", out.Failure)
+	}
+}
+
+func TestRWMutexWriterPreference(t *testing.T) {
+	// With a writer waiting, a new reader must not jump the queue: the
+	// reader is disabled until the writer has been through.
+	var order []string
+	out := runRR(t, func(t0 *Thread) {
+		l := t0.NewRWMutex("l")
+		l.RLock(t0) // main holds a read lock
+		w := t0.Spawn(func(tw *Thread) {
+			l.Lock(tw)
+			order = append(order, "writer")
+			l.Unlock(tw)
+		})
+		r := t0.Spawn(func(tw *Thread) {
+			l.RLock(tw)
+			order = append(order, "reader")
+			l.RUnlock(tw)
+		})
+		t0.Yield() // let both queue up: writer first (blocked), reader held off
+		l.RUnlock(t0)
+		t0.Join(w)
+		t0.Join(r)
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	if len(order) != 2 || order[0] != "writer" {
+		t.Fatalf("order = %v, want writer first (writer preference)", order)
+	}
+}

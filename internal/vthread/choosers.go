@@ -1,0 +1,71 @@
+package vthread
+
+import (
+	"math/rand/v2"
+
+	"sctbench/internal/sched"
+)
+
+// RoundRobin returns the deterministic scheduler of §2: non-preemptive, and
+// when the current thread blocks or exits it picks the next enabled thread
+// in thread-creation order, round-robin. Executing a program under this
+// chooser yields the unique zero-delay terminal schedule.
+func RoundRobin() Chooser {
+	return ChooserFunc(func(ctx Context) ThreadID {
+		if ctx.LastEnabled {
+			return ctx.Last
+		}
+		return sched.CanonicalOrder(ctx.Enabled, ctx.Last, ctx.NumThreads)[0]
+	})
+}
+
+// NewRandom returns the naive random scheduler of the study (Rand): at
+// every scheduling point one enabled thread is chosen uniformly at random.
+// The schedule nondeterminism is fully controlled, so unlike schedule
+// fuzzing this yields truly pseudo-random schedules; no history is kept
+// across executions.
+func NewRandom(seed uint64) Chooser {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return ChooserFunc(func(ctx Context) ThreadID {
+		return ctx.Enabled[rng.IntN(len(ctx.Enabled))]
+	})
+}
+
+// Replay follows a recorded schedule step by step. If the recorded thread
+// is not enabled at some step, or the execution outlives the recording, the
+// replay is infeasible: Failed() reports it and the chooser falls back to
+// round-robin so the execution still terminates.
+type Replay struct {
+	schedule sched.Schedule
+	failed   bool
+	failStep int
+}
+
+// NewReplay creates a replay chooser for the recorded schedule.
+func NewReplay(schedule sched.Schedule) *Replay {
+	return &Replay{schedule: schedule, failStep: -1}
+}
+
+// Choose implements Chooser.
+func (r *Replay) Choose(ctx Context) ThreadID {
+	if ctx.Step < len(r.schedule) {
+		want := r.schedule[ctx.Step]
+		if containsThread(ctx.Enabled, want) {
+			return want
+		}
+	}
+	if !r.failed {
+		r.failed = true
+		r.failStep = ctx.Step
+	}
+	if ctx.LastEnabled {
+		return ctx.Last
+	}
+	return sched.CanonicalOrder(ctx.Enabled, ctx.Last, ctx.NumThreads)[0]
+}
+
+// Failed reports whether the replay diverged from the recording.
+func (r *Replay) Failed() bool { return r.failed }
+
+// FailStep returns the step at which replay diverged, or -1.
+func (r *Replay) FailStep() int { return r.failStep }

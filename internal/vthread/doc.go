@@ -1,0 +1,52 @@
+package vthread
+
+// Design notes for maintainers — the handoff protocol in one place.
+//
+// # Serialised execution
+//
+// One World = one execution. Each virtual thread is a goroutine, but the
+// protocol guarantees at most one runs at any instant:
+//
+//	world loop                         thread goroutine
+//	----------                         ----------------
+//	compute enabled set
+//	chooser picks thread T
+//	T.gate <- struct{}{}       ──────▶ returns from awaitGrant
+//	<-w.parked  (blocks)               executes its pending visible op
+//	                                   runs invisible ops…
+//	                                   …until the next visible op:
+//	                                   pending = op; state = parked
+//	                           ◀────── parkTo <- parkMsg
+//	(loop)
+//
+// Because the world blocks on <-w.parked while a thread runs, and threads
+// block on <-gate otherwise, no locks are needed anywhere in the
+// substrate: every shared field is accessed by exactly one goroutine at a
+// time, with happens-before edges provided by the two channels. `go test
+// -race ./internal/vthread` runs clean.
+//
+// # Spawn and the private first park
+//
+// Spawn runs the child's invisible prefix eagerly (newThread sends the
+// first grant itself and consumes the child's first park from a private
+// channel). This keeps "a thread's first schedulable step is its first
+// visible operation" — matching the §2 step model — and avoids a spurious
+// start pseudo-op inflating schedule counts. The private channel matters:
+// during a spawn the world is concurrently waiting for the *parent's*
+// park, and must not steal the child's.
+//
+// # Teardown
+//
+// When the outcome is decided (terminal, deadlock, failure, step limit),
+// abortRemaining marks every live thread killed and closes its gate; the
+// thread's receive returns, it panics with killSignal, and the recover in
+// main() unwinds it without touching shared state. Run returns only after
+// wg.Wait sees every goroutine exit, so studies running millions of
+// executions cannot leak goroutines (tested).
+//
+// # Determinism contract
+//
+// Programs under test must be deterministic modulo scheduling: no Go
+// maps iterated for control flow, no time, no randomness, no I/O. Given
+// that, a recorded Schedule replays to the identical trace, costs and
+// failure — the foundation of stateless model checking (§2 of the paper).

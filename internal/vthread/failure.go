@@ -1,0 +1,48 @@
+package vthread
+
+import "fmt"
+
+// FailureKind classifies the bug classes of the study (§5: "Bugs are
+// deadlocks, crashes or assertion failures (including those that identify
+// incorrect output)").
+type FailureKind int
+
+const (
+	// FailAssert is an assertion failure, including output-checker failures.
+	FailAssert FailureKind = iota
+	// FailDeadlock is a global deadlock: no thread enabled, some blocked.
+	FailDeadlock
+	// FailCrash is a modelled memory-safety crash: double unlock, use of a
+	// destroyed object, out-of-bounds access with checking enabled.
+	FailCrash
+)
+
+// String returns the human-readable kind.
+func (k FailureKind) String() string {
+	switch k {
+	case FailAssert:
+		return "assertion"
+	case FailDeadlock:
+		return "deadlock"
+	case FailCrash:
+		return "crash"
+	}
+	return "unknown"
+}
+
+// Failure describes a bug exposed by an execution.
+type Failure struct {
+	// Kind classifies the failure.
+	Kind FailureKind
+	// Thread is the thread that triggered the failure (for deadlocks, the
+	// lowest-id blocked thread).
+	Thread ThreadID
+	// Message is a human-readable description from the failing check.
+	Message string
+}
+
+// Error implements the error interface so failures flow naturally through
+// test helpers.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("%s in T%d: %s", f.Kind, f.Thread, f.Message)
+}

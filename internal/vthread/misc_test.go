@@ -1,0 +1,187 @@
+package vthread
+
+import "testing"
+
+func TestTryLock(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		m := t0.NewMutex("m")
+		t0.Assert(m.TryLock(t0), "TryLock on free mutex failed")
+		t0.Assert(m.HeldBy(t0), "HeldBy false after TryLock")
+		w := t0.Spawn(func(tw *Thread) {
+			tw.Assert(!m.TryLock(tw), "TryLock on held mutex succeeded")
+		})
+		t0.Join(w)
+		m.Unlock(t0)
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+}
+
+func TestTryLockOnDestroyedCrashes(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		m := t0.NewMutex("m")
+		m.Destroy(t0)
+		m.TryLock(t0)
+	})
+	if out.Failure == nil || out.Failure.Kind != FailCrash {
+		t.Fatalf("Failure = %v, want crash", out.Failure)
+	}
+}
+
+func TestCondWaitWithoutMutexCrashes(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		m := t0.NewMutex("m")
+		c := t0.NewCond("c")
+		c.Wait(t0, m) // not holding m
+	})
+	if out.Failure == nil || out.Failure.Kind != FailCrash {
+		t.Fatalf("Failure = %v, want crash", out.Failure)
+	}
+}
+
+func TestDestroyHeldMutexCrashes(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		m := t0.NewMutex("m")
+		m.Lock(t0)
+		m.Destroy(t0)
+	})
+	if out.Failure == nil || out.Failure.Kind != FailCrash {
+		t.Fatalf("Failure = %v, want crash", out.Failure)
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	rounds := 0
+	out := runRR(t, func(t0 *Thread) {
+		b := t0.NewBarrier("b", 2)
+		w := t0.Spawn(func(tw *Thread) {
+			for i := 0; i < 3; i++ {
+				b.Arrive(tw)
+			}
+		})
+		for i := 0; i < 3; i++ {
+			b.Arrive(t0)
+			rounds++
+		}
+		t0.Join(w)
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	if rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", rounds)
+	}
+}
+
+func TestSemCount(t *testing.T) {
+	out := runRR(t, func(t0 *Thread) {
+		s := t0.NewSem("s", 2)
+		t0.Assert(s.Count() == 2, "count=%d", s.Count())
+		s.P(t0)
+		t0.Assert(s.Count() == 1, "count=%d", s.Count())
+		s.V(t0)
+		t0.Assert(s.Count() == 2, "count=%d", s.Count())
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+}
+
+func TestThreadNames(t *testing.T) {
+	runRR(t, func(t0 *Thread) {
+		if t0.Name() != "T0" {
+			t.Errorf("Name = %q, want T0", t0.Name())
+		}
+		t0.SetName("main")
+		if t0.Name() != "main" {
+			t.Errorf("Name = %q after SetName", t0.Name())
+		}
+		if t0.World() == nil {
+			t.Error("World() = nil")
+		}
+	})
+}
+
+func TestFailureError(t *testing.T) {
+	f := &Failure{Kind: FailDeadlock, Thread: 2, Message: "stuck"}
+	if got := f.Error(); got != "deadlock in T2: stuck" {
+		t.Errorf("Error() = %q", got)
+	}
+	for kind, want := range map[FailureKind]string{
+		FailAssert:      "assertion",
+		FailDeadlock:    "deadlock",
+		FailCrash:       "crash",
+		FailureKind(99): "unknown",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+}
+
+func TestArrayLenAndKeys(t *testing.T) {
+	runRR(t, func(t0 *Thread) {
+		a := t0.NewArray("arr", 5)
+		if a.Len() != 5 {
+			t.Errorf("Len = %d", a.Len())
+		}
+		v := t0.NewVar("x", 1)
+		if v.Key() != "var/x" {
+			t.Errorf("Key = %q", v.Key())
+		}
+	})
+}
+
+func TestOpKindStrings(t *testing.T) {
+	// Every op kind must render; "unknown" means a missing case.
+	for k := opSpawn; k <= opWUnlock; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("op kind %d has no name", int(k))
+		}
+	}
+}
+
+func TestChooserFuncAdapter(t *testing.T) {
+	called := false
+	ch := ChooserFunc(func(ctx Context) ThreadID {
+		called = true
+		return ctx.Enabled[0]
+	})
+	w := NewWorld(Options{Chooser: ch})
+	w.Run(func(t0 *Thread) { t0.Yield() })
+	if !called {
+		t.Error("ChooserFunc not invoked")
+	}
+}
+
+func TestWorldRunTwicePanics(t *testing.T) {
+	w := NewWorld(Options{Chooser: RoundRobin()})
+	w.Run(func(t0 *Thread) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	w.Run(func(t0 *Thread) {})
+}
+
+func TestMissingChooserPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorld without chooser did not panic")
+		}
+	}()
+	NewWorld(Options{})
+}
+
+func TestInvalidChoicePanics(t *testing.T) {
+	bad := ChooserFunc(func(ctx Context) ThreadID { return 99 })
+	w := NewWorld(Options{Chooser: bad})
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid choice did not panic")
+		}
+	}()
+	w.Run(func(t0 *Thread) { t0.Yield() })
+}

@@ -1,0 +1,123 @@
+package vthread
+
+// opKind enumerates the visible-operation kinds of the substrate. The set
+// mirrors the pthread surface that the paper's benchmarks use: thread
+// management, mutexes, condition variables, semaphores, barriers, shared
+// memory accesses and atomics.
+type opKind int
+
+const (
+	opSpawn opKind = iota
+	opJoin
+	opYield
+	opLock
+	opUnlock
+	opCondWait   // release mutex + enqueue on the condvar
+	opCondResume // woken waiter re-acquiring the mutex
+	opSignal
+	opBroadcast
+	opSemP
+	opSemV
+	opBarrierArrive
+	opBarrierWait // parked inside the barrier until the generation advances
+	opAccess      // promoted (racy) shared-memory access
+	opAtomic
+	opDestroy
+	opRLock
+	opRUnlock
+	opWLock
+	opWUnlock
+)
+
+// pendingOp is the visible operation a parked thread will perform when next
+// scheduled. Enabledness (§2) is a predicate of the pending operation over
+// the current state of its target object.
+type pendingOp struct {
+	kind    opKind
+	mutex   *Mutex
+	cond    *Cond
+	sem     *Sem
+	barrier *Barrier
+	target  *Thread
+	thread  *Thread // owner of this op; set for ops whose enabledness is per-thread
+	rw      *RWMutex
+	gen     uint64 // barrier generation observed on arrival
+	key     string // accessed variable key (opAccess only)
+	write   bool   // store vs load (opAccess only)
+}
+
+// enabled reports whether the operation can execute in the current state.
+// Operations that would immediately fault (locking a destroyed mutex,
+// double unlock, …) are enabled so that the crash can manifest — a disabled
+// crash would silently mask the bug.
+func (op pendingOp) enabled(w *World) bool {
+	switch op.kind {
+	case opLock:
+		return op.mutex.owner == nil || op.mutex.destroyed
+	case opCondResume:
+		return op.thread.woken && (op.mutex.owner == nil || op.mutex.destroyed)
+	case opSemP:
+		return op.sem.count > 0
+	case opJoin:
+		return op.target.state == stateExited
+	case opBarrierWait:
+		return op.barrier.gen != op.gen
+	case opRLock:
+		// Shared acquisition: blocked by a writer or (writer preference) a
+		// waiting writer.
+		return op.rw.writer == nil && op.rw.waitingWriters == 0
+	case opWLock:
+		return op.rw.writer == nil && op.rw.readers == 0
+	default:
+		// opSpawn, opYield, opUnlock, opCondWait, opSignal,
+		// opBroadcast, opSemV, opBarrierArrive, opAccess, opAtomic,
+		// opDestroy are always executable.
+		return true
+	}
+}
+
+func (k opKind) String() string {
+	switch k {
+	case opSpawn:
+		return "spawn"
+	case opJoin:
+		return "join"
+	case opYield:
+		return "yield"
+	case opLock:
+		return "lock"
+	case opUnlock:
+		return "unlock"
+	case opCondWait:
+		return "cond-wait"
+	case opCondResume:
+		return "cond-resume"
+	case opSignal:
+		return "signal"
+	case opBroadcast:
+		return "broadcast"
+	case opSemP:
+		return "sem-P"
+	case opSemV:
+		return "sem-V"
+	case opBarrierArrive:
+		return "barrier-arrive"
+	case opBarrierWait:
+		return "barrier-wait"
+	case opAccess:
+		return "access"
+	case opAtomic:
+		return "atomic"
+	case opDestroy:
+		return "destroy"
+	case opRLock:
+		return "rlock"
+	case opRUnlock:
+		return "runlock"
+	case opWLock:
+		return "wlock"
+	case opWUnlock:
+		return "wunlock"
+	}
+	return "unknown"
+}

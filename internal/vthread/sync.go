@@ -1,0 +1,212 @@
+package vthread
+
+// This file implements the synchronisation objects of the substrate. Every
+// blocking/releasing operation is a visible operation (§2 of the paper):
+// the thread parks with a pending op describing what it wants to do, the
+// scheduler grants it only when the op is enabled, and the op then executes
+// atomically with respect to other virtual threads (execution is serial).
+//
+// Misuse that corresponds to real memory-safety bugs in the benchmark suite
+// (double unlock, use after destroy, wait without the mutex held) is
+// modelled as a crash failure rather than a Go panic, because those are
+// exactly the bugs several SCTBench programs plant (CB.pbzip2,
+// radbench.bug1, radbench.bug4).
+
+// Mutex is a non-recursive mutual-exclusion lock.
+type Mutex struct {
+	key       string
+	owner     *Thread
+	destroyed bool
+}
+
+// NewMutex creates a mutex. The name must be unique within the program; it
+// keys the happens-before edges seen by the race detector.
+func (t *Thread) NewMutex(name string) *Mutex {
+	return &Mutex{key: "mutex/" + name}
+}
+
+// Lock acquires m. The thread is disabled while another thread holds m.
+// Locking a destroyed mutex is a modelled crash.
+func (m *Mutex) Lock(t *Thread) {
+	t.visible(pendingOp{kind: opLock, mutex: m})
+	if m.destroyed {
+		t.crash("lock of destroyed mutex %s", m.key)
+	}
+	m.owner = t
+	t.sinkAcquire(m.key)
+}
+
+// Unlock releases m. Unlocking a mutex the thread does not hold is a
+// modelled crash (undefined behaviour for pthread mutexes, and the actual
+// failure mode of the radbench.bug4 analogue).
+func (m *Mutex) Unlock(t *Thread) {
+	t.visible(pendingOp{kind: opUnlock, mutex: m})
+	if m.destroyed {
+		t.crash("unlock of destroyed mutex %s", m.key)
+	}
+	if m.owner != t {
+		t.crash("unlock of mutex %s not held by %s", m.key, t.name)
+	}
+	t.sinkRelease(m.key)
+	m.owner = nil
+}
+
+// TryLock attempts to acquire m without blocking; it is a visible operation
+// whether or not it succeeds.
+func (m *Mutex) TryLock(t *Thread) bool {
+	t.visible(pendingOp{kind: opAtomic, mutex: m, key: m.key})
+	if m.destroyed {
+		t.crash("trylock of destroyed mutex %s", m.key)
+	}
+	if m.owner != nil {
+		return false
+	}
+	m.owner = t
+	t.sinkAcquire(m.key)
+	return true
+}
+
+// Destroy marks the mutex destroyed; any later use crashes. Destroying a
+// held mutex crashes immediately.
+func (m *Mutex) Destroy(t *Thread) {
+	t.visible(pendingOp{kind: opDestroy, mutex: m})
+	if m.owner != nil {
+		t.crash("destroy of held mutex %s", m.key)
+	}
+	m.destroyed = true
+}
+
+// HeldBy reports whether t currently owns the mutex. Invisible (a pure
+// inspection helper for assertions in programs under test).
+func (m *Mutex) HeldBy(t *Thread) bool { return m.owner == t }
+
+// Cond is a condition variable with FIFO wakeup order. FIFO makes the
+// wakeup deterministic given the schedule; the scheduler still controls all
+// interleaving through the two scheduling points of Wait (the wait itself
+// and the re-acquisition).
+type Cond struct {
+	key     string
+	waiters []*Thread
+}
+
+// NewCond creates a condition variable. The name must be unique within the
+// program.
+func (t *Thread) NewCond(name string) *Cond {
+	return &Cond{key: "cond/" + name}
+}
+
+// Wait atomically releases m and blocks until signalled, then re-acquires
+// m. The caller must hold m. Both the wait and the re-acquisition are
+// scheduling points, so a signalled waiter races with other threads for the
+// mutex exactly as in pthreads.
+func (c *Cond) Wait(t *Thread, m *Mutex) {
+	t.visible(pendingOp{kind: opCondWait, cond: c, mutex: m})
+	if m.owner != t {
+		t.crash("cond wait on %s without holding %s", c.key, m.key)
+	}
+	t.sinkRelease(m.key)
+	m.owner = nil
+	t.woken = false
+	c.waiters = append(c.waiters, t)
+
+	t.visible(pendingOp{kind: opCondResume, cond: c, mutex: m, thread: t})
+	if m.destroyed {
+		t.crash("wakeup on destroyed mutex %s", m.key)
+	}
+	m.owner = t
+	t.sinkAcquire(m.key)
+	t.sinkAcquire(c.key)
+}
+
+// Signal wakes the longest-waiting waiter, if any. Signalling with no
+// waiter is a no-op (pthread semantics — the wakeup is lost).
+func (c *Cond) Signal(t *Thread) {
+	t.visible(pendingOp{kind: opSignal, cond: c})
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		w.woken = true
+		t.sinkRelease(c.key)
+	}
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast(t *Thread) {
+	t.visible(pendingOp{kind: opBroadcast, cond: c})
+	if len(c.waiters) > 0 {
+		for _, w := range c.waiters {
+			w.woken = true
+		}
+		c.waiters = c.waiters[:0]
+		t.sinkRelease(c.key)
+	}
+}
+
+// Sem is a counting semaphore.
+type Sem struct {
+	key   string
+	count int
+}
+
+// NewSem creates a semaphore with the given initial count. The name must be
+// unique within the program.
+func (t *Thread) NewSem(name string, count int) *Sem {
+	if count < 0 {
+		panic("vthread: negative initial semaphore count")
+	}
+	return &Sem{key: "sem/" + name, count: count}
+}
+
+// P (wait/down) decrements the semaphore, blocking while the count is zero.
+func (s *Sem) P(t *Thread) {
+	t.visible(pendingOp{kind: opSemP, sem: s})
+	s.count--
+	t.sinkAcquire(s.key)
+}
+
+// V (post/up) increments the semaphore.
+func (s *Sem) V(t *Thread) {
+	t.visible(pendingOp{kind: opSemV, sem: s})
+	s.count++
+	t.sinkRelease(s.key)
+}
+
+// Count returns the current count (invisible inspection helper).
+func (s *Sem) Count() int { return s.count }
+
+// Barrier is an n-party generation barrier. The order in which released
+// waiters leave the barrier is under scheduler control, which is the
+// nondeterminism the SPLASH-2 and streamcluster benchmarks exercise.
+type Barrier struct {
+	key     string
+	parties int
+	arrived int
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for parties threads. The name must be unique
+// within the program.
+func (t *Thread) NewBarrier(name string, parties int) *Barrier {
+	if parties <= 0 {
+		panic("vthread: barrier needs at least one party")
+	}
+	return &Barrier{key: "barrier/" + name, parties: parties}
+}
+
+// Arrive enters the barrier and blocks until all parties have arrived. The
+// last arriver passes through without blocking; the remaining waiters
+// become enabled simultaneously and leave in scheduler-chosen order.
+func (b *Barrier) Arrive(t *Thread) {
+	t.visible(pendingOp{kind: opBarrierArrive, barrier: b})
+	t.sinkRelease(b.key)
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		t.sinkAcquire(b.key)
+		return
+	}
+	gen := b.gen
+	t.visible(pendingOp{kind: opBarrierWait, barrier: b, gen: gen})
+	t.sinkAcquire(b.key)
+}

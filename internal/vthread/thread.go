@@ -1,0 +1,261 @@
+package vthread
+
+import "fmt"
+
+type threadState int
+
+const (
+	// stateParked: the thread is stopped at a scheduling point with a
+	// pending visible operation.
+	stateParked threadState = iota
+	// stateExited: the thread body returned, the thread failed, or the
+	// thread was killed during execution teardown.
+	stateExited
+)
+
+// killSignal is the panic value used to unwind a virtual thread's goroutine
+// when the execution is torn down.
+type killSignal struct{}
+
+// Thread is a virtual thread. All operations on shared objects take the
+// current thread as an argument, which is how the substrate serialises the
+// program: each such operation is (or may be) a scheduling point.
+//
+// A Thread handle is only valid inside the execution that created it.
+type Thread struct {
+	w    *World
+	id   ThreadID
+	name string
+	key  string // sync-object key for spawn/join happens-before edges
+
+	gate chan struct{}
+	// parkTo receives this thread's park notifications. During the eager
+	// prefix run it is a private channel consumed by the spawner (so the
+	// world loop, which may simultaneously be waiting for the *spawner's*
+	// park, cannot steal the message); the spawner then redirects it to the
+	// world's shared channel. The redirect is safe: the thread only reads
+	// parkTo at its next park, which cannot happen before the world next
+	// grants it, which happens-after the spawner parks.
+	parkTo  chan parkMsg
+	pending pendingOp
+	state   threadState
+	killed  bool
+
+	// woken marks a condvar waiter that has been signalled and may now
+	// re-contend for the mutex.
+	woken bool
+}
+
+// threadKey is the sync-object key used for spawn/join happens-before
+// edges of thread id.
+func threadKey(id ThreadID) string { return fmt.Sprintf("thread/%d", id) }
+
+// newThread registers a thread, starts its backing goroutine, and runs the
+// thread's invisible prefix up to its first visible operation (or exit)
+// before returning. The caller — World.Run for thread 0, a spawning thread
+// otherwise — owns the execution at that moment, so it consumes the child's
+// first park itself. Running the prefix eagerly means a thread's first
+// schedulable step is its first *real* visible operation, exactly the step
+// model of §2; a thread with a fully invisible body never occupies a
+// scheduling point at all.
+func (w *World) newThread(parent *Thread, body Program) *Thread {
+	id := ThreadID(len(w.threads))
+	first := make(chan parkMsg, 1)
+	t := &Thread{
+		w:      w,
+		id:     id,
+		name:   fmt.Sprintf("T%d", id),
+		key:    threadKey(id),
+		gate:   make(chan struct{}),
+		parkTo: first,
+		state:  stateParked,
+	}
+	w.threads = append(w.threads, t)
+	w.wg.Add(1)
+	go t.main(body)
+	t.gate <- struct{}{} // run the invisible prefix
+	<-first              // …until the thread parks, exits or fails
+	t.parkTo = w.parked  // all later parks go to the scheduler
+	return t
+}
+
+// main is the goroutine body backing a virtual thread.
+func (t *Thread) main(body Program) {
+	defer t.w.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSignal); ok {
+				return // execution teardown; state handled by the World
+			}
+			panic(r) // genuine bug in a program under test: crash loudly
+		}
+	}()
+
+	t.awaitGrant() // released by newThread to run the invisible prefix
+	t.sinkAcquire(t.key)
+	body(t)
+
+	// Clean exit: publish exited state before notifying the world so the
+	// scheduler never observes a stale parked state.
+	t.sinkRelease(t.key)
+	t.state = stateExited
+	t.parkTo <- parkMsg{kind: parkExited}
+}
+
+// visible registers op as this thread's next visible operation and parks
+// until the scheduler grants the thread. On return the thread owns the
+// execution and must perform the operation it registered.
+func (t *Thread) visible(op pendingOp) {
+	if t.killed {
+		panic(killSignal{})
+	}
+	t.pending = op
+	t.state = stateParked
+	t.parkTo <- parkMsg{kind: parkPending}
+	t.awaitGrant()
+}
+
+// awaitGrant blocks until the world grants this thread (or kills it).
+func (t *Thread) awaitGrant() {
+	<-t.gate
+	if t.killed {
+		panic(killSignal{})
+	}
+}
+
+// failNow records f as the execution's failure and unwinds the thread.
+// It never returns.
+func (t *Thread) failNow(f *Failure) {
+	t.w.fail(f)
+	t.state = stateExited
+	t.parkTo <- parkMsg{kind: parkFailed}
+	panic(killSignal{})
+}
+
+// ID returns the thread's identifier (creation order, 0 = initial thread).
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Name returns the thread's display name ("T0", "T1", …) unless renamed
+// with SetName.
+func (t *Thread) Name() string { return t.name }
+
+// SetName assigns a display name used in failure messages.
+func (t *Thread) SetName(name string) { t.name = name }
+
+// World returns the execution this thread belongs to.
+func (t *Thread) World() *World { return t.w }
+
+// Spawn creates a new virtual thread running body and returns its handle.
+// Spawning is a visible operation. The child's invisible prefix (everything
+// before its first visible operation) runs during the spawn step; its first
+// schedulable step is its first visible operation.
+func (t *Thread) Spawn(body Program) *Thread {
+	t.visible(pendingOp{kind: opSpawn})
+	childID := ThreadID(len(t.w.threads))
+	t.sink().spawned(t.id, childID)
+	t.sinkRelease(threadKey(childID))
+	return t.w.newThread(t, body)
+}
+
+// SpawnAll creates several threads in one visible operation, modelling the
+// single create(T1,…,Tn) step of the paper's Figure 1 example. The children
+// are numbered in argument order.
+func (t *Thread) SpawnAll(bodies ...Program) []*Thread {
+	t.visible(pendingOp{kind: opSpawn})
+	out := make([]*Thread, len(bodies))
+	for i, body := range bodies {
+		childID := ThreadID(len(t.w.threads))
+		t.sink().spawned(t.id, childID)
+		t.sinkRelease(threadKey(childID))
+		out[i] = t.w.newThread(t, body)
+	}
+	return out
+}
+
+// Join blocks until other has exited. Joining is a visible operation; the
+// joining thread is disabled until the target's body returns.
+func (t *Thread) Join(other *Thread) {
+	t.visible(pendingOp{kind: opJoin, target: other})
+	t.sinkAcquire(other.key)
+}
+
+// Yield is a visible no-op: a pure scheduling point. It models a compute
+// step that the tester wants schedulable (for example a statement the race
+// detector flagged).
+func (t *Thread) Yield() {
+	t.visible(pendingOp{kind: opYield})
+}
+
+// Assert checks a safety property of the program under test. A false
+// condition is an assertion-failure bug and terminates the execution.
+// Assert itself is invisible: the reads feeding cond are the visible
+// operations.
+func (t *Thread) Assert(cond bool, format string, args ...any) {
+	if cond {
+		return
+	}
+	if t.killed {
+		panic(killSignal{})
+	}
+	t.failNow(&Failure{
+		Kind:    FailAssert,
+		Thread:  t.id,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Fail unconditionally reports a bug found by the program's own checking
+// code (for example an output checker, §4.2 of the paper).
+func (t *Thread) Fail(format string, args ...any) {
+	if t.killed {
+		panic(killSignal{})
+	}
+	t.failNow(&Failure{
+		Kind:    FailAssert,
+		Thread:  t.id,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// crash reports a modelled memory-safety failure (use of a destroyed
+// object, double unlock, out-of-bounds access with checking enabled, …).
+func (t *Thread) crash(format string, args ...any) {
+	if t.killed {
+		panic(killSignal{})
+	}
+	t.failNow(&Failure{
+		Kind:    FailCrash,
+		Thread:  t.id,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// sink helpers: no-ops when no EventSink is configured or during teardown.
+
+type sinkProxy struct{ t *Thread }
+
+func (t *Thread) sink() sinkProxy { return sinkProxy{t} }
+
+func (p sinkProxy) spawned(parent, child ThreadID) {
+	if s := p.t.w.opts.Sink; s != nil && !p.t.killed {
+		s.Spawned(parent, child)
+	}
+}
+
+func (t *Thread) sinkAccess(key string, write bool) {
+	if s := t.w.opts.Sink; s != nil && !t.killed {
+		s.Access(t.id, key, write)
+	}
+}
+
+func (t *Thread) sinkAcquire(key string) {
+	if s := t.w.opts.Sink; s != nil && !t.killed {
+		s.Acquire(t.id, key)
+	}
+}
+
+func (t *Thread) sinkRelease(key string) {
+	if s := t.w.opts.Sink; s != nil && !t.killed {
+		s.Release(t.id, key)
+	}
+}

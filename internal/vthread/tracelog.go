@@ -1,0 +1,90 @@
+package vthread
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceLogger is an EventSink that renders an execution as a readable
+// event log — the per-step view of a witness that makes a simplified
+// counterexample actually debuggable. Plug it into a replay:
+//
+//	log := vthread.NewTraceLogger()
+//	w := vthread.NewWorld(vthread.Options{Chooser: replay, Sink: log})
+//	w.Run(program)
+//	fmt.Print(log.String())
+type TraceLogger struct {
+	lines []string
+}
+
+var _ EventSink = (*TraceLogger)(nil)
+
+// NewTraceLogger creates an empty logger.
+func NewTraceLogger() *TraceLogger { return &TraceLogger{} }
+
+// Access implements EventSink.
+func (l *TraceLogger) Access(t ThreadID, key string, write bool) {
+	dir := "read "
+	if write {
+		dir = "write"
+	}
+	l.lines = append(l.lines, fmt.Sprintf("T%-2d %s %s", t, dir, key))
+}
+
+// Acquire implements EventSink.
+func (l *TraceLogger) Acquire(t ThreadID, key string) {
+	if strings.HasPrefix(key, "thread/") {
+		l.lines = append(l.lines, fmt.Sprintf("T%-2d joined/started %s", t, key))
+		return
+	}
+	l.lines = append(l.lines, fmt.Sprintf("T%-2d acquire %s", t, key))
+}
+
+// Release implements EventSink.
+func (l *TraceLogger) Release(t ThreadID, key string) {
+	if strings.HasPrefix(key, "thread/") {
+		l.lines = append(l.lines, fmt.Sprintf("T%-2d exit/spawn %s", t, key))
+		return
+	}
+	l.lines = append(l.lines, fmt.Sprintf("T%-2d release %s", t, key))
+}
+
+// Spawned implements EventSink.
+func (l *TraceLogger) Spawned(parent, child ThreadID) {
+	l.lines = append(l.lines, fmt.Sprintf("T%-2d spawn T%d", parent, child))
+}
+
+// Len returns the number of logged events.
+func (l *TraceLogger) Len() int { return len(l.lines) }
+
+// String renders the log, one event per line.
+func (l *TraceLogger) String() string {
+	return strings.Join(l.lines, "\n") + "\n"
+}
+
+// Tee fans events out to several sinks (for example a race detector and a
+// trace logger on the same execution).
+func Tee(sinks ...EventSink) EventSink { return teeSink(sinks) }
+
+type teeSink []EventSink
+
+func (s teeSink) Access(t ThreadID, key string, write bool) {
+	for _, x := range s {
+		x.Access(t, key, write)
+	}
+}
+func (s teeSink) Acquire(t ThreadID, key string) {
+	for _, x := range s {
+		x.Acquire(t, key)
+	}
+}
+func (s teeSink) Release(t ThreadID, key string) {
+	for _, x := range s {
+		x.Release(t, key)
+	}
+}
+func (s teeSink) Spawned(parent, child ThreadID) {
+	for _, x := range s {
+		x.Spawned(parent, child)
+	}
+}

@@ -1,0 +1,50 @@
+package vthread
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceLoggerRecordsEvents(t *testing.T) {
+	log := NewTraceLogger()
+	w := NewWorld(Options{Chooser: RoundRobin(), Sink: log})
+	w.Run(func(t0 *Thread) {
+		m := t0.NewMutex("m")
+		v := t0.NewVar("v", 0)
+		c := t0.Spawn(func(tw *Thread) {
+			m.Lock(tw)
+			v.Store(tw, 1)
+			m.Unlock(tw)
+		})
+		t0.Join(c)
+		_ = v.Load(t0)
+	})
+	out := log.String()
+	for _, want := range []string{
+		"T0  spawn T1",
+		"T1  acquire mutex/m",
+		"T1  write var/v",
+		"T1  release mutex/m",
+		"T0  read  var/v",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
+	}
+	if log.Len() == 0 {
+		t.Error("Len() = 0")
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a := NewTraceLogger()
+	b := NewTraceLogger()
+	w := NewWorld(Options{Chooser: RoundRobin(), Sink: Tee(a, b)})
+	w.Run(func(t0 *Thread) {
+		v := t0.NewVar("v", 0)
+		v.Store(t0, 1)
+	})
+	if a.Len() == 0 || a.Len() != b.Len() {
+		t.Fatalf("tee lengths %d vs %d", a.Len(), b.Len())
+	}
+}

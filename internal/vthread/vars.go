@@ -1,0 +1,214 @@
+package vthread
+
+// This file implements shared state. Two regimes exist, matching the
+// paper's data-race handling (§5, "Data Race Detection Phase"):
+//
+//   - IntVar/Array/Ref accesses are visible operations only when the
+//     variable has been *promoted* (Options.Visible returns true for its
+//     key). The study promotes exactly the variables the dynamic race
+//     detector flagged, so SCT explores the sequentially consistent
+//     outcomes of racy accesses without paying scheduling points for
+//     well-synchronised data.
+//   - Atomic accesses are always visible: atomics are synchronisation.
+//
+// All accesses, visible or not, are reported to the EventSink so the race
+// detector sees the full access stream during the detection phase.
+
+// IntVar is a shared integer variable. It is the workhorse of the benchmark
+// suite: flags, counters, indices.
+type IntVar struct {
+	key     string
+	val     int
+	visible bool
+}
+
+// NewVar creates a shared integer with the given unique name and initial
+// value.
+func (t *Thread) NewVar(name string, init int) *IntVar {
+	key := "var/" + name
+	return &IntVar{key: key, val: init, visible: t.w.isVisibleVar(key)}
+}
+
+// Load reads the variable. A scheduling point when the variable is promoted.
+func (v *IntVar) Load(t *Thread) int {
+	if v.visible {
+		t.visible(pendingOp{kind: opAccess, key: v.key})
+	}
+	t.sinkAccess(v.key, false)
+	return v.val
+}
+
+// Store writes the variable. A scheduling point when the variable is
+// promoted.
+func (v *IntVar) Store(t *Thread, x int) {
+	if v.visible {
+		t.visible(pendingOp{kind: opAccess, key: v.key, write: true})
+	}
+	t.sinkAccess(v.key, true)
+	v.val = x
+}
+
+// Add performs the non-atomic read-modify-write v += delta as TWO separate
+// accesses (a load then a store), each its own scheduling point when
+// promoted — this is precisely the lost-update shape of many SCTBench bugs.
+// It returns the stored value.
+func (v *IntVar) Add(t *Thread, delta int) int {
+	x := v.Load(t)
+	x += delta
+	v.Store(t, x)
+	return x
+}
+
+// Key returns the promotion key of the variable ("var/<name>").
+func (v *IntVar) Key() string { return v.key }
+
+// Atomic is a shared integer with atomic (indivisible, always-visible)
+// operations, modelling C++11 SC atomics. Each operation is a single
+// scheduling point and a synchronisation (acquire+release) edge.
+type Atomic struct {
+	key string
+	val int
+}
+
+// NewAtomic creates an atomic integer with the given unique name.
+func (t *Thread) NewAtomic(name string, init int) *Atomic {
+	return &Atomic{key: "atomic/" + name, val: init}
+}
+
+func (a *Atomic) sync(t *Thread) {
+	t.visible(pendingOp{kind: opAtomic, key: a.key})
+	// An SC atomic op is both an acquire and a release on the object.
+	t.sinkAcquire(a.key)
+	t.sinkRelease(a.key)
+}
+
+// Load atomically reads the value.
+func (a *Atomic) Load(t *Thread) int {
+	a.sync(t)
+	return a.val
+}
+
+// Store atomically writes the value.
+func (a *Atomic) Store(t *Thread, x int) {
+	a.sync(t)
+	a.val = x
+}
+
+// Add atomically adds delta and returns the new value.
+func (a *Atomic) Add(t *Thread, delta int) int {
+	a.sync(t)
+	a.val += delta
+	return a.val
+}
+
+// CAS atomically compares-and-swaps, returning whether the swap happened.
+func (a *Atomic) CAS(t *Thread, old, new int) bool {
+	a.sync(t)
+	if a.val != old {
+		return false
+	}
+	a.val = new
+	return true
+}
+
+// Swap atomically exchanges the value, returning the previous one.
+func (a *Atomic) Swap(t *Thread, x int) int {
+	a.sync(t)
+	prev := a.val
+	a.val = x
+	return prev
+}
+
+// Array is a shared fixed-size integer array with a modelled out-of-bounds
+// detector (§4.2). When World Options.BoundsCheck is on, an out-of-range
+// access crashes the execution; when off, out-of-range stores are silently
+// dropped and loads return zero, modelling corruption that "does not always
+// cause a crash" and is therefore missed without extra checking.
+type Array struct {
+	key     string
+	vals    []int
+	visible bool
+}
+
+// NewArray creates a shared array of n zeroed elements with the given
+// unique name. Promotion is per-array.
+func (t *Thread) NewArray(name string, n int) *Array {
+	key := "array/" + name
+	return &Array{key: key, vals: make([]int, n), visible: t.w.isVisibleVar(key)}
+}
+
+// Len returns the array length (invisible).
+func (a *Array) Len() int { return len(a.vals) }
+
+// Get reads element i.
+func (a *Array) Get(t *Thread, i int) int {
+	if a.visible {
+		t.visible(pendingOp{kind: opAccess, key: a.key})
+	}
+	t.sinkAccess(a.key, false)
+	if i < 0 || i >= len(a.vals) {
+		if t.w.opts.BoundsCheck {
+			t.crash("out-of-bounds read %s[%d] (len %d)", a.key, i, len(a.vals))
+		}
+		return 0
+	}
+	return a.vals[i]
+}
+
+// Set writes element i.
+func (a *Array) Set(t *Thread, i, x int) {
+	if a.visible {
+		t.visible(pendingOp{kind: opAccess, key: a.key, write: true})
+	}
+	t.sinkAccess(a.key, true)
+	if i < 0 || i >= len(a.vals) {
+		if t.w.opts.BoundsCheck {
+			t.crash("out-of-bounds write %s[%d]=%d (len %d)", a.key, i, x, len(a.vals))
+		}
+		return
+	}
+	a.vals[i] = x
+}
+
+// Ref is a shared variable of arbitrary type (queues, slices, struct
+// snapshots). Promotion and visibility work as for IntVar.
+type Ref[T any] struct {
+	key     string
+	val     T
+	visible bool
+}
+
+// NewRef creates a shared variable of type T with the given unique name.
+// It is a free function because Go methods cannot introduce type
+// parameters.
+func NewRef[T any](t *Thread, name string, init T) *Ref[T] {
+	key := "ref/" + name
+	return &Ref[T]{key: key, val: init, visible: t.w.isVisibleVar(key)}
+}
+
+// Load reads the value.
+func (r *Ref[T]) Load(t *Thread) T {
+	if r.visible {
+		t.visible(pendingOp{kind: opAccess, key: r.key})
+	}
+	t.sinkAccess(r.key, false)
+	return r.val
+}
+
+// Store writes the value.
+func (r *Ref[T]) Store(t *Thread, x T) {
+	if r.visible {
+		t.visible(pendingOp{kind: opAccess, key: r.key, write: true})
+	}
+	t.sinkAccess(r.key, true)
+	r.val = x
+}
+
+// Update applies f to the current value and stores the result, as a load
+// followed by a store (two scheduling points when promoted). The
+// intermediate computation is invisible, matching a real unsynchronised
+// read-modify-write.
+func (r *Ref[T]) Update(t *Thread, f func(T) T) {
+	x := r.Load(t)
+	r.Store(t, f(x))
+}

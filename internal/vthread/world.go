@@ -1,0 +1,435 @@
+// Package vthread implements the cooperative virtual-threading substrate on
+// which all systematic concurrency testing (SCT) in this repository runs.
+//
+// Programs are written against an explicit API: virtual threads are spawned
+// with Spawn, synchronise through Mutex/Cond/Sem/Barrier, and share state
+// through IntVar/Atomic/Array objects. A World executes a program with
+// concurrency fully serialised: exactly one virtual thread runs at a time,
+// and at every visible operation (§2 of Thomson et al., PPoPP'14) a pluggable
+// Chooser decides which enabled thread performs the next step. Executions are
+// deterministic given the sequence of choices, which is what makes stateless
+// model checking — repeated execution under different schedules — possible.
+//
+// The substrate corresponds to the modified Maple tool of the paper: Maple
+// serialises pthread programs via PIN instrumentation; we serialise virtual
+// threads via channel-gated goroutines, because the Go runtime scheduler
+// cannot be hooked. The visible-operation model, enabledness semantics,
+// deadlock detection and schedule accounting follow the paper's §2 directly.
+package vthread
+
+import (
+	"fmt"
+	"sync"
+
+	"sctbench/internal/sched"
+)
+
+// ThreadID identifies a virtual thread within one execution. Threads are
+// numbered in creation order starting from 0 (the initial thread), exactly
+// as the delay-bounding definition in the paper requires.
+type ThreadID = sched.ThreadID
+
+// NoThread is the sentinel used before any thread has run.
+const NoThread = sched.NoThread
+
+// Program is the body of the initial thread (thread 0) of an execution.
+type Program func(t *Thread)
+
+// Context describes one scheduling point: the state a Chooser sees when it
+// must pick the next thread to run.
+type Context struct {
+	// Step is the index of this scheduling point in the execution (0-based).
+	Step int
+	// Enabled lists the enabled threads in ascending ThreadID order. It is
+	// never empty and must not be mutated.
+	Enabled []ThreadID
+	// Last is the thread that executed the previous step, or NoThread at the
+	// first step.
+	Last ThreadID
+	// LastEnabled reports whether Last is currently enabled (i.e. whether
+	// switching away from it would be a preemptive context switch).
+	LastEnabled bool
+	// NumThreads is the number of threads created so far (ids 0..NumThreads-1).
+	NumThreads int
+	// PendingOf reports what operation a thread is about to perform —
+	// enough for idiom-driven active scheduling (the Maple algorithm) to
+	// steer particular accesses. Valid for any non-exited thread.
+	PendingOf func(ThreadID) PendingInfo
+}
+
+// PendingInfo describes a parked thread's next visible operation: enough
+// for idiom-driven active scheduling (the Maple algorithm) to steer
+// particular accesses, and for partial-order reduction to judge
+// independence of pending operations.
+type PendingInfo struct {
+	// IsAccess reports a promoted shared-memory access.
+	IsAccess bool
+	// Key is the accessed variable's key (empty unless IsAccess).
+	Key string
+	// IsWrite distinguishes stores from loads (meaningful only when
+	// IsAccess).
+	IsWrite bool
+	// Objects lists the shared objects the operation touches (at most
+	// two: a condvar wait touches the condvar and the mutex). Empty
+	// entries mean "touches nothing shared" (spawn, yield).
+	Objects [2]string
+	// ReadOnly reports that the operation does not modify its objects
+	// (a load, a read-lock). Two read-only operations on the same object
+	// commute.
+	ReadOnly bool
+}
+
+// Independent reports whether two pending operations commute: they touch
+// disjoint objects, or share objects only read-only. Conservative in the
+// partial-order-reduction sense: "false" is always safe.
+func (a PendingInfo) Independent(b PendingInfo) bool {
+	for _, x := range a.Objects {
+		if x == "" {
+			continue
+		}
+		for _, y := range b.Objects {
+			if x == y && !(a.ReadOnly && b.ReadOnly) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Chooser selects the next thread to execute at a scheduling point. The
+// returned id must be an element of ctx.Enabled; the World panics otherwise,
+// since a chooser violating this invariant is an implementation bug, not a
+// property of the program under test.
+type Chooser interface {
+	Choose(ctx Context) ThreadID
+}
+
+// ChooserFunc adapts a function to the Chooser interface.
+type ChooserFunc func(ctx Context) ThreadID
+
+// Choose calls f(ctx).
+func (f ChooserFunc) Choose(ctx Context) ThreadID { return f(ctx) }
+
+// EventSink observes the synchronisation and memory-access events of an
+// execution. It is how the dynamic race detector (internal/race) watches a
+// run. All callbacks happen on the single executing thread; implementations
+// need no locking.
+type EventSink interface {
+	// Access reports a shared-memory access to the variable identified by
+	// key. write distinguishes stores from loads.
+	Access(t ThreadID, key string, write bool)
+	// Acquire reports an acquire-side synchronisation on the object key
+	// (mutex lock, semaphore P, condvar wakeup, barrier exit, join).
+	Acquire(t ThreadID, key string)
+	// Release reports a release-side synchronisation on the object key
+	// (mutex unlock, semaphore V, condvar signal, barrier entry, exit).
+	Release(t ThreadID, key string)
+	// Spawned reports creation of a child thread by parent.
+	Spawned(parent, child ThreadID)
+}
+
+// Options configures a World.
+type Options struct {
+	// Chooser picks the next thread at every scheduling point. Required.
+	Chooser Chooser
+	// Visible, when non-nil, restricts which shared variables yield
+	// scheduling points: an IntVar/Array access is a visible operation only
+	// if Visible(key) is true. Synchronisation operations and Atomics are
+	// always visible. A nil Visible treats every shared access as visible
+	// (used by the race-detection phase).
+	Visible func(key string) bool
+	// Sink, when non-nil, observes synchronisation and access events.
+	Sink EventSink
+	// MaxSteps bounds the number of visible operations in one execution as a
+	// livelock guard. Zero means DefaultMaxSteps.
+	MaxSteps int
+	// BoundsCheck enables the out-of-bounds access detector on Array objects
+	// (§4.2 of the paper). When false, out-of-bounds accesses are silently
+	// dropped, modelling the paper's observation that such bugs "do not
+	// always cause a crash" and are missed without additional checking.
+	BoundsCheck bool
+}
+
+// DefaultMaxSteps is the per-execution visible-operation budget used when
+// Options.MaxSteps is zero.
+const DefaultMaxSteps = 200000
+
+// Outcome summarises one terminated execution.
+type Outcome struct {
+	// Failure is nil for a clean terminal execution and non-nil when the
+	// execution exposed a bug (deadlock, assertion failure, crash, …).
+	Failure *Failure
+	// Trace is the executed schedule: the thread chosen at each scheduling
+	// point, in order.
+	Trace sched.Schedule
+	// PC and DC are the preemption count and delay count of Trace, computed
+	// online with the paper's §2 definitions.
+	PC, DC int
+	// SchedPoints is the number of scheduling points at which more than one
+	// thread was enabled (the paper's "# max scheduling points" is the max
+	// of this over all executions of a benchmark).
+	SchedPoints int
+	// MaxEnabled is the largest number of simultaneously enabled threads
+	// observed at any scheduling point.
+	MaxEnabled int
+	// Threads is the total number of threads created.
+	Threads int
+	// StepLimitHit reports that the execution was cut off by MaxSteps; such
+	// executions are not terminal schedules and their Failure is nil.
+	StepLimitHit bool
+}
+
+// Buggy reports whether the execution exposed a bug.
+func (o *Outcome) Buggy() bool { return o.Failure != nil }
+
+type parkKind int
+
+const (
+	parkPending parkKind = iota // parked at the next visible operation
+	parkExited                  // thread body returned
+	parkFailed                  // thread reported a failure; execution aborts
+)
+
+// World is a single execution of a Program. A World must not be reused:
+// create a fresh World for every execution.
+type World struct {
+	opts Options
+
+	threads []*Thread
+	last    ThreadID
+	trace   sched.Schedule
+	pc, dc  int
+
+	schedPoints int
+	maxEnabled  int
+
+	failure      *Failure
+	stepLimitHit bool
+
+	parked chan parkMsg
+	wg     sync.WaitGroup
+
+	enabledBuf []ThreadID
+	running    bool
+}
+
+type parkMsg struct {
+	kind parkKind
+}
+
+// NewWorld creates an execution context with the given options.
+func NewWorld(opts Options) *World {
+	if opts.Chooser == nil {
+		panic("vthread: Options.Chooser is required")
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	return &World{
+		opts:   opts,
+		last:   NoThread,
+		parked: make(chan parkMsg, 1),
+	}
+}
+
+// Run executes program to a terminal state (all threads exited), a failure,
+// or the step limit, and returns the outcome. Run must be called exactly once
+// per World. It returns only after every goroutine backing a virtual thread
+// has exited, so a long sequence of Runs cannot leak goroutines.
+func (w *World) Run(program Program) *Outcome {
+	if w.running {
+		panic("vthread: World.Run called twice")
+	}
+	w.running = true
+
+	root := w.newThread(nil, program)
+	_ = root
+
+	for {
+		enabled := w.enabledThreads()
+		if len(enabled) == 0 {
+			w.finishIdle()
+			break
+		}
+		if len(enabled) > 1 {
+			w.schedPoints++
+		}
+		if len(enabled) > w.maxEnabled {
+			w.maxEnabled = len(enabled)
+		}
+		if len(w.trace) >= w.opts.MaxSteps {
+			w.stepLimitHit = true
+			break
+		}
+
+		choice := w.choose(enabled)
+		w.accountStep(choice, enabled)
+
+		t := w.threads[choice]
+		t.gate <- struct{}{}
+		<-w.parked
+
+		w.last = choice
+		// A failure may have been reported by the granted thread itself or,
+		// via Spawn's eager prefix execution, by a child it created.
+		if w.failure != nil {
+			break
+		}
+	}
+
+	w.abortRemaining()
+	w.wg.Wait()
+
+	return &Outcome{
+		Failure:      w.failure,
+		Trace:        w.trace,
+		PC:           w.pc,
+		DC:           w.dc,
+		SchedPoints:  w.schedPoints,
+		MaxEnabled:   w.maxEnabled,
+		Threads:      len(w.threads),
+		StepLimitHit: w.stepLimitHit,
+	}
+}
+
+// choose consults the chooser and validates its decision.
+func (w *World) choose(enabled []ThreadID) ThreadID {
+	ctx := Context{
+		Step:        len(w.trace),
+		Enabled:     enabled,
+		Last:        w.last,
+		LastEnabled: w.lastEnabled(enabled),
+		NumThreads:  len(w.threads),
+		PendingOf:   w.pendingOf,
+	}
+	choice := w.opts.Chooser.Choose(ctx)
+	if !containsThread(enabled, choice) {
+		panic(fmt.Sprintf("vthread: chooser picked thread %d which is not enabled %v", choice, enabled))
+	}
+	return choice
+}
+
+// accountStep appends the choice to the trace and updates the online
+// preemption and delay counts with the §2 definitions.
+func (w *World) accountStep(choice ThreadID, enabled []ThreadID) {
+	lastEnabled := w.lastEnabled(enabled)
+	w.pc += sched.PCStep(w.last, lastEnabled, choice)
+	w.dc += sched.DCStep(w.last, choice, len(w.threads), func(t ThreadID) bool {
+		return containsThread(enabled, t)
+	})
+	w.trace = append(w.trace, choice)
+}
+
+func (w *World) lastEnabled(enabled []ThreadID) bool {
+	return w.last != NoThread && containsThread(enabled, w.last)
+}
+
+// enabledThreads returns the enabled threads in ascending id order. The
+// returned slice is reused across calls.
+func (w *World) enabledThreads() []ThreadID {
+	w.enabledBuf = w.enabledBuf[:0]
+	for _, t := range w.threads {
+		if t.state == stateParked && t.pending.enabled(w) {
+			w.enabledBuf = append(w.enabledBuf, t.id)
+		}
+	}
+	return w.enabledBuf
+}
+
+// finishIdle classifies the no-enabled-thread state: clean termination if
+// every thread exited, deadlock otherwise.
+func (w *World) finishIdle() {
+	var blocked []ThreadID
+	for _, t := range w.threads {
+		if t.state != stateExited {
+			blocked = append(blocked, t.id)
+		}
+	}
+	if len(blocked) > 0 && w.failure == nil {
+		w.failure = &Failure{
+			Kind:    FailDeadlock,
+			Thread:  blocked[0],
+			Message: fmt.Sprintf("deadlock: threads %v blocked with no enabled thread", blocked),
+		}
+	}
+}
+
+// abortRemaining kills every thread that has not exited so its goroutine
+// unwinds. Called once the execution outcome is decided. A killed thread
+// panics with killSignal out of its parked receive and unwinds without
+// touching shared state or parking again, so no channel drain is needed;
+// Run's wg.Wait observes the unwinding complete.
+func (w *World) abortRemaining() {
+	for _, t := range w.threads {
+		if t.state == stateExited {
+			continue
+		}
+		t.killed = true
+		close(t.gate)
+		t.state = stateExited
+	}
+}
+
+// fail records the first failure of the execution.
+func (w *World) fail(f *Failure) {
+	if w.failure == nil {
+		w.failure = f
+	}
+}
+
+// pendingOf exposes pending-operation metadata to choosers.
+func (w *World) pendingOf(t ThreadID) PendingInfo {
+	if int(t) < 0 || int(t) >= len(w.threads) {
+		return PendingInfo{}
+	}
+	op := w.threads[t].pending
+	info := PendingInfo{}
+	switch op.kind {
+	case opAccess:
+		info.IsAccess = true
+		info.Key = op.key
+		info.IsWrite = op.write
+		info.Objects[0] = op.key
+		info.ReadOnly = !op.write
+	case opLock, opUnlock, opDestroy:
+		info.Objects[0] = op.mutex.key
+	case opCondWait, opCondResume:
+		info.Objects[0] = op.cond.key
+		info.Objects[1] = op.mutex.key
+	case opSignal, opBroadcast:
+		info.Objects[0] = op.cond.key
+	case opSemP, opSemV:
+		info.Objects[0] = op.sem.key
+	case opBarrierArrive, opBarrierWait:
+		info.Objects[0] = op.barrier.key
+	case opJoin:
+		info.Objects[0] = op.target.key
+		info.ReadOnly = true
+	case opAtomic:
+		info.Objects[0] = op.key
+	case opRLock, opRUnlock:
+		info.Objects[0] = op.rw.key
+		info.ReadOnly = true
+	case opWLock, opWUnlock:
+		info.Objects[0] = op.rw.key
+	case opSpawn, opYield:
+		// No shared objects: commutes with everything.
+	}
+	return info
+}
+
+func (w *World) isVisibleVar(key string) bool {
+	if w.opts.Visible == nil {
+		return true
+	}
+	return w.opts.Visible(key)
+}
+
+func containsThread(s []ThreadID, t ThreadID) bool {
+	for _, x := range s {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+// Package sctbench is a systematic concurrency testing (SCT) library for
+// Go, reproducing "Concurrency Testing Using Schedule Bounding: an
+// Empirical Study" (Thomson, Donaldson, Betts — PPoPP 2014).
+//
+// Programs under test are written against an explicit virtual-threading
+// API (Thread, Mutex, Cond, Sem, Barrier, IntVar, Atomic, Array). The
+// library then explores thread schedules systematically — unbounded
+// depth-first search, iterative preemption bounding, iterative delay
+// bounding — or randomly, reports the first buggy schedule as a replayable
+// witness, and implements the full experimental pipeline of the paper
+// (dynamic race detection to choose visible operations, then bounded
+// exploration with schedule-limit accounting).
+//
+// # Quickstart
+//
+//	prog := func(t *sctbench.Thread) {
+//		v := t.NewVar("counter", 0)
+//		inc := func(w *sctbench.Thread) { v.Add(w, 1) }
+//		a, b := t.Spawn(inc), t.Spawn(inc)
+//		t.Join(a)
+//		t.Join(b)
+//		t.Assert(v.Load(t) == 2, "lost update: %d", v.Load(t))
+//	}
+//	res := sctbench.Explore(sctbench.IDB, sctbench.Config{Program: prog})
+//	if res.BugFound {
+//		fmt.Println(res.Failure, res.Witness)
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every table and figure.
+package sctbench
+
+import (
+	"sctbench/internal/explore"
+	"sctbench/internal/race"
+	"sctbench/internal/sched"
+	"sctbench/internal/simplify"
+	"sctbench/internal/vthread"
+)
+
+// Re-exported program-authoring API. These are aliases, so values flow
+// freely between the public surface and the internal engines.
+type (
+	// Thread is a virtual thread of the program under test.
+	Thread = vthread.Thread
+	// Program is the body of the initial thread.
+	Program = vthread.Program
+	// Mutex is a non-recursive lock.
+	Mutex = vthread.Mutex
+	// Cond is a FIFO condition variable.
+	Cond = vthread.Cond
+	// Sem is a counting semaphore.
+	Sem = vthread.Sem
+	// Barrier is an n-party generation barrier.
+	Barrier = vthread.Barrier
+	// IntVar is a shared integer variable.
+	IntVar = vthread.IntVar
+	// Atomic is a shared integer with SC-atomic operations.
+	Atomic = vthread.Atomic
+	// Array is a shared integer array with a modelled bounds checker.
+	Array = vthread.Array
+	// ThreadID identifies a thread (creation order, 0 = initial).
+	ThreadID = vthread.ThreadID
+	// Schedule is a sequence of thread choices — the unit of exploration.
+	Schedule = sched.Schedule
+	// Failure describes an exposed bug.
+	Failure = vthread.Failure
+	// Outcome summarises a single execution.
+	Outcome = vthread.Outcome
+	// Config parameterises an exploration.
+	Config = explore.Config
+	// Result is the outcome of an exploration.
+	Result = explore.Result
+	// Technique selects an exploration technique.
+	Technique = explore.Technique
+	// Chooser decides the next thread at each scheduling point; implement
+	// it to plug in a custom search strategy.
+	Chooser = vthread.Chooser
+	// WorldOptions configures a single raw execution (advanced use).
+	WorldOptions = vthread.Options
+)
+
+// Exploration techniques (the paper's §5 phases).
+const (
+	// DFS is unbounded depth-first search.
+	DFS = explore.DFS
+	// IPB is iterative preemption bounding.
+	IPB = explore.IPB
+	// IDB is iterative delay bounding.
+	IDB = explore.IDB
+	// Rand is the naive random scheduler.
+	Rand = explore.Rand
+)
+
+// Failure kinds.
+const (
+	// FailAssert is an assertion or output-check failure.
+	FailAssert = vthread.FailAssert
+	// FailDeadlock is a global deadlock.
+	FailDeadlock = vthread.FailDeadlock
+	// FailCrash is a modelled memory-safety crash.
+	FailCrash = vthread.FailCrash
+)
+
+// Explore searches the schedule space of cfg.Program with the given
+// technique and reports what it found (bug, witness schedule, schedule
+// counts). It is the main entry point of the library.
+func Explore(t Technique, cfg Config) *Result {
+	return explore.Run(t, cfg)
+}
+
+// ExploreSleepSet performs depth-first search with sleep-set partial-order
+// reduction: it covers the same failure states as Explore(DFS, …) while
+// counting only one representative schedule per equivalence class of
+// commuting operations — often orders of magnitude fewer. (The paper's §7
+// names partial-order reduction as the natural extension of the study.)
+func ExploreSleepSet(cfg Config) *Result {
+	return explore.RunSleepSetDFS(cfg)
+}
+
+// Minimize simplifies a buggy schedule: it greedily merges same-thread
+// blocks while the bug still reproduces, reducing the preemption count —
+// the "simple counterexample traces" benefit of §1 of the paper, made
+// available for witnesses found by unbounded or random search. newProgram
+// must build a fresh program instance per call.
+func Minimize(newProgram func() Program, witness Schedule, visible func(string) bool) *MinimizedWitness {
+	return simplify.Minimize(newProgram, witness, simplify.Options{Visible: visible})
+}
+
+// MinimizedWitness is the result of Minimize.
+type MinimizedWitness = simplify.Result
+
+// DetectRaces performs the paper's race-detection phase: runs independent
+// randomly scheduled executions of program with every shared access
+// visible, and returns the union of variables involved in data races. Feed
+// the result to Promote to obtain the Visible predicate for Config.
+func DetectRaces(program Program, runs int, seed uint64) []string {
+	return race.RunPhase(race.PhaseConfig{Program: program, Runs: runs, Seed: seed}).Racy
+}
+
+// Promote converts a racy-variable list (from DetectRaces) into the
+// Config.Visible predicate: exactly those variables become scheduling
+// points.
+func Promote(racy []string) func(key string) bool {
+	return race.Promoted(racy)
+}
+
+// Replay executes program under the recorded schedule and returns the
+// outcome. ok is false when the schedule is infeasible for this program
+// (replay diverged). Use it to reproduce a Result.Witness.
+func Replay(program Program, s Schedule) (out *Outcome, ok bool) {
+	rep := vthread.NewReplay(s)
+	w := vthread.NewWorld(vthread.Options{Chooser: rep})
+	o := w.Run(program)
+	return o, !rep.Failed()
+}
+
+// ReplayVisible is Replay with an explicit visibility predicate; a witness
+// recorded under promoted visibility only replays under the same
+// visibility.
+func ReplayVisible(program Program, s Schedule, visible func(string) bool) (out *Outcome, ok bool) {
+	rep := vthread.NewReplay(s)
+	w := vthread.NewWorld(vthread.Options{Chooser: rep, Visible: visible})
+	o := w.Run(program)
+	return o, !rep.Failed()
+}
+
+// RunOnce executes program once under a caller-supplied chooser (round
+// robin by default) — the lowest-level entry point.
+func RunOnce(program Program, opts WorldOptions) *Outcome {
+	if opts.Chooser == nil {
+		opts.Chooser = vthread.RoundRobin()
+	}
+	return vthread.NewWorld(opts).Run(program)
+}
+
+// RoundRobin returns the deterministic non-preemptive round-robin chooser
+// (the zero-delay scheduler of delay bounding).
+func RoundRobin() Chooser { return vthread.RoundRobin() }
+
+// RandomChooser returns the naive uniform random chooser with the given
+// seed.
+func RandomChooser(seed uint64) Chooser { return vthread.NewRandom(seed) }
+
+// NewRef creates a shared variable of arbitrary type T in the program
+// under test (free function because Go methods cannot add type
+// parameters).
+func NewRef[T any](t *Thread, name string, init T) *Ref[T] {
+	return vthread.NewRef[T](t, name, init)
+}
+
+// Ref is a shared variable of arbitrary type.
+type Ref[T any] = vthread.Ref[T]

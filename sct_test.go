@@ -1,0 +1,153 @@
+package sctbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// lostUpdate is the quickstart program: a racy counter.
+func lostUpdate() Program {
+	return func(t *Thread) {
+		counter := t.NewVar("counter", 0)
+		inc := func(w *Thread) { counter.Add(w, 1) }
+		a := t.Spawn(inc)
+		b := t.Spawn(inc)
+		t.Join(a)
+		t.Join(b)
+		t.Assert(counter.Load(t) == 2, "lost update: %d", counter.Load(t))
+	}
+}
+
+func TestExploreFindsLostUpdate(t *testing.T) {
+	for _, tech := range []Technique{DFS, IPB, IDB, Rand} {
+		res := Explore(tech, Config{Program: lostUpdate(), Seed: 3})
+		if !res.BugFound {
+			t.Errorf("%s missed the lost update", tech)
+			continue
+		}
+		if res.Failure.Kind != FailAssert {
+			t.Errorf("%s: failure kind %v, want assertion", tech, res.Failure.Kind)
+		}
+		if !strings.Contains(res.Failure.Message, "lost update") {
+			t.Errorf("%s: message %q", tech, res.Failure.Message)
+		}
+	}
+}
+
+func TestReplayWitness(t *testing.T) {
+	res := Explore(IDB, Config{Program: lostUpdate()})
+	if !res.BugFound {
+		t.Fatal("no bug")
+	}
+	out, ok := Replay(lostUpdate(), res.Witness)
+	if !ok {
+		t.Fatal("witness replay diverged")
+	}
+	if !out.Buggy() {
+		t.Fatal("witness replay did not fail")
+	}
+}
+
+func TestReplayInfeasibleSchedule(t *testing.T) {
+	// A schedule naming a thread that can never be enabled at step 0 must
+	// be reported as infeasible.
+	_, ok := Replay(lostUpdate(), Schedule{5, 5, 5})
+	if ok {
+		t.Fatal("nonsense schedule replayed cleanly")
+	}
+}
+
+func TestDetectRacesAndPromote(t *testing.T) {
+	racy := DetectRaces(lostUpdate(), 10, 1)
+	if len(racy) == 0 {
+		t.Fatal("no races found in a racy program")
+	}
+	vis := Promote(racy)
+	if !vis(racy[0]) {
+		t.Fatal("promoted variable not visible")
+	}
+	if vis("var/never-mentioned") {
+		t.Fatal("unknown variable visible")
+	}
+	// Exploration restricted to the promoted set still finds the bug.
+	res := Explore(IDB, Config{Program: lostUpdate(), Visible: vis})
+	if !res.BugFound {
+		t.Fatal("bug lost under promoted visibility")
+	}
+}
+
+func TestReplayVisible(t *testing.T) {
+	racy := DetectRaces(lostUpdate(), 10, 1)
+	vis := Promote(racy)
+	res := Explore(IDB, Config{Program: lostUpdate(), Visible: vis})
+	if !res.BugFound {
+		t.Fatal("no bug")
+	}
+	out, ok := ReplayVisible(lostUpdate(), res.Witness, vis)
+	if !ok || !out.Buggy() {
+		t.Fatalf("visible-aware replay failed: ok=%v out=%v", ok, out.Failure)
+	}
+}
+
+func TestRunOnceDefaultsToRoundRobin(t *testing.T) {
+	out := RunOnce(lostUpdate(), WorldOptions{})
+	if out.PC != 0 || out.DC != 0 {
+		t.Fatalf("default chooser is not round-robin: PC=%d DC=%d", out.PC, out.DC)
+	}
+}
+
+func TestChooserConstructors(t *testing.T) {
+	if RoundRobin() == nil || RandomChooser(1) == nil {
+		t.Fatal("nil chooser")
+	}
+	out := RunOnce(lostUpdate(), WorldOptions{Chooser: RandomChooser(9)})
+	if out.Threads != 3 {
+		t.Fatalf("Threads = %d, want 3", out.Threads)
+	}
+}
+
+func TestRefSharedState(t *testing.T) {
+	type pair struct{ a, b int }
+	p := func(t0 *Thread) {
+		r := NewRef(t0, "pair", pair{1, 2})
+		w := t0.Spawn(func(tw *Thread) {
+			r.Update(tw, func(v pair) pair { return pair{v.a + 1, v.b + 1} })
+		})
+		t0.Join(w)
+		got := r.Load(t0)
+		t0.Assert(got == pair{2, 3}, "got %+v", got)
+	}
+	out := RunOnce(p, WorldOptions{})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+}
+
+func TestExploreSleepSetPublic(t *testing.T) {
+	res := ExploreSleepSet(Config{Program: lostUpdate()})
+	if !res.BugFound {
+		t.Fatal("sleep-set DFS missed the lost update")
+	}
+	dfs := Explore(DFS, Config{Program: lostUpdate()})
+	if res.Schedules > dfs.Schedules {
+		t.Errorf("sleep sets explored more than DFS: %d > %d", res.Schedules, dfs.Schedules)
+	}
+}
+
+func TestMinimizePublic(t *testing.T) {
+	res := Explore(Rand, Config{Program: lostUpdate(), Seed: 8, Limit: 500})
+	if !res.BugFound {
+		t.Fatal("Rand missed the lost update")
+	}
+	min := Minimize(lostUpdate, res.Witness, nil)
+	if min.Failure == nil {
+		t.Fatal("minimised witness lost the bug")
+	}
+	if min.PC > min.OriginalPC {
+		t.Errorf("PC grew: %d -> %d", min.OriginalPC, min.PC)
+	}
+	out, ok := Replay(lostUpdate(), min.Schedule)
+	if !ok || !out.Buggy() {
+		t.Fatal("minimised witness does not replay")
+	}
+}
