@@ -1,0 +1,30 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+
+.PHONY: all build test bench lint study clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 3x .
+
+lint:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+
+# The full empirical study (Tables 2-3, Figures 2-4); see EXPERIMENTS.md.
+study:
+	$(GO) run ./cmd/sctbench
+
+clean:
+	$(GO) clean ./...

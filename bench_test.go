@@ -9,6 +9,8 @@
 package sctbench
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"sctbench/internal/bench"
@@ -254,4 +256,54 @@ func BenchmarkAblationBoundedVsUnbounded(b *testing.B) {
 			explore.RunIterative(explore.Config{Program: program(), Limit: benchLimit}, explore.CostDelays)
 		}
 	})
+}
+
+// BenchmarkParallelRand measures the wall-clock effect of sharding the
+// naive random scheduler's independent runs over a worker pool — the
+// embarrassingly parallel end of the parallel driver, expected to scale
+// near-linearly up to GOMAXPROCS.
+func BenchmarkParallelRand(b *testing.B) {
+	program := func() vthread.Program { return bench.ByName("CS.twostage_bad").New() }
+	const limit = 2000
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				explore.RunRand(explore.Config{
+					Program: program(), Limit: limit, Seed: uint64(i), Workers: workers,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkParallelIDB measures the tree-partitioned parallel driver on
+// iterative delay bounding: the same schedule counts as sequential IDB,
+// spread over work-stealing workers with the next bound speculated behind
+// the active one.
+func BenchmarkParallelIDB(b *testing.B) {
+	program := func() vthread.Program { return bench.ByName("CS.reorder_5_bad").New() }
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				explore.RunIterative(explore.Config{
+					Program: program(), Workers: workers,
+				}, explore.CostDelays)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDFS measures the work-stealing pool on an unbounded
+// depth-first search truncated at the schedule limit.
+func BenchmarkParallelDFS(b *testing.B) {
+	program := func() vthread.Program { return bench.ByName("CS.reorder_4_bad").New() }
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				explore.RunDFS(explore.Config{
+					Program: program(), Limit: 2000, Workers: workers,
+				})
+			}
+		})
+	}
 }

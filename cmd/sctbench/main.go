@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sctbench [-limit 10000] [-seed 1] [-bench regex] [-maple] [-table1]
-//	         [-fig3csv path] [-fig4csv path] [-par N] [-v]
+//	         [-fig3csv path] [-fig4csv path] [-par N] [-workers N] [-v]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"time"
 
 	"sctbench/internal/bench"
@@ -32,6 +33,8 @@ func main() {
 	fig3csv := flag.String("fig3csv", "", "write Figure 3 scatter data CSV to this path")
 	fig4csv := flag.String("fig4csv", "", "write Figure 4 scatter data CSV to this path")
 	par := flag.Int("par", 0, "parallel benchmark evaluations (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"schedule-exploration workers per technique run (1 = sequential)")
 	verbose := flag.Bool("v", false, "progress output per phase")
 	flag.Parse()
 
@@ -73,6 +76,7 @@ func main() {
 		Seed:        *seed,
 		WithMaple:   *withMaple,
 		Parallelism: *par,
+		Workers:     *workers,
 	}
 	if *verbose {
 		cfg.Progress = func(format string, args ...any) {

@@ -6,14 +6,16 @@
 // Usage:
 //
 //	sctrun -bench CS.account_bad [-technique idb|ipb|dfs|rand|maple|sleepset]
-//	       [-limit 10000] [-seed 1] [-norace] [-replay] [-minimize]
-//	       [-save witness.json] [-load witness.json] [-log] [-list]
+//	       [-limit 10000] [-seed 1] [-workers N] [-norace] [-replay]
+//	       [-minimize] [-save witness.json] [-load witness.json] [-log]
+//	       [-list]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"sctbench/internal/bench"
@@ -30,6 +32,8 @@ func main() {
 	tech := flag.String("technique", "idb", "ipb | idb | dfs | rand | maple")
 	limit := flag.Int("limit", explore.DefaultLimit, "terminal-schedule limit")
 	seed := flag.Uint64("seed", 1, "random seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"schedule-exploration worker goroutines (1 = sequential; applies to ipb/idb/dfs/rand)")
 	noRace := flag.Bool("norace", false, "skip the race-detection phase (every access visible)")
 	replay := flag.Bool("replay", false, "replay the witness schedule and print it")
 	minimize := flag.Bool("minimize", false, "simplify the witness (merge blocks, reduce preemptions)")
@@ -112,7 +116,7 @@ func main() {
 	}
 	res := explore.Run(t, explore.Config{
 		Program: b.New(), Visible: visible, BoundsCheck: b.BoundsCheck,
-		MaxSteps: b.MaxSteps, Limit: *limit, Seed: *seed,
+		MaxSteps: b.MaxSteps, Limit: *limit, Seed: *seed, Workers: *workers,
 	})
 	if !res.BugFound {
 		fmt.Printf("%s: no bug within %d schedules (bound reached %d, complete=%v)\n",

@@ -1,0 +1,3 @@
+module sctbench
+
+go 1.23

@@ -37,8 +37,10 @@ type Benchmark struct {
 	BoundsCheck bool
 	// MaxSteps overrides the per-execution step budget (0 = default).
 	MaxSteps int
-	// New builds a fresh instance of the program. Programs close over
-	// per-execution state, so every execution needs a fresh value.
+	// New builds a fresh instance of the program. The returned Program
+	// creates all its state inside the body (via the Thread API), so one
+	// value can be executed any number of times — including concurrently
+	// from the parallel exploration driver's workers.
 	New func() vthread.Program
 }
 

@@ -1,0 +1,56 @@
+package bench_test
+
+// Cross-layer check that the parallel exploration driver reproduces
+// sequential results on real SCTBench programs, not just on the synthetic
+// paper examples: same race-promotion pipeline as the study, then every
+// systematic technique compared field by field across worker counts.
+
+import (
+	"fmt"
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/explore"
+	"sctbench/internal/race"
+)
+
+func TestParallelExplorationMatchesSequentialOnSCTBench(t *testing.T) {
+	names := []string{"CS.account_bad", "CS.reorder_3_bad"}
+	for _, name := range names {
+		b := bench.ByName(name)
+		if b == nil {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		phase := race.RunPhase(race.PhaseConfig{
+			Program: b.New(), Seed: 1, MaxSteps: b.MaxSteps, BoundsCheck: b.BoundsCheck,
+		})
+		visible := race.Promoted(phase.Racy)
+		for _, tech := range []explore.Technique{explore.IPB, explore.IDB, explore.Rand} {
+			cfg := explore.Config{
+				Program: b.New(), Visible: visible, BoundsCheck: b.BoundsCheck,
+				MaxSteps: b.MaxSteps, Limit: 2000, Seed: 1,
+			}
+			seqCfg, parCfg := cfg, cfg
+			seqCfg.Workers, parCfg.Workers = 1, 8
+			seq := explore.Run(tech, seqCfg)
+			par := explore.Run(tech, parCfg)
+			id := fmt.Sprintf("%s/%s", name, tech)
+			if seq.BugFound != par.BugFound {
+				t.Errorf("%s: BugFound %v (seq) != %v (par)", id, seq.BugFound, par.BugFound)
+			}
+			if seq.Schedules != par.Schedules {
+				t.Errorf("%s: Schedules %d != %d", id, seq.Schedules, par.Schedules)
+			}
+			if seq.Bound != par.Bound {
+				t.Errorf("%s: Bound %d != %d", id, seq.Bound, par.Bound)
+			}
+			if seq.SchedulesToFirstBug != par.SchedulesToFirstBug {
+				t.Errorf("%s: SchedulesToFirstBug %d != %d",
+					id, seq.SchedulesToFirstBug, par.SchedulesToFirstBug)
+			}
+			if !seq.Witness.Equal(par.Witness) {
+				t.Errorf("%s: Witness %v != %v", id, seq.Witness, par.Witness)
+			}
+		}
+	}
+}

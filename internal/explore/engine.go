@@ -2,7 +2,9 @@
 // of the study (§5): unbounded depth-first search (DFS), iterative
 // preemption bounding (IPB), iterative delay bounding (IDB) and the naive
 // random scheduler (Rand), plus the schedule-limit accounting that Table 3
-// of the paper reports.
+// of the paper reports. Every driver runs sequentially by default and as a
+// work-partitioned worker pool when Config.Workers > 1 (see parallel.go),
+// with identical schedule counts either way.
 package explore
 
 import (
@@ -40,11 +42,15 @@ func (c CostModel) String() string {
 
 // node is one scheduling point on the DFS stack: the canonical choice
 // order, the incremental cost of each choice, and which choice the current
-// execution takes.
+// execution takes. hi is the last choice index this engine owns; a fresh
+// node owns the whole order (hi = len(order)-1), while the parallel driver
+// pins prefix nodes (hi = idx, no alternatives) and restricts a donated
+// sibling range (idx..hi) so disjoint engines partition the tree.
 type node struct {
 	order []sched.ThreadID
 	costs []int
 	idx   int
+	hi    int
 	base  int // cumulative cost of the prefix strictly before this point
 }
 
@@ -85,7 +91,7 @@ func (e *engine) Choose(ctx vthread.Context) sched.ThreadID {
 	for i, t := range order {
 		costs[i] = e.stepCost(ctx, t)
 	}
-	nd := node{order: order, costs: costs, base: e.running}
+	nd := node{order: order, costs: costs, hi: len(order) - 1, base: e.running}
 	// The canonical first choice is the deterministic scheduler's pick and
 	// always has incremental cost zero under both models, so it is never
 	// pruned.
@@ -156,7 +162,7 @@ func (e *engine) backtrack() bool {
 	for len(e.stack) > 0 {
 		nd := &e.stack[len(e.stack)-1]
 		advanced := false
-		for j := nd.idx + 1; j < len(nd.order); j++ {
+		for j := nd.idx + 1; j <= nd.hi; j++ {
 			if e.model != CostNone && nd.base+nd.costs[j] > e.bound {
 				e.pruned = true
 				continue

@@ -1,0 +1,625 @@
+package explore
+
+// Parallel exploration driver. The schedule space of one program is a tree
+// whose nodes are scheduling points and whose edges are CanonicalOrder
+// choices; the sequential engines walk it depth first. This driver
+// partitions that tree into prefix-pinned subtrees ("units") explored by a
+// pool of workers, with work-stealing: whenever the pool starves, a running
+// worker donates the untried sibling range of the shallowest open node on
+// its stack as a new unit (the owner works at the tail of its stack, the
+// donation is carved off at the head — the deque discipline of the
+// work-stealing queue benchmarked in examples/wsq).
+//
+// Determinism. Depth-first search visits terminal schedules in the
+// lexicographic order of their branch keys (sched.CompareBranchKeys), and
+// every unit covers a contiguous lexicographic range, so concatenating
+// per-unit results sorted by start key reproduces the sequential visit
+// order exactly — no matter how the work-stealing happened to cut the tree.
+// Schedule totals, per-bound NewSchedules, completeness, the first-bug
+// selection and its witness are therefore bit-identical to Workers: 1
+// whenever the search runs to completion. When the schedule limit truncates
+// the search, the counted totals are still exact (the budget is an atomic
+// ticket counter), but which schedules fall inside the budget depends on
+// worker timing, so BugFound/Witness may differ from a sequential
+// truncated run; Executions is always the actual work performed, including
+// cancelled speculative bounds.
+//
+// Iterative bounding (IPB/IDB) additionally overlaps bound sweeps: while
+// bound k drains, a lower-priority job speculatively explores bound k+1 in
+// the same pool. If bound k finds the bug or completes the space, the
+// speculative job is cancelled and its results are discarded; otherwise it
+// is promoted and its partial progress is kept.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sctbench/internal/sched"
+	"sctbench/internal/vthread"
+)
+
+// unit is a prefix-pinned sub-search: an engine whose stack prefix is
+// pinned (hi == idx) and whose shallowest open node may be restricted to a
+// sibling range. key is the branch key of the first position the unit
+// covers; fresh units run immediately, donated units backtrack first (the
+// uniform path that also handles bound-pruning of the donated range).
+type unit struct {
+	eng   *engine
+	key   []int
+	fresh bool
+}
+
+// runStats is the per-benchmark max-statistics fold of Table 3 (max
+// enabled threads, max contested scheduling points, max thread count),
+// shared by every accumulation site of the parallel driver.
+type runStats struct {
+	maxEnabled int
+	schedPts   int
+	threads    int
+}
+
+// observe folds one execution's statistics in.
+func (s *runStats) observe(out *vthread.Outcome) {
+	if out.MaxEnabled > s.maxEnabled {
+		s.maxEnabled = out.MaxEnabled
+	}
+	if out.SchedPoints > s.schedPts {
+		s.schedPts = out.SchedPoints
+	}
+	if out.Threads > s.threads {
+		s.threads = out.Threads
+	}
+}
+
+// fold merges another accumulator in.
+func (s *runStats) fold(o runStats) {
+	if o.maxEnabled > s.maxEnabled {
+		s.maxEnabled = o.maxEnabled
+	}
+	if o.schedPts > s.schedPts {
+		s.schedPts = o.schedPts
+	}
+	if o.threads > s.threads {
+		s.threads = o.threads
+	}
+}
+
+// foldInto merges the accumulator into a Result.
+func (s runStats) foldInto(r *Result) {
+	if s.maxEnabled > r.MaxEnabled {
+		r.MaxEnabled = s.maxEnabled
+	}
+	if s.schedPts > r.MaxSchedPoints {
+		r.MaxSchedPoints = s.schedPts
+	}
+	if s.threads > r.Threads {
+		r.Threads = s.threads
+	}
+}
+
+// unitResult is everything a finished unit contributes to the merge.
+type unitResult struct {
+	runStats
+	key       []int
+	schedules int   // terminal schedules counted by this unit
+	buggyOffs []int // 1-based offsets (within this unit) of buggy schedules
+	failure   *vthread.Failure
+	witness   sched.Schedule
+	pruned    bool
+}
+
+// job is one complete pass over the tree (one DFS, or one bound of an
+// iterative search) being explored by the pool.
+type job struct {
+	cfg   Config
+	model CostModel
+	bound int
+
+	queue   []*unit // guarded by pool.mu; donors append at the tail, thieves take the head
+	pending int     // guarded by pool.mu; queued + running units
+	closed  bool    // guarded by pool.mu; done has been closed
+
+	results  []*unitResult // guarded by resMu
+	resMu    sync.Mutex
+	stop     atomic.Bool
+	limitHit atomic.Bool
+	budget   atomic.Int64 // remaining counted-schedule tickets
+
+	// execs counts every execution performed anywhere in the exploration
+	// (the honest Result.Executions metric, speculation included). own
+	// counts this job's executions alone and is what execLimit — the
+	// MaxExecutions budget left when the job was created, tightened as
+	// earlier bounds commit — guards, so speculative work never burns the
+	// active bound's execution budget.
+	execs     *atomic.Int64
+	own       atomic.Int64
+	execLimit atomic.Int64
+
+	done chan struct{}
+}
+
+// pool runs worker goroutines over an ordered list of jobs; workers always
+// prefer the earliest job with queued work, so a speculative bound only
+// consumes cycles the active bound cannot use.
+type pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*job
+	idle   int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// addJob registers a job seeded with the whole-tree root unit.
+func (p *pool) addJob(j *job) *job {
+	root := &unit{eng: newEngine(j.cfg, j.model, j.bound), fresh: true}
+	p.mu.Lock()
+	j.queue = append(j.queue, root)
+	j.pending = 1
+	p.jobs = append(p.jobs, j)
+	p.mu.Unlock()
+	p.cond.Signal()
+	return j
+}
+
+// removeJob drops a finished job from the scan list.
+func (p *pool) removeJob(j *job) {
+	p.mu.Lock()
+	for i, x := range p.jobs {
+		if x == j {
+			p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// stopJob cancels a job: pending queued units are dropped, running units
+// observe j.stop and finish their current execution only.
+func (p *pool) stopJob(j *job) {
+	p.mu.Lock()
+	p.stopJobLocked(j)
+	p.mu.Unlock()
+}
+
+func (p *pool) stopJobLocked(j *job) {
+	j.stop.Store(true)
+	j.pending -= len(j.queue)
+	j.queue = nil
+	if j.pending == 0 && !j.closed {
+		j.closed = true
+		close(j.done)
+	}
+}
+
+// close stops every job and joins the workers.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	for _, j := range p.jobs {
+		p.stopJobLocked(j)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		j, u := p.take()
+		if u == nil {
+			return
+		}
+		p.runUnit(j, u)
+	}
+}
+
+// take steals the lexicographically smallest queued unit of the earliest
+// job with work, or blocks. Lex-priority stealing keeps the workers
+// clustered on the earliest open regions of the tree, so the frontier
+// advances in approximately the sequential visit order — which makes a
+// budget-truncated parallel search count (and find bugs in) nearly the
+// same lexicographic window a sequential search would, instead of
+// scattering the budget across distant subtrees.
+func (p *pool) take() (*job, *unit) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil, nil
+		}
+		for _, j := range p.jobs {
+			if len(j.queue) > 0 {
+				best := 0
+				for i := 1; i < len(j.queue); i++ {
+					if sched.CompareBranchKeys(j.queue[i].key, j.queue[best].key) < 0 {
+						best = i
+					}
+				}
+				u := j.queue[best]
+				j.queue = append(j.queue[:best], j.queue[best+1:]...)
+				return j, u
+			}
+		}
+		p.idle++
+		p.cond.Wait()
+		p.idle--
+	}
+}
+
+// finishUnit records a unit's result and signals job completion when it was
+// the last one out.
+func (p *pool) finishUnit(j *job, res *unitResult) {
+	j.resMu.Lock()
+	j.results = append(j.results, res)
+	j.resMu.Unlock()
+	p.mu.Lock()
+	j.pending--
+	if j.pending == 0 && !j.closed {
+		j.closed = true
+		close(j.done)
+	}
+	p.mu.Unlock()
+}
+
+// maybeDonate splits the engine's shallowest open sibling range into a new
+// unit when the pool is starving and the job's queue is empty.
+func (p *pool) maybeDonate(j *job, eng *engine) {
+	p.mu.Lock()
+	starving := p.idle > 0 && len(j.queue) == 0 && !j.stop.Load() && !p.closed
+	p.mu.Unlock()
+	if !starving {
+		return
+	}
+	u := split(eng)
+	if u == nil {
+		return
+	}
+	p.mu.Lock()
+	if j.stop.Load() || p.closed {
+		// The donation raced a cancellation; the donor already gave the
+		// range up (hi was lowered), so the unit must still be explored —
+		// by nobody. That is fine: a stopped job's results are discarded.
+		p.mu.Unlock()
+		return
+	}
+	j.queue = append(j.queue, u)
+	j.pending++
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// split carves the untried sibling range (idx, hi] off the shallowest open
+// node of eng's stack as a prefix-pinned unit, or returns nil when every
+// node is closed. The donated unit is created in backtrack-first state so
+// the ordinary backtracking path advances it into (and bound-prunes) its
+// range.
+func split(eng *engine) *unit {
+	for d := 0; d < len(eng.stack); d++ {
+		nd := &eng.stack[d]
+		if nd.idx >= nd.hi {
+			continue
+		}
+		key := make([]int, d+1)
+		stack := make([]node, d+1)
+		copy(stack, eng.stack[:d+1])
+		for i := 0; i < d; i++ {
+			key[i] = stack[i].idx
+			stack[i].hi = stack[i].idx // pin the prefix
+		}
+		key[d] = nd.idx + 1
+		ne := newEngine(eng.cfg, eng.model, eng.bound)
+		ne.stack = stack
+		nd.hi = nd.idx // the donor no longer owns the range
+		return &unit{eng: ne, key: key}
+	}
+	return nil
+}
+
+// runUnit explores one unit to exhaustion (or cancellation), donating work
+// along the way.
+func (p *pool) runUnit(j *job, u *unit) {
+	res := &unitResult{key: u.key}
+	eng := u.eng
+	alive := u.fresh || eng.backtrack()
+	for alive && !j.stop.Load() {
+		out := eng.runOnce()
+		j.execs.Add(1)
+		res.observe(out)
+		if !out.StepLimitHit && j.counts(eng, out) {
+			if j.budget.Add(-1) < 0 {
+				j.limitHit.Store(true)
+				p.stopJob(j)
+				break
+			}
+			res.schedules++
+			if out.Buggy() {
+				res.buggyOffs = append(res.buggyOffs, res.schedules)
+				if res.failure == nil {
+					res.failure = out.Failure
+					res.witness = out.Trace.Clone()
+				}
+			}
+		}
+		// Post-execution check with >=, matching the sequential driver: the
+		// execution that exhausts the budget still runs (and counts), and a
+		// space that completes exactly at the budget reports LimitHit, not
+		// Complete, either way.
+		if j.own.Add(1) >= j.execLimit.Load() {
+			j.limitHit.Store(true)
+			p.stopJob(j)
+			break
+		}
+		p.maybeDonate(j, eng)
+		alive = eng.backtrack()
+	}
+	res.pruned = eng.pruned
+	p.finishUnit(j, res)
+}
+
+// counts reports whether the execution is a terminal schedule this job
+// counts: every one for DFS, exactly-at-bound ones for IPB/IDB.
+func (j *job) counts(eng *engine, out *vthread.Outcome) bool {
+	switch eng.model {
+	case CostPreemptions:
+		return out.PC == eng.bound
+	case CostDelays:
+		return out.DC == eng.bound
+	default:
+		return true
+	}
+}
+
+// passResult is the merged outcome of one job.
+type passResult struct {
+	runStats
+	schedules      int
+	buggy          int
+	bugFound       bool
+	firstBugOffset int // 1-based, within this pass
+	failure        *vthread.Failure
+	witness        sched.Schedule
+	pruned         bool
+	truncated      bool // the merge-time budget cut the walk short
+}
+
+// mergeJob concatenates a job's unit results in canonical order, applying
+// the exact remaining schedule budget. On a fully enumerated pass this
+// reproduces the sequential visit order (see the package comment).
+func mergeJob(j *job, budget int) passResult {
+	j.resMu.Lock()
+	units := j.results
+	j.resMu.Unlock()
+	sort.Slice(units, func(a, b int) bool {
+		return sched.CompareBranchKeys(units[a].key, units[b].key) < 0
+	})
+	var m passResult
+	for _, u := range units {
+		m.fold(u.runStats)
+		m.pruned = m.pruned || u.pruned
+		take := u.schedules
+		if m.schedules+take > budget {
+			take = budget - m.schedules
+			m.truncated = true
+		}
+		for _, off := range u.buggyOffs {
+			if off > take {
+				break
+			}
+			m.buggy++
+			if !m.bugFound {
+				m.bugFound = true
+				m.firstBugOffset = m.schedules + off
+				m.failure = u.failure
+				m.witness = u.witness
+			}
+		}
+		m.schedules += take
+	}
+	return m
+}
+
+// runDFSParallel is RunDFS with cfg.Workers > 1.
+func runDFSParallel(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{Technique: DFS}
+	p := newPool(cfg.Workers)
+	defer p.close()
+	var execs atomic.Int64
+	j := &job{cfg: cfg, model: CostNone, execs: &execs, done: make(chan struct{})}
+	j.execLimit.Store(math.MaxInt64) // DFS has no execution guard, matching RunDFS
+	j.budget.Store(int64(cfg.Limit))
+	p.addJob(j)
+	<-j.done
+	m := mergeJob(j, cfg.Limit)
+	foldPass(r, &m, 0)
+	r.Schedules = m.schedules
+	if r.Schedules >= cfg.Limit || j.limitHit.Load() || m.truncated {
+		r.LimitHit = true
+	} else {
+		r.Complete = true
+	}
+	r.Executions = int(execs.Load())
+	return r
+}
+
+// runIterativeParallel is RunIterative with cfg.Workers > 1: each bound is
+// one job, with the next bound running speculatively behind it.
+func runIterativeParallel(cfg Config, model CostModel) *Result {
+	cfg = cfg.withDefaults()
+	tech := IPB
+	if model == CostDelays {
+		tech = IDB
+	}
+	r := &Result{Technique: tech}
+	p := newPool(cfg.Workers)
+	defer p.close()
+	var execs atomic.Int64
+
+	committedExecs := int64(0)
+	newJob := func(bound, budget int) *job {
+		j := &job{cfg: cfg, model: model, bound: bound, execs: &execs,
+			done: make(chan struct{})}
+		j.execLimit.Store(int64(cfg.MaxExecutions) - committedExecs)
+		j.budget.Store(int64(budget))
+		return p.addJob(j)
+	}
+
+	counted := 0
+	active := newJob(0, cfg.Limit)
+	var spec *job
+	if cfg.MaxBound >= 1 {
+		spec = newJob(1, cfg.Limit)
+	}
+	for bound := 0; ; bound++ {
+		<-active.done
+		p.removeJob(active)
+		m := mergeJob(active, cfg.Limit-counted)
+		r.Bound = bound
+		r.NewSchedules = m.schedules
+		foldPass(r, &m, counted)
+		counted += m.schedules
+		r.Schedules = counted
+		if r.Schedules >= cfg.Limit || active.limitHit.Load() || m.truncated {
+			r.LimitHit = true
+			break
+		}
+		if !m.pruned {
+			// Nothing was pruned anywhere: every schedule costs at most
+			// bound, so the space is fully explored.
+			r.Complete = true
+			break
+		}
+		if r.BugFound {
+			// The bound that exposed the bug has been fully enumerated;
+			// stop, as in the paper's methodology (§5).
+			break
+		}
+		if bound == cfg.MaxBound {
+			break
+		}
+		ownExecs := active.own.Load()
+		committedExecs += ownExecs
+		active = spec
+		// The promoted job's budgets are stale snapshots from its creation
+		// (before the just-committed bound's consumption was known);
+		// tighten them by exactly what that bound consumed.
+		active.budget.Add(int64(-m.schedules))
+		active.execLimit.Add(-ownExecs)
+		if bound+2 <= cfg.MaxBound {
+			spec = newJob(bound+2, cfg.Limit-counted)
+		} else {
+			spec = nil
+		}
+	}
+	r.Executions = int(execs.Load())
+	return r
+}
+
+// foldPass folds one merged pass into the result; prior is the number of
+// schedules counted by earlier (committed) passes.
+func foldPass(r *Result, m *passResult, prior int) {
+	m.runStats.foldInto(r)
+	r.BuggySchedules += m.buggy
+	if m.bugFound && !r.BugFound {
+		r.BugFound = true
+		r.Failure = m.failure
+		r.Witness = m.witness
+		r.SchedulesToFirstBug = prior + m.firstBugOffset
+	}
+}
+
+// runRandParallel is RunRand with cfg.Workers > 1: the runs are independent
+// and the per-run seed depends only on the run index, so an atomic index
+// dispenser makes the parallel result — including the witness — identical
+// to the sequential one. Workers capture the witness of the lowest-index
+// buggy run as they go, so exactly Limit executions are performed, as in
+// the sequential sweep.
+func runRandParallel(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{Technique: Rand}
+	n := cfg.Limit
+
+	type rec struct{ terminal, buggy bool }
+	recs := make([]rec, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	stats := make([]runStats, cfg.Workers)
+	var witMu sync.Mutex
+	witIdx := -1
+	var witness sched.Schedule
+	var failure *vthread.Failure
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out := randRun(cfg, i)
+				stats[w].observe(out)
+				recs[i] = rec{terminal: !out.StepLimitHit, buggy: out.Buggy()}
+				if out.Buggy() {
+					witMu.Lock()
+					if witIdx < 0 || i < witIdx {
+						witIdx = i
+						witness = out.Trace.Clone()
+						failure = out.Failure
+					}
+					witMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, rc := range recs {
+		if !rc.terminal {
+			continue
+		}
+		r.Schedules++
+		if rc.buggy {
+			r.BuggySchedules++
+			if !r.BugFound {
+				r.BugFound = true
+				r.SchedulesToFirstBug = r.Schedules
+				r.Failure = failure
+				r.Witness = witness
+			}
+		}
+	}
+	for _, s := range stats {
+		s.foldInto(r)
+	}
+	r.Executions = n
+	r.LimitHit = true
+	return r
+}
+
+// randRun executes run i of a Rand sweep. It is the single definition of
+// the per-run seed formula, used by both the sequential and the parallel
+// sweep, so the two execute identical schedules by construction.
+func randRun(cfg Config, i int) *vthread.Outcome {
+	w := vthread.NewWorld(vthread.Options{
+		Chooser:     vthread.NewRandom(cfg.Seed + uint64(i)*0x9e3779b9),
+		Visible:     cfg.Visible,
+		MaxSteps:    cfg.MaxSteps,
+		BoundsCheck: cfg.BoundsCheck,
+	})
+	return w.Run(cfg.Program)
+}

@@ -1,0 +1,197 @@
+package explore
+
+// The parallel driver's contract is equivalence: for DFS/IPB/IDB every
+// count a sequential search reports — totals, per-bound news, first-bug
+// position, witness, completeness — must be reproduced bit-identically by
+// any worker count, and for Rand the whole result is deterministic in the
+// seed. These tests pin that contract on the paper-example programs and on
+// a wider synthetic program whose tree is big enough to force real
+// work-stealing, and stress the pool under the race detector.
+
+import (
+	"fmt"
+	"testing"
+
+	"sctbench/internal/vthread"
+)
+
+// mesh builds a program with a combinatorially wide schedule space and no
+// bug: n threads each perform k visible writes to a shared variable.
+func mesh(n, k int) vthread.Program {
+	return func(t0 *vthread.Thread) {
+		v := t0.NewVar("v", 0)
+		bodies := make([]vthread.Program, n)
+		for i := 0; i < n; i++ {
+			bodies[i] = func(tw *vthread.Thread) {
+				for j := 0; j < k; j++ {
+					v.Add(tw, 1)
+				}
+			}
+		}
+		t0.SpawnAll(bodies...)
+	}
+}
+
+// paperPrograms are the exploration targets the equivalence tests sweep.
+func paperPrograms() map[string]func() vthread.Program {
+	return map[string]func() vthread.Program{
+		"figure1":  figure1,
+		"reorder0": func() vthread.Program { return reorder(0) },
+		"reorder2": func() vthread.Program { return reorder(2) },
+		"mesh":     func() vthread.Program { return mesh(3, 2) },
+	}
+}
+
+// assertEquivalent compares every deterministic Result field. Executions is
+// excluded: parallel iterative search performs (and honestly reports)
+// speculative work a sequential search never does.
+func assertEquivalent(t *testing.T, name string, seq, par *Result) {
+	t.Helper()
+	if seq.Schedules != par.Schedules {
+		t.Errorf("%s: Schedules %d (seq) != %d (par)", name, seq.Schedules, par.Schedules)
+	}
+	if seq.NewSchedules != par.NewSchedules {
+		t.Errorf("%s: NewSchedules %d != %d", name, seq.NewSchedules, par.NewSchedules)
+	}
+	if seq.Bound != par.Bound {
+		t.Errorf("%s: Bound %d != %d", name, seq.Bound, par.Bound)
+	}
+	if seq.BugFound != par.BugFound {
+		t.Errorf("%s: BugFound %v != %v", name, seq.BugFound, par.BugFound)
+	}
+	if seq.SchedulesToFirstBug != par.SchedulesToFirstBug {
+		t.Errorf("%s: SchedulesToFirstBug %d != %d", name, seq.SchedulesToFirstBug, par.SchedulesToFirstBug)
+	}
+	if seq.BuggySchedules != par.BuggySchedules {
+		t.Errorf("%s: BuggySchedules %d != %d", name, seq.BuggySchedules, par.BuggySchedules)
+	}
+	if seq.Complete != par.Complete {
+		t.Errorf("%s: Complete %v != %v", name, seq.Complete, par.Complete)
+	}
+	if seq.LimitHit != par.LimitHit {
+		t.Errorf("%s: LimitHit %v != %v", name, seq.LimitHit, par.LimitHit)
+	}
+	if !seq.Witness.Equal(par.Witness) {
+		t.Errorf("%s: Witness %v != %v", name, seq.Witness, par.Witness)
+	}
+	if (seq.Failure == nil) != (par.Failure == nil) {
+		t.Errorf("%s: Failure %v != %v", name, seq.Failure, par.Failure)
+	} else if seq.Failure != nil && seq.Failure.Kind != par.Failure.Kind {
+		t.Errorf("%s: Failure kind %v != %v", name, seq.Failure.Kind, par.Failure.Kind)
+	}
+	if seq.MaxEnabled != par.MaxEnabled {
+		t.Errorf("%s: MaxEnabled %d != %d", name, seq.MaxEnabled, par.MaxEnabled)
+	}
+	if seq.MaxSchedPoints != par.MaxSchedPoints {
+		t.Errorf("%s: MaxSchedPoints %d != %d", name, seq.MaxSchedPoints, par.MaxSchedPoints)
+	}
+	if seq.Threads != par.Threads {
+		t.Errorf("%s: Threads %d != %d", name, seq.Threads, par.Threads)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	techniques := []Technique{DFS, IPB, IDB}
+	for progName, newProg := range paperPrograms() {
+		for _, tech := range techniques {
+			for _, workers := range []int{2, 8} {
+				name := fmt.Sprintf("%s/%s/workers=%d", tech, progName, workers)
+				t.Run(name, func(t *testing.T) {
+					seq := Run(tech, Config{Program: newProg(), Workers: 1})
+					par := Run(tech, Config{Program: newProg(), Workers: workers})
+					assertEquivalent(t, name, seq, par)
+				})
+			}
+		}
+	}
+}
+
+func TestParallelRandBitIdentical(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		seq := Run(Rand, Config{Program: figure1(), Limit: 400, Seed: seed, Workers: 1})
+		par := Run(Rand, Config{Program: figure1(), Limit: 400, Seed: seed, Workers: 8})
+		assertEquivalent(t, fmt.Sprintf("rand seed=%d", seed), seq, par)
+		if seq.Executions != par.Executions {
+			t.Errorf("seed=%d: Executions %d != %d (Rand performs exactly Limit runs)",
+				seed, seq.Executions, par.Executions)
+		}
+	}
+}
+
+func TestParallelLimitTruncationCountsExact(t *testing.T) {
+	// Figure 1 has 11 terminal schedules; a limit of 5 truncates the DFS.
+	// The schedule total must still be exactly the limit in parallel mode
+	// (which schedules land inside the budget is timing-dependent, so only
+	// the counts are compared).
+	seq := RunDFS(Config{Program: figure1(), Limit: 5, Workers: 1})
+	for _, workers := range []int{2, 8} {
+		par := RunDFS(Config{Program: figure1(), Limit: 5, Workers: workers})
+		if par.Schedules != seq.Schedules {
+			t.Errorf("workers=%d: Schedules = %d, want %d", workers, par.Schedules, seq.Schedules)
+		}
+		if !par.LimitHit || par.Complete {
+			t.Errorf("workers=%d: LimitHit=%v Complete=%v, want true,false",
+				workers, par.LimitHit, par.Complete)
+		}
+	}
+}
+
+func TestParallelMoreWorkersThanWork(t *testing.T) {
+	// reorder(0) has a tiny tree; a 32-worker pool must still terminate and
+	// agree with the sequential result.
+	seq := RunIterative(Config{Program: reorder(0), Workers: 1}, CostDelays)
+	par := RunIterative(Config{Program: reorder(0), Workers: 32}, CostDelays)
+	assertEquivalent(t, "reorder0/IDB/workers=32", seq, par)
+}
+
+// TestParallelSpeculationRespectsExecutionBudget pins the guard-rail
+// accounting: a MaxExecutions budget that a sequential search fits into
+// must not be tripped by a parallel search just because speculative bound
+// sweeps performed extra work — speculation spends only its own budget.
+func TestParallelSpeculationRespectsExecutionBudget(t *testing.T) {
+	seq := RunIterative(Config{Program: reorder(2), Workers: 1}, CostDelays)
+	if seq.LimitHit || !seq.BugFound {
+		t.Fatalf("unexpected sequential baseline: %+v", seq)
+	}
+	budget := seq.Executions + 8 // tight: cancelled speculative work alone exceeds the slack
+	tight := Config{Program: reorder(2), MaxExecutions: budget}
+	seqT, parT := tight, tight
+	seqT.Workers, parT.Workers = 1, 8
+	assertEquivalent(t, "tight-exec-budget",
+		RunIterative(seqT, CostDelays), RunIterative(parT, CostDelays))
+
+	// Exact budget: the execution that exhausts MaxExecutions still runs
+	// and counts, and the search reports LimitHit, sequentially and in
+	// parallel alike.
+	exact := Config{Program: reorder(2), MaxExecutions: seq.Executions}
+	seqE, parE := exact, exact
+	seqE.Workers, parE.Workers = 1, 8
+	se, pe := RunIterative(seqE, CostDelays), RunIterative(parE, CostDelays)
+	if !se.LimitHit {
+		t.Fatalf("sequential exact-budget run did not report LimitHit: %+v", se)
+	}
+	assertEquivalent(t, "exact-exec-budget", se, pe)
+}
+
+// TestParallelWorkerPoolStress drives every technique with a large worker
+// pool over programs wide enough to keep the donation path hot. Its real
+// assertion is the race detector: `go test -race` must pass.
+func TestParallelWorkerPoolStress(t *testing.T) {
+	iters := 4
+	if testing.Short() {
+		iters = 1
+	}
+	for i := 0; i < iters; i++ {
+		for _, tech := range []Technique{DFS, IPB, IDB, Rand} {
+			cfg := Config{Program: mesh(3, 2), Workers: 16, Limit: 600, Seed: uint64(i + 1)}
+			res := Run(tech, cfg)
+			if res.BugFound {
+				t.Fatalf("iter %d: %s found a bug in the bug-free mesh program: %v",
+					i, tech, res.Failure)
+			}
+			if res.Schedules == 0 {
+				t.Fatalf("iter %d: %s explored no schedules", i, tech)
+			}
+		}
+	}
+}

@@ -40,6 +40,10 @@ func (t Technique) String() string {
 type Config struct {
 	// Program is the program under test. It must be deterministic modulo
 	// scheduling (§2: "the only source of nondeterminism is the scheduler").
+	// With Workers > 1 the same Program value is invoked concurrently from
+	// several worker goroutines (one World each), so its body must confine
+	// all state to the invocation: create shared objects through the Thread
+	// API inside the body, never capture mutable variables across calls.
 	Program vthread.Program
 	// Visible restricts which shared variables are scheduling points (the
 	// promotion set produced by the race-detection phase). Nil promotes
@@ -61,6 +65,14 @@ type Config struct {
 	// higher bounds (0 means DefaultMaxExecutions). Purely a guard rail;
 	// the study's benchmarks stay far below it.
 	MaxExecutions int
+	// Workers is the number of worker goroutines exploring the schedule
+	// space (0 or 1 = sequential). DFS/IPB/IDB partition the search tree
+	// into prefix-pinned subtrees with work-stealing, and IPB/IDB overlap
+	// bound k+1 speculatively behind bound k; Rand shards its independent
+	// runs. Schedule counts, bounds and completeness are identical to the
+	// sequential search; see internal/explore/parallel.go for the exact
+	// determinism contract under a truncating Limit.
+	Workers int
 }
 
 // Defaults for Config fields left zero.
@@ -170,8 +182,12 @@ func (r *Result) recordBug(out *vthread.Outcome) {
 // RunDFS performs unbounded depth-first search up to the schedule limit.
 // Matching the paper's methodology, the search does not stop at the first
 // bug: it continues to the limit (or exhaustion) so the fraction of buggy
-// schedules can be reported.
+// schedules can be reported. With cfg.Workers > 1 the tree is explored by
+// a work-stealing worker pool with identical resulting counts.
 func RunDFS(cfg Config) *Result {
+	if cfg.Workers > 1 {
+		return runDFSParallel(cfg)
+	}
 	cfg = cfg.withDefaults()
 	r := &Result{Technique: DFS}
 	eng := newEngine(cfg, CostNone, 0)
@@ -206,10 +222,13 @@ func RunDFS(cfg Config) *Result {
 // current bound is still enumerated to completion (within the limit), so
 // worst-case schedule counts (Figure 4) are well defined.
 func RunIterative(cfg Config, model CostModel) *Result {
-	cfg = cfg.withDefaults()
 	if model != CostPreemptions && model != CostDelays {
 		panic("explore: RunIterative needs a bounding cost model")
 	}
+	if cfg.Workers > 1 {
+		return runIterativeParallel(cfg, model)
+	}
+	cfg = cfg.withDefaults()
 	tech := IPB
 	if model == CostDelays {
 		tech = IDB
@@ -275,16 +294,13 @@ func RunIterative(cfg Config, model CostModel) *Result {
 // No state is kept between runs, so duplicate schedules are possible and
 // the search never "completes" (§3 of the paper).
 func RunRand(cfg Config) *Result {
+	if cfg.Workers > 1 {
+		return runRandParallel(cfg)
+	}
 	cfg = cfg.withDefaults()
 	r := &Result{Technique: Rand}
 	for i := 0; i < cfg.Limit; i++ {
-		w := vthread.NewWorld(vthread.Options{
-			Chooser:     vthread.NewRandom(cfg.Seed + uint64(i)*0x9e3779b9),
-			Visible:     cfg.Visible,
-			MaxSteps:    cfg.MaxSteps,
-			BoundsCheck: cfg.BoundsCheck,
-		})
-		out := w.Run(cfg.Program)
+		out := randRun(cfg, i)
 		r.observe(out)
 		if out.StepLimitHit {
 			continue

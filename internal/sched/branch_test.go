@@ -1,0 +1,27 @@
+package sched
+
+import "testing"
+
+func TestCompareBranchKeys(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{nil, []int{0}, -1}, // the whole tree starts before any subtree
+		{[]int{0}, nil, 1},
+		{[]int{0, 2}, []int{0, 2}, 0},
+		{[]int{0, 1}, []int{0, 2}, -1},
+		{[]int{1}, []int{0, 5, 9}, 1},     // later root branch, however deep the other
+		{[]int{0, 3}, []int{0, 3, 1}, -1}, // prefix contains (and starts at) the longer key
+		{[]int{2, 0, 0}, []int{2, 0, 1}, -1},
+	}
+	for _, c := range cases {
+		if got := CompareBranchKeys(c.a, c.b); got != c.want {
+			t.Errorf("CompareBranchKeys(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got, want := CompareBranchKeys(c.b, c.a), -c.want; got != want {
+			t.Errorf("CompareBranchKeys(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, want)
+		}
+	}
+}

@@ -36,6 +36,13 @@ type Config struct {
 	WithMaple bool
 	// Parallelism bounds concurrent benchmark evaluations (0 = GOMAXPROCS).
 	Parallelism int
+	// Workers is the per-exploration worker count passed to
+	// explore.Config.Workers (0 or 1 = sequential exploration). Benchmark-
+	// level parallelism (Parallelism) and schedule-space parallelism
+	// (Workers) compose; the Go scheduler multiplexes both onto GOMAXPROCS
+	// threads, so Workers mainly shortens the tail of the slowest
+	// benchmarks.
+	Workers int
 	// Progress, when non-nil, receives one line per completed phase.
 	Progress func(format string, args ...any)
 }
@@ -150,6 +157,7 @@ func RunBenchmark(b *bench.Benchmark, cfg Config) *Row {
 			MaxSteps:    b.MaxSteps,
 			Limit:       cfg.Limit,
 			Seed:        seedFor(cfg.Seed, b.ID, 2+uint64(tech)),
+			Workers:     cfg.Workers,
 		})
 		row.Results[tech] = res
 		if cfg.Progress != nil {

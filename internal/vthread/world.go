@@ -129,6 +129,15 @@ type EventSink interface {
 }
 
 // Options configures a World.
+//
+// Concurrency contract: a World and everything wired into it (the Chooser,
+// the Sink) are confined to the goroutine that calls Run — none of them is
+// ever called from two goroutines at once, so implementations need no
+// locking. Distinct Worlds share no state (the package has no mutable
+// globals), so running one World per goroutine is safe; that is exactly
+// how the parallel exploration driver uses this package. The one shared
+// input is the Program value itself: with concurrent Worlds it is invoked
+// concurrently and must confine all state to the invocation.
 type Options struct {
 	// Chooser picks the next thread at every scheduling point. Required.
 	Chooser Chooser

@@ -74,9 +74,13 @@ type (
 	// Technique selects an exploration technique.
 	Technique = explore.Technique
 	// Chooser decides the next thread at each scheduling point; implement
-	// it to plug in a custom search strategy.
+	// it to plug in a custom search strategy. A Chooser instance is
+	// confined to one execution goroutine; give every concurrent World its
+	// own.
 	Chooser = vthread.Chooser
-	// WorldOptions configures a single raw execution (advanced use).
+	// WorldOptions configures a single raw execution (advanced use). Each
+	// World is confined to the goroutine that runs it — one world per
+	// goroutine; see vthread.Options for the full concurrency contract.
 	WorldOptions = vthread.Options
 )
 
@@ -105,6 +109,18 @@ const (
 // Explore searches the schedule space of cfg.Program with the given
 // technique and reports what it found (bug, witness schedule, schedule
 // counts). It is the main entry point of the library.
+//
+// Set Config.Workers > 1 to explore in parallel: DFS/IPB/IDB partition the
+// search tree across a work-stealing worker pool (and IPB/IDB additionally
+// overlap bound k+1 speculatively behind bound k), while Rand shards its
+// independent runs. For Rand, and for DFS/IPB/IDB whenever the search
+// completes within Config.Limit, the result — counts, bounds,
+// completeness, first bug, witness — is identical to a sequential
+// exploration; when the limit truncates a systematic search, totals stay
+// exact but which schedules (and hence which bug, if any) fall inside the
+// budget is timing-dependent. With Workers > 1 the Program body runs
+// concurrently in separate Worlds and must confine its state to the
+// invocation.
 func Explore(t Technique, cfg Config) *Result {
 	return explore.Run(t, cfg)
 }
@@ -114,6 +130,9 @@ func Explore(t Technique, cfg Config) *Result {
 // counting only one representative schedule per equivalence class of
 // commuting operations — often orders of magnitude fewer. (The paper's §7
 // names partial-order reduction as the natural extension of the study.)
+// Sleep-set search is sequential: Config.Workers is ignored here, because
+// sleep sets carry cross-branch state that the tree partitioning of the
+// parallel driver would invalidate.
 func ExploreSleepSet(cfg Config) *Result {
 	return explore.RunSleepSetDFS(cfg)
 }
@@ -166,7 +185,10 @@ func ReplayVisible(program Program, s Schedule, visible func(string) bool) (out 
 }
 
 // RunOnce executes program once under a caller-supplied chooser (round
-// robin by default) — the lowest-level entry point.
+// robin by default) — the lowest-level entry point. The execution world is
+// confined to the calling goroutine (one world per goroutine): concurrent
+// RunOnce calls are safe provided each passes its own Chooser/Sink and the
+// program body keeps all state local to the invocation.
 func RunOnce(program Program, opts WorldOptions) *Outcome {
 	if opts.Chooser == nil {
 		opts.Chooser = vthread.RoundRobin()
