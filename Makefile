@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint study clean
+.PHONY: all build test bench bench-json lint study clean
 
 all: build
 
@@ -16,6 +16,17 @@ test:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 3x .
+
+# Substrate throughput benchmarks (executions/sec, allocs/execution),
+# recorded as JSON to seed the perf trajectory across PRs. The temp file
+# keeps a benchmark failure from being masked by the pipe; benchjson also
+# exits non-zero when no benchmark lines parsed.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkExecutorThroughput|BenchmarkSubstrateThroughput' \
+		-benchmem -benchtime 1000x . > BENCH_substrate.txt
+	$(GO) run ./cmd/benchjson < BENCH_substrate.txt > BENCH_substrate.json
+	@rm -f BENCH_substrate.txt
+	@cat BENCH_substrate.json
 
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \

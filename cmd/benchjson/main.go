@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document, so benchmark runs can be recorded and
+// diffed across commits. `make bench-json` pipes the substrate throughput
+// benchmarks through it into BENCH_substrate.json.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem . | go run ./cmd/benchjson > out.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Custom metrics (e.g. "execs/s") land in
+// Metrics keyed by unit.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full document: environment header plus results.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	rep := Report{Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   2000   13579 ns/op   73657 execs/s   169 B/op   7 allocs/op
+//
+// Fields come in "<value> <unit>" pairs after the name and iteration count.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			v := val
+			r.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			r.AllocsPerOp = &v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, true
+}

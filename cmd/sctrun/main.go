@@ -131,9 +131,12 @@ func main() {
 }
 
 // finishWitness applies the post-discovery workflow: optional
-// minimisation, optional save, optional replay with trace logging.
+// minimisation, optional save, optional replay with trace logging. All
+// replays run on one shared Executor.
 func finishWitness(b *bench.Benchmark, visible func(string) bool, racy []string,
 	witness sched.Schedule, technique string, replay, minimize bool, savePath string, logTrace bool) {
+	ex := newReplayExecutor(b, visible)
+	defer ex.Close()
 	if minimize {
 		res := simplify.Minimize(b.New, witness, simplify.Options{
 			Visible: visible, BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps,
@@ -145,7 +148,7 @@ func finishWitness(b *bench.Benchmark, visible func(string) bool, racy []string,
 		}
 	}
 	if savePath != "" {
-		out, _ := replayOutcome(b, visible, witness, nil)
+		out, _ := replayOutcome(ex, b, witness, nil)
 		wf := &sched.WitnessFile{
 			Benchmark: b.Name, Technique: technique, Schedule: witness,
 			Racy: racy, PC: out.PC, DC: out.DC,
@@ -168,7 +171,7 @@ func finishWitness(b *bench.Benchmark, visible func(string) bool, racy []string,
 		if logTrace {
 			log = vthread.NewTraceLogger()
 		}
-		out, _ := replayOutcome(b, visible, witness, log)
+		out, _ := replayOutcome(ex, b, witness, log)
 		fmt.Printf("replay: %v (PC=%d DC=%d, %d steps)\n", out.Failure, out.PC, out.DC, len(out.Trace))
 		if log != nil {
 			fmt.Print(log.String())
@@ -196,7 +199,9 @@ func replayWitnessFile(b *bench.Benchmark, path string, logTrace bool) {
 	if logTrace {
 		log = vthread.NewTraceLogger()
 	}
-	out, ok := replayOutcome(b, race.Promoted(wf.Racy), wf.Schedule, log)
+	ex := newReplayExecutor(b, race.Promoted(wf.Racy))
+	defer ex.Close()
+	out, ok := replayOutcome(ex, b, wf.Schedule, log)
 	if !ok {
 		fmt.Println("replay diverged: witness does not fit this benchmark build")
 		return
@@ -207,15 +212,22 @@ func replayWitnessFile(b *bench.Benchmark, path string, logTrace bool) {
 	}
 }
 
-// replayOutcome replays a schedule with optional logging.
-func replayOutcome(b *bench.Benchmark, visible func(string) bool, s sched.Schedule, log *vthread.TraceLogger) (*vthread.Outcome, bool) {
+// newReplayExecutor builds the reusable execution context the replay
+// workflow shares across its runs.
+func newReplayExecutor(b *bench.Benchmark, visible func(string) bool) *vthread.Executor {
+	return vthread.NewExecutor(vthread.Options{
+		Visible: visible, BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps,
+	})
+}
+
+// replayOutcome replays a schedule on ex with optional logging. The
+// outcome is valid until ex's next run.
+func replayOutcome(ex *vthread.Executor, b *bench.Benchmark, s sched.Schedule, log *vthread.TraceLogger) (*vthread.Outcome, bool) {
 	rep := vthread.NewReplay(s)
-	opts := vthread.Options{
-		Chooser: rep, Visible: visible, BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps,
-	}
+	var sink vthread.EventSink
 	if log != nil {
-		opts.Sink = log
+		sink = log
 	}
-	out := vthread.NewWorld(opts).Run(b.New())
+	out := ex.RunWith(rep, sink, b.New())
 	return out, !rep.Failed()
 }

@@ -1,0 +1,97 @@
+// Throughput benchmarks for the pooled execution substrate. The workload
+// of the study is millions of short executions, so the numbers that matter
+// are executions/sec and allocs/execution; `make bench-json` records them
+// as BENCH_substrate.json.
+package sctbench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/explore"
+	"sctbench/internal/vthread"
+)
+
+// BenchmarkExecutorThroughput contrasts the NewWorld-per-run baseline with
+// a reused Executor on a CS-suite program under the deterministic
+// scheduler: the pure substrate overhead of one execution, allocations
+// included.
+func BenchmarkExecutorThroughput(b *testing.B) {
+	bm := bench.ByName("CS.account_bad")
+	prog := bm.New()
+	b.Run("NewWorldPerRun", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := vthread.NewWorld(vthread.Options{
+				Chooser: vthread.RoundRobin(), BoundsCheck: bm.BoundsCheck, MaxSteps: bm.MaxSteps,
+			}).Run(prog)
+			if out.Threads == 0 {
+				b.Fatal("no threads ran")
+			}
+		}
+		reportExecRate(b, b.N)
+	})
+	b.Run("Executor", func(b *testing.B) {
+		b.ReportAllocs()
+		ex := vthread.NewExecutor(vthread.Options{
+			Chooser: vthread.RoundRobin(), BoundsCheck: bm.BoundsCheck, MaxSteps: bm.MaxSteps,
+		})
+		defer ex.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := ex.Run(prog)
+			if out.Threads == 0 {
+				b.Fatal("no threads ran")
+			}
+		}
+		reportExecRate(b, b.N)
+	})
+}
+
+// BenchmarkSubstrateThroughputSequential measures whole-driver throughput
+// (engine + substrate) on a sequential bounded search over the CS suite's
+// reorder program: executions/sec with the schedule-space walk, cost
+// accounting and witness handling included.
+func BenchmarkSubstrateThroughputSequential(b *testing.B) {
+	bm := bench.ByName("CS.reorder_4_bad")
+	prog := bm.New()
+	b.ReportAllocs()
+	execs := 0
+	for i := 0; i < b.N; i++ {
+		r := explore.RunIterative(explore.Config{
+			Program: prog, BoundsCheck: bm.BoundsCheck, MaxSteps: bm.MaxSteps, Limit: 500,
+		}, explore.CostDelays)
+		execs += r.Executions
+	}
+	reportExecRate(b, execs)
+}
+
+// BenchmarkSubstrateThroughputParallel is the same walk over the
+// work-stealing pool with one Executor per worker.
+func BenchmarkSubstrateThroughputParallel(b *testing.B) {
+	bm := bench.ByName("CS.reorder_4_bad")
+	prog := bm.New()
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			execs := 0
+			for i := 0; i < b.N; i++ {
+				r := explore.RunIterative(explore.Config{
+					Program: prog, BoundsCheck: bm.BoundsCheck, MaxSteps: bm.MaxSteps,
+					Limit: 500, Workers: workers,
+				}, explore.CostDelays)
+				execs += r.Executions
+			}
+			reportExecRate(b, execs)
+		})
+	}
+}
+
+// reportExecRate attaches the executions/sec custom metric.
+func reportExecRate(b *testing.B, execs int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(execs)/s, "execs/s")
+	}
+}

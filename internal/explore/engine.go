@@ -64,8 +64,21 @@ type engine struct {
 	model CostModel
 	bound int // ignored when model == CostNone
 
+	// exec runs this engine's executions. It is owned by the driver (one
+	// per sequential run, one per pool worker in the parallel driver) and
+	// assigned before the first runOnce; engines donated between workers
+	// are re-pointed at the stealing worker's executor.
+	exec *vthread.Executor
+
 	stack   []node
 	running int // cumulative cost of the current execution so far
+
+	// freeOrders and freeCosts recycle the per-node order/costs buffers:
+	// backtrack pushes a popped node's slices here and Choose pops them for
+	// the next fresh node, so the replay-and-extend hot path allocates only
+	// while the stack grows past its high-water mark.
+	freeOrders [][]sched.ThreadID
+	freeCosts  [][]int
 
 	// pruned records that some alternative was skipped because it exceeded
 	// the bound; if a bounded pass completes without pruning, the whole
@@ -79,6 +92,16 @@ func newEngine(cfg Config, model CostModel, bound int) *engine {
 	return &engine{cfg: cfg, model: model, bound: bound}
 }
 
+// newExecutor builds the reusable execution context every driver in this
+// package runs programs on. Callers own it and must Close it.
+func newExecutor(cfg Config) *vthread.Executor {
+	return vthread.NewExecutor(vthread.Options{
+		Visible:     cfg.Visible,
+		MaxSteps:    cfg.MaxSteps,
+		BoundsCheck: cfg.BoundsCheck,
+	})
+}
+
 // Choose implements vthread.Chooser.
 func (e *engine) Choose(ctx vthread.Context) sched.ThreadID {
 	if ctx.Step < len(e.stack) {
@@ -86,10 +109,17 @@ func (e *engine) Choose(ctx vthread.Context) sched.ThreadID {
 		e.running = nd.base + nd.costs[nd.idx]
 		return nd.order[nd.idx]
 	}
-	order := sched.CanonicalOrder(ctx.Enabled, ctx.Last, ctx.NumThreads)
-	costs := make([]int, len(order))
-	for i, t := range order {
-		costs[i] = e.stepCost(ctx, t)
+	var order []sched.ThreadID
+	if n := len(e.freeOrders); n > 0 {
+		order, e.freeOrders = e.freeOrders[n-1], e.freeOrders[:n-1]
+	}
+	order = sched.AppendCanonicalOrder(order, ctx.Enabled, ctx.Last, ctx.NumThreads)
+	var costs []int
+	if n := len(e.freeCosts); n > 0 {
+		costs, e.freeCosts = e.freeCosts[n-1], e.freeCosts[:n-1]
+	}
+	for _, t := range order {
+		costs = append(costs, e.stepCost(ctx, t))
 	}
 	nd := node{order: order, costs: costs, hi: len(order) - 1, base: e.running}
 	// The canonical first choice is the deterministic scheduler's pick and
@@ -122,17 +152,13 @@ func (e *engine) stepCost(ctx vthread.Context, choice sched.ThreadID) int {
 	}
 }
 
-// runOnce executes the program once, replaying the stack prefix.
+// runOnce executes the program once on the engine's executor, replaying
+// the stack prefix. The returned Outcome is valid until the next run on
+// the same executor (clone the trace to retain it).
 func (e *engine) runOnce() *vthread.Outcome {
 	e.running = 0
 	e.executions++
-	w := vthread.NewWorld(vthread.Options{
-		Chooser:     e,
-		Visible:     e.cfg.Visible,
-		MaxSteps:    e.cfg.MaxSteps,
-		BoundsCheck: e.cfg.BoundsCheck,
-	})
-	out := w.Run(e.cfg.Program)
+	out := e.exec.RunWith(e, nil, e.cfg.Program)
 	e.checkCost(out)
 	return out
 }
@@ -174,6 +200,11 @@ func (e *engine) backtrack() bool {
 		if advanced {
 			return true
 		}
+		// Pop the exhausted node and recycle its buffers. Donated stacks
+		// are deep-copied by split, so the slices are exclusively ours.
+		e.freeOrders = append(e.freeOrders, nd.order[:0])
+		e.freeCosts = append(e.freeCosts, nd.costs[:0])
+		nd.order, nd.costs = nil, nil
 		e.stack = e.stack[:len(e.stack)-1]
 	}
 	return false

@@ -143,14 +143,14 @@ func TestFirstScheduleIsSameAcrossSystematicTechniques(t *testing.T) {
 	rr := vthread.NewWorld(vthread.Options{Chooser: vthread.RoundRobin()})
 	out := rr.Run(p())
 	first = append(first, out.Trace.String())
-	for _, model := range []CostModel{CostPreemptions, CostDelays} {
-		eng := newEngine(Config{Program: p()}.withDefaults(), model, 0)
+	for _, model := range []CostModel{CostPreemptions, CostDelays, CostNone} {
+		cfg := Config{Program: p()}.withDefaults()
+		eng := newEngine(cfg, model, 0)
+		eng.exec = newExecutor(cfg)
 		o := eng.runOnce()
 		first = append(first, o.Trace.String())
+		eng.exec.Close()
 	}
-	eng := newEngine(Config{Program: p()}.withDefaults(), CostNone, 0)
-	o := eng.runOnce()
-	first = append(first, o.Trace.String())
 	for i := 1; i < len(first); i++ {
 		if first[i] != first[0] {
 			t.Fatalf("first schedule %d differs: %s vs %s", i, first[i], first[0])

@@ -216,13 +216,28 @@ func (p *pool) close() {
 	p.wg.Wait()
 }
 
+// worker owns one reusable Executor for its whole lifetime: every unit it
+// picks up (whatever the job or bound) runs its executions on it, so
+// thread goroutines and buffers are recycled across units, not just
+// within one. All jobs of a pool share one Config, so the executor's
+// visibility/step options fit every unit.
 func (p *pool) worker() {
 	defer p.wg.Done()
+	var ex *vthread.Executor
+	defer func() {
+		if ex != nil {
+			ex.Close()
+		}
+	}()
 	for {
 		j, u := p.take()
 		if u == nil {
 			return
 		}
+		if ex == nil {
+			ex = newExecutor(j.cfg)
+		}
+		u.eng.exec = ex
 		p.runUnit(j, u)
 	}
 }
@@ -316,6 +331,14 @@ func split(eng *engine) *unit {
 		key := make([]int, d+1)
 		stack := make([]node, d+1)
 		copy(stack, eng.stack[:d+1])
+		// Deep-copy the node buffers: the donor recycles its order/costs
+		// slices through its free list on backtrack, so sharing them with
+		// the donated engine (which runs on another worker) would be a
+		// use-after-recycle race.
+		for i := range stack {
+			stack[i].order = append([]sched.ThreadID(nil), stack[i].order...)
+			stack[i].costs = append([]int(nil), stack[i].costs...)
+		}
 		for i := 0; i < d; i++ {
 			key[i] = stack[i].idx
 			stack[i].hi = stack[i].idx // pin the prefix
@@ -566,12 +589,14 @@ func runRandParallel(cfg Config) *Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ex := newExecutor(cfg)
+			defer ex.Close()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out := randRun(cfg, i)
+				out := randRun(ex, cfg, i)
 				stats[w].observe(out)
 				recs[i] = rec{terminal: !out.StepLimitHit, buggy: out.Buggy()}
 				if out.Buggy() {
@@ -611,15 +636,10 @@ func runRandParallel(cfg Config) *Result {
 	return r
 }
 
-// randRun executes run i of a Rand sweep. It is the single definition of
-// the per-run seed formula, used by both the sequential and the parallel
-// sweep, so the two execute identical schedules by construction.
-func randRun(cfg Config, i int) *vthread.Outcome {
-	w := vthread.NewWorld(vthread.Options{
-		Chooser:     vthread.NewRandom(cfg.Seed + uint64(i)*0x9e3779b9),
-		Visible:     cfg.Visible,
-		MaxSteps:    cfg.MaxSteps,
-		BoundsCheck: cfg.BoundsCheck,
-	})
-	return w.Run(cfg.Program)
+// randRun executes run i of a Rand sweep on the caller's executor. It is
+// the single definition of the per-run seed formula, used by both the
+// sequential and the parallel sweep, so the two execute identical
+// schedules by construction.
+func randRun(ex *vthread.Executor, cfg Config, i int) *vthread.Outcome {
+	return ex.RunWith(vthread.NewRandom(cfg.Seed+uint64(i)*0x9e3779b9), nil, cfg.Program)
 }

@@ -173,6 +173,31 @@ func TestParallelSpeculationRespectsExecutionBudget(t *testing.T) {
 	assertEquivalent(t, "exact-exec-budget", se, pe)
 }
 
+// TestParallelExecutorReuseStress hammers the per-worker Executor reuse
+// path: a deep buggy program explored by a 16-worker pool, so every worker
+// runs thousands of executions on one recycled thread pool, donated units
+// hop between workers (and hence between executors), and buggy outcomes
+// force witness cloning out of recycled trace buffers. The results must
+// stay bit-identical to a sequential search; `go test -race` is the other
+// half of the assertion.
+func TestParallelExecutorReuseStress(t *testing.T) {
+	iters := 3
+	if testing.Short() {
+		iters = 1
+	}
+	for i := 0; i < iters; i++ {
+		for _, tech := range []Technique{DFS, IPB, IDB} {
+			name := fmt.Sprintf("iter%d/%s", i, tech)
+			seq := Run(tech, Config{Program: reorder(2), Workers: 1})
+			par := Run(tech, Config{Program: reorder(2), Workers: 16})
+			if !par.BugFound {
+				t.Fatalf("%s: parallel search missed the reorder bug", name)
+			}
+			assertEquivalent(t, name, seq, par)
+		}
+	}
+}
+
 // TestParallelWorkerPoolStress drives every technique with a large worker
 // pool over programs wide enough to keep the donation path hot. Its real
 // assertion is the race detector: `go test -race` must pass.

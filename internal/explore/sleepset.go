@@ -33,8 +33,12 @@ type ssNode struct {
 // the executions it spawns.
 type ssEngine struct {
 	cfg        Config
+	exec       *vthread.Executor
 	stack      []ssNode
 	executions int
+	// freeOrders and freeInfos recycle popped nodes' buffers, as in engine.
+	freeOrders [][]sched.ThreadID
+	freeInfos  [][]vthread.PendingInfo
 	// redundant marks the current execution as covered by an equivalent
 	// explored schedule: it reached a point where every enabled thread was
 	// asleep. The execution still runs to termination (the substrate has
@@ -48,10 +52,17 @@ func (e *ssEngine) Choose(ctx vthread.Context) sched.ThreadID {
 		nd := &e.stack[ctx.Step]
 		return nd.order[nd.idx]
 	}
-	order := sched.CanonicalOrder(ctx.Enabled, ctx.Last, ctx.NumThreads)
-	infos := make([]vthread.PendingInfo, len(order))
-	for i, t := range order {
-		infos[i] = ctx.PendingOf(t)
+	var order []sched.ThreadID
+	if n := len(e.freeOrders); n > 0 {
+		order, e.freeOrders = e.freeOrders[n-1], e.freeOrders[:n-1]
+	}
+	order = sched.AppendCanonicalOrder(order, ctx.Enabled, ctx.Last, ctx.NumThreads)
+	var infos []vthread.PendingInfo
+	if n := len(e.freeInfos); n > 0 {
+		infos, e.freeInfos = e.freeInfos[n-1], e.freeInfos[:n-1]
+	}
+	for _, t := range order {
+		infos = append(infos, ctx.PendingOf(t))
 	}
 	var sleep map[sched.ThreadID]vthread.PendingInfo
 	if len(e.stack) > 0 {
@@ -115,13 +126,7 @@ func firstAwake(nd ssNode, from int) int {
 func (e *ssEngine) runOnce() *vthread.Outcome {
 	e.executions++
 	e.redundant = false
-	w := vthread.NewWorld(vthread.Options{
-		Chooser:     e,
-		Visible:     e.cfg.Visible,
-		MaxSteps:    e.cfg.MaxSteps,
-		BoundsCheck: e.cfg.BoundsCheck,
-	})
-	return w.Run(e.cfg.Program)
+	return e.exec.RunWith(e, nil, e.cfg.Program)
 }
 
 func (e *ssEngine) backtrack() bool {
@@ -132,6 +137,9 @@ func (e *ssEngine) backtrack() bool {
 			nd.idx = next
 			return true
 		}
+		e.freeOrders = append(e.freeOrders, nd.order[:0])
+		e.freeInfos = append(e.freeInfos, nd.infos[:0])
+		nd.order, nd.infos = nil, nil
 		e.stack = e.stack[:len(e.stack)-1]
 	}
 	return false
@@ -145,7 +153,8 @@ func (e *ssEngine) backtrack() bool {
 func RunSleepSetDFS(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	r := &Result{Technique: DFS}
-	eng := &ssEngine{cfg: cfg}
+	eng := &ssEngine{cfg: cfg, exec: newExecutor(cfg)}
+	defer eng.exec.Close()
 	for {
 		out := eng.runOnce()
 		r.observe(out)

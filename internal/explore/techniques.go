@@ -191,6 +191,8 @@ func RunDFS(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	r := &Result{Technique: DFS}
 	eng := newEngine(cfg, CostNone, 0)
+	eng.exec = newExecutor(cfg)
+	defer eng.exec.Close()
 	for {
 		out := eng.runOnce()
 		r.observe(out)
@@ -235,11 +237,14 @@ func RunIterative(cfg Config, model CostModel) *Result {
 	}
 	r := &Result{Technique: tech}
 	executions := 0
+	ex := newExecutor(cfg) // one pool of recycled threads across all bounds
+	defer ex.Close()
 
 	for bound := 0; bound <= cfg.MaxBound; bound++ {
 		r.Bound = bound
 		r.NewSchedules = 0
 		eng := newEngine(cfg, model, bound)
+		eng.exec = ex
 		boundDone := false
 		for {
 			out := eng.runOnce()
@@ -299,8 +304,10 @@ func RunRand(cfg Config) *Result {
 	}
 	cfg = cfg.withDefaults()
 	r := &Result{Technique: Rand}
+	ex := newExecutor(cfg)
+	defer ex.Close()
 	for i := 0; i < cfg.Limit; i++ {
-		out := randRun(cfg, i)
+		out := randRun(ex, cfg, i)
 		r.observe(out)
 		if out.StepLimitHit {
 			continue

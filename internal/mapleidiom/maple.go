@@ -114,6 +114,8 @@ type activeChooser struct {
 	c      idiom
 	fired  bool // first access has executed
 	budget int
+	// allowedBuf is reused across scheduling points for the held-back set.
+	allowedBuf []vthread.ThreadID
 }
 
 func (a *activeChooser) Choose(ctx vthread.Context) vthread.ThreadID {
@@ -126,7 +128,7 @@ func (a *activeChooser) Choose(ctx vthread.Context) vthread.ThreadID {
 	if ctx.LastEnabled {
 		return ctx.Last
 	}
-	return sched.CanonicalOrder(ctx.Enabled, ctx.Last, ctx.NumThreads)[0]
+	return sched.CanonicalFirst(ctx.Enabled, ctx.Last, ctx.NumThreads)
 }
 
 func (a *activeChooser) steer(ctx vthread.Context) (vthread.ThreadID, bool) {
@@ -144,12 +146,13 @@ func (a *activeChooser) steer(ctx vthread.Context) (vthread.ThreadID, bool) {
 			}
 		}
 		// Hold back threads poised to perform the second access.
-		var allowed []vthread.ThreadID
+		allowed := a.allowedBuf[:0]
 		for _, t := range ctx.Enabled {
 			if !want(t, a.c.second) {
 				allowed = append(allowed, t)
 			}
 		}
+		a.allowedBuf = allowed
 		if len(allowed) > 0 && len(allowed) < len(ctx.Enabled) {
 			a.budget--
 			if ctx.LastEnabled {
@@ -159,7 +162,7 @@ func (a *activeChooser) steer(ctx vthread.Context) (vthread.ThreadID, bool) {
 					}
 				}
 			}
-			return sched.CanonicalOrder(allowed, ctx.Last, ctx.NumThreads)[0], true
+			return sched.CanonicalFirst(allowed, ctx.Last, ctx.NumThreads), true
 		}
 		return 0, false
 	}
@@ -185,6 +188,12 @@ func Run(cfg Config) *Result {
 	}
 	res := &Result{}
 	prof := newProfiler()
+	ex := vthread.NewExecutor(vthread.Options{
+		Visible:     cfg.Visible,
+		BoundsCheck: cfg.BoundsCheck,
+		MaxSteps:    cfg.MaxSteps,
+	})
+	defer ex.Close()
 
 	record := func(out *vthread.Outcome) bool {
 		res.Schedules++
@@ -207,14 +216,7 @@ func Run(cfg Config) *Result {
 		}
 		prof.lastWriter = make(map[string]vthread.ThreadID)
 		prof.lastReader = make(map[string]vthread.ThreadID)
-		w := vthread.NewWorld(vthread.Options{
-			Chooser:     chooser,
-			Visible:     cfg.Visible,
-			Sink:        prof,
-			BoundsCheck: cfg.BoundsCheck,
-			MaxSteps:    cfg.MaxSteps,
-		})
-		if record(w.Run(cfg.Program())) {
+		if record(ex.RunWith(chooser, prof, cfg.Program())) {
 			return res
 		}
 	}
@@ -245,13 +247,7 @@ func Run(cfg Config) *Result {
 
 	// Active phase: one steered execution per untested idiom.
 	for _, c := range candidates {
-		w := vthread.NewWorld(vthread.Options{
-			Chooser:     &activeChooser{c: c, budget: giveUp},
-			Visible:     cfg.Visible,
-			BoundsCheck: cfg.BoundsCheck,
-			MaxSteps:    cfg.MaxSteps,
-		})
-		if record(w.Run(cfg.Program())) {
+		if record(ex.RunWith(&activeChooser{c: c, budget: giveUp}, nil, cfg.Program())) {
 			return res
 		}
 	}

@@ -120,15 +120,15 @@ type Config struct {
 func Run(cfg Config) *Result {
 	res := &Result{}
 	k := 64 // initial length estimate; recalibrated after the first run
+	ex := vthread.NewExecutor(vthread.Options{
+		Visible:     cfg.Visible,
+		BoundsCheck: cfg.BoundsCheck,
+		MaxSteps:    cfg.MaxSteps,
+	})
+	defer ex.Close()
 	for i := 0; i < cfg.Runs; i++ {
 		ch := New(cfg.Seed+uint64(i)*0x9e3779b9, cfg.Depth, k)
-		w := vthread.NewWorld(vthread.Options{
-			Chooser:     ch,
-			Visible:     cfg.Visible,
-			BoundsCheck: cfg.BoundsCheck,
-			MaxSteps:    cfg.MaxSteps,
-		})
-		out := w.Run(cfg.Program())
+		out := ex.RunWith(ch, nil, cfg.Program())
 		res.Runs++
 		if n := len(out.Trace); n > 0 {
 			k = n

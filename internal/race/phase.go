@@ -46,15 +46,14 @@ func RunPhase(cfg PhaseConfig) PhaseResult {
 	}
 	union := make(map[string]bool)
 	bugs := 0
+	ex := vthread.NewExecutor(vthread.Options{
+		MaxSteps:    cfg.MaxSteps,
+		BoundsCheck: cfg.BoundsCheck,
+	})
+	defer ex.Close()
 	for i := 0; i < runs; i++ {
 		d := NewDetector()
-		w := vthread.NewWorld(vthread.Options{
-			Chooser:     vthread.NewRandom(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15),
-			Sink:        d,
-			MaxSteps:    cfg.MaxSteps,
-			BoundsCheck: cfg.BoundsCheck,
-		})
-		out := w.Run(cfg.Program)
+		out := ex.RunWith(vthread.NewRandom(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15), d, cfg.Program)
 		if out.Buggy() {
 			bugs++
 		}

@@ -42,7 +42,8 @@ func (s Schedule) Equal(o Schedule) bool {
 	return true
 }
 
-// String renders the schedule as "⟨T0 T0 T1 …⟩".
+// String renders the schedule as "<T0 T0 T1 ...>", with ASCII angle
+// brackets so the output is grep- and terminal-safe.
 func (s Schedule) String() string {
 	out := make([]byte, 0, 4*len(s)+8)
 	out = append(out, "<"...)
@@ -139,12 +140,22 @@ func DCStep(last, choice ThreadID, n int, enabled func(ThreadID) bool) int {
 // same non-preemptive round-robin schedule, as §3 of the paper requires.
 //
 // enabled must be non-empty and sorted ascending. The result is freshly
-// allocated.
+// allocated; exploration hot paths that recycle buffers should use
+// AppendCanonicalOrder instead.
 func CanonicalOrder(enabled []ThreadID, last ThreadID, n int) []ThreadID {
+	return AppendCanonicalOrder(make([]ThreadID, 0, len(enabled)), enabled, last, n)
+}
+
+// AppendCanonicalOrder appends the canonical choice order (see
+// CanonicalOrder) to dst and returns the extended slice. With a dst of
+// sufficient capacity it performs no allocation, which is what makes the
+// exploration engines' per-node bookkeeping allocation-free when they
+// recycle node buffers through a free list.
+func AppendCanonicalOrder(dst, enabled []ThreadID, last ThreadID, n int) []ThreadID {
 	if len(enabled) == 0 {
 		panic("sched: CanonicalOrder over empty enabled set")
 	}
-	out := make([]ThreadID, 0, len(enabled))
+	base := len(dst)
 	start := last
 	if start == NoThread {
 		start = 0
@@ -155,13 +166,36 @@ func CanonicalOrder(enabled []ThreadID, last ThreadID, n int) []ThreadID {
 		id := ThreadID((int(start) + x) % n)
 		for _, e := range enabled {
 			if e == id {
-				out = append(out, id)
+				dst = append(dst, id)
 				break
 			}
 		}
 	}
-	if len(out) != len(enabled) {
+	if len(dst)-base != len(enabled) {
 		panic("sched: enabled ids out of range of thread count")
 	}
-	return out
+	return dst
+}
+
+// CanonicalFirst returns CanonicalOrder(enabled, last, n)[0] — the
+// deterministic scheduler's pick — without allocating. It is the
+// round-robin continuation choosers use at every scheduling point where
+// the previous thread blocked or exited.
+func CanonicalFirst(enabled []ThreadID, last ThreadID, n int) ThreadID {
+	if len(enabled) == 0 {
+		panic("sched: CanonicalFirst over empty enabled set")
+	}
+	start := last
+	if start == NoThread {
+		start = 0
+	}
+	for x := 0; x < n; x++ {
+		id := ThreadID((int(start) + x) % n)
+		for _, e := range enabled {
+			if e == id {
+				return id
+			}
+		}
+	}
+	panic("sched: enabled ids out of range of thread count")
 }

@@ -157,6 +157,58 @@ func TestCanonicalOrderFirstChoiceIsFree(t *testing.T) {
 	}
 }
 
+func TestAppendCanonicalOrderMatchesCanonicalOrder(t *testing.T) {
+	// AppendCanonicalOrder must agree with CanonicalOrder element for
+	// element, append strictly after dst's existing contents, and reuse
+	// dst's capacity (the allocation-free property the engines rely on).
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]ThreadID, 0, 8)
+	for i := 0; i < 10000; i++ {
+		n := rng.Intn(8) + 1
+		var enab []ThreadID
+		for id := 0; id < n; id++ {
+			if rng.Intn(2) == 0 {
+				enab = append(enab, ThreadID(id))
+			}
+		}
+		if len(enab) == 0 {
+			continue
+		}
+		last := ThreadID(rng.Intn(n))
+		want := CanonicalOrder(enab, last, n)
+		got := AppendCanonicalOrder(buf[:0], enab, last, n)
+		if len(got) != len(want) {
+			t.Fatalf("lengths differ: %v vs %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("order differs at %d: %v vs %v", j, got, want)
+			}
+		}
+		if cap(buf) >= len(got) && &got[0] != &buf[:1][0] {
+			t.Fatal("AppendCanonicalOrder reallocated despite sufficient capacity")
+		}
+		if first := CanonicalFirst(enab, last, n); first != want[0] {
+			t.Fatalf("CanonicalFirst = %d, want %d", first, want[0])
+		}
+		buf = got
+	}
+}
+
+func TestAppendCanonicalOrderPreservesPrefix(t *testing.T) {
+	dst := []ThreadID{9, 8}
+	out := AppendCanonicalOrder(dst, []ThreadID{0, 1}, NoThread, 2)
+	want := []ThreadID{9, 8, 0, 1}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
 func TestCanonicalOrderNonPreemptiveContinuationFirst(t *testing.T) {
 	order := CanonicalOrder([]ThreadID{0, 1, 2}, 1, 3)
 	want := []ThreadID{1, 2, 0}

@@ -74,16 +74,12 @@ func fromBlocks(bs []block) sched.Schedule {
 	return out
 }
 
-// replayCosts replays candidate and reports (feasible && buggy, outcome).
-func replayCosts(program vthread.Program, candidate sched.Schedule, opts Options) (*vthread.Outcome, bool) {
+// replayCosts replays candidate on the shared executor and reports
+// (feasible && buggy, outcome). The outcome is valid until the next replay;
+// callers clone what they keep.
+func replayCosts(ex *vthread.Executor, program vthread.Program, candidate sched.Schedule) (*vthread.Outcome, bool) {
 	rep := vthread.NewReplay(candidate)
-	w := vthread.NewWorld(vthread.Options{
-		Chooser:     rep,
-		Visible:     opts.Visible,
-		BoundsCheck: opts.BoundsCheck,
-		MaxSteps:    opts.MaxSteps,
-	})
-	out := w.Run(program)
+	out := ex.RunWith(rep, nil, program)
 	if rep.Failed() || !out.Buggy() {
 		return out, false
 	}
@@ -99,8 +95,14 @@ func Minimize(newProgram func() vthread.Program, witness sched.Schedule, opts Op
 		maxRounds = 16
 	}
 	res := &Result{Schedule: witness.Clone()}
+	ex := vthread.NewExecutor(vthread.Options{
+		Visible:     opts.Visible,
+		BoundsCheck: opts.BoundsCheck,
+		MaxSteps:    opts.MaxSteps,
+	})
+	defer ex.Close()
 
-	base, ok := replayCosts(newProgram(), res.Schedule, opts)
+	base, ok := replayCosts(ex, newProgram(), res.Schedule)
 	if !ok {
 		// Not a reproducible witness under these options: return as-is.
 		res.PC, res.DC = -1, -1
@@ -130,7 +132,7 @@ func Minimize(newProgram func() vthread.Program, witness sched.Schedule, opts Op
 				cand = append(cand, blocks[j+1:]...)
 				candidate := fromBlocks(cand)
 				res.Replays++
-				out, ok := replayCosts(newProgram(), candidate, opts)
+				out, ok := replayCosts(ex, newProgram(), candidate)
 				if !ok || out.PC >= res.PC {
 					continue
 				}

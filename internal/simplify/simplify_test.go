@@ -54,7 +54,9 @@ func TestMinimizeReducesRandomWitness(t *testing.T) {
 		t.Errorf("minimal witness has PC=%d, want 2 for this bug (spawn makes the\n\t\tfirst switch to the writer preemptive, and the writer is still enabled\n\t\tat the switch back)", res.PC)
 	}
 	// The minimised schedule must itself replay to the failure.
-	out, ok := replayCosts(racyFlag(), res.Schedule, Options{})
+	ex := vthread.NewExecutor(vthread.Options{})
+	defer ex.Close()
+	out, ok := replayCosts(ex, racyFlag(), res.Schedule)
 	if !ok || !out.Buggy() {
 		t.Fatal("minimised schedule does not reproduce")
 	}

@@ -15,7 +15,7 @@ func RoundRobin() Chooser {
 		if ctx.LastEnabled {
 			return ctx.Last
 		}
-		return sched.CanonicalOrder(ctx.Enabled, ctx.Last, ctx.NumThreads)[0]
+		return sched.CanonicalFirst(ctx.Enabled, ctx.Last, ctx.NumThreads)
 	})
 }
 
@@ -61,7 +61,7 @@ func (r *Replay) Choose(ctx Context) ThreadID {
 	if ctx.LastEnabled {
 		return ctx.Last
 	}
-	return sched.CanonicalOrder(ctx.Enabled, ctx.Last, ctx.NumThreads)[0]
+	return sched.CanonicalFirst(ctx.Enabled, ctx.Last, ctx.NumThreads)
 }
 
 // Failed reports whether the replay diverged from the recording.

@@ -16,7 +16,7 @@ package vthread
 //	                                   runs invisible ops…
 //	                                   …until the next visible op:
 //	                                   pending = op; state = parked
-//	                           ◀────── parkTo <- parkMsg
+//	                           ◀────── parkTo <- parkKind
 //	(loop)
 //
 // Because the world blocks on <-w.parked while a thread runs, and threads
@@ -35,14 +35,24 @@ package vthread
 // during a spawn the world is concurrently waiting for the *parent's*
 // park, and must not steal the child's.
 //
-// # Teardown
+// # Teardown and the worker pool
 //
 // When the outcome is decided (terminal, deadlock, failure, step limit),
-// abortRemaining marks every live thread killed and closes its gate; the
-// thread's receive returns, it panics with killSignal, and the recover in
-// main() unwinds it without touching shared state. Run returns only after
-// wg.Wait sees every goroutine exit, so studies running millions of
-// executions cannot leak goroutines (tested).
+// abortRemaining marks every live thread killed and sends one last grant
+// on its gate; the thread's receive returns, it panics with killSignal,
+// and the recover in runBody unwinds it without touching shared state.
+// The gate is deliberately *sent to*, never closed: under an Executor the
+// same Thread struct, gate and goroutine serve the next execution. A run
+// ends only after wg.Wait sees every body finish, so studies running
+// millions of executions cannot leak goroutines (tested).
+//
+// A pooled thread's goroutine is workerLoop: it receives one Program per
+// execution on t.jobs, runs it via runBody, signals the per-run WaitGroup
+// and parks again. newThread re-initialises all per-execution Thread
+// fields before sending on t.jobs, and the channel send/receive pair
+// provides the happens-before edge that makes the reuse race-free. A
+// plain World spawns runOne instead — same runBody, goroutine exits after
+// one body.
 //
 // # Determinism contract
 //

@@ -1,0 +1,134 @@
+package vthread
+
+import "sync"
+
+// Executor is a resettable World: an execution context that is reused
+// across many executions instead of being rebuilt per run. The workload of
+// systematic concurrency testing is millions of short executions, so
+// per-execution overhead dominates; the Executor removes it by recycling
+//
+//   - thread goroutines: each virtual thread's backing goroutine persists
+//     as a parked pool worker that is handed a new body per run instead of
+//     being spawned and torn down;
+//   - Thread structs, gate channels and park channels;
+//   - the trace, enabled-set and name/key buffers of the World;
+//   - the Outcome struct itself.
+//
+// In steady state a run allocates nothing in the substrate — only what the
+// program under test allocates for its own objects.
+//
+// # Aliasing contract
+//
+// Run and RunWith return a pointer to an Outcome that the next run
+// overwrites, and Outcome.Trace aliases the Executor's internal schedule
+// buffer, which the next run rewrites in place. Both are valid only until
+// the next Run/RunWith (or Close). A caller that retains the trace must
+// copy it (sched.Schedule.Clone); a caller that retains other Outcome
+// fields must copy them out before the next run. Outcome.Failure is
+// exempt: failures are freshly allocated per run and never recycled.
+//
+// # Confinement
+//
+// An Executor is confined to one goroutine, exactly like a World: Run,
+// RunWith and Close must all be called from the same goroutine, and
+// distinct Executors share no state, so one Executor per worker goroutine
+// is the intended parallel pattern. Reusing an Executor while a run is in
+// flight (for example from inside its own Chooser) panics.
+//
+// Close releases the pooled goroutines; dropping an Executor without
+// calling Close leaks its parked workers.
+type Executor struct {
+	w       World
+	free    []*Thread // parked pool workers available for the next run
+	workers sync.WaitGroup
+	outcome Outcome
+	running bool
+	closed  bool
+
+	// defChooser and defSink are the Options the Executor was created
+	// with; Run always uses these, regardless of what earlier RunWith
+	// calls installed for their runs.
+	defChooser Chooser
+	defSink    EventSink
+}
+
+// NewExecutor creates a reusable execution context. Unlike NewWorld,
+// opts.Chooser may be nil if every run supplies its own via RunWith.
+func NewExecutor(opts Options) *Executor {
+	e := &Executor{defChooser: opts.Chooser, defSink: opts.Sink}
+	e.w.init(opts)
+	e.w.pool = e
+	return e
+}
+
+// Run executes program once under the Options the Executor was created
+// with. See the type comment for the aliasing contract on the result.
+func (e *Executor) Run(program Program) *Outcome {
+	return e.RunWith(e.defChooser, e.defSink, program)
+}
+
+// RunWith executes program once with this run's chooser and event sink
+// (either may differ per run; sink may be nil for no observer). The other
+// Options fields (Visible, MaxSteps, BoundsCheck) stay as configured. See
+// the type comment for the aliasing contract on the result.
+func (e *Executor) RunWith(chooser Chooser, sink EventSink, program Program) *Outcome {
+	if chooser == nil {
+		panic("vthread: Executor run without a Chooser")
+	}
+	if e.closed {
+		panic("vthread: Executor run after Close")
+	}
+	if e.running {
+		panic("vthread: Executor reused while a run is in flight")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	e.w.opts.Chooser = chooser
+	e.w.opts.Sink = sink
+	e.w.reset()
+	e.w.exec(program)
+	e.w.fillOutcome(&e.outcome)
+
+	// Every body has finished (exec waits on the per-run WaitGroup), so the
+	// workers are parked on their jobs channels again: recycle them.
+	e.free = append(e.free, e.w.threads...)
+	e.w.threads = e.w.threads[:0]
+	return &e.outcome
+}
+
+// acquire pops a parked pool worker, or creates one (struct, channels,
+// goroutine) when the pool has none spare. Called by newThread.
+func (e *Executor) acquire() *Thread {
+	if n := len(e.free); n > 0 {
+		t := e.free[n-1]
+		e.free = e.free[:n-1]
+		return t
+	}
+	t := &Thread{
+		gate:  make(chan struct{}),
+		jobs:  make(chan Program, 1),
+		first: make(chan parkKind, 1),
+	}
+	e.workers.Add(1)
+	go t.workerLoop(&e.workers)
+	return t
+}
+
+// Close shuts down the pooled worker goroutines and waits for them to
+// exit. Idempotent; must not be called while a run is in flight. After
+// Close, Run and RunWith panic.
+func (e *Executor) Close() {
+	if e.closed {
+		return
+	}
+	if e.running {
+		panic("vthread: Executor.Close during a run")
+	}
+	e.closed = true
+	for _, t := range e.free {
+		close(t.jobs)
+	}
+	e.free = nil
+	e.workers.Wait()
+}

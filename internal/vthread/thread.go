@@ -1,6 +1,9 @@
 package vthread
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 type threadState int
 
@@ -13,15 +16,19 @@ const (
 	stateExited
 )
 
-// killSignal is the panic value used to unwind a virtual thread's goroutine
-// when the execution is torn down.
+// killSignal is the panic value used to unwind a virtual thread's body when
+// the execution is torn down. Pooled worker goroutines recover it and
+// return to the pool; one-shot goroutines recover it and exit.
 type killSignal struct{}
 
 // Thread is a virtual thread. All operations on shared objects take the
 // current thread as an argument, which is how the substrate serialises the
 // program: each such operation is (or may be) a scheduling point.
 //
-// A Thread handle is only valid inside the execution that created it.
+// A Thread handle is only valid inside the execution that created it. The
+// struct itself, its gate channel and its backing goroutine are recycled
+// across executions when the World is owned by an Executor; newThread
+// re-initialises every per-execution field before the body is handed over.
 type Thread struct {
 	w    *World
 	id   ThreadID
@@ -29,14 +36,20 @@ type Thread struct {
 	key  string // sync-object key for spawn/join happens-before edges
 
 	gate chan struct{}
-	// parkTo receives this thread's park notifications. During the eager
-	// prefix run it is a private channel consumed by the spawner (so the
-	// world loop, which may simultaneously be waiting for the *spawner's*
-	// park, cannot steal the message); the spawner then redirects it to the
+	// jobs delivers one Program per execution to this thread's pooled
+	// worker goroutine. Nil for one-shot (plain World) threads, whose
+	// goroutine runs a single body and exits.
+	jobs chan Program
+	// first receives this thread's park notifications during the eager
+	// prefix run: a private channel consumed by the spawner (so the world
+	// loop, which may simultaneously be waiting for the *spawner's* park,
+	// cannot steal the message); the spawner then redirects parkTo to the
 	// world's shared channel. The redirect is safe: the thread only reads
 	// parkTo at its next park, which cannot happen before the world next
-	// grants it, which happens-after the spawner parks.
-	parkTo  chan parkMsg
+	// grants it, which happens-after the spawner parks. The channel is
+	// drained by every use, so it is recycled along with the Thread.
+	first   chan parkKind
+	parkTo  chan parkKind
 	pending pendingOp
 	state   threadState
 	killed  bool
@@ -50,38 +63,82 @@ type Thread struct {
 // edges of thread id.
 func threadKey(id ThreadID) string { return fmt.Sprintf("thread/%d", id) }
 
-// newThread registers a thread, starts its backing goroutine, and runs the
+// ensureNames extends the name/key caches to cover id.
+func (w *World) ensureNames(id ThreadID) {
+	for len(w.names) <= int(id) {
+		n := ThreadID(len(w.names))
+		w.names = append(w.names, fmt.Sprintf("T%d", n))
+		w.keys = append(w.keys, threadKey(n))
+	}
+}
+
+// newThread registers a thread, hands its goroutine the body, and runs the
 // thread's invisible prefix up to its first visible operation (or exit)
-// before returning. The caller — World.Run for thread 0, a spawning thread
+// before returning. The caller — World.exec for thread 0, a spawning thread
 // otherwise — owns the execution at that moment, so it consumes the child's
 // first park itself. Running the prefix eagerly means a thread's first
 // schedulable step is its first *real* visible operation, exactly the step
 // model of §2; a thread with a fully invisible body never occupies a
 // scheduling point at all.
-func (w *World) newThread(parent *Thread, body Program) *Thread {
+//
+// On a pooled World the Thread (goroutine, gate, channels) comes from the
+// Executor's free list; otherwise a fresh struct and a one-shot goroutine
+// are created.
+func (w *World) newThread(body Program) *Thread {
 	id := ThreadID(len(w.threads))
-	first := make(chan parkMsg, 1)
-	t := &Thread{
-		w:      w,
-		id:     id,
-		name:   fmt.Sprintf("T%d", id),
-		key:    threadKey(id),
-		gate:   make(chan struct{}),
-		parkTo: first,
-		state:  stateParked,
+	w.ensureNames(id)
+	var t *Thread
+	if w.pool != nil {
+		t = w.pool.acquire()
+	} else {
+		t = &Thread{
+			gate:  make(chan struct{}),
+			first: make(chan parkKind, 1),
+		}
 	}
+	t.w = w
+	t.id = id
+	t.name = w.names[id]
+	t.key = w.keys[id]
+	t.pending = pendingOp{}
+	t.state = stateParked
+	t.killed = false
+	t.woken = false
+	t.parkTo = t.first
 	w.threads = append(w.threads, t)
 	w.wg.Add(1)
-	go t.main(body)
+	if t.jobs != nil {
+		t.jobs <- body // wakes the pooled worker goroutine
+	} else {
+		go t.runOne(body)
+	}
 	t.gate <- struct{}{} // run the invisible prefix
-	<-first              // …until the thread parks, exits or fails
+	<-t.first            // …until the thread parks, exits or fails
 	t.parkTo = w.parked  // all later parks go to the scheduler
 	return t
 }
 
-// main is the goroutine body backing a virtual thread.
-func (t *Thread) main(body Program) {
-	defer t.w.wg.Done()
+// workerLoop is the goroutine body of a pooled thread: one runBody per
+// assigned execution, parked on the jobs channel in between. exited is the
+// Executor's shutdown WaitGroup.
+func (t *Thread) workerLoop(exited *sync.WaitGroup) {
+	defer exited.Done()
+	for body := range t.jobs {
+		t.runBody(body)
+		t.w.wg.Done()
+	}
+}
+
+// runOne is the goroutine body of a one-shot (plain World) thread.
+func (t *Thread) runOne(body Program) {
+	t.runBody(body)
+	t.w.wg.Done()
+}
+
+// runBody executes one virtual-thread body to completion: clean exit,
+// failure, or teardown unwind. It never lets killSignal escape, so pooled
+// workers survive to serve the next execution.
+func (t *Thread) runBody(body Program) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killSignal); ok {
@@ -99,7 +156,7 @@ func (t *Thread) main(body Program) {
 	// scheduler never observes a stale parked state.
 	t.sinkRelease(t.key)
 	t.state = stateExited
-	t.parkTo <- parkMsg{kind: parkExited}
+	t.parkTo <- parkExited
 }
 
 // visible registers op as this thread's next visible operation and parks
@@ -111,11 +168,12 @@ func (t *Thread) visible(op pendingOp) {
 	}
 	t.pending = op
 	t.state = stateParked
-	t.parkTo <- parkMsg{kind: parkPending}
+	t.parkTo <- parkPending
 	t.awaitGrant()
 }
 
-// awaitGrant blocks until the world grants this thread (or kills it).
+// awaitGrant blocks until the world grants this thread (or kills it: a
+// grant with killed set is the teardown signal).
 func (t *Thread) awaitGrant() {
 	<-t.gate
 	if t.killed {
@@ -128,7 +186,7 @@ func (t *Thread) awaitGrant() {
 func (t *Thread) failNow(f *Failure) {
 	t.w.fail(f)
 	t.state = stateExited
-	t.parkTo <- parkMsg{kind: parkFailed}
+	t.parkTo <- parkFailed
 	panic(killSignal{})
 }
 
@@ -152,9 +210,10 @@ func (t *Thread) World() *World { return t.w }
 func (t *Thread) Spawn(body Program) *Thread {
 	t.visible(pendingOp{kind: opSpawn})
 	childID := ThreadID(len(t.w.threads))
+	t.w.ensureNames(childID)
 	t.sink().spawned(t.id, childID)
-	t.sinkRelease(threadKey(childID))
-	return t.w.newThread(t, body)
+	t.sinkRelease(t.w.keys[childID])
+	return t.w.newThread(body)
 }
 
 // SpawnAll creates several threads in one visible operation, modelling the
@@ -165,9 +224,10 @@ func (t *Thread) SpawnAll(bodies ...Program) []*Thread {
 	out := make([]*Thread, len(bodies))
 	for i, body := range bodies {
 		childID := ThreadID(len(t.w.threads))
+		t.w.ensureNames(childID)
 		t.sink().spawned(t.id, childID)
-		t.sinkRelease(threadKey(childID))
-		out[i] = t.w.newThread(t, body)
+		t.sinkRelease(t.w.keys[childID])
+		out[i] = t.w.newThread(body)
 	}
 	return out
 }

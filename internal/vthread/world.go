@@ -169,7 +169,9 @@ type Outcome struct {
 	// execution exposed a bug (deadlock, assertion failure, crash, …).
 	Failure *Failure
 	// Trace is the executed schedule: the thread chosen at each scheduling
-	// point, in order.
+	// point, in order. A World-produced Outcome owns its trace; an
+	// Executor-produced Outcome's trace aliases a buffer the next run
+	// rewrites, so retaining callers must Clone it (see Executor).
 	Trace sched.Schedule
 	// PC and DC are the preemption count and delay count of Trace, computed
 	// online with the paper's §2 definitions.
@@ -200,9 +202,12 @@ const (
 )
 
 // World is a single execution of a Program. A World must not be reused:
-// create a fresh World for every execution.
+// create a fresh World for every execution, or use an Executor, which is a
+// resettable World that recycles its thread goroutines and buffers across
+// executions.
 type World struct {
 	opts Options
+	pool *Executor // non-nil when owned by an Executor: threads are pooled
 
 	threads []*Thread
 	last    ThreadID
@@ -215,44 +220,80 @@ type World struct {
 	failure      *Failure
 	stepLimitHit bool
 
-	parked chan parkMsg
+	parked chan parkKind
 	wg     sync.WaitGroup
 
 	enabledBuf []ThreadID
-	running    bool
+	// pendingFn is w.pendingOf bound once; building the method value at
+	// every scheduling point would allocate a closure per step.
+	pendingFn func(ThreadID) PendingInfo
+
+	// names and keys cache the per-id display names ("T0", …) and
+	// sync-object keys ("thread/0", …). Ids repeat across the executions of
+	// an Executor, so the formatting cost is paid once per id, not per run.
+	names []string
+	keys  []string
+
+	running bool
 }
 
-type parkMsg struct {
-	kind parkKind
-}
-
-// NewWorld creates an execution context with the given options.
+// NewWorld creates a single-use execution context with the given options.
 func NewWorld(opts Options) *World {
 	if opts.Chooser == nil {
 		panic("vthread: Options.Chooser is required")
 	}
+	w := &World{}
+	w.init(opts)
+	return w
+}
+
+// init sets up the invariant parts of a World; shared by NewWorld and
+// NewExecutor (which validates the Chooser per run instead).
+func (w *World) init(opts Options) {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = DefaultMaxSteps
 	}
-	return &World{
-		opts:   opts,
-		last:   NoThread,
-		parked: make(chan parkMsg, 1),
-	}
+	w.opts = opts
+	w.last = NoThread
+	w.parked = make(chan parkKind, 1)
+	w.pendingFn = w.pendingOf
+}
+
+// reset prepares the World for another execution. Only an Executor resets a
+// World; the thread pool, trace capacity, enabled buffer and name caches
+// survive the reset.
+func (w *World) reset() {
+	w.threads = w.threads[:0]
+	w.last = NoThread
+	w.trace = w.trace[:0]
+	w.pc, w.dc = 0, 0
+	w.schedPoints, w.maxEnabled = 0, 0
+	w.failure = nil
+	w.stepLimitHit = false
 }
 
 // Run executes program to a terminal state (all threads exited), a failure,
 // or the step limit, and returns the outcome. Run must be called exactly once
-// per World. It returns only after every goroutine backing a virtual thread
-// has exited, so a long sequence of Runs cannot leak goroutines.
+// per World. It returns only after every virtual thread's body has finished
+// (exited or unwound), so nothing touches the program's state afterwards.
+// The returned Outcome and its Trace are owned by the caller: a single-use
+// World never writes to them again.
 func (w *World) Run(program Program) *Outcome {
 	if w.running {
 		panic("vthread: World.Run called twice")
 	}
 	w.running = true
 
-	root := w.newThread(nil, program)
-	_ = root
+	w.exec(program)
+
+	out := &Outcome{}
+	w.fillOutcome(out)
+	return out
+}
+
+// exec is the scheduling loop shared by World.Run and Executor runs.
+func (w *World) exec(program Program) {
+	w.newThread(program)
 
 	for {
 		enabled := w.enabledThreads()
@@ -288,8 +329,13 @@ func (w *World) Run(program Program) *Outcome {
 
 	w.abortRemaining()
 	w.wg.Wait()
+}
 
-	return &Outcome{
+// fillOutcome writes the execution's summary into out. The Trace field
+// aliases w.trace; the caller decides whether that buffer is single-use
+// (World) or recycled (Executor).
+func (w *World) fillOutcome(out *Outcome) {
+	*out = Outcome{
 		Failure:      w.failure,
 		Trace:        w.trace,
 		PC:           w.pc,
@@ -309,7 +355,7 @@ func (w *World) choose(enabled []ThreadID) ThreadID {
 		Last:        w.last,
 		LastEnabled: w.lastEnabled(enabled),
 		NumThreads:  len(w.threads),
-		PendingOf:   w.pendingOf,
+		PendingOf:   w.pendingFn,
 	}
 	choice := w.opts.Chooser.Choose(ctx)
 	if !containsThread(enabled, choice) {
@@ -363,19 +409,21 @@ func (w *World) finishIdle() {
 	}
 }
 
-// abortRemaining kills every thread that has not exited so its goroutine
-// unwinds. Called once the execution outcome is decided. A killed thread
-// panics with killSignal out of its parked receive and unwinds without
-// touching shared state or parking again, so no channel drain is needed;
-// Run's wg.Wait observes the unwinding complete.
+// abortRemaining kills every thread that has not exited so its body
+// unwinds. Called once the execution outcome is decided. Every non-exited
+// thread is blocked in (or about to enter) awaitGrant, so the kill is a
+// grant with killed set: the thread panics with killSignal out of the
+// receive and unwinds without touching shared state or parking again.
+// The gate is never closed — it is recycled by the Executor pool — and
+// exec's wg.Wait observes the unwinding complete.
 func (w *World) abortRemaining() {
 	for _, t := range w.threads {
 		if t.state == stateExited {
 			continue
 		}
 		t.killed = true
-		close(t.gate)
 		t.state = stateExited
+		t.gate <- struct{}{}
 	}
 }
 

@@ -82,7 +82,23 @@ type (
 	// World is confined to the goroutine that runs it — one world per
 	// goroutine; see vthread.Options for the full concurrency contract.
 	WorldOptions = vthread.Options
+	// Executor is a reusable execution context: thread goroutines and all
+	// per-execution buffers are recycled across runs, making a long
+	// sequence of executions allocation-free in the substrate. Every
+	// exploration driver in this library runs on Executors internally;
+	// expose it for custom search loops that call Run/RunWith millions of
+	// times. The returned Outcome and its Trace are valid only until the
+	// next run — clone what you retain — and an Executor is confined to
+	// one goroutine (one Executor per worker). Close it when done.
+	Executor = vthread.Executor
 )
+
+// NewExecutor creates a reusable execution context (see Executor). Unlike
+// RunOnce, opts.Chooser may be nil if every run supplies its own chooser
+// via RunWith.
+func NewExecutor(opts WorldOptions) *Executor {
+	return vthread.NewExecutor(opts)
+}
 
 // Exploration techniques (the paper's §5 phases).
 const (
@@ -188,7 +204,9 @@ func ReplayVisible(program Program, s Schedule, visible func(string) bool) (out 
 // robin by default) — the lowest-level entry point. The execution world is
 // confined to the calling goroutine (one world per goroutine): concurrent
 // RunOnce calls are safe provided each passes its own Chooser/Sink and the
-// program body keeps all state local to the invocation.
+// program body keeps all state local to the invocation. For a loop of many
+// executions, use NewExecutor instead: it recycles the per-execution
+// goroutines and buffers that RunOnce rebuilds every call.
 func RunOnce(program Program, opts WorldOptions) *Outcome {
 	if opts.Chooser == nil {
 		opts.Chooser = vthread.RoundRobin()
