@@ -17,16 +17,21 @@ test:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 3x .
 
-# Substrate throughput benchmarks (executions/sec, allocs/execution),
-# recorded as JSON to seed the perf trajectory across PRs. The temp file
-# keeps a benchmark failure from being masked by the pipe; benchjson also
-# exits non-zero when no benchmark lines parsed.
+# Substrate throughput benchmarks (executions/sec, allocs/execution) and
+# exploration reduction benchmarks (executions, steps and schedules per
+# technique: DFS vs sleep-set vs DPOR), recorded as JSON to seed the perf
+# trajectory across PRs. The temp files keep a benchmark failure from
+# being masked by the pipe; benchjson also exits non-zero when no
+# benchmark lines parsed.
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkExecutorThroughput|BenchmarkSubstrateThroughput' \
 		-benchmem -benchtime 1000x . > BENCH_substrate.txt
-	$(GO) run ./cmd/benchjson < BENCH_substrate.txt > BENCH_substrate.json
+	$(GO) run ./cmd/benchjson -o BENCH_substrate.json < BENCH_substrate.txt
 	@rm -f BENCH_substrate.txt
-	@cat BENCH_substrate.json
+	$(GO) test -run xxx -bench 'BenchmarkExploreReduction' -benchtime 3x . > BENCH_explore.txt
+	$(GO) run ./cmd/benchjson -o BENCH_explore.json < BENCH_explore.txt
+	@rm -f BENCH_explore.txt
+	@cat BENCH_substrate.json BENCH_explore.json
 
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \

@@ -1,5 +1,5 @@
 // Benchmark harness: one testing.B target per table and figure of the
-// paper's evaluation, plus ablations for the design choices DESIGN.md §7
+// paper's evaluation, plus ablations for the design choices DESIGN.md §8
 // calls out. The table/figure benches run the real study pipeline at a
 // reduced schedule limit per iteration (the full 10,000-schedule study is
 // cmd/sctbench's job; a testing.B iteration must be repeatable in
@@ -133,7 +133,7 @@ func BenchmarkFig4(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §7) ---
+// --- Ablations (DESIGN.md §8) ---
 
 // BenchmarkAblationHandoff measures the substrate's context-switch cost:
 // one visible operation = one park/grant handoff.

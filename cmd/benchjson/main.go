@@ -1,16 +1,20 @@
 // Command benchjson converts `go test -bench` text output (read from
 // stdin) into a JSON document, so benchmark runs can be recorded and
 // diffed across commits. `make bench-json` pipes the substrate throughput
-// benchmarks through it into BENCH_substrate.json.
+// benchmarks through it into BENCH_substrate.json and the exploration
+// reduction benchmarks into BENCH_explore.json.
 //
 // Usage:
 //
-//	go test -run xxx -bench . -benchmem . | go run ./cmd/benchjson > out.json
+//	go test -run xxx -bench . -benchmem . | go run ./cmd/benchjson [-o out.json]
+//
+// Without -o the document goes to stdout.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -38,6 +42,8 @@ type Report struct {
 }
 
 func main() {
+	outPath := flag.String("o", "", "write the JSON document to this file instead of stdout")
+	flag.Parse()
 	rep := Report{Results: []Result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -66,7 +72,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines in input")
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	dst := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: create:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sctrun -bench CS.account_bad [-technique idb|ipb|dfs|rand|maple|sleepset]
+//	sctrun -bench CS.account_bad [-technique idb|ipb|dfs|dpor|rand|maple|sleepset]
 //	       [-limit 10000] [-seed 1] [-workers N] [-norace] [-replay]
 //	       [-minimize] [-save witness.json] [-load witness.json] [-log]
 //	       [-list]
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	name := flag.String("bench", "", "benchmark name (see -list)")
-	tech := flag.String("technique", "idb", "ipb | idb | dfs | rand | maple")
+	tech := flag.String("technique", "idb", "ipb | idb | dfs | dpor | rand | maple | sleepset")
 	limit := flag.Int("limit", explore.DefaultLimit, "terminal-schedule limit")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
@@ -91,11 +91,12 @@ func main() {
 			MaxSteps: b.MaxSteps, Limit: *limit,
 		})
 		if !res.BugFound {
-			fmt.Printf("sleep-set DFS: no bug within %d schedules (complete=%v)\n", res.Schedules, res.Complete)
+			fmt.Printf("sleep-set DFS: no bug within %d schedules (complete=%v, %d of %d executions aborted as redundant)\n",
+				res.Schedules, res.Complete, res.AbortedExecutions, res.Executions)
 			return
 		}
-		fmt.Printf("sleep-set DFS: bug after %d schedules (%d executions): %v\n",
-			res.SchedulesToFirstBug, res.Executions, res.Failure)
+		fmt.Printf("sleep-set DFS: bug after %d schedules (%d executions, %d aborted as redundant): %v\n",
+			res.SchedulesToFirstBug, res.Executions, res.AbortedExecutions, res.Failure)
 		finishWitness(b, visible, racyVars, res.Witness, "sleepset", *replay, *minimize, *savePath, *logTrace)
 		return
 	}
@@ -108,6 +109,8 @@ func main() {
 		t = explore.IDB
 	case "dfs":
 		t = explore.DFS
+	case "dpor":
+		t = explore.DPOR
 	case "rand":
 		t = explore.Rand
 	default:
@@ -118,6 +121,10 @@ func main() {
 		Program: b.New(), Visible: visible, BoundsCheck: b.BoundsCheck,
 		MaxSteps: b.MaxSteps, Limit: *limit, Seed: *seed, Workers: *workers,
 	})
+	if t == explore.DPOR {
+		fmt.Printf("DPOR: %d executions (%d aborted as redundant, %d branches pruned, %d total steps)\n",
+			res.Executions, res.AbortedExecutions, res.BranchesPruned, res.TotalSteps)
+	}
 	if !res.BugFound {
 		fmt.Printf("%s: no bug within %d schedules (bound reached %d, complete=%v)\n",
 			t, res.Schedules, res.Bound, res.Complete)

@@ -1,0 +1,73 @@
+// Reduction benchmarks for the pruning stack: DFS versus sleep-set DFS
+// versus source-set DPOR on CS-suite programs. The numbers that matter are
+// executions per full exploration, total executed steps (the abort path's
+// saving) and wall-clock; `make bench-json` records them as
+// BENCH_explore.json next to the substrate numbers in
+// BENCH_substrate.json.
+package sctbench
+
+import (
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/explore"
+)
+
+// exploreReductionPrograms are small enough for DFS to enumerate the full
+// space within the limit, so the reduction factors are exact, not
+// budget-truncated.
+var exploreReductionPrograms = []string{
+	"CS.account_bad",
+	"CS.lazy01_bad",
+	"CS.arithmetic_prog_bad",
+}
+
+// BenchmarkExploreReduction runs one complete exploration per iteration
+// and reports executions, counted schedules, executed steps and
+// executions/sec per technique. The per-op time is the headline wall-clock
+// comparison: DPOR must beat DFS by more than its reduction bookkeeping
+// costs.
+func BenchmarkExploreReduction(b *testing.B) {
+	techniques := []struct {
+		name string
+		run  func(cfg explore.Config) *explore.Result
+	}{
+		{"dfs", func(cfg explore.Config) *explore.Result { return explore.RunDFS(cfg) }},
+		{"sleepset", explore.RunSleepSetDFS},
+		{"dpor", func(cfg explore.Config) *explore.Result { return explore.RunDPOR(cfg) }},
+	}
+	for _, name := range exploreReductionPrograms {
+		bm := bench.ByName(name)
+		if bm == nil {
+			b.Fatalf("unknown benchmark %s", name)
+		}
+		for _, tech := range techniques {
+			b.Run(name+"/"+tech.name, func(b *testing.B) {
+				prog := bm.New()
+				var execs, scheds, aborted int
+				var steps int64
+				bugFound := false
+				for i := 0; i < b.N; i++ {
+					r := tech.run(explore.Config{
+						Program: prog, BoundsCheck: bm.BoundsCheck,
+						MaxSteps: bm.MaxSteps, Limit: 20000,
+					})
+					execs += r.Executions
+					scheds += r.Schedules
+					aborted += r.AbortedExecutions
+					steps += r.TotalSteps
+					bugFound = r.BugFound
+				}
+				if !bugFound {
+					b.Fatalf("%s/%s: bug not found", name, tech.name)
+				}
+				n := float64(b.N)
+				b.ReportMetric(float64(execs)/n, "execs/explore")
+				b.ReportMetric(float64(scheds)/n, "schedules/explore")
+				b.ReportMetric(float64(steps)/n, "steps/explore")
+				b.ReportMetric(float64(aborted)/n, "aborted/explore")
+				reportExecRate(b, execs)
+			})
+		}
+	}
+}

@@ -7,7 +7,7 @@
 // bound, and roughly how hard it is for random scheduling).
 //
 // Substitutions relative to the originals are documented per suite in the
-// suite files and summarised in DESIGN.md §1/§6.
+// suite files and summarised in DESIGN.md §1/§7.
 package bench
 
 import (

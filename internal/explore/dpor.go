@@ -1,0 +1,457 @@
+package explore
+
+// Source-set style dynamic partial-order reduction (DPOR) for the
+// unbounded depth-first search — the second layer of the pruning stack §7
+// of the paper names as future work, on top of the sleep sets in
+// sleepset.go. Following the paper's methodology note, POR stays out of
+// the bounded IPB/IDB phases (the interaction of POR and schedule
+// bounding "is complex and the topic of recent and ongoing work", §5).
+//
+// The algorithm is classic dynamic POR [Flanagan & Godefroid, POPL'05]
+// combined with sleep sets [Godefroid '96], with the source-set framing of
+// Abdulla et al. for the backtrack-point choice: instead of expanding
+// every enabled sibling at a scheduling point (DFS), a node starts with a
+// single choice and grows a *backtrack set* on demand. After every
+// execution the engine walks the newly executed suffix; for each step it
+// finds every earlier step by another thread whose operation is dependent
+// (vthread.PendingInfo footprints) and not already ordered by the
+// happens-before relation of the executed trace (computed with vector
+// clocks over the same footprints, including spawn and join program-order
+// edges). Each such pair is a reversible race: the racing thread joins
+// the backtrack set of the earlier scheduling point (or, when it was not
+// enabled there, every enabled thread does — the conservative source-set
+// over-approximation). Sleep sets then prune the
+// re-explorations that would only reproduce an already-covered
+// Mazurkiewicz trace, and a run whose enabled threads are all asleep is
+// chooser-aborted on the spot (vthread.Context.Abort), so detected
+// redundancies cost their shared prefix only.
+//
+// The engine reuses the free-list discipline of engine/ssEngine: node
+// buffers (order, infos, done/backtrack flags, sleep maps) and the
+// race-analysis scratch (vector-clock rows, per-object access state) are
+// recycled, so the replay-and-extend hot path allocates only while the
+// stack or thread count grows past its high-water mark.
+
+import (
+	"sctbench/internal/sched"
+	"sctbench/internal/vthread"
+)
+
+// dporNode is one scheduling point on the DPOR stack. order/infos list the
+// enabled threads (canonical order) and their pending-operation
+// footprints; idx is the choice the current execution takes; done marks
+// choices whose subtrees are fully explored (or, in the parallel driver,
+// owned by another unit that will fully explore them); backtrack marks the
+// choices this node must explore; sleep is the inherited sleep set.
+type dporNode struct {
+	order     []sched.ThreadID
+	infos     []vthread.PendingInfo
+	idx       int
+	done      []bool
+	backtrack []bool
+	sleep     map[sched.ThreadID]vthread.PendingInfo
+	// nthreads is the thread count at this scheduling point; a thread id
+	// in [nthreads(i), nthreads(i+1)) was created by step i, which is how
+	// the race analysis recovers spawn happens-before edges.
+	nthreads int
+}
+
+// dporObj is the per-object access state of one happens-before pass:
+// the last write step and the reads since it. run is the epoch that
+// invalidates stale state without clearing the map between runs.
+type dporObj struct {
+	run       int
+	lastWrite int
+	reads     []int
+}
+
+// dporEngine is the DPOR driver; like engine and ssEngine it doubles as
+// the vthread.Chooser of the executions it spawns.
+type dporEngine struct {
+	cfg  Config
+	exec *vthread.Executor
+
+	stack []dporNode
+	// analyzeFrom is the shallowest stack depth whose taken step has not
+	// been race-analyzed yet: 0 for a fresh engine, the advanced node's
+	// depth after a backtrack, len(stack) right after an analysis.
+	analyzeFrom int
+	// borrowed marks the prefix [0, borrowed) as deep copies of a donor's
+	// nodes (parallel driver): their retirement is not counted as pruning
+	// here, because the donor retires (and counts) the originals.
+	borrowed int
+
+	executions int
+	pruned     int
+	maxThreads int
+
+	// Free lists recycling retired nodes' buffers, as in engine/ssEngine.
+	freeOrders [][]sched.ThreadID
+	freeInfos  [][]vthread.PendingInfo
+	freeFlags  [][]bool
+	freeSleeps []map[sched.ThreadID]vthread.PendingInfo
+
+	// Race-analysis scratch, persistent across runs. vc[i] is the vector
+	// clock of step i (vc[i][t] = 1 + the latest step of thread t
+	// happening-before-or-equal step i, 0 for none); prevOf[t] is thread
+	// t's previous step during the forward pass; spawnOf[t] is the step
+	// that created thread t (-1 for the initial thread), giving every
+	// first step its spawn happens-before edge — without it, a child's
+	// steps would look concurrent with everything before the spawn and
+	// trigger spurious backtrack points; objs carries the per-object
+	// last-write/readers state, epoch-invalidated by run.
+	vc      [][]int32
+	prevOf  []int
+	spawnOf []int
+	objs    map[string]*dporObj
+	run     int
+}
+
+func newDPOREngine(cfg Config) *dporEngine {
+	return &dporEngine{cfg: cfg, objs: make(map[string]*dporObj)}
+}
+
+// Choose implements vthread.Chooser: replay the stack prefix, extend the
+// deepest branch with the first non-sleeping thread, or abort when sleep
+// sets prove the whole subtree redundant.
+func (e *dporEngine) Choose(ctx vthread.Context) sched.ThreadID {
+	if ctx.Step < len(e.stack) {
+		nd := &e.stack[ctx.Step]
+		return nd.order[nd.idx]
+	}
+	if ctx.NumThreads > e.maxThreads {
+		e.maxThreads = ctx.NumThreads
+	}
+	order, infos := popOrderInfos(&e.freeOrders, &e.freeInfos, ctx)
+	sleep := e.getSleep()
+	if n := len(e.stack); n > 0 {
+		dporChildSleep(&e.stack[n-1], sleep)
+	}
+	idx := -1
+	for i, t := range order {
+		if _, asleep := sleep[t]; !asleep {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// Every enabled thread is asleep: the subtree is Mazurkiewicz-
+		// equivalent to explored schedules. Cut the run short instead of
+		// executing its tail; the node is never pushed.
+		ctx.Abort()
+		e.pruned += len(order)
+		e.freeOrders = append(e.freeOrders, order[:0])
+		e.freeInfos = append(e.freeInfos, infos[:0])
+		e.putSleep(sleep)
+		return ctx.Enabled[0] // ignored by the abort contract
+	}
+	done := e.getFlags(len(order))
+	backtrack := e.getFlags(len(order))
+	backtrack[idx] = true
+	e.stack = append(e.stack, dporNode{
+		order: order, infos: infos, idx: idx,
+		done: done, backtrack: backtrack, sleep: sleep,
+		nthreads: ctx.NumThreads,
+	})
+	return order[idx]
+}
+
+// dporChildSleep fills dst with the sleep set a child of parent inherits:
+// sleeping threads and fully explored siblings whose operations are
+// independent of the branch being taken now.
+func dporChildSleep(parent *dporNode, dst map[sched.ThreadID]vthread.PendingInfo) {
+	taken := parent.order[parent.idx]
+	takenInfo := parent.infos[parent.idx]
+	for t, info := range parent.sleep {
+		if t != taken && info.Independent(takenInfo) {
+			dst[t] = info
+		}
+	}
+	for k, isDone := range parent.done {
+		if isDone && parent.infos[k].Independent(takenInfo) {
+			dst[parent.order[k]] = parent.infos[k]
+		}
+	}
+}
+
+// runOnce executes the program once, replaying the stack prefix, then
+// race-analyzes the newly executed steps to grow backtrack sets.
+func (e *dporEngine) runOnce() *vthread.Outcome {
+	e.executions++
+	out := e.exec.RunWith(e, nil, e.cfg.Program)
+	e.analyze()
+	e.analyzeFrom = len(e.stack)
+	return out
+}
+
+// analyze performs the DPOR race pass over the current stack: a forward
+// happens-before computation with vector clocks over the executed steps'
+// footprints, and, for every step not analyzed before, a backward scan
+// for dependent-and-concurrent steps by other threads. Each such race
+// adds a backtrack point at the earlier scheduling point. The forward
+// pass deliberately recomputes clocks from step 0 each run rather than
+// checkpointing per-depth state: the race scan alone is already O(new
+// steps x depth), the pass reuses pooled buffers, and on the CS-scale
+// traces the engine targets the whole analysis is a small fraction of
+// the execution it annotates.
+func (e *dporEngine) analyze() {
+	n := len(e.stack)
+	if n == 0 || e.analyzeFrom >= n {
+		return
+	}
+	e.run++
+	nt := e.maxThreads
+	e.ensureScratch(n, nt)
+	for t := 0; t < nt; t++ {
+		e.prevOf[t] = -1
+		e.spawnOf[t] = -1
+	}
+	for i := 0; i < n; i++ {
+		nd := &e.stack[i]
+		p := int(nd.order[nd.idx])
+		info := nd.infos[nd.idx]
+		// Threads first seen at the next scheduling point were created by
+		// this step: record the spawn edge source.
+		if i+1 < n {
+			for t := nd.nthreads; t < e.stack[i+1].nthreads && t < nt; t++ {
+				e.spawnOf[t] = i
+			}
+		}
+		v := e.vc[i][:nt]
+		for t := range v {
+			v[t] = 0
+		}
+		if pp := e.prevOf[p]; pp >= 0 {
+			joinVC(v, e.vc[pp][:nt])
+		} else if sp := e.spawnOf[p]; sp >= 0 {
+			joinVC(v, e.vc[sp][:nt]) // spawn happens-before the first step
+		}
+		// A join is ordered after every step of the joined thread (its
+		// exit is not a scheduling point, so no object edge covers this).
+		if info.IsJoin {
+			if tgt := int(info.JoinOf); tgt >= 0 && tgt < nt {
+				if tp := e.prevOf[tgt]; tp >= 0 {
+					joinVC(v, e.vc[tp][:nt])
+				}
+			}
+		}
+		// Dependence edges from the per-object access history.
+		for _, key := range info.Objects {
+			if key == "" {
+				continue
+			}
+			st := e.obj(key)
+			if st.lastWrite >= 0 {
+				joinVC(v, e.vc[st.lastWrite][:nt])
+			}
+			if !info.ReadOnly {
+				for _, rj := range st.reads {
+					joinVC(v, e.vc[rj][:nt])
+				}
+			}
+		}
+
+		if i >= e.analyzeFrom {
+			e.addRaceBacktracks(i, p, info, nt)
+		}
+
+		// Update the access history and close the step's clock.
+		for _, key := range info.Objects {
+			if key == "" {
+				continue
+			}
+			st := e.obj(key)
+			if info.ReadOnly {
+				st.reads = append(st.reads, i)
+			} else {
+				st.lastWrite = i
+				st.reads = st.reads[:0]
+			}
+		}
+		v[p] = int32(i + 1)
+		e.prevOf[p] = i
+	}
+}
+
+// addRaceBacktracks scans backwards from step i (thread p, footprint
+// info) and adds a backtrack point at every earlier step by another
+// thread whose operation is dependent with i's and not already ordered
+// before p by the happens-before relation of the trace. Considering every
+// race of the trace — not only the most recent per step — is the
+// source-set style formulation; it is what keeps the scan sound without a
+// may-be-co-enabled oracle: the classic "last dependent step only" rule
+// would let a release operation (never co-enabled with the acquire it
+// unblocks, hence never reversible) shadow the reversible acquire-acquire
+// race behind it.
+func (e *dporEngine) addRaceBacktracks(i, p int, info vthread.PendingInfo, nt int) {
+	// p's pre-state clock: its previous step, or the step that spawned it;
+	// nil only for the initial thread's first step.
+	var pre []int32
+	if pp := e.prevOf[p]; pp >= 0 {
+		pre = e.vc[pp][:nt]
+	} else if sp := e.spawnOf[p]; sp >= 0 {
+		pre = e.vc[sp][:nt]
+	}
+	for j := i - 1; j >= 0; j-- {
+		ndj := &e.stack[j]
+		q := int(ndj.order[ndj.idx])
+		if q == p {
+			continue // program order, never reversible
+		}
+		if ndj.infos[ndj.idx].Independent(info) {
+			continue
+		}
+		if pre != nil && pre[q] >= int32(j+1) {
+			continue // already ordered before p's step by other dependences
+		}
+		// Reversible race (j, i): thread p must be tried at point j — or,
+		// when p was not enabled there, every enabled thread must (the
+		// conservative source-set over-approximation).
+		hit := false
+		for k, t := range ndj.order {
+			if int(t) == p {
+				ndj.backtrack[k] = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			for k := range ndj.backtrack {
+				ndj.backtrack[k] = true
+			}
+		}
+	}
+}
+
+// backtrack advances the search to the next required branch — the first
+// backtrack-set member at the deepest node that is neither explored nor
+// asleep — popping exhausted nodes, and returns false when the reduced
+// space is exhausted.
+func (e *dporEngine) backtrack() bool {
+	for len(e.stack) > 0 {
+		d := len(e.stack) - 1
+		nd := &e.stack[d]
+		nd.done[nd.idx] = true
+		next := -1
+		for k := range nd.order {
+			if !nd.backtrack[k] || nd.done[k] {
+				continue
+			}
+			if _, asleep := nd.sleep[nd.order[k]]; asleep {
+				continue
+			}
+			next = k
+			break
+		}
+		if next >= 0 {
+			nd.idx = next
+			e.analyzeFrom = d
+			return true
+		}
+		// Retire the node; every choice never explored is a subtree DFS
+		// would have walked. Borrowed prefix copies are the donor's to
+		// count.
+		if d >= e.borrowed {
+			for k := range nd.order {
+				if !nd.done[k] {
+					e.pruned++
+				}
+			}
+		}
+		e.freeOrders = append(e.freeOrders, nd.order[:0])
+		e.freeInfos = append(e.freeInfos, nd.infos[:0])
+		e.freeFlags = append(e.freeFlags, nd.done[:0], nd.backtrack[:0])
+		e.putSleep(nd.sleep)
+		nd.order, nd.infos, nd.done, nd.backtrack, nd.sleep = nil, nil, nil, nil, nil
+		e.stack = e.stack[:d]
+	}
+	return false
+}
+
+// Buffer pools.
+
+func (e *dporEngine) getFlags(n int) []bool {
+	var f []bool
+	if m := len(e.freeFlags); m > 0 {
+		f, e.freeFlags = e.freeFlags[m-1], e.freeFlags[:m-1]
+	}
+	for i := 0; i < n; i++ {
+		f = append(f, false)
+	}
+	return f
+}
+
+func (e *dporEngine) getSleep() map[sched.ThreadID]vthread.PendingInfo {
+	if n := len(e.freeSleeps); n > 0 {
+		s := e.freeSleeps[n-1]
+		e.freeSleeps = e.freeSleeps[:n-1]
+		return s
+	}
+	return make(map[sched.ThreadID]vthread.PendingInfo)
+}
+
+func (e *dporEngine) putSleep(s map[sched.ThreadID]vthread.PendingInfo) {
+	clear(s)
+	e.freeSleeps = append(e.freeSleeps, s)
+}
+
+// ensureScratch sizes the vector-clock rows for n steps of nt threads.
+func (e *dporEngine) ensureScratch(n, nt int) {
+	for len(e.vc) < n {
+		e.vc = append(e.vc, nil)
+	}
+	for i := 0; i < n; i++ {
+		if cap(e.vc[i]) < nt {
+			e.vc[i] = make([]int32, nt)
+		}
+		e.vc[i] = e.vc[i][:nt]
+	}
+	if cap(e.prevOf) < nt {
+		e.prevOf = make([]int, nt)
+	}
+	e.prevOf = e.prevOf[:nt]
+	if cap(e.spawnOf) < nt {
+		e.spawnOf = make([]int, nt)
+	}
+	e.spawnOf = e.spawnOf[:nt]
+}
+
+// obj returns the epoch-validated access state of an object key.
+func (e *dporEngine) obj(key string) *dporObj {
+	st := e.objs[key]
+	if st == nil {
+		st = &dporObj{}
+		e.objs[key] = st
+	}
+	if st.run != e.run {
+		st.run = e.run
+		st.lastWrite = -1
+		st.reads = st.reads[:0]
+	}
+	return st
+}
+
+func joinVC(dst, src []int32) {
+	for t := range dst {
+		if src[t] > dst[t] {
+			dst[t] = src[t]
+		}
+	}
+}
+
+// RunDPOR performs unbounded depth-first search with source-set style
+// dynamic partial-order reduction plus sleep sets. It explores at most the
+// schedules sleep-set DFS would (one representative per Mazurkiewicz trace
+// in the best case), reaching the same failure verdicts as RunDFS with —
+// typically dramatically — fewer executions, and chooser-aborts the
+// redundant runs it does start. With cfg.Workers > 1 the reduced tree is
+// explored by the work-stealing pool (see parallel.go); parallel counts
+// are exact when no work was stolen and may otherwise include duplicated
+// equivalence classes, but the bug verdict is preserved either way.
+func RunDPOR(cfg Config) *Result {
+	if cfg.Workers > 1 {
+		return runDPORParallel(cfg)
+	}
+	cfg = cfg.withDefaults()
+	return runSequentialTree(cfg, &Result{Technique: DPOR}, newDPOREngine(cfg))
+}

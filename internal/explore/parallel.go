@@ -8,21 +8,32 @@ package explore
 // worker donates the untried sibling range of the shallowest open node on
 // its stack as a new unit (the owner works at the tail of its stack, the
 // donation is carved off at the head — the deque discipline of the
-// work-stealing queue benchmarked in examples/wsq).
+// work-stealing queue benchmarked in examples/wsq). Units are generic over
+// the searcher interface, so the same pool drives the plain DFS/IPB/IDB
+// engine and the DPOR engine (whose donations deep-copy backtrack, done
+// and sleep state; see dporEngine.split).
 //
 // Determinism. Depth-first search visits terminal schedules in the
 // lexicographic order of their branch keys (sched.CompareBranchKeys), and
-// every unit covers a contiguous lexicographic range, so concatenating
-// per-unit results sorted by start key reproduces the sequential visit
-// order exactly — no matter how the work-stealing happened to cut the tree.
-// Schedule totals, per-bound NewSchedules, completeness, the first-bug
-// selection and its witness are therefore bit-identical to Workers: 1
-// whenever the search runs to completion. When the schedule limit truncates
-// the search, the counted totals are still exact (the budget is an atomic
-// ticket counter), but which schedules fall inside the budget depends on
-// worker timing, so BugFound/Witness may differ from a sequential
-// truncated run; Executions is always the actual work performed, including
-// cancelled speculative bounds.
+// every DFS/IPB/IDB unit covers a contiguous lexicographic range, so
+// concatenating per-unit results sorted by start key reproduces the
+// sequential visit order exactly — no matter how the work-stealing
+// happened to cut the tree. Schedule totals, per-bound NewSchedules,
+// completeness, the first-bug selection and its witness are therefore
+// bit-identical to Workers: 1 whenever the search runs to completion. When
+// the schedule limit truncates the search, the counted totals are still
+// exact (the budget is an atomic ticket counter), but which schedules fall
+// inside the budget depends on worker timing, so BugFound/Witness may
+// differ from a sequential truncated run; Executions is always the actual
+// work performed, including cancelled speculative bounds.
+//
+// DPOR is the exception to exactness: its backtrack sets grow from races
+// observed at runtime, so a donated unit and its donor may later discover
+// the same reversal independently and both explore it. Parallel DPOR is
+// sound — every Mazurkiewicz trace the sequential search covers is covered
+// — and bit-identical to Workers: 1 whenever no work was stolen, but under
+// stealing the schedule count may include duplicated equivalence classes.
+// The bug verdict and completeness are preserved either way.
 //
 // Iterative bounding (IPB/IDB) additionally overlaps bound sweeps: while
 // bound k drains, a lower-priority job speculatively explores bound k+1 in
@@ -40,13 +51,213 @@ import (
 	"sctbench/internal/vthread"
 )
 
+// searcher is the engine contract the worker pool drives. Both engine
+// (DFS/IPB/IDB) and dporEngine implement it. A searcher is confined to
+// one worker goroutine at a time; donation transfers ownership of the
+// returned unit's engine to whichever worker takes it.
+type searcher interface {
+	// setExec points the engine at the executor of the worker currently
+	// running it.
+	setExec(ex *vthread.Executor)
+	// runOnce executes the program once, replaying the stack prefix.
+	runOnce() *vthread.Outcome
+	// backtrack advances to the next branch, false when exhausted.
+	backtrack() bool
+	// counts reports whether out is a terminal schedule this search
+	// counts (exact-bound for IPB/IDB, non-redundant for the pruning
+	// engines).
+	counts(out *vthread.Outcome) bool
+	// split carves off a donated unit, or returns nil when every node is
+	// closed (always, for a searcher that does not partition). The
+	// donated state must be deep-copied: donor and donee run on
+	// different workers.
+	split() *unit
+	// wasPruned reports that a bounded search skipped an over-bound
+	// alternative (engine only; decides Complete for IPB/IDB).
+	wasPruned() bool
+	// prunedBranches is the number of enabled siblings retired unexplored
+	// by partial-order reduction (pruning engines only; 0 otherwise).
+	prunedBranches() int
+	// execCount is the number of executions this engine performed.
+	execCount() int
+}
+
+// searcher implementation for the DFS/IPB/IDB engine.
+
+func (e *engine) setExec(ex *vthread.Executor) { e.exec = ex }
+func (e *engine) wasPruned() bool              { return e.pruned }
+func (e *engine) prunedBranches() int          { return 0 }
+func (e *engine) execCount() int               { return e.executions }
+
+// counts reports whether the execution is a terminal schedule this engine
+// counts: every terminal one for DFS, exactly-at-bound ones for IPB/IDB.
+func (e *engine) counts(out *vthread.Outcome) bool {
+	if out.StepLimitHit {
+		return false
+	}
+	switch e.model {
+	case CostPreemptions:
+		return out.PC == e.bound
+	case CostDelays:
+		return out.DC == e.bound
+	default:
+		return true
+	}
+}
+
+// split carves the untried sibling range (idx, hi] off the shallowest open
+// node of the engine's stack as a prefix-pinned unit, or returns nil when
+// every node is closed. The donated unit is created in backtrack-first
+// state so the ordinary backtracking path advances it into (and
+// bound-prunes) its range.
+func (e *engine) split() *unit {
+	for d := 0; d < len(e.stack); d++ {
+		nd := &e.stack[d]
+		if nd.idx >= nd.hi {
+			continue
+		}
+		key := make([]int, d+1)
+		stack := make([]node, d+1)
+		copy(stack, e.stack[:d+1])
+		// Deep-copy the node buffers: the donor recycles its order/costs
+		// slices through its free list on backtrack, so sharing them with
+		// the donated engine (which runs on another worker) would be a
+		// use-after-recycle race.
+		for i := range stack {
+			stack[i].order = append([]sched.ThreadID(nil), stack[i].order...)
+			stack[i].costs = append([]int(nil), stack[i].costs...)
+		}
+		for i := 0; i < d; i++ {
+			key[i] = stack[i].idx
+			stack[i].hi = stack[i].idx // pin the prefix
+		}
+		key[d] = nd.idx + 1
+		ne := newEngine(e.cfg, e.model, e.bound)
+		ne.stack = stack
+		nd.hi = nd.idx // the donor no longer owns the range
+		return &unit{eng: ne, key: key}
+	}
+	return nil
+}
+
+// searcher implementation for the DPOR engine.
+
+func (e *dporEngine) setExec(ex *vthread.Executor) { e.exec = ex }
+func (e *dporEngine) wasPruned() bool              { return false }
+func (e *dporEngine) prunedBranches() int          { return e.pruned }
+func (e *dporEngine) execCount() int               { return e.executions }
+
+// counts: aborted runs are detected redundancies, not terminal schedules.
+func (e *dporEngine) counts(out *vthread.Outcome) bool {
+	return !out.StepLimitHit && !out.Aborted
+}
+
+// searcher implementation for the sleep-set engine — used only by the
+// shared sequential driver (RunSleepSetDFS never runs on the pool, so it
+// never donates).
+
+func (e *ssEngine) setExec(ex *vthread.Executor) { e.exec = ex }
+func (e *ssEngine) wasPruned() bool              { return false }
+func (e *ssEngine) prunedBranches() int          { return e.pruned }
+func (e *ssEngine) execCount() int               { return e.executions }
+func (e *ssEngine) split() *unit                 { return nil }
+
+func (e *ssEngine) counts(out *vthread.Outcome) bool {
+	return !out.StepLimitHit && !out.Aborted
+}
+
+// split donates every pending backtrack candidate of the shallowest node
+// that has one, deep-copying the stack up to and including that node. The
+// donee's prefix copies carry no pending work of their own (the donor
+// keeps its candidates), but stay live: a race the donee discovers against
+// its pinned prefix re-opens its local copy, so no reversal is ever lost —
+// at worst donor and donee both explore it (see the package comment). The
+// donor marks the donated candidates done: the donee will explore them
+// fully, so for the donor's later sleep-set computations they count as
+// explored siblings.
+func (e *dporEngine) split() *unit {
+	for d := 0; d < len(e.stack); d++ {
+		nd := &e.stack[d]
+		first := -1
+		for k := range nd.order {
+			if e.pendingAt(nd, k) {
+				first = k
+				break
+			}
+		}
+		if first < 0 {
+			continue
+		}
+		ne := newDPOREngine(e.cfg)
+		ne.maxThreads = e.maxThreads
+		ne.stack = make([]dporNode, d+1)
+		for i := 0; i <= d; i++ {
+			src := &e.stack[i]
+			cp := dporNode{
+				order:     append([]sched.ThreadID(nil), src.order...),
+				infos:     append([]vthread.PendingInfo(nil), src.infos...),
+				idx:       src.idx,
+				done:      append([]bool(nil), src.done...),
+				backtrack: make([]bool, len(src.order)),
+				sleep:     make(map[sched.ThreadID]vthread.PendingInfo, len(src.sleep)),
+				nthreads:  src.nthreads,
+			}
+			for t, info := range src.sleep {
+				cp.sleep[t] = info
+			}
+			// Locally, only already-explored choices and the current one
+			// exist; the donor's other pending candidates stay its own.
+			for k := range cp.backtrack {
+				cp.backtrack[k] = cp.done[k]
+			}
+			cp.backtrack[cp.idx] = true
+			if i == d {
+				for k := range src.order {
+					if e.pendingAt(src, k) {
+						cp.backtrack[k] = true
+					}
+				}
+				// The donor finishes its current choice itself.
+				cp.done[cp.idx] = true
+			}
+			ne.stack[i] = cp
+		}
+		ne.borrowed = d + 1
+		ne.analyzeFrom = d + 1
+		for k := range nd.order {
+			if e.pendingAt(nd, k) {
+				nd.done[k] = true
+			}
+		}
+		key := make([]int, d+1)
+		for i := 0; i < d; i++ {
+			key[i] = e.stack[i].idx
+		}
+		key[d] = first
+		return &unit{eng: ne, key: key}
+	}
+	return nil
+}
+
+// pendingAt reports whether choice k of nd is donatable pending work: in
+// the backtrack set, not explored, not asleep, and not the choice the
+// donor is currently inside.
+func (e *dporEngine) pendingAt(nd *dporNode, k int) bool {
+	if k == nd.idx || !nd.backtrack[k] || nd.done[k] {
+		return false
+	}
+	_, asleep := nd.sleep[nd.order[k]]
+	return !asleep
+}
+
 // unit is a prefix-pinned sub-search: an engine whose stack prefix is
-// pinned (hi == idx) and whose shallowest open node may be restricted to a
-// sibling range. key is the branch key of the first position the unit
-// covers; fresh units run immediately, donated units backtrack first (the
-// uniform path that also handles bound-pruning of the donated range).
+// pinned and whose shallowest open node may be restricted to a sibling
+// range (DFS) or a donated candidate set (DPOR). key is the branch key of
+// the first position the unit covers; fresh units run immediately, donated
+// units backtrack first (the uniform path that also handles bound-pruning
+// of the donated range).
 type unit struct {
-	eng   *engine
+	eng   searcher
 	key   []int
 	fresh bool
 }
@@ -108,14 +319,13 @@ type unitResult struct {
 	failure   *vthread.Failure
 	witness   sched.Schedule
 	pruned    bool
+	branches  int // enabled siblings retired unexplored by POR
 }
 
 // job is one complete pass over the tree (one DFS, or one bound of an
 // iterative search) being explored by the pool.
 type job struct {
-	cfg   Config
-	model CostModel
-	bound int
+	cfg Config
 
 	queue   []*unit // guarded by pool.mu; donors append at the tail, thieves take the head
 	pending int     // guarded by pool.mu; queued + running units
@@ -127,13 +337,16 @@ type job struct {
 	limitHit atomic.Bool
 	budget   atomic.Int64 // remaining counted-schedule tickets
 
-	// execs counts every execution performed anywhere in the exploration
-	// (the honest Result.Executions metric, speculation included). own
-	// counts this job's executions alone and is what execLimit — the
-	// MaxExecutions budget left when the job was created, tightened as
-	// earlier bounds commit — guards, so speculative work never burns the
-	// active bound's execution budget.
+	// execs counts every execution performed anywhere in the exploration,
+	// steps their summed trace lengths and aborts the chooser-aborted ones
+	// (the honest Result.Executions / TotalSteps / AbortedExecutions
+	// metrics, speculation included). own counts this job's executions
+	// alone and is what execLimit — the MaxExecutions budget left when the
+	// job was created, tightened as earlier bounds commit — guards, so
+	// speculative work never burns the active bound's execution budget.
 	execs     *atomic.Int64
+	steps     *atomic.Int64
+	aborts    *atomic.Int64
 	own       atomic.Int64
 	execLimit atomic.Int64
 
@@ -163,10 +376,9 @@ func newPool(workers int) *pool {
 }
 
 // addJob registers a job seeded with the whole-tree root unit.
-func (p *pool) addJob(j *job) *job {
-	root := &unit{eng: newEngine(j.cfg, j.model, j.bound), fresh: true}
+func (p *pool) addJob(j *job, root searcher) *job {
 	p.mu.Lock()
-	j.queue = append(j.queue, root)
+	j.queue = append(j.queue, &unit{eng: root, fresh: true})
 	j.pending = 1
 	p.jobs = append(p.jobs, j)
 	p.mu.Unlock()
@@ -237,7 +449,7 @@ func (p *pool) worker() {
 		if ex == nil {
 			ex = newExecutor(j.cfg)
 		}
-		u.eng.exec = ex
+		u.eng.setExec(ex)
 		p.runUnit(j, u)
 	}
 }
@@ -292,22 +504,22 @@ func (p *pool) finishUnit(j *job, res *unitResult) {
 
 // maybeDonate splits the engine's shallowest open sibling range into a new
 // unit when the pool is starving and the job's queue is empty.
-func (p *pool) maybeDonate(j *job, eng *engine) {
+func (p *pool) maybeDonate(j *job, eng searcher) {
 	p.mu.Lock()
 	starving := p.idle > 0 && len(j.queue) == 0 && !j.stop.Load() && !p.closed
 	p.mu.Unlock()
 	if !starving {
 		return
 	}
-	u := split(eng)
+	u := eng.split()
 	if u == nil {
 		return
 	}
 	p.mu.Lock()
 	if j.stop.Load() || p.closed {
 		// The donation raced a cancellation; the donor already gave the
-		// range up (hi was lowered), so the unit must still be explored —
-		// by nobody. That is fine: a stopped job's results are discarded.
+		// range up, so the unit must still be explored — by nobody. That
+		// is fine: a stopped job's results are discarded.
 		p.mu.Unlock()
 		return
 	}
@@ -315,41 +527,6 @@ func (p *pool) maybeDonate(j *job, eng *engine) {
 	j.pending++
 	p.mu.Unlock()
 	p.cond.Signal()
-}
-
-// split carves the untried sibling range (idx, hi] off the shallowest open
-// node of eng's stack as a prefix-pinned unit, or returns nil when every
-// node is closed. The donated unit is created in backtrack-first state so
-// the ordinary backtracking path advances it into (and bound-prunes) its
-// range.
-func split(eng *engine) *unit {
-	for d := 0; d < len(eng.stack); d++ {
-		nd := &eng.stack[d]
-		if nd.idx >= nd.hi {
-			continue
-		}
-		key := make([]int, d+1)
-		stack := make([]node, d+1)
-		copy(stack, eng.stack[:d+1])
-		// Deep-copy the node buffers: the donor recycles its order/costs
-		// slices through its free list on backtrack, so sharing them with
-		// the donated engine (which runs on another worker) would be a
-		// use-after-recycle race.
-		for i := range stack {
-			stack[i].order = append([]sched.ThreadID(nil), stack[i].order...)
-			stack[i].costs = append([]int(nil), stack[i].costs...)
-		}
-		for i := 0; i < d; i++ {
-			key[i] = stack[i].idx
-			stack[i].hi = stack[i].idx // pin the prefix
-		}
-		key[d] = nd.idx + 1
-		ne := newEngine(eng.cfg, eng.model, eng.bound)
-		ne.stack = stack
-		nd.hi = nd.idx // the donor no longer owns the range
-		return &unit{eng: ne, key: key}
-	}
-	return nil
 }
 
 // runUnit explores one unit to exhaustion (or cancellation), donating work
@@ -361,8 +538,12 @@ func (p *pool) runUnit(j *job, u *unit) {
 	for alive && !j.stop.Load() {
 		out := eng.runOnce()
 		j.execs.Add(1)
+		j.steps.Add(int64(len(out.Trace)))
+		if out.Aborted {
+			j.aborts.Add(1)
+		}
 		res.observe(out)
-		if !out.StepLimitHit && j.counts(eng, out) {
+		if eng.counts(out) {
 			if j.budget.Add(-1) < 0 {
 				j.limitHit.Store(true)
 				p.stopJob(j)
@@ -389,21 +570,9 @@ func (p *pool) runUnit(j *job, u *unit) {
 		p.maybeDonate(j, eng)
 		alive = eng.backtrack()
 	}
-	res.pruned = eng.pruned
+	res.pruned = eng.wasPruned()
+	res.branches = eng.prunedBranches()
 	p.finishUnit(j, res)
-}
-
-// counts reports whether the execution is a terminal schedule this job
-// counts: every one for DFS, exactly-at-bound ones for IPB/IDB.
-func (j *job) counts(eng *engine, out *vthread.Outcome) bool {
-	switch eng.model {
-	case CostPreemptions:
-		return out.PC == eng.bound
-	case CostDelays:
-		return out.DC == eng.bound
-	default:
-		return true
-	}
 }
 
 // passResult is the merged outcome of one job.
@@ -416,6 +585,7 @@ type passResult struct {
 	failure        *vthread.Failure
 	witness        sched.Schedule
 	pruned         bool
+	branches       int
 	truncated      bool // the merge-time budget cut the walk short
 }
 
@@ -433,6 +603,7 @@ func mergeJob(j *job, budget int) passResult {
 	for _, u := range units {
 		m.fold(u.runStats)
 		m.pruned = m.pruned || u.pruned
+		m.branches += u.branches
 		take := u.schedules
 		if m.schedules+take > budget {
 			take = budget - m.schedules
@@ -455,17 +626,24 @@ func mergeJob(j *job, budget int) passResult {
 	return m
 }
 
-// runDFSParallel is RunDFS with cfg.Workers > 1.
-func runDFSParallel(cfg Config) *Result {
-	cfg = cfg.withDefaults()
-	r := &Result{Technique: DFS}
+// newCounters builds the shared execution/step/abort tallies one parallel
+// driver's jobs all feed.
+func newCounters() (execs, steps, aborts *atomic.Int64) {
+	return new(atomic.Int64), new(atomic.Int64), new(atomic.Int64)
+}
+
+// runTreeParallel is the shared single-pass driver behind parallel DFS and
+// DPOR: one job seeded with root, explored to completion or the schedule
+// limit.
+func runTreeParallel(cfg Config, r *Result, root searcher) *Result {
 	p := newPool(cfg.Workers)
 	defer p.close()
-	var execs atomic.Int64
-	j := &job{cfg: cfg, model: CostNone, execs: &execs, done: make(chan struct{})}
-	j.execLimit.Store(math.MaxInt64) // DFS has no execution guard, matching RunDFS
+	execs, steps, aborts := newCounters()
+	j := &job{cfg: cfg, execs: execs, steps: steps, aborts: aborts,
+		done: make(chan struct{})}
+	j.execLimit.Store(math.MaxInt64) // unbounded passes have no execution guard
 	j.budget.Store(int64(cfg.Limit))
-	p.addJob(j)
+	p.addJob(j, root)
 	<-j.done
 	m := mergeJob(j, cfg.Limit)
 	foldPass(r, &m, 0)
@@ -476,7 +654,22 @@ func runDFSParallel(cfg Config) *Result {
 		r.Complete = true
 	}
 	r.Executions = int(execs.Load())
+	r.TotalSteps = steps.Load()
+	r.AbortedExecutions = int(aborts.Load())
 	return r
+}
+
+// runDFSParallel is RunDFS with cfg.Workers > 1.
+func runDFSParallel(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	return runTreeParallel(cfg, &Result{Technique: DFS}, newEngine(cfg, CostNone, 0))
+}
+
+// runDPORParallel is RunDPOR with cfg.Workers > 1; see the package comment
+// for the exactness caveat under work-stealing.
+func runDPORParallel(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	return runTreeParallel(cfg, &Result{Technique: DPOR}, newDPOREngine(cfg))
 }
 
 // runIterativeParallel is RunIterative with cfg.Workers > 1: each bound is
@@ -490,15 +683,15 @@ func runIterativeParallel(cfg Config, model CostModel) *Result {
 	r := &Result{Technique: tech}
 	p := newPool(cfg.Workers)
 	defer p.close()
-	var execs atomic.Int64
+	execs, steps, aborts := newCounters()
 
 	committedExecs := int64(0)
 	newJob := func(bound, budget int) *job {
-		j := &job{cfg: cfg, model: model, bound: bound, execs: &execs,
+		j := &job{cfg: cfg, execs: execs, steps: steps, aborts: aborts,
 			done: make(chan struct{})}
 		j.execLimit.Store(int64(cfg.MaxExecutions) - committedExecs)
 		j.budget.Store(int64(budget))
-		return p.addJob(j)
+		return p.addJob(j, newEngine(cfg, model, bound))
 	}
 
 	counted := 0
@@ -549,6 +742,8 @@ func runIterativeParallel(cfg Config, model CostModel) *Result {
 		}
 	}
 	r.Executions = int(execs.Load())
+	r.TotalSteps = steps.Load()
+	r.AbortedExecutions = int(aborts.Load())
 	return r
 }
 
@@ -557,6 +752,7 @@ func runIterativeParallel(cfg Config, model CostModel) *Result {
 func foldPass(r *Result, m *passResult, prior int) {
 	m.runStats.foldInto(r)
 	r.BuggySchedules += m.buggy
+	r.BranchesPruned += m.branches
 	if m.bugFound && !r.BugFound {
 		r.BugFound = true
 		r.Failure = m.failure
@@ -576,7 +772,10 @@ func runRandParallel(cfg Config) *Result {
 	r := &Result{Technique: Rand}
 	n := cfg.Limit
 
-	type rec struct{ terminal, buggy bool }
+	type rec struct {
+		terminal, buggy bool
+		steps           int
+	}
 	recs := make([]rec, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -598,7 +797,7 @@ func runRandParallel(cfg Config) *Result {
 				}
 				out := randRun(ex, cfg, i)
 				stats[w].observe(out)
-				recs[i] = rec{terminal: !out.StepLimitHit, buggy: out.Buggy()}
+				recs[i] = rec{terminal: !out.StepLimitHit, buggy: out.Buggy(), steps: len(out.Trace)}
 				if out.Buggy() {
 					witMu.Lock()
 					if witIdx < 0 || i < witIdx {
@@ -614,6 +813,7 @@ func runRandParallel(cfg Config) *Result {
 	wg.Wait()
 
 	for _, rc := range recs {
+		r.TotalSteps += int64(rc.steps)
 		if !rc.terminal {
 			continue
 		}

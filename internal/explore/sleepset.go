@@ -39,11 +39,30 @@ type ssEngine struct {
 	// freeOrders and freeInfos recycle popped nodes' buffers, as in engine.
 	freeOrders [][]sched.ThreadID
 	freeInfos  [][]vthread.PendingInfo
-	// redundant marks the current execution as covered by an equivalent
-	// explored schedule: it reached a point where every enabled thread was
-	// asleep. The execution still runs to termination (the substrate has
-	// no abort-from-chooser path) but is not counted as a new schedule.
-	redundant bool
+	// pruned counts enabled siblings retired unexplored because they were
+	// asleep: whole subtrees plain DFS would have walked.
+	pruned int
+}
+
+// popOrderInfos pops recycled order/infos buffers from the free lists and
+// fills them with the canonical choice order and the per-choice pending
+// footprints for ctx — the fresh-node scaffold shared by the pruning
+// engines (ssEngine and dporEngine).
+func popOrderInfos(freeOrders *[][]sched.ThreadID, freeInfos *[][]vthread.PendingInfo,
+	ctx vthread.Context) ([]sched.ThreadID, []vthread.PendingInfo) {
+	var order []sched.ThreadID
+	if n := len(*freeOrders); n > 0 {
+		order, *freeOrders = (*freeOrders)[n-1], (*freeOrders)[:n-1]
+	}
+	order = sched.AppendCanonicalOrder(order, ctx.Enabled, ctx.Last, ctx.NumThreads)
+	var infos []vthread.PendingInfo
+	if n := len(*freeInfos); n > 0 {
+		infos, *freeInfos = (*freeInfos)[n-1], (*freeInfos)[:n-1]
+	}
+	for _, t := range order {
+		infos = append(infos, ctx.PendingOf(t))
+	}
+	return order, infos
 }
 
 // Choose implements vthread.Chooser.
@@ -52,18 +71,7 @@ func (e *ssEngine) Choose(ctx vthread.Context) sched.ThreadID {
 		nd := &e.stack[ctx.Step]
 		return nd.order[nd.idx]
 	}
-	var order []sched.ThreadID
-	if n := len(e.freeOrders); n > 0 {
-		order, e.freeOrders = e.freeOrders[n-1], e.freeOrders[:n-1]
-	}
-	order = sched.AppendCanonicalOrder(order, ctx.Enabled, ctx.Last, ctx.NumThreads)
-	var infos []vthread.PendingInfo
-	if n := len(e.freeInfos); n > 0 {
-		infos, e.freeInfos = e.freeInfos[n-1], e.freeInfos[:n-1]
-	}
-	for _, t := range order {
-		infos = append(infos, ctx.PendingOf(t))
-	}
+	order, infos := popOrderInfos(&e.freeOrders, &e.freeInfos, ctx)
 	var sleep map[sched.ThreadID]vthread.PendingInfo
 	if len(e.stack) > 0 {
 		parent := &e.stack[len(e.stack)-1]
@@ -72,12 +80,17 @@ func (e *ssEngine) Choose(ctx vthread.Context) sched.ThreadID {
 	nd := ssNode{order: order, infos: infos, sleep: sleep}
 	// First choice: the first non-sleeping thread in canonical order. If
 	// everything enabled is asleep, this subtree is fully redundant
-	// (Mazurkiewicz-equivalent to an explored schedule): run it out to
-	// termination but do not count it, and offer no alternatives here.
+	// (Mazurkiewicz-equivalent to an explored schedule): abort the run
+	// right here — the substrate kills the remaining threads and the
+	// schedule's tail is never executed — and offer no alternatives. The
+	// node is not pushed; its buffers go straight back to the free lists.
 	nd.idx = firstAwake(nd, 0)
 	if nd.idx < 0 {
-		nd.idx = 0
-		e.redundant = true
+		ctx.Abort()
+		e.pruned += len(order)
+		e.freeOrders = append(e.freeOrders, order[:0])
+		e.freeInfos = append(e.freeInfos, infos[:0])
+		return ctx.Enabled[0] // ignored by the abort contract
 	}
 	e.stack = append(e.stack, nd)
 	return nd.order[nd.idx]
@@ -125,7 +138,6 @@ func firstAwake(nd ssNode, from int) int {
 
 func (e *ssEngine) runOnce() *vthread.Outcome {
 	e.executions++
-	e.redundant = false
 	return e.exec.RunWith(e, nil, e.cfg.Program)
 }
 
@@ -136,6 +148,12 @@ func (e *ssEngine) backtrack() bool {
 		if next >= 0 {
 			nd.idx = next
 			return true
+		}
+		// Retire the node: its sleeping siblings were pruned subtrees.
+		for _, t := range nd.order {
+			if _, asleep := nd.sleep[t]; asleep {
+				e.pruned++
+			}
 		}
 		e.freeOrders = append(e.freeOrders, nd.order[:0])
 		e.freeInfos = append(e.freeInfos, nd.infos[:0])
@@ -149,33 +167,10 @@ func (e *ssEngine) backtrack() bool {
 // reduction. It explores a subset of RunDFS's terminal schedules covering
 // every Mazurkiewicz trace (one representative per equivalence class of
 // commuting operations), so it reaches the same failure states with —
-// often dramatically — fewer executions.
+// often dramatically — fewer executions. A run whose enabled threads are
+// all asleep is chooser-aborted on the spot (Result.AbortedExecutions),
+// so redundant runs cost only their shared prefix, not the full schedule.
 func RunSleepSetDFS(cfg Config) *Result {
 	cfg = cfg.withDefaults()
-	r := &Result{Technique: DFS}
-	eng := &ssEngine{cfg: cfg, exec: newExecutor(cfg)}
-	defer eng.exec.Close()
-	for {
-		out := eng.runOnce()
-		r.observe(out)
-		// Redundant completions are not new schedules; a bug surfacing in
-		// one is still reported (defensively — by sleep-set theory an
-		// equivalent counted schedule reaches the same states).
-		if !out.StepLimitHit && (!eng.redundant || out.Buggy()) {
-			r.Schedules++
-			if out.Buggy() {
-				r.recordBug(out)
-			}
-		}
-		if r.Schedules >= cfg.Limit {
-			r.LimitHit = true
-			break
-		}
-		if !eng.backtrack() {
-			r.Complete = true
-			break
-		}
-	}
-	r.Executions = eng.executions
-	return r
+	return runSequentialTree(cfg, &Result{Technique: DFS}, &ssEngine{cfg: cfg})
 }

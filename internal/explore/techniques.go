@@ -19,6 +19,11 @@ const (
 	IDB
 	// Rand is the naive random scheduler (10,000 independent runs).
 	Rand
+	// DPOR is unbounded depth-first search with source-set style dynamic
+	// partial-order reduction plus sleep sets (the §7 future-work lever).
+	// Like the paper's methodology, POR is kept out of the bounded IPB/IDB
+	// phases; DPOR accelerates the unbounded search only.
+	DPOR
 )
 
 // String returns the technique's name as used in the paper.
@@ -32,6 +37,8 @@ func (t Technique) String() string {
 		return "IDB"
 	case Rand:
 		return "Rand"
+	case DPOR:
+		return "DPOR"
 	}
 	return "unknown"
 }
@@ -138,6 +145,20 @@ type Result struct {
 	// Executions counts actual program executions, including bounded-search
 	// re-executions (an implementation metric, not a paper column).
 	Executions int
+	// AbortedExecutions counts executions the engine cut short via the
+	// chooser-abort path (vthread.Context.Abort) because their remainder
+	// was provably redundant. Nonzero only for the pruning engines
+	// (sleep-set DFS and DPOR); aborted runs are included in Executions.
+	AbortedExecutions int
+	// BranchesPruned counts enabled-sibling choices the pruning engines
+	// retired unexplored (sleep sets proved them redundant, or no race ever
+	// required them in a backtrack set). Each pruned branch is a whole
+	// subtree DFS would have walked, so this understates the saving.
+	BranchesPruned int
+	// TotalSteps is the summed trace length over all executions — the work
+	// metric the abort path reduces (a redundancy detected at step k saves
+	// the schedule's tail beyond k).
+	TotalSteps int64
 }
 
 // Run explores the program with the given technique.
@@ -151,6 +172,8 @@ func Run(t Technique, cfg Config) *Result {
 		return RunIterative(cfg, CostDelays)
 	case Rand:
 		return RunRand(cfg)
+	case DPOR:
+		return RunDPOR(cfg)
 	}
 	panic(fmt.Sprintf("explore: unknown technique %d", int(t)))
 }
@@ -166,6 +189,10 @@ func (r *Result) observe(out *vthread.Outcome) {
 	if out.Threads > r.Threads {
 		r.Threads = out.Threads
 	}
+	r.TotalSteps += int64(len(out.Trace))
+	if out.Aborted {
+		r.AbortedExecutions++
+	}
 }
 
 // recordBug records the first bug.
@@ -179,24 +206,19 @@ func (r *Result) recordBug(out *vthread.Outcome) {
 	}
 }
 
-// RunDFS performs unbounded depth-first search up to the schedule limit.
-// Matching the paper's methodology, the search does not stop at the first
-// bug: it continues to the limit (or exhaustion) so the fraction of buggy
-// schedules can be reported. With cfg.Workers > 1 the tree is explored by
-// a work-stealing worker pool with identical resulting counts.
-func RunDFS(cfg Config) *Result {
-	if cfg.Workers > 1 {
-		return runDFSParallel(cfg)
-	}
-	cfg = cfg.withDefaults()
-	r := &Result{Technique: DFS}
-	eng := newEngine(cfg, CostNone, 0)
-	eng.exec = newExecutor(cfg)
-	defer eng.exec.Close()
+// runSequentialTree drives a single-pass engine (DFS, sleep-set DFS,
+// DPOR) over the whole tree to exhaustion or the schedule limit — the
+// sequential counterpart of runTreeParallel, shared so that limit
+// accounting and observation live in exactly one place per driver shape.
+func runSequentialTree(cfg Config, r *Result, eng searcher) *Result {
+	ex := newExecutor(cfg)
+	defer ex.Close()
+	eng.setExec(ex)
 	for {
 		out := eng.runOnce()
 		r.observe(out)
-		if !out.StepLimitHit {
+		// Step-limited and chooser-aborted runs are not terminal schedules.
+		if eng.counts(out) {
 			r.Schedules++
 			if out.Buggy() {
 				r.recordBug(out)
@@ -211,8 +233,22 @@ func RunDFS(cfg Config) *Result {
 			break
 		}
 	}
-	r.Executions = eng.executions
+	r.Executions = eng.execCount()
+	r.BranchesPruned += eng.prunedBranches()
 	return r
+}
+
+// RunDFS performs unbounded depth-first search up to the schedule limit.
+// Matching the paper's methodology, the search does not stop at the first
+// bug: it continues to the limit (or exhaustion) so the fraction of buggy
+// schedules can be reported. With cfg.Workers > 1 the tree is explored by
+// a work-stealing worker pool with identical resulting counts.
+func RunDFS(cfg Config) *Result {
+	if cfg.Workers > 1 {
+		return runDFSParallel(cfg)
+	}
+	cfg = cfg.withDefaults()
+	return runSequentialTree(cfg, &Result{Technique: DFS}, newEngine(cfg, CostNone, 0))
 }
 
 // RunIterative performs iterative schedule bounding (IPB for

@@ -18,7 +18,9 @@ func Table3CSV(rows []*study.Row) string {
 	for _, tech := range []string{"ipb", "idb"} {
 		fmt.Fprintf(&b, ",%s_found,%s_bound,%s_first,%s_total,%s_new,%s_buggy", tech, tech, tech, tech, tech, tech)
 	}
-	b.WriteString(",dfs_found,dfs_first,dfs_total,dfs_buggy,dfs_complete")
+	b.WriteString(",dfs_found,dfs_first,dfs_total,dfs_buggy,dfs_complete,dfs_execs,dfs_steps")
+	b.WriteString(",dpor_found,dpor_first,dpor_total,dpor_buggy,dpor_complete")
+	b.WriteString(",dpor_execs,dpor_aborted,dpor_pruned,dpor_steps,dpor_exec_reduction")
 	b.WriteString(",rand_found,rand_first,rand_buggy")
 	b.WriteString(",maple_found,maple_first,maple_total\n")
 	for _, r := range rows {
@@ -33,11 +35,27 @@ func Table3CSV(rows []*study.Row) string {
 			fmt.Fprintf(&b, ",%v,%d,%d,%d,%d,%d", res.BugFound, res.Bound,
 				res.SchedulesToFirstBug, res.Schedules, res.NewSchedules, res.BuggySchedules)
 		}
-		if res := r.Results[explore.DFS]; res != nil {
-			fmt.Fprintf(&b, ",%v,%d,%d,%d,%v", res.BugFound,
-				res.SchedulesToFirstBug, res.Schedules, res.BuggySchedules, res.Complete)
+		dfs := r.Results[explore.DFS]
+		if dfs != nil {
+			fmt.Fprintf(&b, ",%v,%d,%d,%d,%v,%d,%d", dfs.BugFound,
+				dfs.SchedulesToFirstBug, dfs.Schedules, dfs.BuggySchedules, dfs.Complete,
+				dfs.Executions, dfs.TotalSteps)
 		} else {
-			b.WriteString(",,,,,")
+			b.WriteString(",,,,,,,")
+		}
+		if res := r.Results[explore.DPOR]; res != nil {
+			fmt.Fprintf(&b, ",%v,%d,%d,%d,%v,%d,%d,%d,%d", res.BugFound,
+				res.SchedulesToFirstBug, res.Schedules, res.BuggySchedules, res.Complete,
+				res.Executions, res.AbortedExecutions, res.BranchesPruned, res.TotalSteps)
+			// The headline reduction factor: executions DFS spent per
+			// execution DPOR needed on the same program.
+			if dfs != nil && res.Executions > 0 {
+				fmt.Fprintf(&b, ",%.2f", float64(dfs.Executions)/float64(res.Executions))
+			} else {
+				b.WriteString(",")
+			}
+		} else {
+			b.WriteString(",,,,,,,,,,")
 		}
 		if res := r.Results[explore.Rand]; res != nil {
 			fmt.Fprintf(&b, ",%v,%d,%d", res.BugFound, res.SchedulesToFirstBug, res.BuggySchedules)

@@ -184,3 +184,53 @@ func TestTable3CSVShape(t *testing.T) {
 		t.Errorf("header missing columns: %s", lines[0])
 	}
 }
+
+// TestTable3CSVDPORColumns: rows carrying a DPOR result must render the
+// pruning counters and the DFS-vs-DPOR execution reduction factor; rows
+// without one keep the column count stable.
+func TestTable3CSVDPORColumns(t *testing.T) {
+	b := bench.ByName("CS.account_bad")
+	row := study.RunBenchmark(b, study.Config{
+		Limit: 300, Seed: 4, RaceRuns: 3,
+		Techniques: []explore.Technique{explore.DFS, explore.DPOR},
+	})
+	csv := Table3CSV([]*study.Row{row})
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want 2", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	cells := strings.Split(lines[1], ",")
+	if len(header) != len(cells) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(cells))
+	}
+	col := func(name string) string {
+		for i, h := range header {
+			if h == name {
+				return cells[i]
+			}
+		}
+		t.Fatalf("missing column %s in %v", name, header)
+		return ""
+	}
+	if col("dpor_found") != col("dfs_found") {
+		t.Errorf("verdicts differ in CSV: dpor=%s dfs=%s", col("dpor_found"), col("dfs_found"))
+	}
+	for _, c := range []string{"dfs_execs", "dpor_execs", "dpor_pruned", "dpor_steps"} {
+		if col(c) == "" || col(c) == "0" {
+			t.Errorf("column %s empty or zero: %q", c, col(c))
+		}
+	}
+	if !strings.Contains(col("dpor_exec_reduction"), ".") {
+		t.Errorf("dpor_exec_reduction not a factor: %q", col("dpor_exec_reduction"))
+	}
+	// A row without DPOR results keeps the grid rectangular (shape test
+	// above also covers this via the default-technique rows).
+	rows := studyRows(t)
+	csv2 := Table3CSV(rows)
+	for i, l := range strings.Split(strings.TrimSpace(csv2), "\n") {
+		if strings.Count(l, ",") != len(header)-1 {
+			t.Errorf("line %d has %d separators, want %d", i, strings.Count(l, ","), len(header)-1)
+		}
+	}
+}

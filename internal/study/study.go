@@ -29,8 +29,10 @@ type Config struct {
 	// RaceRuns is the number of race-detection executions (0 = 10, as in
 	// the paper).
 	RaceRuns int
-	// Techniques restricts which techniques run (nil = all four systematic
-	// /random phases).
+	// Techniques restricts which techniques run (nil = the four
+	// systematic/random phases of the paper: IPB, IDB, DFS, Rand). Append
+	// explore.DPOR to also run the partial-order-reduction extension; its
+	// reduction counters land in the Table 3 CSV columns.
 	Techniques []explore.Technique
 	// WithMaple additionally runs the Maple-style idiom algorithm.
 	WithMaple bool

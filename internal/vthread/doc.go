@@ -54,6 +54,20 @@ package vthread
 // plain World spawns runOne instead — same runBody, goroutine exits after
 // one body.
 //
+// # Chooser-initiated abort
+//
+// A Chooser may end an execution early by calling ctx.Abort() inside
+// Choose. The world loop then breaks out before performing another step
+// and reuses the normal teardown: abortRemaining kills the surviving
+// threads by grant, the outcome carries Aborted=true, Failure=nil and the
+// executed prefix as its Trace, and under an Executor the same pool
+// serves the next run. Abort is idempotent within one Choose call, legal
+// at step 0 (nothing has run; the trace is empty), and the thread id
+// returned by the aborting Choose is ignored — it need not be enabled.
+// This is the pruning hook of the partial-order-reduction engines
+// (internal/explore/sleepset.go and dpor.go): a run whose remainder is
+// provably redundant is cut short instead of executed to termination.
+//
 // # Determinism contract
 //
 // Programs under test must be deterministic modulo scheduling: no Go

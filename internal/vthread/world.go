@@ -55,6 +55,30 @@ type Context struct {
 	// enough for idiom-driven active scheduling (the Maple algorithm) to
 	// steer particular accesses. Valid for any non-exited thread.
 	PendingOf func(ThreadID) PendingInfo
+
+	// world backs Abort. A Context is only valid during the Choose call it
+	// was built for, which is what makes the pointer safe to embed.
+	world *World
+}
+
+// Abort requests that the execution stop at this scheduling point instead
+// of performing another step. The World kills every remaining thread
+// through the ordinary teardown path (kill-by-grant, so pooled Executor
+// workers survive and the Executor stays reusable) and returns an Outcome
+// with Aborted set: no further step is executed, the Trace holds exactly
+// the prefix executed so far, and Failure is nil. The thread id the
+// Chooser returns from the same Choose call is ignored (it may be any
+// value, enabled or not).
+//
+// Abort is the pruning hook of the exploration engines: a chooser that can
+// prove the remainder of the execution redundant (for example because
+// every enabled thread is in a sleep set) cuts the run short rather than
+// paying for the schedule's tail. Calling Abort more than once within a
+// Choose call is idempotent; calling it at step 0 aborts before any step
+// runs (empty trace). A Context must not be retained: Abort outside the
+// Choose invocation the Context was passed to is unsupported.
+func (c Context) Abort() {
+	c.world.aborted = true
 }
 
 // PendingInfo describes a parked thread's next visible operation: enough
@@ -77,12 +101,30 @@ type PendingInfo struct {
 	// (a load, a read-lock). Two read-only operations on the same object
 	// commute.
 	ReadOnly bool
+	// Opaque reports that the operation's footprint is unknown: a Yield
+	// gates arbitrary invisible statements (the figure-1 idiom models
+	// plain-variable accesses exactly this way), so nothing can be proven
+	// about what commutes with it. An opaque operation is never
+	// independent of anything, other opaque operations and footprint-free
+	// operations included.
+	Opaque bool
+	// IsJoin marks a thread join, and JoinOf is then the joined thread's
+	// id (undefined otherwise). Exits are not scheduling points, so a
+	// joined thread's steps never touch the join's thread-key object;
+	// partial-order reduction needs this field to recover the
+	// target-exits-before-join ordering edge.
+	IsJoin bool
+	JoinOf ThreadID
 }
 
 // Independent reports whether two pending operations commute: they touch
-// disjoint objects, or share objects only read-only. Conservative in the
-// partial-order-reduction sense: "false" is always safe.
+// disjoint objects, or share objects only read-only, and neither has an
+// unknown (Opaque) footprint. Conservative in the partial-order-reduction
+// sense: "false" is always safe.
 func (a PendingInfo) Independent(b PendingInfo) bool {
+	if a.Opaque || b.Opaque {
+		return false
+	}
 	for _, x := range a.Objects {
 		if x == "" {
 			continue
@@ -99,7 +141,9 @@ func (a PendingInfo) Independent(b PendingInfo) bool {
 // Chooser selects the next thread to execute at a scheduling point. The
 // returned id must be an element of ctx.Enabled; the World panics otherwise,
 // since a chooser violating this invariant is an implementation bug, not a
-// property of the program under test.
+// property of the program under test. The one exception: a Choose call
+// that invoked ctx.Abort may return anything — the execution stops at this
+// point and the value is ignored (see Context.Abort).
 type Chooser interface {
 	Choose(ctx Context) ThreadID
 }
@@ -188,6 +232,10 @@ type Outcome struct {
 	// StepLimitHit reports that the execution was cut off by MaxSteps; such
 	// executions are not terminal schedules and their Failure is nil.
 	StepLimitHit bool
+	// Aborted reports that the Chooser cut the execution short with
+	// Context.Abort. Like step-limited runs, aborted runs are not terminal
+	// schedules and their Failure is nil; Trace holds the executed prefix.
+	Aborted bool
 }
 
 // Buggy reports whether the execution exposed a bug.
@@ -219,6 +267,7 @@ type World struct {
 
 	failure      *Failure
 	stepLimitHit bool
+	aborted      bool
 
 	parked chan parkKind
 	wg     sync.WaitGroup
@@ -270,6 +319,7 @@ func (w *World) reset() {
 	w.schedPoints, w.maxEnabled = 0, 0
 	w.failure = nil
 	w.stepLimitHit = false
+	w.aborted = false
 }
 
 // Run executes program to a terminal state (all threads exited), a failure,
@@ -313,6 +363,11 @@ func (w *World) exec(program Program) {
 		}
 
 		choice := w.choose(enabled)
+		if w.aborted {
+			// The chooser pruned the rest of the execution; no further step
+			// runs and abortRemaining below kills the surviving threads.
+			break
+		}
 		w.accountStep(choice, enabled)
 
 		t := w.threads[choice]
@@ -344,6 +399,7 @@ func (w *World) fillOutcome(out *Outcome) {
 		MaxEnabled:   w.maxEnabled,
 		Threads:      len(w.threads),
 		StepLimitHit: w.stepLimitHit,
+		Aborted:      w.aborted,
 	}
 }
 
@@ -356,8 +412,14 @@ func (w *World) choose(enabled []ThreadID) ThreadID {
 		LastEnabled: w.lastEnabled(enabled),
 		NumThreads:  len(w.threads),
 		PendingOf:   w.pendingFn,
+		world:       w,
 	}
 	choice := w.opts.Chooser.Choose(ctx)
+	if w.aborted {
+		// The return value of an aborting Choose is ignored by contract;
+		// skip the enabledness validation.
+		return NoThread
+	}
 	if !containsThread(enabled, choice) {
 		panic(fmt.Sprintf("vthread: chooser picked thread %d which is not enabled %v", choice, enabled))
 	}
@@ -462,6 +524,8 @@ func (w *World) pendingOf(t ThreadID) PendingInfo {
 	case opJoin:
 		info.Objects[0] = op.target.key
 		info.ReadOnly = true
+		info.IsJoin = true
+		info.JoinOf = op.target.id
 	case opAtomic:
 		info.Objects[0] = op.key
 	case opRLock, opRUnlock:
@@ -469,8 +533,12 @@ func (w *World) pendingOf(t ThreadID) PendingInfo {
 		info.ReadOnly = true
 	case opWLock, opWUnlock:
 		info.Objects[0] = op.rw.key
-	case opSpawn, opYield:
+	case opSpawn:
 		// No shared objects: commutes with everything.
+	case opYield:
+		// A yield gates arbitrary invisible statements; its footprint is
+		// unknown, so it commutes with nothing (see PendingInfo.Opaque).
+		info.Opaque = true
 	}
 	return info
 }

@@ -110,6 +110,13 @@ const (
 	IDB = explore.IDB
 	// Rand is the naive random scheduler.
 	Rand = explore.Rand
+	// DPOR is unbounded depth-first search with source-set style dynamic
+	// partial-order reduction plus sleep sets: the same bug verdicts as
+	// DFS over typically far fewer executions, with redundant runs cut
+	// short by chooser-initiated abort. Parallel (Config.Workers > 1)
+	// DPOR preserves verdicts and completeness; its schedule counts are
+	// exact unless work-stealing duplicated an equivalence class.
+	DPOR = explore.DPOR
 )
 
 // Failure kinds.
@@ -144,11 +151,14 @@ func Explore(t Technique, cfg Config) *Result {
 // ExploreSleepSet performs depth-first search with sleep-set partial-order
 // reduction: it covers the same failure states as Explore(DFS, …) while
 // counting only one representative schedule per equivalence class of
-// commuting operations — often orders of magnitude fewer. (The paper's §7
-// names partial-order reduction as the natural extension of the study.)
-// Sleep-set search is sequential: Config.Workers is ignored here, because
-// sleep sets carry cross-branch state that the tree partitioning of the
-// parallel driver would invalidate.
+// commuting operations — often orders of magnitude fewer. Runs detected
+// as redundant are cut short through the chooser-abort path rather than
+// executed to termination (Result.AbortedExecutions counts them). (The
+// paper's §7 names partial-order reduction as the natural extension of
+// the study; Explore(DPOR, …) adds race-driven backtracking on top and
+// does run on the parallel pool.) Sleep-set search is sequential:
+// Config.Workers is ignored here, because its cross-branch state is not
+// partitioned for the parallel driver the way the DPOR engine's is.
 func ExploreSleepSet(cfg Config) *Result {
 	return explore.RunSleepSetDFS(cfg)
 }
