@@ -40,14 +40,93 @@ func BenchmarkExecutorThroughput(b *testing.B) {
 		})
 		defer ex.Close()
 		b.ResetTimer()
+		steps := 0
 		for i := 0; i < b.N; i++ {
 			out := ex.Run(prog)
 			if out.Threads == 0 {
 				b.Fatal("no threads ran")
 			}
+			steps += len(out.Trace)
 		}
 		reportExecRate(b, b.N)
+		reportStepCost(b, steps)
 	})
+}
+
+// BenchmarkStepOverhead isolates the per-step handoff cost of the
+// substrate's step-dispatch paths on yield-loop programs whose only work
+// is scheduling, reporting ns/step for each:
+//
+//   - same-thread: two runnable threads under an inline-run round-robin
+//     chooser that is not a StepObserver — every step runs the chooser on
+//     the current thread's goroutine and continues it (zero switches).
+//   - forced: one runnable thread under the opted-in RoundRobin — every
+//     step is granted without a Choose call (zero switches, no decision).
+//   - cross-thread: two threads under a strict-alternation chooser —
+//     every step is a direct thread-to-thread baton handoff (one switch).
+//   - bounced: the same alternation with direct handoff disabled — every
+//     grant routes through the exec goroutine, the two context switches
+//     per step the central-loop protocol paid for all steps.
+func BenchmarkStepOverhead(b *testing.B) {
+	const yields = 64
+	yielders := func(threads int) vthread.Program {
+		return func(t0 *vthread.Thread) {
+			bodies := make([]vthread.Program, threads)
+			for i := range bodies {
+				bodies[i] = func(tw *vthread.Thread) {
+					for s := 0; s < yields; s++ {
+						tw.Yield()
+					}
+				}
+			}
+			t0.SpawnAll(bodies...)
+		}
+	}
+	// inlineRR mirrors RoundRobin without implementing StepObserver, so
+	// the chooser runs at every point (isolating path (a) from (b)).
+	inlineRR := vthread.ChooserFunc(func(ctx vthread.Context) vthread.ThreadID {
+		if ctx.LastEnabled {
+			return ctx.Last
+		}
+		return ctx.Enabled[0]
+	})
+	alternate := vthread.ChooserFunc(func(ctx vthread.Context) vthread.ThreadID {
+		for _, t := range ctx.Enabled {
+			if t != ctx.Last {
+				return t
+			}
+		}
+		return ctx.Enabled[0]
+	})
+	cases := []struct {
+		name    string
+		threads int
+		chooser vthread.Chooser
+		debug   vthread.Debug
+	}{
+		{"same-thread", 2, inlineRR, vthread.Debug{}},
+		{"forced", 1, vthread.RoundRobin(), vthread.Debug{}},
+		{"cross-thread", 2, alternate, vthread.Debug{}},
+		{"bounced", 2, alternate, vthread.Debug{NoDirectHandoff: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			ex := vthread.NewExecutor(vthread.Options{Chooser: c.chooser, Debug: c.debug})
+			defer ex.Close()
+			prog := yielders(c.threads)
+			b.ResetTimer()
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				out := ex.Run(prog)
+				if out.Failure != nil {
+					b.Fatalf("unexpected failure: %v", out.Failure)
+				}
+				steps += len(out.Trace)
+			}
+			reportStepCost(b, steps)
+		})
+	}
 }
 
 // BenchmarkSubstrateThroughputSequential measures whole-driver throughput
@@ -93,5 +172,12 @@ func BenchmarkSubstrateThroughputParallel(b *testing.B) {
 func reportExecRate(b *testing.B, execs int) {
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(execs)/s, "execs/s")
+	}
+}
+
+// reportStepCost attaches the per-scheduling-step cost custom metric.
+func reportStepCost(b *testing.B, steps int) {
+	if steps > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
 	}
 }

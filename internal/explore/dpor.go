@@ -119,6 +119,32 @@ func (e *dporEngine) Choose(ctx vthread.Context) sched.ThreadID {
 		nd := &e.stack[ctx.Step]
 		return nd.order[nd.idx]
 	}
+	if idx := e.push(ctx); idx >= 0 {
+		return e.stack[len(e.stack)-1].order[idx]
+	}
+	return ctx.Enabled[0] // ignored by the abort contract
+}
+
+// ObserveForcedStep implements vthread.StepObserver: a forced step still
+// needs its node — the race analysis reads the step's footprint and
+// thread-count watermark from it, sleep sets propagate through it, and a
+// single enabled thread can itself be asleep, in which case push aborts
+// the run exactly as Choose would have. The backtrack set of a forced
+// node can only ever hold its one thread: a race against a forced step
+// re-runs the same choice, which the done flag then retires.
+func (e *dporEngine) ObserveForcedStep(ctx vthread.Context) {
+	if ctx.Step < len(e.stack) {
+		return
+	}
+	e.push(ctx)
+}
+
+// push appends the fresh node for ctx and returns the index of the choice
+// taken (the first non-sleeping thread), or -1 after aborting a run whose
+// enabled threads are all asleep: the subtree is Mazurkiewicz-equivalent
+// to explored schedules, so the run is cut short instead of executing its
+// tail, and the node is never pushed.
+func (e *dporEngine) push(ctx vthread.Context) int {
 	if ctx.NumThreads > e.maxThreads {
 		e.maxThreads = ctx.NumThreads
 	}
@@ -135,15 +161,12 @@ func (e *dporEngine) Choose(ctx vthread.Context) sched.ThreadID {
 		}
 	}
 	if idx < 0 {
-		// Every enabled thread is asleep: the subtree is Mazurkiewicz-
-		// equivalent to explored schedules. Cut the run short instead of
-		// executing its tail; the node is never pushed.
 		ctx.Abort()
 		e.pruned += len(order)
 		e.freeOrders = append(e.freeOrders, order[:0])
 		e.freeInfos = append(e.freeInfos, infos[:0])
 		e.putSleep(sleep)
-		return ctx.Enabled[0] // ignored by the abort contract
+		return -1
 	}
 	done := e.getFlags(len(order))
 	backtrack := e.getFlags(len(order))
@@ -153,7 +176,7 @@ func (e *dporEngine) Choose(ctx vthread.Context) sched.ThreadID {
 		done: done, backtrack: backtrack, sleep: sleep,
 		nthreads: ctx.NumThreads,
 	})
-	return order[idx]
+	return idx
 }
 
 // dporChildSleep fills dst with the sleep set a child of parent inherits:

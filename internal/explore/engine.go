@@ -104,6 +104,7 @@ func newExecutor(cfg Config) *vthread.Executor {
 		Visible:     cfg.Visible,
 		MaxSteps:    cfg.MaxSteps,
 		BoundsCheck: cfg.BoundsCheck,
+		Debug:       cfg.Debug,
 	})
 }
 
@@ -114,6 +115,30 @@ func (e *engine) Choose(ctx vthread.Context) sched.ThreadID {
 		e.running = nd.base + nd.costs[nd.idx]
 		return nd.order[nd.idx]
 	}
+	return e.push(ctx)
+}
+
+// ObserveForcedStep implements vthread.StepObserver: a forced step is a
+// single-choice node. Pushing it keeps the stack depth equal to the trace
+// length — the invariant the replay path (ctx.Step < len(stack)) indexes
+// by — and keeps the branch bookkeeping bit-identical to a fast-path-off
+// search; a one-element node simply never has alternatives to backtrack
+// into. Forced steps always have incremental cost zero under both models
+// (with one enabled thread, the choice is the deterministic scheduler's
+// pick and cannot preempt), which push's canonical-first sanity check
+// re-verifies.
+func (e *engine) ObserveForcedStep(ctx vthread.Context) {
+	if ctx.Step < len(e.stack) {
+		nd := &e.stack[ctx.Step]
+		e.running = nd.base + nd.costs[nd.idx]
+		return
+	}
+	e.push(ctx)
+}
+
+// push records the fresh node for ctx, advances the running cost, and
+// returns the choice taken (the canonical first).
+func (e *engine) push(ctx vthread.Context) sched.ThreadID {
 	var order []sched.ThreadID
 	if n := len(e.freeOrders); n > 0 {
 		order, e.freeOrders = e.freeOrders[n-1], e.freeOrders[:n-1]

@@ -1,0 +1,129 @@
+package explore
+
+// Fast-path equivalence suite: the substrate's handoff fast paths
+// (same-thread continuation, forced-step fast-forward, direct baton
+// handoff — vthread.Debug) must not change what any technique explores.
+// These tests run every deterministic technique with all fast paths on
+// versus all off and demand bit-identical results: schedule counts,
+// executions, steps, verdicts and witness schedules, sequentially and on
+// the worker pool.
+
+import (
+	"fmt"
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/vthread"
+)
+
+// slowPath disables every scheduling fast path.
+var slowPath = vthread.Debug{NoInlineStep: true, NoForcedStep: true, NoDirectHandoff: true}
+
+// assertCountsEqual extends assertEquivalent with the work counters that
+// are deterministic for sequential (and unstolen parallel) searches.
+func assertCountsEqual(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	assertEquivalent(t, name, a, b)
+	if a.Executions != b.Executions {
+		t.Errorf("%s: Executions %d != %d", name, a.Executions, b.Executions)
+	}
+	if a.TotalSteps != b.TotalSteps {
+		t.Errorf("%s: TotalSteps %d != %d", name, a.TotalSteps, b.TotalSteps)
+	}
+	if a.AbortedExecutions != b.AbortedExecutions {
+		t.Errorf("%s: AbortedExecutions %d != %d", name, a.AbortedExecutions, b.AbortedExecutions)
+	}
+	if a.BranchesPruned != b.BranchesPruned {
+		t.Errorf("%s: BranchesPruned %d != %d", name, a.BranchesPruned, b.BranchesPruned)
+	}
+}
+
+// TestFastPathEquivalenceSequential: DFS, IPB, IDB, sleep-set DFS and
+// DPOR explore bit-identical spaces with the fast paths on and off.
+func TestFastPathEquivalenceSequential(t *testing.T) {
+	runs := map[string]func(Config) *Result{
+		"DFS":      RunDFS,
+		"IPB":      func(c Config) *Result { return RunIterative(c, CostPreemptions) },
+		"IDB":      func(c Config) *Result { return RunIterative(c, CostDelays) },
+		"sleepset": RunSleepSetDFS,
+		"DPOR":     RunDPOR,
+	}
+	for progName, newProg := range paperPrograms() {
+		for tech, run := range runs {
+			name := fmt.Sprintf("%s/%s", tech, progName)
+			t.Run(name, func(t *testing.T) {
+				fast := run(Config{Program: newProg()})
+				slow := run(Config{Program: newProg(), Debug: slowPath})
+				assertCountsEqual(t, name, slow, fast)
+			})
+		}
+	}
+}
+
+// TestFastPathEquivalenceSCTBench repeats the check on a real CS-suite
+// benchmark whose exploration exercises blocking, teardown kills and
+// buggy witnesses, not just yield meshes.
+func TestFastPathEquivalenceSCTBench(t *testing.T) {
+	b := bench.ByName("CS.account_bad")
+	cfg := Config{Program: b.New(), BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps, Limit: 20000}
+	for tech, run := range map[string]func(Config) *Result{
+		"DFS":      RunDFS,
+		"IDB":      func(c Config) *Result { return RunIterative(c, CostDelays) },
+		"sleepset": RunSleepSetDFS,
+		"DPOR":     RunDPOR,
+	} {
+		fast := run(cfg)
+		slowCfg := cfg
+		slowCfg.Debug = slowPath
+		slow := run(slowCfg)
+		assertCountsEqual(t, tech, slow, fast)
+		if !fast.BugFound {
+			t.Errorf("%s: CS.account_bad bug not found", tech)
+		}
+	}
+}
+
+// TestFastPathEquivalenceParallel: at 8 workers the deterministic
+// techniques must still produce bit-identical results with the fast paths
+// on and off. DPOR is compared on verdict, completeness and witness
+// validity only: under actual work-stealing its counts depend on worker
+// timing within a single configuration, so count equality across
+// configurations is not a defined contract (see parallel.go).
+func TestFastPathEquivalenceParallel(t *testing.T) {
+	const workers = 8
+	for progName, newProg := range paperPrograms() {
+		for tech, run := range map[string]func(Config) *Result{
+			"DFS": RunDFS,
+			"IPB": func(c Config) *Result { return RunIterative(c, CostPreemptions) },
+			"IDB": func(c Config) *Result { return RunIterative(c, CostDelays) },
+		} {
+			name := fmt.Sprintf("%s/%s/workers=%d", tech, progName, workers)
+			t.Run(name, func(t *testing.T) {
+				fast := run(Config{Program: newProg(), Workers: workers})
+				slow := run(Config{Program: newProg(), Workers: workers, Debug: slowPath})
+				assertEquivalent(t, name, slow, fast)
+			})
+		}
+	}
+
+	b := bench.ByName("CS.account_bad")
+	cfg := Config{Program: b.New(), BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps,
+		Limit: 20000, Workers: workers}
+	fast := RunDPOR(cfg)
+	slowCfg := cfg
+	slowCfg.Debug = slowPath
+	slow := RunDPOR(slowCfg)
+	if fast.BugFound != slow.BugFound || fast.Complete != slow.Complete {
+		t.Errorf("parallel DPOR verdict differs: fast bug=%v complete=%v, slow bug=%v complete=%v",
+			fast.BugFound, fast.Complete, slow.BugFound, slow.Complete)
+	}
+	for mode, r := range map[string]*Result{"fast": fast, "slow": slow} {
+		if !r.BugFound {
+			t.Errorf("parallel DPOR (%s) missed the CS.account_bad bug", mode)
+			continue
+		}
+		if out := replayWitness(b.New(), r.Witness); out == nil || out.Failure == nil {
+			t.Errorf("parallel DPOR (%s) witness does not replay to a failure", mode)
+		}
+	}
+}

@@ -71,6 +71,31 @@ func (e *ssEngine) Choose(ctx vthread.Context) sched.ThreadID {
 		nd := &e.stack[ctx.Step]
 		return nd.order[nd.idx]
 	}
+	if idx := e.push(ctx); idx >= 0 {
+		return e.stack[len(e.stack)-1].order[idx]
+	}
+	return ctx.Enabled[0] // ignored by the abort contract
+}
+
+// ObserveForcedStep implements vthread.StepObserver: a forced step still
+// needs its node — sleep sets propagate through it, and a single enabled
+// thread can itself be asleep, in which case push aborts the run exactly
+// as Choose would have.
+func (e *ssEngine) ObserveForcedStep(ctx vthread.Context) {
+	if ctx.Step < len(e.stack) {
+		return
+	}
+	e.push(ctx)
+}
+
+// push appends the fresh node for ctx and returns the index of the choice
+// taken: the first non-sleeping thread in canonical order. If everything
+// enabled is asleep, this subtree is fully redundant (Mazurkiewicz-
+// equivalent to an explored schedule): the run is aborted right here — the
+// substrate kills the remaining threads and the schedule's tail is never
+// executed — and push returns -1 with no alternatives on offer. The node
+// is then not pushed; its buffers go straight back to the free lists.
+func (e *ssEngine) push(ctx vthread.Context) int {
 	order, infos := popOrderInfos(&e.freeOrders, &e.freeInfos, ctx)
 	var sleep map[sched.ThreadID]vthread.PendingInfo
 	if len(e.stack) > 0 {
@@ -78,22 +103,16 @@ func (e *ssEngine) Choose(ctx vthread.Context) sched.ThreadID {
 		sleep = childSleep(parent)
 	}
 	nd := ssNode{order: order, infos: infos, sleep: sleep}
-	// First choice: the first non-sleeping thread in canonical order. If
-	// everything enabled is asleep, this subtree is fully redundant
-	// (Mazurkiewicz-equivalent to an explored schedule): abort the run
-	// right here — the substrate kills the remaining threads and the
-	// schedule's tail is never executed — and offer no alternatives. The
-	// node is not pushed; its buffers go straight back to the free lists.
 	nd.idx = firstAwake(nd, 0)
 	if nd.idx < 0 {
 		ctx.Abort()
 		e.pruned += len(order)
 		e.freeOrders = append(e.freeOrders, order[:0])
 		e.freeInfos = append(e.freeInfos, infos[:0])
-		return ctx.Enabled[0] // ignored by the abort contract
+		return -1
 	}
 	e.stack = append(e.stack, nd)
-	return nd.order[nd.idx]
+	return nd.idx
 }
 
 // childSleep computes the sleep set a child inherits: sleeping threads

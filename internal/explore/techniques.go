@@ -72,6 +72,12 @@ type Config struct {
 	// higher bounds (0 means DefaultMaxExecutions). Purely a guard rail;
 	// the study's benchmarks stay far below it.
 	MaxExecutions int
+	// Debug forwards the substrate's fast-path kill switches to every
+	// executor this exploration creates (vthread.Options.Debug). The zero
+	// value — all fast paths on — is correct for every production use;
+	// the fast-path equivalence tests flip individual switches to prove
+	// results are bit-identical either way.
+	Debug vthread.Debug
 	// Workers is the number of worker goroutines exploring the schedule
 	// space (0 or 1 = sequential). DFS/IPB/IDB partition the search tree
 	// into prefix-pinned subtrees with work-stealing, and IPB/IDB overlap

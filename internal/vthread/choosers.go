@@ -10,14 +10,22 @@ import (
 // when the current thread blocks or exits it picks the next enabled thread
 // in thread-creation order, round-robin. Executing a program under this
 // chooser yields the unique zero-delay terminal schedule.
-func RoundRobin() Chooser {
-	return ChooserFunc(func(ctx Context) ThreadID {
-		if ctx.LastEnabled {
-			return ctx.Last
-		}
-		return sched.CanonicalFirst(ctx.Enabled, ctx.Last, ctx.NumThreads)
-	})
+func RoundRobin() Chooser { return roundRobin{} }
+
+type roundRobin struct{}
+
+// Choose implements Chooser.
+func (roundRobin) Choose(ctx Context) ThreadID {
+	if ctx.LastEnabled {
+		return ctx.Last
+	}
+	return sched.CanonicalFirst(ctx.Enabled, ctx.Last, ctx.NumThreads)
 }
+
+// ObserveForcedStep implements StepObserver: round-robin is stateless and
+// would have picked the single enabled thread anyway, so a skipped Choose
+// needs no bookkeeping at all.
+func (roundRobin) ObserveForcedStep(Context) {}
 
 // NewRandom returns the naive random scheduler of the study (Rand): at
 // every scheduling point one enabled thread is chosen uniformly at random.
@@ -25,11 +33,23 @@ func RoundRobin() Chooser {
 // fuzzing this yields truly pseudo-random schedules; no history is kept
 // across executions.
 func NewRandom(seed uint64) Chooser {
-	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
-	return ChooserFunc(func(ctx Context) ThreadID {
-		return ctx.Enabled[rng.IntN(len(ctx.Enabled))]
-	})
+	return &randomChooser{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
 }
+
+type randomChooser struct{ rng *rand.Rand }
+
+// Choose implements Chooser.
+func (c *randomChooser) Choose(ctx Context) ThreadID {
+	return ctx.Enabled[c.rng.IntN(len(ctx.Enabled))]
+}
+
+// ObserveForcedStep implements StepObserver. The throwaway draw is what
+// makes the opt-in sound for a stateful random chooser: Choose at a
+// single-enabled point would consume exactly one IntN(1) draw, so the
+// fast path must consume it too — otherwise every draw after the first
+// forced step, and with it the whole schedule, would diverge from a
+// fast-path-off run with the same seed.
+func (c *randomChooser) ObserveForcedStep(Context) { _ = c.rng.IntN(1) }
 
 // Replay follows a recorded schedule step by step. If the recorded thread
 // is not enabled at some step, or the execution outlives the recording, the
@@ -62,6 +82,22 @@ func (r *Replay) Choose(ctx Context) ThreadID {
 		return ctx.Last
 	}
 	return sched.CanonicalFirst(ctx.Enabled, ctx.Last, ctx.NumThreads)
+}
+
+// ObserveForcedStep implements StepObserver: the replay cursor is
+// ctx.Step, which advances with the trace whether or not Choose runs, so
+// a forced step only needs the divergence check Choose would have done —
+// with one enabled thread, "recorded thread enabled" collapses to
+// "recorded thread is the forced thread", and on a mismatch the fallback
+// Choose would pick is the forced thread anyway.
+func (r *Replay) ObserveForcedStep(ctx Context) {
+	if ctx.Step < len(r.schedule) && r.schedule[ctx.Step] == ctx.Enabled[0] {
+		return
+	}
+	if !r.failed {
+		r.failed = true
+		r.failStep = ctx.Step
+	}
 }
 
 // Failed reports whether the replay diverged from the recording.

@@ -2,28 +2,70 @@ package vthread
 
 // Design notes for maintainers — the handoff protocol in one place.
 //
-// # Serialised execution
+// # Serialised execution and the baton
 //
 // One World = one execution. Each virtual thread is a goroutine, but the
-// protocol guarantees at most one runs at any instant:
+// protocol guarantees at most one runs at any instant: a conceptual baton
+// — the right to execute program code *and* to run the next scheduling
+// decision — is held by exactly one goroutine at a time. The exec
+// goroutine (the Run caller) holds it at the start; after the initial
+// grant it rides the virtual threads and returns to exec only when the
+// execution is over.
 //
-//	world loop                         thread goroutine
-//	----------                         ----------------
-//	compute enabled set
-//	chooser picks thread T
-//	T.gate <- struct{}{}       ──────▶ returns from awaitGrant
-//	<-w.parked  (blocks)               executes its pending visible op
-//	                                   runs invisible ops…
-//	                                   …until the next visible op:
-//	                                   pending = op; state = parked
-//	                           ◀────── parkTo <- parkKind
-//	(loop)
+// # Step handoff protocol
 //
-// Because the world blocks on <-w.parked while a thread runs, and threads
-// block on <-gate otherwise, no locks are needed anywhere in the
-// substrate: every shared field is accessed by exactly one goroutine at a
-// time, with happens-before edges provided by the two channels. `go test
-// -race ./internal/vthread` runs clean.
+// When a running thread reaches its next visible operation it does not
+// notify a central loop; it runs the scheduling decision itself
+// (World.continueFrom → nextStep), on its own goroutine. Three dispatch
+// routes exist, ordered by cost:
+//
+//	same-thread continuation (0 switches)      — the decision picked the
+//	    running thread again: visible() simply returns and the thread
+//	    proceeds into its granted operation. This is the overwhelmingly
+//	    common case under round-robin, replay, non-preempted DFS prefixes
+//	    and PCT between change points.
+//
+//	direct baton handoff (1 switch)            — the decision picked
+//	    another thread U:
+//
+//	    thread T goroutine                 thread U goroutine
+//	    ------------------                 ------------------
+//	    pending = op; state = parked
+//	    nextStep() picks U
+//	    U.gate <- struct{}{}       ──────▶ returns from awaitGrant
+//	    <-T.gate  (blocks)                 executes its pending visible op
+//	                                       …until its own next visible op
+//
+//	bounced grant (2 switches)                 — the initial grant of each
+//	    execution, and every grant under a Debug kill switch: the decider
+//	    records the target in w.bounce, sends parkBounce on w.parked, and
+//	    the exec goroutine performs the grant. This is the cost the old
+//	    central-loop protocol paid on every step.
+//
+// A decision with exactly one enabled thread additionally takes the
+// forced-step fast path when the Chooser opted in by implementing
+// StepObserver: the Choose call is skipped entirely, ObserveForcedStep
+// keeps the chooser's bookkeeping aligned, and the step is granted
+// directly — almost always via same-thread continuation.
+//
+// When a thread's body returns, its goroutine runs one last decision
+// (World.exitFrom) and passes the baton on before going back to the pool.
+// When the execution is over — terminal, deadlock, failure, step limit,
+// chooser abort — whoever holds the baton sends parkDone (failNow sends
+// parkFailed) on w.parked and the exec goroutine tears the world down. A
+// panic out of a chooser running on a thread goroutine is captured into
+// w.schedPanic and rethrown by exec on the Run caller's goroutine, so the
+// chooser-bug panic contract is unchanged.
+//
+// Exactly one goroutine holds the baton at any instant, every transfer is
+// a channel operation, and every shared field of the World is accessed
+// only by the baton holder (or by exec after the final handback), so no
+// locks are needed anywhere in the substrate and the chooser — though it
+// migrates between goroutines — is never called concurrently. `go test
+// -race ./internal/vthread` runs clean. Executor reuse and the teardown
+// contract below are unaffected: which goroutine computes a decision has
+// no bearing on pooling, and the kill-by-grant path is driven by exec
+// exactly as before.
 //
 // # Spawn and the private first park
 //
@@ -31,9 +73,11 @@ package vthread
 // first grant itself and consumes the child's first park from a private
 // channel). This keeps "a thread's first schedulable step is its first
 // visible operation" — matching the §2 step model — and avoids a spurious
-// start pseudo-op inflating schedule counts. The private channel matters:
-// during a spawn the world is concurrently waiting for the *parent's*
-// park, and must not steal the child's.
+// start pseudo-op inflating schedule counts. The spawner holds the baton
+// for the duration of the spawn, so the child's first park goes to the
+// private channel, not to the scheduler; once it is consumed, the child's
+// parkTo is cleared to nil and all of its later parks schedule inline
+// (baton mode).
 //
 // # Teardown and the worker pool
 //
@@ -57,7 +101,8 @@ package vthread
 // # Chooser-initiated abort
 //
 // A Chooser may end an execution early by calling ctx.Abort() inside
-// Choose. The world loop then breaks out before performing another step
+// Choose (or inside ObserveForcedStep, on the forced path). The decision
+// then returns the baton to exec before performing another step
 // and reuses the normal teardown: abortRemaining kills the surviving
 // threads by grant, the outcome carries Aborted=true, Failure=nil and the
 // executed prefix as its Trace, and under an Executor the same pool

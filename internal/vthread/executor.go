@@ -97,6 +97,10 @@ func (e *Executor) RunWith(chooser Chooser, sink EventSink, program Program) *Ou
 	return &e.outcome
 }
 
+// StepStats reports how the Executor's steps were dispatched across all
+// runs so far (see StepStats). Must be called between runs, like Run.
+func (e *Executor) StepStats() StepStats { return e.w.StepStats() }
+
 // acquire pops a parked pool worker, or creates one (struct, channels,
 // goroutine) when the pool has none spare. Called by newThread.
 func (e *Executor) acquire() *Thread {

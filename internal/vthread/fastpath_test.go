@@ -1,0 +1,231 @@
+package vthread
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sctbench/internal/sched"
+)
+
+// debugCombos enumerates every combination of fast-path kill switches,
+// starting with the all-off (pure slow path) baseline.
+func debugCombos() []Debug {
+	out := make([]Debug, 0, 8)
+	for bits := 7; bits >= 0; bits-- {
+		out = append(out, Debug{
+			NoInlineStep:    bits&1 != 0,
+			NoForcedStep:    bits&2 != 0,
+			NoDirectHandoff: bits&4 != 0,
+		})
+	}
+	return out
+}
+
+// failuresEqual compares failures including the message, which
+// outcomesEqual (kind-only) does not.
+func failuresEqual(a, b *Failure) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || (a.Kind == b.Kind && a.Thread == b.Thread && a.Message == b.Message)
+}
+
+// TestFastPathTogglesProperty is the fast-path equivalence property: for
+// random programs and every combination of Debug kill switches, the
+// round-robin, fixed-seed random and replay choosers produce executions
+// bit-identical — trace, costs, statistics, failure — to the all-switches-
+// off slow path. Random participates in strict equality because its
+// ObserveForcedStep consumes the one draw Choose would have, keeping the
+// rng stream aligned across the toggle (see randomChooser).
+func TestFastPathTogglesProperty(t *testing.T) {
+	combos := debugCombos()
+	f := func(shape uint32, seed uint64) bool {
+		prog := genProgram(shape)
+		slow := combos[0]
+		runWith := func(mk func() Chooser, d Debug) *Outcome {
+			return NewWorld(Options{Chooser: mk(), Debug: d}).Run(prog)
+		}
+		choosers := map[string]func() Chooser{
+			"roundrobin": RoundRobin,
+			"random":     func() Chooser { return NewRandom(seed) },
+		}
+		var recorded *Outcome
+		for name, mk := range choosers {
+			want := runWith(mk, slow)
+			if name == "random" {
+				recorded = want
+			}
+			for _, d := range combos[1:] {
+				got := runWith(mk, d)
+				if !outcomesEqual(want, got) || !failuresEqual(want.Failure, got.Failure) {
+					t.Logf("%s shape=%d seed=%d debug=%+v: outcome diverged\n got %+v\nwant %+v",
+						name, shape, seed, d, got, want)
+					return false
+				}
+			}
+		}
+		// Replay the random run's trace under every combination: same trace
+		// back, no divergence, regardless of which fast paths fire.
+		for _, d := range combos {
+			rep := NewReplay(recorded.Trace)
+			out := NewWorld(Options{Chooser: rep, Debug: d}).Run(prog)
+			if rep.Failed() || !out.Trace.Equal(recorded.Trace) {
+				t.Logf("replay shape=%d seed=%d debug=%+v: diverged (failed=%v)",
+					shape, seed, d, rep.Failed())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastPathsActuallyFire pins that the three fast paths are exercised
+// (not silently dead code) on a program with contested points, blocking
+// transfers and single-enabled stretches — and that the kill switches
+// really kill them.
+func TestFastPathsActuallyFire(t *testing.T) {
+	ex := NewExecutor(Options{Chooser: RoundRobin()})
+	defer ex.Close()
+	out := ex.Run(executorTestProgram)
+	if out.Failure != nil {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	st := ex.StepStats()
+	if st.InlineSteps == 0 {
+		t.Error("same-thread continuation never fired")
+	}
+	if st.ForcedSteps == 0 {
+		t.Error("forced-step fast-forward never fired")
+	}
+	if st.DirectHandoffs == 0 {
+		t.Error("direct thread-to-thread handoff never fired")
+	}
+
+	exOff := NewExecutor(Options{
+		Chooser: RoundRobin(),
+		Debug:   Debug{NoInlineStep: true, NoForcedStep: true, NoDirectHandoff: true},
+	})
+	defer exOff.Close()
+	outOff := exOff.Run(executorTestProgram)
+	if !outcomesEqual(out, outOff) {
+		t.Errorf("slow path diverged:\n got %+v\nwant %+v", outOff, out)
+	}
+	stOff := exOff.StepStats()
+	if stOff.InlineSteps != 0 || stOff.ForcedSteps != 0 || stOff.DirectHandoffs != 0 {
+		t.Errorf("kill switches left fast paths on: %+v", stOff)
+	}
+	if stOff.Bounces == 0 {
+		t.Error("slow path recorded no bounced grants")
+	}
+}
+
+// TestForcedStepObserverCanAbort pins the abort contract on the forced
+// path: ObserveForcedStep may call ctx.Abort, and the run then stops with
+// the executed prefix, exactly like an aborting Choose (the sleep-set and
+// DPOR engines rely on this when the single enabled thread is asleep).
+type abortAtStep struct {
+	at     int
+	forced int // forced steps observed, to prove the abort came from one
+}
+
+func (a *abortAtStep) Choose(ctx Context) ThreadID {
+	if ctx.Step >= a.at {
+		ctx.Abort()
+	}
+	return ctx.Enabled[0]
+}
+
+func (a *abortAtStep) ObserveForcedStep(ctx Context) {
+	a.forced++
+	if ctx.Step >= a.at {
+		ctx.Abort()
+	}
+}
+
+func TestForcedStepObserverCanAbort(t *testing.T) {
+	// Single-threaded program: every scheduling point is forced.
+	prog := func(t0 *Thread) {
+		v := t0.NewVar("v", 0)
+		for i := 0; i < 8; i++ {
+			v.Store(t0, i)
+		}
+	}
+	ch := &abortAtStep{at: 3}
+	out := NewWorld(Options{Chooser: ch}).Run(prog)
+	if !out.Aborted {
+		t.Fatal("run not aborted")
+	}
+	if len(out.Trace) != 3 {
+		t.Fatalf("trace %v, want the 3-step prefix", out.Trace)
+	}
+	if out.Failure != nil {
+		t.Fatalf("aborted run has failure %v", out.Failure)
+	}
+	if ch.forced == 0 {
+		t.Fatal("abort did not come from the forced-step path")
+	}
+}
+
+// TestSchedPointsNotCountedAtStepLimit is the regression test for the
+// scheduling-point off-by-one: SchedPoints and MaxEnabled used to be
+// updated before the MaxSteps check, so a step-limited run counted a
+// scheduling point — and could observe its enabled-thread high-water mark
+// — at a point where no step ever executed.
+func TestSchedPointsNotCountedAtStepLimit(t *testing.T) {
+	// Thread 0's only step is the spawn (one enabled thread); the cut
+	// happens at the next decision, where all three children are enabled.
+	prog := func(t0 *Thread) {
+		t0.SpawnAll(
+			func(tw *Thread) { tw.Yield() },
+			func(tw *Thread) { tw.Yield() },
+			func(tw *Thread) { tw.Yield() },
+		)
+	}
+	out := NewWorld(Options{Chooser: RoundRobin(), MaxSteps: 1}).Run(prog)
+	if !out.StepLimitHit {
+		t.Fatal("step limit not hit")
+	}
+	if len(out.Trace) != 1 {
+		t.Fatalf("trace %v, want exactly the spawn step", out.Trace)
+	}
+	if out.SchedPoints != 0 {
+		t.Errorf("SchedPoints = %d at a 1-step limit, want 0: the cut-off point counted", out.SchedPoints)
+	}
+	if out.MaxEnabled != 1 {
+		t.Errorf("MaxEnabled = %d, want 1: the never-executed point was observed", out.MaxEnabled)
+	}
+
+	// Sanity: one more step of budget executes one contested step, and
+	// exactly one scheduling point is counted.
+	out2 := NewWorld(Options{Chooser: RoundRobin(), MaxSteps: 2}).Run(prog)
+	if !out2.StepLimitHit || len(out2.Trace) != 2 {
+		t.Fatalf("MaxSteps=2: trace %v limit=%v", out2.Trace, out2.StepLimitHit)
+	}
+	if out2.SchedPoints != 1 || out2.MaxEnabled != 3 {
+		t.Errorf("MaxSteps=2: SchedPoints=%d MaxEnabled=%d, want 1 and 3",
+			out2.SchedPoints, out2.MaxEnabled)
+	}
+}
+
+// TestReplayForcedDivergenceDetected pins Replay.Failed parity on the
+// forced path: a recording that names the wrong thread at a single-enabled
+// point is flagged as diverged whether or not the Choose call was skipped.
+func TestReplayForcedDivergenceDetected(t *testing.T) {
+	prog := func(t0 *Thread) {
+		v := t0.NewVar("v", 0)
+		v.Store(t0, 1)
+		v.Store(t0, 2)
+	}
+	bogus := sched.Schedule{0, 99} // step 1 names a thread that cannot exist
+	for _, d := range debugCombos() {
+		rep := NewReplay(bogus)
+		NewWorld(Options{Chooser: rep, Debug: d}).Run(prog)
+		if !rep.Failed() || rep.FailStep() != 1 {
+			t.Errorf("debug=%+v: divergence not detected (failed=%v step=%d)",
+				d, rep.Failed(), rep.FailStep())
+		}
+	}
+}

@@ -41,13 +41,16 @@ type Thread struct {
 	// goroutine runs a single body and exits.
 	jobs chan Program
 	// first receives this thread's park notifications during the eager
-	// prefix run: a private channel consumed by the spawner (so the world
-	// loop, which may simultaneously be waiting for the *spawner's* park,
-	// cannot steal the message); the spawner then redirects parkTo to the
-	// world's shared channel. The redirect is safe: the thread only reads
-	// parkTo at its next park, which cannot happen before the world next
-	// grants it, which happens-after the spawner parks. The channel is
-	// drained by every use, so it is recycled along with the Thread.
+	// prefix run: a private channel consumed by the spawner (which owns
+	// the baton for the duration of the spawn, so no other goroutine can
+	// steal the message). Once the prefix has parked, the spawner clears
+	// parkTo to nil — "baton mode" — and from then on the thread does not
+	// notify anyone when it parks: it runs the scheduling decision itself
+	// (World.continueFrom). The redirect is safe: the thread only reads
+	// parkTo at its next park, which cannot happen before it is next
+	// granted, which happens-after the spawner consumed the first park.
+	// The channel is drained by every use, so it is recycled along with
+	// the Thread.
 	first   chan parkKind
 	parkTo  chan parkKind
 	pending pendingOp
@@ -114,7 +117,7 @@ func (w *World) newThread(body Program) *Thread {
 	}
 	t.gate <- struct{}{} // run the invisible prefix
 	<-t.first            // …until the thread parks, exits or fails
-	t.parkTo = w.parked  // all later parks go to the scheduler
+	t.parkTo = nil       // baton mode: later parks schedule inline
 	return t
 }
 
@@ -152,24 +155,44 @@ func (t *Thread) runBody(body Program) {
 	t.sinkAcquire(t.key)
 	body(t)
 
-	// Clean exit: publish exited state before notifying the world so the
+	// Clean exit: publish exited state before passing the baton so the
 	// scheduler never observes a stale parked state.
 	t.sinkRelease(t.key)
 	t.state = stateExited
-	t.parkTo <- parkExited
+	if t.parkTo != nil {
+		// Exited during the eager spawn prefix: the spawner owns the baton
+		// and consumes this park.
+		t.parkTo <- parkExited
+		return
+	}
+	t.w.exitFrom()
 }
+
+// grant wakes the thread to perform its pending operation (or, with
+// killed set, to unwind). The sender must hold the baton; the send is the
+// baton transfer.
+func (t *Thread) grant() { t.gate <- struct{}{} }
 
 // visible registers op as this thread's next visible operation and parks
 // until the scheduler grants the thread. On return the thread owns the
-// execution and must perform the operation it registered.
+// execution and must perform the operation it registered. Outside the
+// eager spawn prefix the thread holds the baton, so instead of notifying
+// anyone it runs the scheduling decision itself — and on the same-thread
+// fast path simply keeps going.
 func (t *Thread) visible(op pendingOp) {
 	if t.killed {
 		panic(killSignal{})
 	}
 	t.pending = op
 	t.state = stateParked
-	t.parkTo <- parkPending
-	t.awaitGrant()
+	if t.parkTo != nil {
+		// Eager spawn prefix: the spawner owns the baton and consumes this
+		// park; the scheduler is not involved yet.
+		t.parkTo <- parkPending
+		t.awaitGrant()
+		return
+	}
+	t.w.continueFrom(t)
 }
 
 // awaitGrant blocks until the world grants this thread (or kills it: a
@@ -182,11 +205,18 @@ func (t *Thread) awaitGrant() {
 }
 
 // failNow records f as the execution's failure and unwinds the thread.
-// It never returns.
+// It never returns. During the eager spawn prefix the spawner consumes
+// the park and the failure surfaces at the spawner's next scheduling
+// decision; otherwise the failing thread holds the baton and returns it
+// to the exec goroutine directly.
 func (t *Thread) failNow(f *Failure) {
 	t.w.fail(f)
 	t.state = stateExited
-	t.parkTo <- parkFailed
+	if t.parkTo != nil {
+		t.parkTo <- parkFailed
+	} else {
+		t.w.parked <- parkFailed
+	}
 	panic(killSignal{})
 }
 

@@ -75,8 +75,12 @@ type (
 	Technique = explore.Technique
 	// Chooser decides the next thread at each scheduling point; implement
 	// it to plug in a custom search strategy. A Chooser instance is
-	// confined to one execution goroutine; give every concurrent World its
-	// own.
+	// confined to one execution — it is never called concurrently, though
+	// the substrate's fast path invokes it from the running virtual
+	// thread's goroutine — so give every concurrent World its own. A
+	// Chooser that also implements vthread.StepObserver opts into the
+	// forced-step fast path: scheduling points with exactly one enabled
+	// thread skip the Choose call (see vthread.StepObserver).
 	Chooser = vthread.Chooser
 	// WorldOptions configures a single raw execution (advanced use). Each
 	// World is confined to the goroutine that runs it — one world per
