@@ -1,5 +1,7 @@
 // Command sctbench runs the empirical study of Thomson et al. (PPoPP'14)
-// over the 52 SCTBench benchmarks: the race-detection phase followed by
+// over every registered benchmark — the 52 SCTBench rows plus the GoIdiom
+// extension family (channels, multi-way select, WaitGroup, Once) the
+// original study could not express: the race-detection phase followed by
 // IPB, IDB, DFS, Rand and optionally MapleAlg, then renders Table 2,
 // Table 3, the Figure 2 Venn diagrams and the Figure 3/4 scatter data.
 //
@@ -27,7 +29,7 @@ import (
 func main() {
 	limit := flag.Int("limit", explore.DefaultLimit, "terminal-schedule limit per technique")
 	seed := flag.Uint64("seed", 1, "base random seed")
-	benchRe := flag.String("bench", "", "regexp selecting benchmarks by name (default: all 52)")
+	benchRe := flag.String("bench", "", "regexp selecting benchmarks by name (default: all, goidiom family included)")
 	withMaple := flag.Bool("maple", false, "also run the Maple-style idiom algorithm")
 	withDPOR := flag.Bool("dpor", false,
 		"also run DPOR (source-set dynamic partial-order reduction over unbounded DFS); "+

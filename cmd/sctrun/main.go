@@ -1,7 +1,8 @@
-// Command sctrun explores a single SCTBench benchmark with one technique
-// and prints what it finds, including the witness schedule and an optional
-// replay with a per-step trace — the debugging workflow the study's tools
-// support (reproducing a bug by forcing its schedule).
+// Command sctrun explores a single registered benchmark (the 52 SCTBench
+// rows or the GoIdiom extension family) with one technique and prints what
+// it finds, including the witness schedule and an optional replay with a
+// per-step trace — the debugging workflow the study's tools support
+// (reproducing a bug by forcing its schedule).
 //
 // Usage:
 //
@@ -40,12 +41,12 @@ func main() {
 	savePath := flag.String("save", "", "write the witness to this JSON file")
 	loadPath := flag.String("load", "", "replay a witness JSON file instead of exploring")
 	logTrace := flag.Bool("log", false, "print a per-event trace when replaying")
-	list := flag.Bool("list", false, "list benchmarks and exit")
+	list := flag.Bool("list", false, "list all registered benchmarks (SCTBench + goidiom) and exit")
 	flag.Parse()
 
 	if *list {
 		for _, b := range bench.All() {
-			fmt.Printf("%-28s %2d threads  %-9s  %s\n", b.Name, b.Threads, b.BugKind, b.Desc)
+			fmt.Printf("%-28s %-8s %2d threads  %-9s  %s\n", b.Name, b.Suite, b.Threads, b.BugKind, b.Desc)
 		}
 		return
 	}

@@ -11,12 +11,24 @@ import (
 
 func TestRegistryShape(t *testing.T) {
 	all := All()
-	if len(all) != 52 {
-		t.Fatalf("registry has %d benchmarks, want 52 (SCTBench)", len(all))
+	if len(all) != 58 {
+		t.Fatalf("registry has %d benchmarks, want 58 (52 SCTBench + 6 GoIdiom)", len(all))
 	}
+	core, goidiom := 0, 0
 	for i, b := range all {
 		if b.ID != i {
 			t.Errorf("position %d has id %d (%s): ids must be the Table 3 row numbers", i, b.ID, b.Name)
+		}
+		if b.Suite == "GoIdiom" {
+			goidiom++
+			if b.ID < 52 {
+				t.Errorf("%s has id %d: the GoIdiom family extends the registry past the paper's 52 rows", b.Name, b.ID)
+			}
+		} else {
+			core++
+			if b.ID >= 52 {
+				t.Errorf("%s has id %d: SCTBench ids are the Table 3 row numbers 0-51", b.Name, b.ID)
+			}
 		}
 		if b.New == nil {
 			t.Errorf("%s has no program constructor", b.Name)
@@ -27,6 +39,9 @@ func TestRegistryShape(t *testing.T) {
 		if b.Desc == "" {
 			t.Errorf("%s has no description", b.Name)
 		}
+	}
+	if core != 52 || goidiom != 6 {
+		t.Fatalf("registry split %d SCTBench + %d GoIdiom, want 52 + 6", core, goidiom)
 	}
 }
 
@@ -61,8 +76,11 @@ func TestLookups(t *testing.T) {
 	if ByID(99) != nil {
 		t.Error("ByID(99) returned a ghost")
 	}
-	if len(Suites()) != 8 {
-		t.Errorf("Suites() = %v, want 8 entries", Suites())
+	if len(Suites()) != 9 {
+		t.Errorf("Suites() = %v, want 9 entries (8 SCTBench + GoIdiom)", Suites())
+	}
+	if ByName("goidiom.cancel_bad") == nil {
+		t.Error("ByName failed for a GoIdiom benchmark")
 	}
 }
 
@@ -245,7 +263,7 @@ func TestBenchmarksHaveRaces(t *testing.T) {
 		}
 	}
 	if racy < 26 {
-		t.Errorf("only %d of 52 benchmarks show data races; the suite should be race-heavy (paper: 33)", racy)
+		t.Errorf("only %d of %d benchmarks show data races; the suite should be race-heavy (paper: 33 of 52)", racy, len(All()))
 	}
 }
 

@@ -1,0 +1,222 @@
+package bench
+
+// The GoIdiom benchmark family: Go's native concurrency idioms — worker
+// pools over channels, fan-in/fan-out pipelines, cancellation via closed
+// channels, multi-way select, sync.WaitGroup and sync.Once — none of which
+// the pthread-style SCTBench programs (or the original study) could
+// express. The family extends the registry past the paper's 52 rows (ids
+// 52+, excluded from the Table 1 reproduction) and re-runs the technique
+// comparison on a scenario class with a decision dimension the paper's
+// programs lack: a multi-way select with several ready cases is a
+// *case-decision* scheduling point (vthread.Context.SelectOf), so two of
+// these bugs are reachable with zero preemptions and zero delays — pure
+// select nondeterminism, cost-free for the bounded techniques — while the
+// rest are classic one-preemption check-then-act races dressed in channel
+// clothing.
+//
+// Like every suite file, each program confines all state to the body so
+// one Benchmark value can be executed concurrently by the parallel
+// exploration workers.
+
+import "sctbench/internal/vthread"
+
+func init() {
+	register(&Benchmark{
+		ID: 52, Name: "goidiom.workerpool_bad", Suite: "GoIdiom", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "worker pool over a jobs channel: unsynchronised result aggregation loses an update",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				jobs := t0.NewChan("jobs", 3)
+				sum := t0.NewVar("sum", 0)
+				wg := t0.NewWaitGroup("wg")
+				wg.Add(t0, 2)
+				worker := func(tw *vthread.Thread) {
+					for {
+						v, ok := jobs.Recv(tw)
+						if !ok {
+							break
+						}
+						// Bug: the aggregate is a plain read-modify-write;
+						// two workers interleaving here lose an update.
+						sum.Add(tw, v)
+					}
+					wg.Done(tw)
+				}
+				t0.Spawn(worker)
+				t0.Spawn(worker)
+				for i := 1; i <= 3; i++ {
+					jobs.Send(t0, i)
+				}
+				jobs.Close(t0)
+				wg.Wait(t0)
+				t0.Assert(sum.Load(t0) == 6, "worker pool lost an update: sum=%d", sum.Load(t0))
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 53, Name: "goidiom.pipeline_bad", Suite: "GoIdiom", Threads: 4,
+		BugKind: vthread.FailCrash,
+		Desc:    "fan-in pipeline: racy last-producer-closes flag double-closes the merged channel",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				out := t0.NewChan("out", 4)
+				wg := t0.NewWaitGroup("producers")
+				closed := t0.NewVar("closed", 0)
+				wg.Add(t0, 2)
+				producer := func(base int) vthread.Program {
+					return func(tw *vthread.Thread) {
+						out.Send(tw, base)
+						out.Send(tw, base+1)
+						wg.Done(tw)
+						wg.Wait(tw) // both producers drain past here together
+						// Bug: "whoever gets here first closes" is a
+						// check-then-act on a plain flag; two producers
+						// interleaving between the load and the store both
+						// close the merged channel (Go: panic).
+						if closed.Load(tw) == 0 {
+							closed.Store(tw, 1)
+							out.Close(tw)
+						}
+					}
+				}
+				t0.Spawn(producer(10))
+				t0.Spawn(producer(20))
+				total := 0
+				consumer := t0.Spawn(func(tw *vthread.Thread) {
+					for {
+						v, ok := out.Recv(tw)
+						if !ok {
+							return
+						}
+						total += v
+					}
+				})
+				t0.Join(consumer)
+				t0.Assert(total == 62, "pipeline dropped values: total=%d", total)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 54, Name: "goidiom.cancel_bad", Suite: "GoIdiom", Threads: 3,
+		BugKind: vthread.FailDeadlock,
+		Desc:    "cancellation via closed channel: worker honours the done case while the producer still blocks on a send",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				work := t0.NewChan("work", 1)
+				done := t0.NewChan("done", 1)
+				producer := t0.Spawn(func(tw *vthread.Thread) {
+					// The second send blocks until the worker drains the
+					// first; if the worker obeys the cancellation first,
+					// nobody ever will (Go's classic leaked-producer bug,
+					// here surfacing as a modelled deadlock).
+					work.Send(tw, 1)
+					work.Send(tw, 2)
+				})
+				worker := t0.Spawn(func(tw *vthread.Thread) {
+					for {
+						idx, _, _ := tw.Select([]vthread.SelectCase{
+							vthread.RecvCase(work),
+							vthread.RecvCase(done),
+						}, false)
+						if idx == 1 {
+							return // cancelled
+						}
+					}
+				})
+				done.Close(t0)
+				t0.Join(producer)
+				t0.Join(worker)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 55, Name: "goidiom.wgdone_bad", Suite: "GoIdiom", Threads: 3,
+		BugKind: vthread.FailCrash,
+		Desc:    "double Done: two cleanup paths race on an ownership flag and both decrement the WaitGroup",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				wg := t0.NewWaitGroup("wg")
+				owner := t0.NewVar("owner", 0)
+				wg.Add(t0, 1)
+				cleanup := func(tw *vthread.Thread) {
+					// Bug: "whoever sees the flag unset owns the final
+					// Done" is a check-then-act; both cleanups interleaving
+					// here drive the counter negative (Go: panic).
+					if owner.Load(tw) == 0 {
+						owner.Store(tw, 1)
+						wg.Done(tw)
+					}
+				}
+				t0.Spawn(cleanup)
+				t0.Spawn(cleanup)
+				wg.Wait(t0)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 56, Name: "goidiom.select_starve_bad", Suite: "GoIdiom", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "select starvation: the quit case can win over pending requests, which then go unprocessed",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				reqs := t0.NewChan("reqs", 3)
+				quit := t0.NewChan("quit", 1)
+				processed := 0
+				server := t0.Spawn(func(tw *vthread.Thread) {
+					for {
+						idx, _, _ := tw.Select([]vthread.SelectCase{
+							vthread.RecvCase(reqs),
+							vthread.RecvCase(quit),
+						}, false)
+						if idx == 1 {
+							return // bug: quits even with requests pending
+						}
+						processed++
+					}
+				})
+				client := t0.Spawn(func(tw *vthread.Thread) {
+					for i := 0; i < 3; i++ {
+						reqs.Send(tw, i) // buffered: never blocks
+					}
+					quit.Send(tw, 0)
+				})
+				t0.Join(client)
+				t0.Join(server)
+				t0.Assert(processed == 3, "server quit with %d of 3 requests processed", processed)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 57, Name: "goidiom.once_reenter_bad", Suite: "GoIdiom", Threads: 3,
+		BugKind: vthread.FailDeadlock,
+		Desc:    "Once reentrancy: a racy readiness flag lets the init body re-enter its own Once (Go: self-deadlock)",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				once := t0.NewOnce("init")
+				ready := t0.NewVar("ready", 0)
+				fallback := func(tw *vthread.Thread) {}
+				setter := t0.Spawn(func(tw *vthread.Thread) {
+					ready.Store(tw, 1)
+				})
+				initer := t0.Spawn(func(tw *vthread.Thread) {
+					once.Do(tw, func(ti *vthread.Thread) {
+						// Bug: when the setter has not run yet, the init
+						// body takes the fallback path — which re-enters
+						// the same Once. Go's sync.Once self-deadlocks.
+						if ready.Load(ti) == 0 {
+							once.Do(ti, fallback)
+						}
+					})
+				})
+				t0.Join(setter)
+				t0.Join(initer)
+			}
+		},
+	})
+}

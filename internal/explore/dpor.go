@@ -54,6 +54,15 @@ type dporNode struct {
 	// in [nthreads(i), nthreads(i+1)) was created by step i, which is how
 	// the race analysis recovers spawn happens-before edges.
 	nthreads int
+	// selOf marks a case-decision node: the thread whose Select this node
+	// picks a case for, or NoThread for an ordinary thread-choice node. At
+	// a case node order holds ready *case indices*, so the sleep map —
+	// keyed by thread ids — must never be consulted with (or extended by)
+	// order entries, and every case is explored unconditionally: case
+	// alternatives are distinct program behaviours of the selecting thread,
+	// never Mazurkiewicz-equivalent, so no commutation argument can prune
+	// them.
+	selOf sched.ThreadID
 }
 
 // dporObj is the per-object access state of one happens-before pass:
@@ -145,6 +154,9 @@ func (e *dporEngine) ObserveForcedStep(ctx vthread.Context) {
 // to explored schedules, so the run is cut short instead of executing its
 // tail, and the node is never pushed.
 func (e *dporEngine) push(ctx vthread.Context) int {
+	if ctx.SelectOf != vthread.NoThread {
+		return e.pushCase(ctx)
+	}
 	if ctx.NumThreads > e.maxThreads {
 		e.maxThreads = ctx.NumThreads
 	}
@@ -174,17 +186,55 @@ func (e *dporEngine) push(ctx vthread.Context) int {
 	e.stack = append(e.stack, dporNode{
 		order: order, infos: infos, idx: idx,
 		done: done, backtrack: backtrack, sleep: sleep,
-		nthreads: ctx.NumThreads,
+		nthreads: ctx.NumThreads, selOf: vthread.NoThread,
 	})
 	return idx
 }
 
+// pushCase appends the node of a case-decision point. Every ready case
+// goes straight into the backtrack set — case choices are never redundant
+// — and the sleep machinery is bypassed entirely: the inherited sleep set
+// (thread-keyed) is carried through for the node's children but never
+// consulted against the case indices in order. The node's thread count is
+// the enclosing thread node's (ctx.NumThreads is the select's case count
+// here), which keeps the spawn-watermark arithmetic of the race analysis
+// exact.
+func (e *dporEngine) pushCase(ctx vthread.Context) int {
+	order, infos := popOrderInfos(&e.freeOrders, &e.freeInfos, ctx)
+	sleep := e.getSleep()
+	parent := &e.stack[len(e.stack)-1]
+	dporChildSleep(parent, sleep)
+	done := e.getFlags(len(order))
+	backtrack := e.getFlags(len(order))
+	for k := range backtrack {
+		backtrack[k] = true
+	}
+	e.stack = append(e.stack, dporNode{
+		order: order, infos: infos, idx: 0,
+		done: done, backtrack: backtrack, sleep: sleep,
+		nthreads: parent.nthreads, selOf: ctx.SelectOf,
+	})
+	return 0
+}
+
 // dporChildSleep fills dst with the sleep set a child of parent inherits:
 // sleeping threads and fully explored siblings whose operations are
-// independent of the branch being taken now.
+// independent of the branch being taken now. A case-decision parent
+// contributes only its inherited sleep (already filtered by the full
+// select footprint at the enclosing thread node, a superset of the
+// committed case's channel): its siblings are case indices, not threads,
+// and must never leak into a thread-keyed sleep map.
 func dporChildSleep(parent *dporNode, dst map[sched.ThreadID]vthread.PendingInfo) {
-	taken := parent.order[parent.idx]
 	takenInfo := parent.infos[parent.idx]
+	if parent.selOf != vthread.NoThread {
+		for t, info := range parent.sleep {
+			if info.Independent(takenInfo) {
+				dst[t] = info
+			}
+		}
+		return
+	}
+	taken := parent.order[parent.idx]
 	for t, info := range parent.sleep {
 		if t != taken && info.Independent(takenInfo) {
 			dst[t] = info
@@ -233,6 +283,17 @@ func (e *dporEngine) analyze() {
 		nd := &e.stack[i]
 		p := int(nd.order[nd.idx])
 		info := nd.infos[nd.idx]
+		isCase := nd.selOf != vthread.NoThread
+		if isCase {
+			// A case-decision node is the second half of its select step:
+			// attribute it to the selecting thread with no footprint of its
+			// own. The enclosing thread node already carries the full member-
+			// channel footprint (and recorded the writes), so every
+			// dependence edge and race involving the select lands there —
+			// where other threads were actual alternatives.
+			p = int(nd.selOf)
+			info = vthread.PendingInfo{}
+		}
 		// Threads first seen at the next scheduling point were created by
 		// this step: record the spawn edge source.
 		if i+1 < n {
@@ -259,11 +320,8 @@ func (e *dporEngine) analyze() {
 			}
 		}
 		// Dependence edges from the per-object access history.
-		for _, key := range info.Objects {
-			if key == "" {
-				continue
-			}
-			st := e.obj(key)
+		for k := 0; k < info.Objects.Len(); k++ {
+			st := e.obj(info.Objects.Obj(k))
 			if st.lastWrite >= 0 {
 				joinVC(v, e.vc[st.lastWrite][:nt])
 			}
@@ -274,16 +332,13 @@ func (e *dporEngine) analyze() {
 			}
 		}
 
-		if i >= e.analyzeFrom {
+		if i >= e.analyzeFrom && !isCase {
 			e.addRaceBacktracks(i, p, info, nt)
 		}
 
 		// Update the access history and close the step's clock.
-		for _, key := range info.Objects {
-			if key == "" {
-				continue
-			}
-			st := e.obj(key)
+		for k := 0; k < info.Objects.Len(); k++ {
+			st := e.obj(info.Objects.Obj(k))
 			if info.ReadOnly {
 				st.reads = append(st.reads, i)
 			} else {
@@ -317,6 +372,12 @@ func (e *dporEngine) addRaceBacktracks(i, p int, info vthread.PendingInfo, nt in
 	}
 	for j := i - 1; j >= 0; j-- {
 		ndj := &e.stack[j]
+		if ndj.selOf != vthread.NoThread {
+			// A case node has no footprint of its own and no thread
+			// alternatives to reverse into; the race against its select, if
+			// any, is found at the enclosing thread node right above it.
+			continue
+		}
 		q := int(ndj.order[ndj.idx])
 		if q == p {
 			continue // program order, never reversible
@@ -360,8 +421,12 @@ func (e *dporEngine) backtrack() bool {
 			if !nd.backtrack[k] || nd.done[k] {
 				continue
 			}
-			if _, asleep := nd.sleep[nd.order[k]]; asleep {
-				continue
+			// Case nodes never consult the (thread-keyed) sleep map: every
+			// ready case is explored.
+			if nd.selOf == vthread.NoThread {
+				if _, asleep := nd.sleep[nd.order[k]]; asleep {
+					continue
+				}
 			}
 			next = k
 			break

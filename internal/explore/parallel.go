@@ -201,6 +201,7 @@ func (e *dporEngine) split() *unit {
 				backtrack: make([]bool, len(src.order)),
 				sleep:     make(map[sched.ThreadID]vthread.PendingInfo, len(src.sleep)),
 				nthreads:  src.nthreads,
+				selOf:     src.selOf,
 			}
 			for t, info := range src.sleep {
 				cp.sleep[t] = info
@@ -241,10 +242,15 @@ func (e *dporEngine) split() *unit {
 
 // pendingAt reports whether choice k of nd is donatable pending work: in
 // the backtrack set, not explored, not asleep, and not the choice the
-// donor is currently inside.
+// donor is currently inside. Case nodes skip the sleep lookup: their order
+// entries are case indices, which must never be matched against the
+// thread-keyed sleep map.
 func (e *dporEngine) pendingAt(nd *dporNode, k int) bool {
 	if k == nd.idx || !nd.backtrack[k] || nd.done[k] {
 		return false
+	}
+	if nd.selOf != vthread.NoThread {
+		return true
 	}
 	_, asleep := nd.sleep[nd.order[k]]
 	return !asleep

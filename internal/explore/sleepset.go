@@ -27,6 +27,13 @@ type ssNode struct {
 	infos []vthread.PendingInfo // pending op of order[i] at this point
 	idx   int
 	sleep map[sched.ThreadID]vthread.PendingInfo
+	// isCase marks a case-decision node (vthread.Context.SelectOf): order
+	// holds ready case indices of a granted Select, not thread ids. Every
+	// case is explored — alternative cases are distinct behaviours of the
+	// selecting thread, never Mazurkiewicz-equivalent — and the thread-
+	// keyed sleep map is never consulted with (or extended by) the case
+	// indices.
+	isCase bool
 }
 
 // ssEngine is the sleep-set DFS driver; like engine, it is the Chooser of
@@ -102,7 +109,7 @@ func (e *ssEngine) push(ctx vthread.Context) int {
 		parent := &e.stack[len(e.stack)-1]
 		sleep = childSleep(parent)
 	}
-	nd := ssNode{order: order, infos: infos, sleep: sleep}
+	nd := ssNode{order: order, infos: infos, sleep: sleep, isCase: ctx.SelectOf != vthread.NoThread}
 	nd.idx = firstAwake(nd, 0)
 	if nd.idx < 0 {
 		ctx.Abort()
@@ -122,12 +129,19 @@ func childSleep(parent *ssNode) map[sched.ThreadID]vthread.PendingInfo {
 	takenInfo := parent.infos[parent.idx]
 	out := make(map[sched.ThreadID]vthread.PendingInfo)
 	for t, info := range parent.sleep {
-		if t == parent.order[parent.idx] {
+		if !parent.isCase && t == parent.order[parent.idx] {
 			continue
 		}
 		if info.Independent(takenInfo) {
 			out[t] = info
 		}
+	}
+	if parent.isCase {
+		// A case node's siblings are case indices, not threads: they must
+		// never enter a thread-keyed sleep map. The inherited sleep above
+		// was already filtered by the full select footprint (a superset of
+		// the committed case's channel) at the enclosing thread node.
+		return out
 	}
 	// Previously explored siblings are the order entries before idx that
 	// were actually taken; with the firstAwake advance discipline those
@@ -145,8 +159,15 @@ func childSleep(parent *ssNode) map[sched.ThreadID]vthread.PendingInfo {
 }
 
 // firstAwake returns the first index >= from whose thread is not asleep,
-// or -1.
+// or -1. At a case node the sleep map does not apply (its keys are thread
+// ids, the order entries case indices): every case is awake.
 func firstAwake(nd ssNode, from int) int {
+	if nd.isCase {
+		if from < len(nd.order) {
+			return from
+		}
+		return -1
+	}
 	for i := from; i < len(nd.order); i++ {
 		if _, asleep := nd.sleep[nd.order[i]]; !asleep {
 			return i
@@ -168,10 +189,13 @@ func (e *ssEngine) backtrack() bool {
 			nd.idx = next
 			return true
 		}
-		// Retire the node: its sleeping siblings were pruned subtrees.
-		for _, t := range nd.order {
-			if _, asleep := nd.sleep[t]; asleep {
-				e.pruned++
+		// Retire the node: its sleeping siblings were pruned subtrees. A
+		// case node never prunes (and its order entries are not thread ids).
+		if !nd.isCase {
+			for _, t := range nd.order {
+				if _, asleep := nd.sleep[t]; asleep {
+					e.pruned++
+				}
 			}
 		}
 		e.freeOrders = append(e.freeOrders, nd.order[:0])

@@ -117,20 +117,20 @@ func TestPropertySleepSetSoundAndReducing(t *testing.T) {
 }
 
 func TestPendingInfoIndependence(t *testing.T) {
-	a := vthread.PendingInfo{Objects: [2]string{"var/x", ""}}
-	b := vthread.PendingInfo{Objects: [2]string{"var/x", ""}}
+	a := vthread.PendingInfo{Objects: vthread.NewFootprint("var/x")}
+	b := vthread.PendingInfo{Objects: vthread.NewFootprint("var/x")}
 	if a.Independent(b) {
 		t.Error("write/write on the same object reported independent")
 	}
-	ra := vthread.PendingInfo{Objects: [2]string{"var/x", ""}, ReadOnly: true}
-	rb := vthread.PendingInfo{Objects: [2]string{"var/x", ""}, ReadOnly: true}
+	ra := vthread.PendingInfo{Objects: vthread.NewFootprint("var/x"), ReadOnly: true}
+	rb := vthread.PendingInfo{Objects: vthread.NewFootprint("var/x"), ReadOnly: true}
 	if !ra.Independent(rb) {
 		t.Error("read/read on the same object reported dependent")
 	}
 	if ra.Independent(b) {
 		t.Error("read/write on the same object reported independent")
 	}
-	c := vthread.PendingInfo{Objects: [2]string{"var/y", ""}}
+	c := vthread.PendingInfo{Objects: vthread.NewFootprint("var/y")}
 	if !a.Independent(c) {
 		t.Error("disjoint objects reported dependent")
 	}

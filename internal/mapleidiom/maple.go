@@ -141,6 +141,12 @@ func (a *activeChooser) Choose(ctx vthread.Context) vthread.ThreadID {
 func (a *activeChooser) ObserveForcedStep(ctx vthread.Context) { a.Choose(ctx) }
 
 func (a *activeChooser) steer(ctx vthread.Context) (vthread.ThreadID, bool) {
+	if ctx.SelectOf != vthread.NoThread {
+		// Case-decision point: Enabled holds select case indices, not
+		// thread ids, so access steering does not apply. Fall back to the
+		// default pick (canonical first = lowest ready case).
+		return 0, false
+	}
 	want := func(t vthread.ThreadID, write bool) bool {
 		pi := ctx.PendingOf(t)
 		return pi.IsAccess && pi.Key == a.c.key && pi.IsWrite == write

@@ -57,6 +57,13 @@ func (c *Chooser) prioOf(t sched.ThreadID) int {
 
 // Choose implements vthread.Chooser.
 func (c *Chooser) Choose(ctx vthread.Context) sched.ThreadID {
+	if ctx.SelectOf != vthread.NoThread {
+		// Case-decision point of a multi-way select: Enabled holds ready
+		// case indices, not thread ids, so the thread-keyed priorities do
+		// not apply and no change point fires. Pick a ready case uniformly,
+		// matching the Go runtime's own select semantics.
+		return ctx.Enabled[c.rng.IntN(len(ctx.Enabled))]
+	}
 	step := c.steps
 	c.steps++
 	// Fire any change point scheduled for this step: the currently

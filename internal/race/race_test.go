@@ -226,3 +226,67 @@ func TestVCJoinAndGet(t *testing.T) {
 		t.Fatal("get beyond prefix should be 0")
 	}
 }
+
+// TestTryRecvOnClosedChannelSynchronises pins the Go-memory-model edge of
+// the non-blocking receive: a close happens before every receive that
+// observes it, the ok=false drained ones included. A program whose reader
+// touches shared state only after TryRecv has observed the close is
+// race-free and the detector must not flag it (regression: the drained
+// TryRecv path once skipped the acquire that Recv and select commits
+// perform).
+func TestTryRecvOnClosedChannelSynchronises(t *testing.T) {
+	d := NewDetector()
+	out := vthread.NewWorld(vthread.Options{Chooser: vthread.RoundRobin(), Sink: d}).Run(func(t0 *vthread.Thread) {
+		x := t0.NewVar("x", 0)
+		c := t0.NewChan("c", 1)
+		a := t0.Spawn(func(tw *vthread.Thread) {
+			x.Store(tw, 1)
+			c.Close(tw)
+		})
+		b := t0.Spawn(func(tw *vthread.Thread) {
+			// Under round-robin the writer has closed by now, so TryRecv
+			// observes the close (an acquire) before the read of x.
+			if _, ok := c.TryRecv(tw); !ok {
+				_ = x.Load(tw)
+			}
+		})
+		t0.Join(a)
+		t0.Join(b)
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	if racy := d.Racy(); len(racy) != 0 {
+		t.Errorf("race reported on a close-synchronised TryRecv program: %v", racy)
+	}
+}
+
+// TestChannelBackpressureSynchronises pins the other direction of the
+// channel happens-before contract: the k-th receive on a channel with
+// capacity C happens before the (k+C)-th send completes (Go memory
+// model), so the channel-as-semaphore idiom is race-free. Under
+// round-robin, T1 sends into the cap-1 channel, stores, receives; T2's
+// send was blocked on the full buffer, so its store is ordered after
+// T1's by the recv→send edge — the detector must not flag x.
+func TestChannelBackpressureSynchronises(t *testing.T) {
+	d := NewDetector()
+	out := vthread.NewWorld(vthread.Options{Chooser: vthread.RoundRobin(), Sink: d}).Run(func(t0 *vthread.Thread) {
+		x := t0.NewVar("x", 0)
+		c := t0.NewChan("c", 1)
+		body := func(tw *vthread.Thread) {
+			c.Send(tw, 1) // semaphore acquire: blocks while the slot is taken
+			x.Store(tw, int(tw.ID()))
+			c.Recv(tw) // semaphore release
+		}
+		a := t0.Spawn(body)
+		b := t0.Spawn(body)
+		t0.Join(a)
+		t0.Join(b)
+	})
+	if out.Buggy() {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	if racy := d.Racy(); len(racy) != 0 {
+		t.Errorf("race reported on a channel-semaphore program: %v", racy)
+	}
+}

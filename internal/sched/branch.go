@@ -2,12 +2,15 @@ package sched
 
 // A branch key identifies a position in the canonical depth-first
 // exploration order: element i is the index into the CanonicalOrder choice
-// list taken at scheduling point i. Depth-first search with CanonicalOrder
-// visits terminal schedules in exactly the lexicographic order of their
-// branch keys (backtracking advances the deepest advanceable index and
-// resets everything deeper to zero — lexicographic counting), so a
-// prefix-pinned subtree is a contiguous lexicographic range and its start
-// key totally orders it against any disjoint subtree.
+// list taken at scheduling point i — whether that point is a thread choice
+// or a select case-decision point (vthread.Context.SelectOf), whose ready
+// case indices occupy one trace position and one key element exactly like
+// a thread choice. Depth-first search with CanonicalOrder visits terminal
+// schedules in exactly the lexicographic order of their branch keys
+// (backtracking advances the deepest advanceable index and resets
+// everything deeper to zero — lexicographic counting), so a prefix-pinned
+// subtree is a contiguous lexicographic range and its start key totally
+// orders it against any disjoint subtree.
 //
 // The parallel exploration driver (internal/explore) relies on this: it
 // partitions the tree into prefix-pinned units in whatever order the

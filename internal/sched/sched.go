@@ -18,8 +18,12 @@ type ThreadID int
 // point (a schedule of length zero or one has no preemptions or delays).
 const NoThread ThreadID = -1
 
-// Schedule is a list of thread identifiers: the thread executing at each
-// step of an execution (§2).
+// Schedule is a list of choices: the thread executing at each step of an
+// execution (§2), interleaved — for programs using the multi-way select —
+// with case-decision entries whose value is the committed case index,
+// each positioned right after its selecting thread's entry (see
+// vthread.Context.SelectOf). Replay consumes both kinds uniformly by
+// position.
 type Schedule []ThreadID
 
 // Clone returns an independent copy of the schedule.

@@ -115,6 +115,18 @@ func Minimize(newProgram func() vthread.Program, witness sched.Schedule, opts Op
 	res.OriginalPC = base.PC
 	res.Failure = base.Failure
 
+	if base.SelectPoints > 0 {
+		// The witness interleaves select case-decision entries with thread
+		// entries (vthread doc, "Case-decision points"). The block model
+		// below would merge or relocate a case entry away from its
+		// selecting thread's entry, so every candidate it builds replays
+		// a case index as a thread choice at the wrong position and fails
+		// validation. Return the replay-truncated witness rather than
+		// burning replays on candidates that can never validate;
+		// case-aware block merging is future work.
+		return res
+	}
+
 	for round := 0; round < maxRounds; round++ {
 		res.Rounds = round + 1
 		improved := false

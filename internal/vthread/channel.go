@@ -1,21 +1,24 @@
 package vthread
 
-// Chan is a bounded FIFO channel for programs under test, built from the
-// substrate's own primitives (mutex + two condition variables), so its
-// blocking behaviour is fully visible to the scheduler. It models Go
-// channels closely enough to port channel-based programs onto the
-// substrate: sends block when full, receives block when empty, Close
-// releases all waiters, receive from a closed empty channel returns
-// ok=false, and send on a closed channel is a crash (as in Go).
+// Chan is a bounded FIFO channel for programs under test. It is a
+// first-class substrate primitive: Send, Recv, the try-variants, Close and
+// membership in a Select are each a single visible operation whose
+// enabledness is a predicate over the channel state (see ops.go), exactly
+// like Mutex or Sem. This both gives channel-based programs the step
+// granularity Go programs actually have (a send is one action, not a
+// lock/wait/signal/unlock quartet) and gives partial-order reduction an
+// exact single-object footprint ("chan/name") per operation.
+//
+// Semantics follow Go channels: sends block while full, receives block
+// while empty and open, Close wakes all waiters, receive from a closed
+// drained channel returns ok=false, send on a closed channel is a modelled
+// crash (Go panics), and so is closing twice.
 type Chan struct {
-	key      string
-	m        *Mutex
-	sendable *Cond
-	recvable *Cond
-	buf      []int
-	head     int
-	n        int
-	closed   bool
+	key    string
+	buf    []int
+	head   int
+	n      int
+	closed bool
 }
 
 // NewChan creates a channel with the given unique name and capacity.
@@ -28,146 +31,127 @@ func (t *Thread) NewChan(name string, capacity int) *Chan {
 		capacity = 1
 	}
 	return &Chan{
-		key:      "chan/" + name,
-		m:        t.NewMutex(name + ".chan.m"),
-		sendable: t.NewCond(name + ".chan.send"),
-		recvable: t.NewCond(name + ".chan.recv"),
-		buf:      make([]int, capacity),
+		key: "chan/" + name,
+		buf: make([]int, capacity),
 	}
 }
 
-// Send enqueues v, blocking while the channel is full. Sending on a
-// closed channel is a modelled crash (Go panics).
-func (c *Chan) Send(t *Thread, v int) {
-	c.m.Lock(t)
-	for c.n == len(c.buf) && !c.closed {
-		c.sendable.Wait(t, c.m)
-	}
+// sendReady reports whether a send on c can commit right now. A closed
+// channel counts as ready so the send-on-closed crash can manifest.
+// Single source of truth for opChanSend enabledness and select send-case
+// readiness.
+func (c *Chan) sendReady() bool { return c.closed || c.n < len(c.buf) }
+
+// recvReady reports whether a receive on c can commit right now (a value
+// is buffered, or the channel is closed and the ok=false path commits).
+// Single source of truth for opChanRecv enabledness and select recv-case
+// readiness.
+func (c *Chan) recvReady() bool { return c.n > 0 || c.closed }
+
+// Committed channel operations are full acquire-release pairs on the
+// channel key, not one-directional edges: the Go memory model orders a
+// send before the receive that observes it AND the k-th receive before
+// the (k+C)-th send completes (backpressure — the channel-as-semaphore
+// idiom depends on it), so a recv that frees a slot must also *release*
+// and the send that takes it must also *acquire*. This matches what the
+// old mutex-backed composite provided through its internal lock; it is
+// slightly stronger than Go for operations that never blocked on each
+// other, which for the race detector errs conservatively (fewer reported
+// races, never a spurious one the model forbids). Failed try-operations
+// stay edge-free: nothing was observed.
+
+// commitSend performs a send whose readiness is established: crash on a
+// closed channel (Go panics), otherwise enqueue. Shared by Send, TrySend
+// and select send-case commits.
+func (c *Chan) commitSend(t *Thread, v int) {
 	if c.closed {
 		t.crash("send on closed channel %s", c.key)
 	}
+	t.sinkAcquire(c.key)
 	c.buf[(c.head+c.n)%len(c.buf)] = v
 	c.n++
-	c.recvable.Signal(t)
-	c.m.Unlock(t)
+	t.sinkRelease(c.key)
+}
+
+// commitRecv performs a receive whose readiness is established: dequeue,
+// or report ok=false on a closed drained channel (the close happens
+// before every receive that observes it, the ok=false ones included).
+// Shared by Recv, TryRecv's closed path and select recv-case commits.
+func (c *Chan) commitRecv(t *Thread) (v int, ok bool) {
+	t.sinkAcquire(c.key)
+	if c.n == 0 {
+		// Ready with an empty buffer only when closed: the drained case.
+		t.sinkRelease(c.key)
+		return 0, false
+	}
+	v = c.buf[c.head]
+	c.head = (c.head + 1) % len(c.buf)
+	c.n--
+	t.sinkRelease(c.key)
+	return v, true
+}
+
+// Send enqueues v, blocking while the channel is full. Sending on a
+// closed channel is a modelled crash (Go panics). For the race detector's
+// happens-before relation every committed channel op is an acquire-release
+// pair on the channel key (see the comment above commitSend).
+func (c *Chan) Send(t *Thread, v int) {
+	t.visible(pendingOp{kind: opChanSend, ch: c})
+	c.commitSend(t, v)
 }
 
 // Recv dequeues a value, blocking while the channel is empty and open.
 // ok is false when the channel is closed and drained.
 func (c *Chan) Recv(t *Thread) (v int, ok bool) {
-	c.m.Lock(t)
-	for c.n == 0 && !c.closed {
-		c.recvable.Wait(t, c.m)
-	}
-	if c.n == 0 {
-		c.m.Unlock(t)
-		return 0, false
-	}
-	v = c.buf[c.head]
-	c.head = (c.head + 1) % len(c.buf)
-	c.n--
-	c.sendable.Signal(t)
-	c.m.Unlock(t)
-	return v, true
+	t.visible(pendingOp{kind: opChanRecv, ch: c})
+	return c.commitRecv(t)
 }
 
-// TrySend attempts a non-blocking send, reporting success.
+// TrySend attempts a non-blocking send, reporting success. It is a visible
+// operation whether or not it succeeds (the observation "the channel is
+// full" is itself schedule-dependent). On a closed channel it crashes,
+// like Send.
 func (c *Chan) TrySend(t *Thread, v int) bool {
-	c.m.Lock(t)
-	defer c.m.Unlock(t)
-	if c.closed {
-		t.crash("send on closed channel %s", c.key)
-	}
-	if c.n == len(c.buf) {
+	t.visible(pendingOp{kind: opChanTry, ch: c})
+	if !c.closed && c.n == len(c.buf) {
 		return false
 	}
-	c.buf[(c.head+c.n)%len(c.buf)] = v
-	c.n++
-	c.recvable.Signal(t)
+	c.commitSend(t, v)
 	return true
 }
 
-// TryRecv attempts a non-blocking receive.
+// TryRecv attempts a non-blocking receive. Like TrySend it is always a
+// visible operation. A closed drained channel reports ok=false, matching
+// Recv (and, like Recv, that observation is an acquire); an open empty
+// channel reports ok=false with no happens-before edge — nothing was
+// observed.
 func (c *Chan) TryRecv(t *Thread) (v int, ok bool) {
-	c.m.Lock(t)
-	defer c.m.Unlock(t)
-	if c.n == 0 {
+	t.visible(pendingOp{kind: opChanTry, ch: c})
+	if c.n == 0 && !c.closed {
 		return 0, false
 	}
-	v = c.buf[c.head]
-	c.head = (c.head + 1) % len(c.buf)
-	c.n--
-	c.sendable.Signal(t)
-	return v, true
+	return c.commitRecv(t)
 }
 
-// Close closes the channel, waking all blocked senders and receivers.
-// Closing twice is a modelled crash (Go panics).
+// Close closes the channel. Every blocked sender becomes enabled (and will
+// crash, as in Go), every blocked receiver becomes enabled and drains or
+// observes ok=false. Closing twice is a modelled crash (Go panics).
 func (c *Chan) Close(t *Thread) {
-	c.m.Lock(t)
+	t.visible(pendingOp{kind: opChanClose, ch: c})
 	if c.closed {
 		t.crash("close of closed channel %s", c.key)
 	}
+	t.sinkAcquire(c.key)
 	c.closed = true
-	c.sendable.Broadcast(t)
-	c.recvable.Broadcast(t)
-	c.m.Unlock(t)
+	t.sinkRelease(c.key)
 }
 
 // Len returns the buffered element count (invisible inspection helper).
 func (c *Chan) Len() int { return c.n }
 
-// RWMutex is a writer-preferring reader/writer lock built on the
-// substrate's enabledness machinery: readers share, writers exclude, and
-// a waiting writer blocks new readers (no writer starvation under fair
-// schedules).
-type RWMutex struct {
-	key            string
-	readers        int
-	writer         *Thread
-	waitingWriters int
-}
+// Cap returns the buffer capacity (invisible inspection helper).
+func (c *Chan) Cap() int { return len(c.buf) }
 
-// NewRWMutex creates a reader/writer lock with the given unique name.
-func (t *Thread) NewRWMutex(name string) *RWMutex {
-	return &RWMutex{key: "rwmutex/" + name}
-}
-
-// RLock acquires the lock shared. Disabled while a writer holds it or
-// waits for it.
-func (l *RWMutex) RLock(t *Thread) {
-	t.visible(pendingOp{kind: opRLock, rw: l})
-	l.readers++
-	t.sinkAcquire(l.key)
-}
-
-// RUnlock releases a shared hold; releasing without holding is a crash.
-func (l *RWMutex) RUnlock(t *Thread) {
-	t.visible(pendingOp{kind: opRUnlock, rw: l})
-	if l.readers == 0 {
-		t.crash("RUnlock of %s with no readers", l.key)
-	}
-	t.sinkRelease(l.key)
-	l.readers--
-}
-
-// Lock acquires the lock exclusive. The thread is disabled while readers
-// or another writer hold the lock; while it waits, new readers are held
-// off (writer preference).
-func (l *RWMutex) Lock(t *Thread) {
-	l.waitingWriters++
-	t.visible(pendingOp{kind: opWLock, rw: l})
-	l.waitingWriters--
-	l.writer = t
-	t.sinkAcquire(l.key)
-}
-
-// Unlock releases the exclusive hold; releasing without holding crashes.
-func (l *RWMutex) Unlock(t *Thread) {
-	t.visible(pendingOp{kind: opWUnlock, rw: l})
-	if l.writer != t {
-		t.crash("Unlock of %s not held by %s", l.key, t.name)
-	}
-	t.sinkRelease(l.key)
-	l.writer = nil
-}
+// Closed reports whether the channel has been closed (invisible inspection
+// helper).
+func (c *Chan) Closed() bool { return c.closed }

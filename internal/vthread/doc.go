@@ -113,6 +113,21 @@ package vthread
 // (internal/explore/sleepset.go and dpor.go): a run whose remainder is
 // provably redundant is cut short instead of executed to termination.
 //
+// # Case-decision points (multi-way select)
+//
+// Thread.Select introduces a second kind of scheduling point. When the
+// scheduler grants a thread whose pending op is a select with two or more
+// ready cases, the World consults the Chooser once more before the step
+// executes: Context.SelectOf names the selecting thread and Enabled holds
+// the ready case indices (see Context.SelectOf for the full shape). The
+// pick is appended to the trace right after the thread's own entry, so a
+// trace is no longer a pure thread-id sequence — a case entry's value is
+// a case index, positioned deterministically by the schedule prefix.
+// Replay needs no special handling (it replays trace positions), both
+// schedule-cost models assign every case pick cost zero, and
+// Outcome.SelectPoints counts the decision points. With zero (default
+// fires) or one ready case there is no decision and no extra entry.
+//
 // # Determinism contract
 //
 // Programs under test must be deterministic modulo scheduling: no Go

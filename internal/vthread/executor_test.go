@@ -41,7 +41,8 @@ func deadlockProgram(t0 *Thread) {
 
 func outcomesEqual(a, b *Outcome) bool {
 	if !a.Trace.Equal(b.Trace) || a.PC != b.PC || a.DC != b.DC ||
-		a.SchedPoints != b.SchedPoints || a.MaxEnabled != b.MaxEnabled ||
+		a.SchedPoints != b.SchedPoints || a.SelectPoints != b.SelectPoints ||
+		a.MaxEnabled != b.MaxEnabled ||
 		a.Threads != b.Threads || a.StepLimitHit != b.StepLimitHit ||
 		a.Aborted != b.Aborted {
 		return false

@@ -1,9 +1,11 @@
 package vthread
 
 // opKind enumerates the visible-operation kinds of the substrate. The set
-// mirrors the pthread surface that the paper's benchmarks use: thread
+// mirrors the pthread surface that the paper's benchmarks use — thread
 // management, mutexes, condition variables, semaphores, barriers, shared
-// memory accesses and atomics.
+// memory accesses and atomics — plus the Go-idiom surface (first-class
+// channels, multi-way select, WaitGroup, Once) that opens the goidiom
+// workload family.
 type opKind int
 
 const (
@@ -27,6 +29,15 @@ const (
 	opRUnlock
 	opWLock
 	opWUnlock
+	opChanSend  // blocking channel send: disabled while the channel is full
+	opChanRecv  // blocking channel receive: disabled while empty and open
+	opChanTry   // non-blocking TrySend/TryRecv: always executable
+	opChanClose // channel close: always executable (double close crashes)
+	opSelect    // multi-way select: enabled when any case is ready (or default)
+	opWGAdd     // WaitGroup Add/Done: always executable (negative count crashes)
+	opWGWait    // WaitGroup Wait: disabled while the counter is positive
+	opOnceDo    // Once entry: disabled while another thread is inside the Once
+	opOnceDone  // Once completion marker: always executable
 )
 
 // pendingOp is the visible operation a parked thread will perform when next
@@ -41,6 +52,10 @@ type pendingOp struct {
 	target  *Thread
 	thread  *Thread // owner of this op; set for ops whose enabledness is per-thread
 	rw      *RWMutex
+	ch      *Chan
+	wg      *WaitGroup
+	once    *Once
+	sel     *selectOp
 	gen     uint64 // barrier generation observed on arrival
 	key     string // accessed variable key (opAccess only)
 	write   bool   // store vs load (opAccess only)
@@ -48,8 +63,8 @@ type pendingOp struct {
 
 // enabled reports whether the operation can execute in the current state.
 // Operations that would immediately fault (locking a destroyed mutex,
-// double unlock, …) are enabled so that the crash can manifest — a disabled
-// crash would silently mask the bug.
+// double unlock, sending on a closed channel, …) are enabled so that the
+// crash can manifest — a disabled crash would silently mask the bug.
 func (op pendingOp) enabled(w *World) bool {
 	switch op.kind {
 	case opLock:
@@ -68,10 +83,33 @@ func (op pendingOp) enabled(w *World) bool {
 		return op.rw.writer == nil && op.rw.waitingWriters == 0
 	case opWLock:
 		return op.rw.writer == nil && op.rw.readers == 0
+	case opChanSend:
+		// A send on a closed channel is enabled so the crash can manifest.
+		return op.ch.sendReady()
+	case opChanRecv:
+		return op.ch.recvReady()
+	case opSelect:
+		if op.sel.hasDefault {
+			return true
+		}
+		for i := range op.sel.cases {
+			if op.sel.cases[i].ready() {
+				return true
+			}
+		}
+		return false
+	case opWGWait:
+		return op.wg.count == 0
+	case opOnceDo:
+		// Disabled while another thread is between the Once's entry and its
+		// completion marker — exactly Go's "Do blocks until f returns"
+		// semantics, including the reentrant-Do self-deadlock.
+		return !op.once.started || op.once.done
 	default:
 		// opSpawn, opYield, opUnlock, opCondWait, opSignal,
 		// opBroadcast, opSemV, opBarrierArrive, opAccess, opAtomic,
-		// opDestroy are always executable.
+		// opDestroy, opChanTry, opChanClose, opWGAdd, opOnceDone are always
+		// executable.
 		return true
 	}
 }
@@ -118,6 +156,24 @@ func (k opKind) String() string {
 		return "wlock"
 	case opWUnlock:
 		return "wunlock"
+	case opChanSend:
+		return "chan-send"
+	case opChanRecv:
+		return "chan-recv"
+	case opChanTry:
+		return "chan-try"
+	case opChanClose:
+		return "chan-close"
+	case opSelect:
+		return "select"
+	case opWGAdd:
+		return "wg-add"
+	case opWGWait:
+		return "wg-wait"
+	case opOnceDo:
+		return "once-do"
+	case opOnceDone:
+		return "once-done"
 	}
 	return "unknown"
 }

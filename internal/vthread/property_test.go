@@ -18,12 +18,23 @@ func genProgram(shape uint32) Program {
 		m := t0.NewMutex("m")
 		v := t0.NewVar("v", 0)
 		s := t0.NewSem("s", 1)
+		// Go-idiom surface: two channels fed by a mix of sends, selects and
+		// try-ops, a WaitGroup and a Once, so the fast-path and executor
+		// equivalence properties cover the multi-object ops (including the
+		// case-decision points of selects with several ready cases).
+		a := t0.NewChan("a", 2)
+		b := t0.NewChan("b", 2)
+		g := t0.NewWaitGroup("g")
+		once := t0.NewOnce("o")
+		g.Add(t0, nWorkers)
+		a.Send(t0, 1)
+		b.Send(t0, 2)
 		ts := make([]*Thread, 0, nWorkers)
 		for i := 0; i < nWorkers; i++ {
 			ts = append(ts, t0.Spawn(func(tw *Thread) {
 				mix := shape
 				for o := 0; o < ops; o++ {
-					switch mix % 4 {
+					switch mix % 6 {
 					case 0:
 						m.Lock(tw)
 						v.Add(tw, 1)
@@ -34,13 +45,26 @@ func genProgram(shape uint32) Program {
 						s.P(tw)
 						tw.Yield()
 						s.V(tw)
+					case 3:
+						if idx, x, ok := tw.Select([]SelectCase{
+							RecvCase(a), RecvCase(b), SendCase(a, o),
+						}, true); idx != DefaultCase && ok {
+							_ = x
+						}
+					case 4:
+						once.Do(tw, func(ti *Thread) { v.Add(ti, 1) })
+						if !a.TrySend(tw, o) {
+							b.TryRecv(tw)
+						}
 					default:
 						tw.Yield()
 					}
-					mix /= 4
+					mix /= 6
 				}
+				g.Done(tw)
 			}))
 		}
+		g.Wait(t0)
 		for _, c := range ts {
 			t0.Join(c)
 		}
@@ -73,11 +97,28 @@ func TestPropertyCostOrdering(t *testing.T) {
 	}
 }
 
-// Property: every trace entry names a valid thread, thread 0 appears
-// first, and generated (bug-free) programs never fail.
+// Property: every trace entry is valid for its scheduling point's domain —
+// a thread id within the thread count at an ordinary point, a case index
+// within the select's case count at a case-decision point — thread 0
+// appears first, and generated (bug-free) programs never fail. The domain
+// of each point is recorded by a wrapping chooser (which, not being a
+// StepObserver, also forces every point through Choose).
 func TestPropertyTraceWellFormed(t *testing.T) {
+	type domain struct {
+		isCase bool
+		n      int
+	}
 	f := func(shape uint32, seed uint64) bool {
-		out := runRandom(shape, seed)
+		inner := NewRandom(seed)
+		var domains []domain
+		audit := ChooserFunc(func(ctx Context) ThreadID {
+			for len(domains) <= ctx.Step {
+				domains = append(domains, domain{})
+			}
+			domains[ctx.Step] = domain{isCase: ctx.SelectOf != NoThread, n: ctx.NumThreads}
+			return inner.Choose(ctx)
+		})
+		out := NewWorld(Options{Chooser: audit}).Run(genProgram(shape))
 		if out.Buggy() {
 			t.Logf("bug-free program failed: %v", out.Failure)
 			return false
@@ -86,8 +127,17 @@ func TestPropertyTraceWellFormed(t *testing.T) {
 			t.Log("generated program hit the step limit")
 			return false
 		}
-		for _, id := range out.Trace {
-			if id < 0 || int(id) >= out.Threads {
+		if len(domains) != len(out.Trace) {
+			t.Logf("saw %d scheduling points for %d trace entries", len(domains), len(out.Trace))
+			return false
+		}
+		for i, id := range out.Trace {
+			d := domains[i]
+			if id < 0 || int(id) >= d.n {
+				t.Logf("entry %d is %d, out of range of its %d-wide point (case=%v)", i, id, d.n, d.isCase)
+				return false
+			}
+			if !d.isCase && int(id) >= out.Threads {
 				t.Logf("trace names thread %d of %d", id, out.Threads)
 				return false
 			}

@@ -1,0 +1,103 @@
+package vthread
+
+// Multi-way select over channels: the first multi-object *blocking*
+// operation of the substrate, and the first with its own choice dimension.
+//
+// A Select parks the thread with a pending op whose footprint is every
+// member channel and whose enabledness is "any case ready" (or
+// unconditional, with a default). When the scheduler grants the thread and
+// more than one case is ready, which case commits is real program
+// nondeterminism — Go's runtime picks uniformly at random — so the
+// substrate surfaces it as a *case-decision scheduling point*: an extra
+// Choose call whose Enabled set holds the ready case indices (see
+// Context.SelectOf and doc.go, "Case-decision points"). The pick is
+// appended to the trace, which makes it replayable, countable and
+// enumerable by every exploration engine exactly like a thread choice.
+// With zero or one ready case there is nothing to decide and no decision
+// point is created.
+
+// SelectCase describes one case of a multi-way Select: a send of Val to
+// Chan, or a receive from Chan.
+type SelectCase struct {
+	// Chan is the channel of this case. Required.
+	Chan *Chan
+	// Send selects the direction: true for a send case, false for receive.
+	Send bool
+	// Val is the value a send case transmits (ignored for receives).
+	Val int
+}
+
+// ready reports whether the case can commit right now, sharing the
+// channel ops' own readiness predicates (a send on a closed channel is
+// "ready" so the crash can manifest).
+func (sc *SelectCase) ready() bool {
+	if sc.Send {
+		return sc.Chan.sendReady()
+	}
+	return sc.Chan.recvReady()
+}
+
+// DefaultCase is the index Select returns when its default case fires.
+const DefaultCase = -1
+
+// selectOp is the shared state of one Select invocation: the pendingOp
+// holds a pointer so the World can record the committed case (pick) for
+// the parked thread to act on when granted.
+type selectOp struct {
+	cases      []SelectCase
+	objs       []string // member channel keys, aliased by the op's Footprint
+	hasDefault bool
+	pick       int // committed case index, or DefaultCase
+}
+
+// Select blocks until one of cases is ready, commits exactly one ready
+// case, and returns its index plus the received value and ok flag (zero
+// and false for send and default commits). With hasDefault, Select never
+// blocks: when no case is ready it returns (DefaultCase, 0, false)
+// immediately, as in Go.
+//
+// The whole Select is one visible operation touching every member channel
+// (readiness genuinely depends on all of them), plus — only when several
+// cases are ready at the grant — one case-decision scheduling point that
+// exploration engines enumerate. Committing a send case on a closed
+// channel is a modelled crash, like Chan.Send. An empty cases slice
+// without a default blocks forever (Go's `select {}`), surfacing as a
+// deadlock.
+func (t *Thread) Select(cases []SelectCase, hasDefault bool) (idx int, v int, ok bool) {
+	// The key slice and the selectOp are allocated per call *by design*:
+	// the op's Footprint aliases objs without copying, engines retain
+	// PendingInfo copies (and with them the alias) in their search-tree
+	// nodes across executions, and the Footprint contract makes published
+	// key slices immutable. A per-Thread scratch buffer would be rewritten
+	// by the next Select while those retained footprints still point at
+	// it. The cost is program-side, like the program's own channel
+	// allocations — the substrate loop stays allocation-free.
+	objs := make([]string, len(cases))
+	for i := range cases {
+		objs[i] = cases[i].Chan.key
+	}
+	sel := &selectOp{cases: cases, objs: objs, hasDefault: hasDefault, pick: DefaultCase}
+	t.visible(pendingOp{kind: opSelect, sel: sel})
+	// The World resolved the case pick (resolveSelect) before granting us.
+	if sel.pick == DefaultCase {
+		return DefaultCase, 0, false
+	}
+	sc := &sel.cases[sel.pick]
+	if sc.Send {
+		sc.Chan.commitSend(t, sc.Val)
+		return sel.pick, 0, false
+	}
+	v, ok = sc.Chan.commitRecv(t)
+	return sel.pick, v, ok
+}
+
+// Select2 is a convenience wrapper for the ubiquitous two-case select.
+func (t *Thread) Select2(a, b SelectCase) (idx int, v int, ok bool) {
+	return t.Select([]SelectCase{a, b}, false)
+}
+
+// RecvCase builds a receive case for Select.
+func RecvCase(c *Chan) SelectCase { return SelectCase{Chan: c} }
+
+// SendCase builds a send case for Select.
+func SendCase(c *Chan, v int) SelectCase { return SelectCase{Chan: c, Send: true, Val: v} }

@@ -210,3 +210,136 @@ func (b *Barrier) Arrive(t *Thread) {
 	t.visible(pendingOp{kind: opBarrierWait, barrier: b, gen: gen})
 	t.sinkAcquire(b.key)
 }
+
+// RWMutex is a writer-preferring reader/writer lock built on the
+// substrate's enabledness machinery: readers share, writers exclude, and
+// a waiting writer blocks new readers (no writer starvation under fair
+// schedules).
+type RWMutex struct {
+	key            string
+	readers        int
+	writer         *Thread
+	waitingWriters int
+}
+
+// NewRWMutex creates a reader/writer lock with the given unique name.
+func (t *Thread) NewRWMutex(name string) *RWMutex {
+	return &RWMutex{key: "rwmutex/" + name}
+}
+
+// RLock acquires the lock shared. Disabled while a writer holds it or
+// waits for it.
+func (l *RWMutex) RLock(t *Thread) {
+	t.visible(pendingOp{kind: opRLock, rw: l})
+	l.readers++
+	t.sinkAcquire(l.key)
+}
+
+// RUnlock releases a shared hold; releasing without holding is a crash.
+func (l *RWMutex) RUnlock(t *Thread) {
+	t.visible(pendingOp{kind: opRUnlock, rw: l})
+	if l.readers == 0 {
+		t.crash("RUnlock of %s with no readers", l.key)
+	}
+	t.sinkRelease(l.key)
+	l.readers--
+}
+
+// Lock acquires the lock exclusive. The thread is disabled while readers
+// or another writer hold the lock; while it waits, new readers are held
+// off (writer preference).
+func (l *RWMutex) Lock(t *Thread) {
+	l.waitingWriters++
+	t.visible(pendingOp{kind: opWLock, rw: l})
+	l.waitingWriters--
+	l.writer = t
+	t.sinkAcquire(l.key)
+}
+
+// Unlock releases the exclusive hold; releasing without holding crashes.
+func (l *RWMutex) Unlock(t *Thread) {
+	t.visible(pendingOp{kind: opWUnlock, rw: l})
+	if l.writer != t {
+		t.crash("Unlock of %s not held by %s", l.key, t.name)
+	}
+	t.sinkRelease(l.key)
+	l.writer = nil
+}
+
+// WaitGroup models sync.WaitGroup: a counter that Wait blocks on until it
+// reaches zero. Add and Done are release operations and Wait is an acquire
+// for the race detector's happens-before relation, matching the Go memory
+// model (a Done happens before the Wait it unblocks).
+type WaitGroup struct {
+	key   string
+	count int
+}
+
+// NewWaitGroup creates a WaitGroup with the given unique name and a zero
+// counter.
+func (t *Thread) NewWaitGroup(name string) *WaitGroup {
+	return &WaitGroup{key: "wg/" + name}
+}
+
+// Add adds delta (which may be negative) to the counter. Driving the
+// counter negative is a modelled crash, exactly Go's "negative WaitGroup
+// counter" panic — the double-Done bug class.
+func (g *WaitGroup) Add(t *Thread, delta int) {
+	t.visible(pendingOp{kind: opWGAdd, wg: g})
+	g.count += delta
+	if g.count < 0 {
+		t.crash("negative WaitGroup counter on %s", g.key)
+	}
+	t.sinkRelease(g.key)
+}
+
+// Done decrements the counter by one.
+func (g *WaitGroup) Done(t *Thread) { g.Add(t, -1) }
+
+// Wait blocks until the counter is zero.
+func (g *WaitGroup) Wait(t *Thread) {
+	t.visible(pendingOp{kind: opWGWait, wg: g})
+	t.sinkAcquire(g.key)
+}
+
+// Count returns the current counter (invisible inspection helper).
+func (g *WaitGroup) Count() int { return g.count }
+
+// Once models sync.Once: the first caller of Do runs f, later callers
+// block until f has completed and then return without running anything.
+// Go's semantics are preserved precisely, including the self-deadlock of a
+// reentrant Do (calling Do on the same Once from inside f): the inner call
+// is disabled until the outer completes, which can never happen.
+type Once struct {
+	key     string
+	started bool
+	done    bool
+}
+
+// NewOnce creates a Once with the given unique name.
+func (t *Thread) NewOnce(name string) *Once {
+	return &Once{key: "once/" + name}
+}
+
+// Do runs f if no Do on this Once has run before, and otherwise blocks
+// until the first caller's f has completed. Entry and completion are each
+// one visible operation; f's own visible operations schedule as usual in
+// between. The completion is a release and a latecomer's entry an acquire,
+// giving the race detector the "f happens before any Do return" edge of
+// the Go memory model.
+func (o *Once) Do(t *Thread, f Program) {
+	t.visible(pendingOp{kind: opOnceDo, once: o})
+	if o.done {
+		t.sinkAcquire(o.key)
+		return
+	}
+	o.started = true
+	f(t)
+	t.visible(pendingOp{kind: opOnceDone, once: o})
+	o.done = true
+	t.sinkRelease(o.key)
+}
+
+// DoneOnce reports whether the Once has completed (invisible inspection
+// helper).
+func (o *Once) DoneOnce() bool { return o.done }

@@ -50,11 +50,29 @@ type Context struct {
 	// switching away from it would be a preemptive context switch).
 	LastEnabled bool
 	// NumThreads is the number of threads created so far (ids 0..NumThreads-1).
+	// At a case-decision point (SelectOf != NoThread) it is instead the
+	// select's total case count, so sched.CanonicalOrder arithmetic over
+	// Enabled works unchanged.
 	NumThreads int
 	// PendingOf reports what operation a thread is about to perform —
 	// enough for idiom-driven active scheduling (the Maple algorithm) to
-	// steer particular accesses. Valid for any non-exited thread.
+	// steer particular accesses. Valid for any non-exited thread. At a
+	// case-decision point it maps a *case index* to that case's footprint
+	// (the one channel the case touches) instead.
 	PendingOf func(ThreadID) PendingInfo
+
+	// SelectOf distinguishes the two kinds of scheduling point. NoThread
+	// (the overwhelmingly common value) marks an ordinary thread choice.
+	// Otherwise this is a case-decision point: the thread SelectOf has been
+	// granted a multi-way Select with several ready cases, Enabled lists
+	// the ready *case indices* (ascending) rather than thread ids, and the
+	// Chooser's pick selects which case commits. Case-decision Contexts
+	// carry Last = NoThread and NumThreads = the select's case count, so
+	// canonical-order and cost arithmetic stay valid (every case pick has
+	// preemption and delay cost zero). Choosers that interpret Enabled as
+	// thread ids (priority or pending-op driven ones) must branch on this
+	// field.
+	SelectOf ThreadID
 
 	// world backs Abort. A Context is only valid during the Choose (or
 	// ObserveForcedStep) call it was built for, which is what makes the
@@ -95,10 +113,12 @@ type PendingInfo struct {
 	// IsWrite distinguishes stores from loads (meaningful only when
 	// IsAccess).
 	IsWrite bool
-	// Objects lists the shared objects the operation touches (at most
-	// two: a condvar wait touches the condvar and the mutex). Empty
-	// entries mean "touches nothing shared" (spawn, yield).
-	Objects [2]string
+	// Objects lists the shared objects the operation touches: none for
+	// spawn, one for most synchronisation ops, two for a condvar wait
+	// (the condvar and the mutex), N for a multi-way Select (every member
+	// channel — readiness depends on all of them, so a select commutes
+	// with nothing touching any of its channels).
+	Objects Footprint
 	// ReadOnly reports that the operation does not modify its objects
 	// (a load, a read-lock). Two read-only operations on the same object
 	// commute.
@@ -127,17 +147,10 @@ func (a PendingInfo) Independent(b PendingInfo) bool {
 	if a.Opaque || b.Opaque {
 		return false
 	}
-	for _, x := range a.Objects {
-		if x == "" {
-			continue
-		}
-		for _, y := range b.Objects {
-			if x == y && !(a.ReadOnly && b.ReadOnly) {
-				return false
-			}
-		}
+	if a.ReadOnly && b.ReadOnly {
+		return true
 	}
-	return true
+	return !a.Objects.Overlaps(b.Objects)
 }
 
 // Chooser selects the next thread to execute at a scheduling point. The
@@ -306,9 +319,16 @@ type Outcome struct {
 	// online with the paper's §2 definitions.
 	PC, DC int
 	// SchedPoints is the number of scheduling points at which more than one
-	// thread was enabled (the paper's "# max scheduling points" is the max
-	// of this over all executions of a benchmark).
+	// choice existed: thread points with more than one enabled thread (the
+	// paper's "# max scheduling points" is the max of this over all
+	// executions of a benchmark) plus case-decision points (which always
+	// have at least two ready cases by construction).
 	SchedPoints int
+	// SelectPoints is the number of case-decision scheduling points: a
+	// Select granted with two or more ready cases contributes one (and one
+	// extra trace entry recording the committed case index). Selects that
+	// had nothing to decide — zero or one ready case — contribute none.
+	SelectPoints int
 	// MaxEnabled is the largest number of simultaneously enabled threads
 	// observed at any scheduling point.
 	MaxEnabled int
@@ -357,6 +377,7 @@ type World struct {
 
 	schedPoints int
 	maxEnabled  int
+	selPoints   int
 
 	failure      *Failure
 	stepLimitHit bool
@@ -380,8 +401,17 @@ type World struct {
 
 	enabledBuf []ThreadID
 	// pendingFn is w.pendingOf bound once; building the method value at
-	// every scheduling point would allocate a closure per step.
-	pendingFn func(ThreadID) PendingInfo
+	// every scheduling point would allocate a closure per step. casePendFn
+	// is the case-decision counterpart (w.casePendingOf), reading the
+	// select being resolved from caseSel.
+	pendingFn  func(ThreadID) PendingInfo
+	casePendFn func(ThreadID) PendingInfo
+
+	// readyBuf is the reused ready-case buffer of resolveSelect; caseSel is
+	// the select op being resolved, set only for the duration of its
+	// case-decision Choose call (baton-protected, like every World field).
+	readyBuf []ThreadID
+	caseSel  *selectOp
 
 	// names and keys cache the per-id display names ("T0", …) and
 	// sync-object keys ("thread/0", …). Ids repeat across the executions of
@@ -412,6 +442,7 @@ func (w *World) init(opts Options) {
 	w.last = NoThread
 	w.parked = make(chan parkKind, 1)
 	w.pendingFn = w.pendingOf
+	w.casePendFn = w.casePendingOf
 }
 
 // reset prepares the World for another execution. Only an Executor resets a
@@ -423,6 +454,8 @@ func (w *World) reset() {
 	w.trace = w.trace[:0]
 	w.pc, w.dc = 0, 0
 	w.schedPoints, w.maxEnabled = 0, 0
+	w.selPoints = 0
+	w.caseSel = nil
 	w.failure = nil
 	w.stepLimitHit = false
 	w.aborted = false
@@ -531,9 +564,81 @@ func (w *World) nextStep() *Thread {
 			return nil
 		}
 	}
+	t := w.threads[choice]
+	casePick := NoThread
+	if t.pending.kind == opSelect {
+		var ok bool
+		if casePick, ok = w.resolveSelect(t); !ok {
+			// Aborted at the case-decision point: nothing was accounted, so
+			// the trace holds exactly the executed prefix.
+			return nil
+		}
+	}
 	w.accountStep(choice, enabled)
+	if casePick != NoThread {
+		// The case-decision entry: trace position step+1, cost zero under
+		// both schedule-cost models (no thread switched).
+		w.trace = append(w.trace, casePick)
+	}
 	w.last = choice
-	return w.threads[choice]
+	return t
+}
+
+// resolveSelect decides which case of t's granted Select commits, writing
+// the pick into the select op for t to act on. With two or more ready
+// cases this is a case-decision scheduling point: the Chooser picks among
+// the ready case indices and the pick is returned for the trace (it
+// occupies the position right after t's own entry). With zero (default
+// fires) or one ready case there is nothing to decide and NoThread is
+// returned. ok is false when the Chooser aborted at the decision point.
+func (w *World) resolveSelect(t *Thread) (pick ThreadID, ok bool) {
+	sel := t.pending.sel
+	ready := w.readyBuf[:0]
+	for i := range sel.cases {
+		if sel.cases[i].ready() {
+			ready = append(ready, ThreadID(i))
+		}
+	}
+	w.readyBuf = ready
+	switch len(ready) {
+	case 0:
+		// Only reachable with a default (the op is disabled otherwise).
+		sel.pick = DefaultCase
+		return NoThread, true
+	case 1:
+		sel.pick = int(ready[0])
+		return NoThread, true
+	}
+	w.schedPoints++
+	w.selPoints++
+	w.caseSel = sel
+	choice := w.opts.Chooser.Choose(w.makeCaseContext(t, ready))
+	w.caseSel = nil
+	if w.aborted {
+		return NoThread, false
+	}
+	if !containsThread(ready, choice) {
+		panic(fmt.Sprintf("vthread: chooser picked select case %d which is not ready %v", choice, ready))
+	}
+	sel.pick = int(choice)
+	return choice, true
+}
+
+// makeCaseContext builds the Context of a case-decision point: Enabled
+// holds the ready case indices, Last is NoThread and NumThreads the
+// select's case count so canonical-order and cost arithmetic hold (every
+// pick costs zero), and PendingOf maps case indices to per-case
+// footprints.
+func (w *World) makeCaseContext(t *Thread, ready []ThreadID) Context {
+	return Context{
+		Step:       len(w.trace) + 1, // right after the granted thread's entry
+		Enabled:    ready,
+		Last:       NoThread,
+		NumThreads: len(t.pending.sel.cases),
+		PendingOf:  w.casePendFn,
+		SelectOf:   t.id,
+		world:      w,
+	}
 }
 
 // continueFrom runs the scheduler on t's goroutine after t parked at its
@@ -609,6 +714,7 @@ func (w *World) fillOutcome(out *Outcome) {
 		PC:           w.pc,
 		DC:           w.dc,
 		SchedPoints:  w.schedPoints,
+		SelectPoints: w.selPoints,
 		MaxEnabled:   w.maxEnabled,
 		Threads:      len(w.threads),
 		StepLimitHit: w.stepLimitHit,
@@ -625,6 +731,7 @@ func (w *World) makeContext(enabled []ThreadID) Context {
 		LastEnabled: w.lastEnabled(enabled),
 		NumThreads:  len(w.threads),
 		PendingOf:   w.pendingFn,
+		SelectOf:    NoThread,
 		world:       w,
 	}
 }
@@ -725,31 +832,44 @@ func (w *World) pendingOf(t ThreadID) PendingInfo {
 		info.IsAccess = true
 		info.Key = op.key
 		info.IsWrite = op.write
-		info.Objects[0] = op.key
+		info.Objects.add(op.key)
 		info.ReadOnly = !op.write
 	case opLock, opUnlock, opDestroy:
-		info.Objects[0] = op.mutex.key
+		info.Objects.add(op.mutex.key)
 	case opCondWait, opCondResume:
-		info.Objects[0] = op.cond.key
-		info.Objects[1] = op.mutex.key
+		info.Objects.add(op.cond.key)
+		info.Objects.add(op.mutex.key)
 	case opSignal, opBroadcast:
-		info.Objects[0] = op.cond.key
+		info.Objects.add(op.cond.key)
 	case opSemP, opSemV:
-		info.Objects[0] = op.sem.key
+		info.Objects.add(op.sem.key)
 	case opBarrierArrive, opBarrierWait:
-		info.Objects[0] = op.barrier.key
+		info.Objects.add(op.barrier.key)
 	case opJoin:
-		info.Objects[0] = op.target.key
+		info.Objects.add(op.target.key)
 		info.ReadOnly = true
 		info.IsJoin = true
 		info.JoinOf = op.target.id
 	case opAtomic:
-		info.Objects[0] = op.key
+		info.Objects.add(op.key)
 	case opRLock, opRUnlock:
-		info.Objects[0] = op.rw.key
+		info.Objects.add(op.rw.key)
 		info.ReadOnly = true
 	case opWLock, opWUnlock:
-		info.Objects[0] = op.rw.key
+		info.Objects.add(op.rw.key)
+	case opChanSend, opChanRecv, opChanTry, opChanClose:
+		info.Objects.add(op.ch.key)
+	case opSelect:
+		// Readiness depends on every member channel and the commit mutates
+		// one of them, so the footprint is the full member set — a select
+		// commutes with nothing touching any of its channels. The key slice
+		// was built once when the op was registered; the footprint aliases
+		// it without copying.
+		info.Objects = footprintOverKeys(op.sel.objs)
+	case opWGAdd, opWGWait:
+		info.Objects.add(op.wg.key)
+	case opOnceDo, opOnceDone:
+		info.Objects.add(op.once.key)
 	case opSpawn:
 		// No shared objects: commutes with everything.
 	case opYield:
@@ -757,6 +877,19 @@ func (w *World) pendingOf(t ThreadID) PendingInfo {
 		// unknown, so it commutes with nothing (see PendingInfo.Opaque).
 		info.Opaque = true
 	}
+	return info
+}
+
+// casePendingOf is Context.PendingOf at a case-decision point: it maps a
+// ready *case index* of the select being resolved to that case's
+// footprint — the single channel the case would commit on.
+func (w *World) casePendingOf(i ThreadID) PendingInfo {
+	sel := w.caseSel
+	if sel == nil || int(i) < 0 || int(i) >= len(sel.cases) {
+		return PendingInfo{}
+	}
+	info := PendingInfo{}
+	info.Objects.add(sel.cases[i].Chan.key)
 	return info
 }
 

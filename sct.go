@@ -59,6 +59,19 @@ type (
 	Atomic = vthread.Atomic
 	// Array is a shared integer array with a modelled bounds checker.
 	Array = vthread.Array
+	// Chan is a bounded FIFO channel: a first-class substrate primitive
+	// whose Send/Recv/Try*/Close are single visible operations, usable as
+	// cases of a multi-way Select.
+	Chan = vthread.Chan
+	// SelectCase is one send or receive case of Thread.Select.
+	SelectCase = vthread.SelectCase
+	// WaitGroup models sync.WaitGroup (negative counters crash, as in Go).
+	WaitGroup = vthread.WaitGroup
+	// Once models sync.Once (reentrant Do self-deadlocks, as in Go).
+	Once = vthread.Once
+	// Footprint is the N-ary set of shared-object keys a pending operation
+	// touches, as exposed to choosers via PendingInfo.
+	Footprint = vthread.Footprint
 	// ThreadID identifies a thread (creation order, 0 = initial).
 	ThreadID = vthread.ThreadID
 	// Schedule is a sequence of thread choices — the unit of exploration.
@@ -96,6 +109,15 @@ type (
 	// one goroutine (one Executor per worker). Close it when done.
 	Executor = vthread.Executor
 )
+
+// DefaultCase is the index Thread.Select returns when its default fires.
+const DefaultCase = vthread.DefaultCase
+
+// RecvCase builds a receive case for Thread.Select.
+func RecvCase(c *Chan) SelectCase { return vthread.RecvCase(c) }
+
+// SendCase builds a send case for Thread.Select.
+func SendCase(c *Chan, v int) SelectCase { return vthread.SendCase(c, v) }
 
 // NewExecutor creates a reusable execution context (see Executor). Unlike
 // RunOnce, opts.Chooser may be nil if every run supplies its own chooser
