@@ -19,16 +19,17 @@ bench:
 
 # Substrate throughput benchmarks (executions/sec, ns/step,
 # allocs/execution), exploration reduction benchmarks (executions,
-# steps and schedules per technique: DFS vs sleep-set vs DPOR) and the
+# steps and schedules per technique: DFS vs sleep-set vs DPOR), the
 # GoIdiom family's reduction + throughput benchmarks (select-heavy
-# workloads with case-decision points), recorded as JSON to seed the perf
-# trajectory across PRs. The temp files keep a benchmark failure from
-# being masked by the pipe; benchjson also exits non-zero when no
-# benchmark lines parsed. The whole pipeline runs in one shell with an
-# EXIT trap so the BENCH_*.txt intermediates are removed even when a
-# benchmark or benchjson fails mid-way.
+# workloads with case-decision points) and the GoTime family's
+# (timer/ticker/context workloads over the virtual clock), recorded as
+# JSON to seed the perf trajectory across PRs. The temp files keep a
+# benchmark failure from being masked by the pipe; benchjson also exits
+# non-zero when no benchmark lines parsed. The whole pipeline runs in one
+# shell with an EXIT trap so the BENCH_*.txt intermediates are removed
+# even when a benchmark or benchjson fails mid-way.
 bench-json:
-	@set -e; trap 'rm -f BENCH_substrate.txt BENCH_explore.txt BENCH_goidiom.txt' EXIT; \
+	@set -e; trap 'rm -f BENCH_substrate.txt BENCH_explore.txt BENCH_goidiom.txt BENCH_gotime.txt' EXIT; \
 	$(GO) test -run xxx -bench 'BenchmarkExecutorThroughput|BenchmarkSubstrateThroughput|BenchmarkStepOverhead' \
 		-benchmem -benchtime 1000x . > BENCH_substrate.txt; \
 	$(GO) run ./cmd/benchjson -o BENCH_substrate.json < BENCH_substrate.txt; \
@@ -36,7 +37,9 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_explore.json < BENCH_explore.txt; \
 	$(GO) test -run xxx -bench 'BenchmarkGoIdiom' -benchmem -benchtime 3x . > BENCH_goidiom.txt; \
 	$(GO) run ./cmd/benchjson -o BENCH_goidiom.json < BENCH_goidiom.txt; \
-	cat BENCH_substrate.json BENCH_explore.json BENCH_goidiom.json
+	$(GO) test -run xxx -bench 'BenchmarkGoTime' -benchmem -benchtime 3x . > BENCH_gotime.txt; \
+	$(GO) run ./cmd/benchjson -o BENCH_gotime.json < BENCH_gotime.txt; \
+	cat BENCH_substrate.json BENCH_explore.json BENCH_goidiom.json BENCH_gotime.json
 
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \

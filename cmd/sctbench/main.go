@@ -29,7 +29,7 @@ import (
 func main() {
 	limit := flag.Int("limit", explore.DefaultLimit, "terminal-schedule limit per technique")
 	seed := flag.Uint64("seed", 1, "base random seed")
-	benchRe := flag.String("bench", "", "regexp selecting benchmarks by name (default: all, goidiom family included)")
+	benchRe := flag.String("bench", "", "regexp selecting benchmarks by name (default: all, goidiom and gotime families included)")
 	withMaple := flag.Bool("maple", false, "also run the Maple-style idiom algorithm")
 	withDPOR := flag.Bool("dpor", false,
 		"also run DPOR (source-set dynamic partial-order reduction over unbounded DFS); "+

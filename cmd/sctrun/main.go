@@ -41,7 +41,7 @@ func main() {
 	savePath := flag.String("save", "", "write the witness to this JSON file")
 	loadPath := flag.String("load", "", "replay a witness JSON file instead of exploring")
 	logTrace := flag.Bool("log", false, "print a per-event trace when replaying")
-	list := flag.Bool("list", false, "list all registered benchmarks (SCTBench + goidiom) and exit")
+	list := flag.Bool("list", false, "list all registered benchmarks (SCTBench + goidiom + gotime) and exit")
 	flag.Parse()
 
 	if *list {

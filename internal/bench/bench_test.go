@@ -11,20 +11,26 @@ import (
 
 func TestRegistryShape(t *testing.T) {
 	all := All()
-	if len(all) != 58 {
-		t.Fatalf("registry has %d benchmarks, want 58 (52 SCTBench + 6 GoIdiom)", len(all))
+	if len(all) != 64 {
+		t.Fatalf("registry has %d benchmarks, want 64 (52 SCTBench + 6 GoIdiom + 6 GoTime)", len(all))
 	}
-	core, goidiom := 0, 0
+	core, goidiom, gotime := 0, 0, 0
 	for i, b := range all {
 		if b.ID != i {
 			t.Errorf("position %d has id %d (%s): ids must be the Table 3 row numbers", i, b.ID, b.Name)
 		}
-		if b.Suite == "GoIdiom" {
+		switch b.Suite {
+		case "GoIdiom":
 			goidiom++
 			if b.ID < 52 {
 				t.Errorf("%s has id %d: the GoIdiom family extends the registry past the paper's 52 rows", b.Name, b.ID)
 			}
-		} else {
+		case "GoTime":
+			gotime++
+			if b.ID < 58 {
+				t.Errorf("%s has id %d: the GoTime family extends the registry past GoIdiom", b.Name, b.ID)
+			}
+		default:
 			core++
 			if b.ID >= 52 {
 				t.Errorf("%s has id %d: SCTBench ids are the Table 3 row numbers 0-51", b.Name, b.ID)
@@ -40,8 +46,8 @@ func TestRegistryShape(t *testing.T) {
 			t.Errorf("%s has no description", b.Name)
 		}
 	}
-	if core != 52 || goidiom != 6 {
-		t.Fatalf("registry split %d SCTBench + %d GoIdiom, want 52 + 6", core, goidiom)
+	if core != 52 || goidiom != 6 || gotime != 6 {
+		t.Fatalf("registry split %d SCTBench + %d GoIdiom + %d GoTime, want 52 + 6 + 6", core, goidiom, gotime)
 	}
 }
 
@@ -76,11 +82,14 @@ func TestLookups(t *testing.T) {
 	if ByID(99) != nil {
 		t.Error("ByID(99) returned a ghost")
 	}
-	if len(Suites()) != 9 {
-		t.Errorf("Suites() = %v, want 9 entries (8 SCTBench + GoIdiom)", Suites())
+	if len(Suites()) != 10 {
+		t.Errorf("Suites() = %v, want 10 entries (8 SCTBench + GoIdiom + GoTime)", Suites())
 	}
 	if ByName("goidiom.cancel_bad") == nil {
 		t.Error("ByName failed for a GoIdiom benchmark")
+	}
+	if ByName("gotime.ticker_leak_bad") == nil {
+		t.Error("ByName failed for a GoTime benchmark")
 	}
 }
 

@@ -1,0 +1,183 @@
+package bench
+
+// The GoTime benchmark family: timeout, ticker and context-cancellation
+// bugs — the time.After/select race, the leaked ticker, the inherited
+// context deadline, cancellation vs completion — expressed over the
+// virtual clock (vthread.Timer/Ticker/Ctx). Wall-clock time is the one
+// scheduling dimension the paper's pthread programs could not model at
+// all: under the virtual clock a timer firing is an ordinary schedulable
+// pseudo-step of the clock thread, so these races are *enumerated* by the
+// bounded techniques instead of raced against real time. The family
+// extends the registry past GoIdiom (ids 58+, excluded from the Table 1
+// reproduction).
+//
+// Like every suite file, each program confines all state to the body so
+// one Benchmark value can be executed concurrently by the parallel
+// exploration workers. Thread counts include the clock pseudo-thread,
+// which occupies a ThreadID like any other.
+
+import "sctbench/internal/vthread"
+
+func init() {
+	register(&Benchmark{
+		ID: 58, Name: "gotime.timeout_vs_result_bad", Suite: "GoTime", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "select on result vs time.After: the timeout step can win over a worker that was about to deliver",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				res := t0.NewChan("res", 1)
+				w := t0.Spawn(func(tw *vthread.Thread) {
+					tw.Yield() // the work
+					res.Send(tw, 42)
+				})
+				// Bug: the timeout path treats "clock fired first" as "the
+				// worker failed", but the clock step is just another
+				// schedulable step — it can fire before a perfectly healthy
+				// worker delivers.
+				idx, v, _ := t0.Select([]vthread.SelectCase{
+					vthread.RecvCase(res),
+					vthread.RecvCase(t0.After("timeout", 2)),
+				}, false)
+				t0.Join(w)
+				t0.Assert(idx == 0 && v == 42, "timed out with the result in flight")
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 59, Name: "gotime.ticker_leak_bad", Suite: "GoTime", Threads: 3,
+		BugKind: vthread.FailDeadlock,
+		Desc:    "ticker consumer checks a stop flag then receives: Stop between check and receive leaves it blocked forever",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				tk := t0.NewTicker("tick", 2)
+				stop := t0.NewVar("stop", 0)
+				w := t0.Spawn(func(tw *vthread.Thread) {
+					// Bug: check-then-act on the stop flag. Between the load
+					// and the receive the owner can set the flag and Stop the
+					// ticker — a receive on a stopped ticker blocks forever.
+					for i := 0; i < 2 && stop.Load(tw) == 0; i++ {
+						tk.C().Recv(tw)
+					}
+				})
+				t0.Yield() // the owner's other work
+				stop.Store(t0, 1)
+				tk.Stop(t0)
+				t0.Join(w)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 60, Name: "gotime.deadline_inherits_bad", Suite: "GoTime", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "child context's generous deadline is cut short by an inherited parent deadline the caller forgot about",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				parent := t0.WithTimeout("parent", nil, 5)
+				// Bug: the child's own 100-tick budget looks ample for a
+				// 10-tick job, but deadlines inherit: the parent's 5-tick
+				// deadline cancels the whole subtree first.
+				child := t0.WithTimeout("child", parent, 100)
+				res := t0.NewChan("res", 1)
+				w := t0.Spawn(func(tw *vthread.Thread) {
+					tw.Sleep("work", 10)
+					res.TrySend(tw, 1)
+				})
+				idx, _, _ := t0.Select([]vthread.SelectCase{
+					vthread.RecvCase(res),
+					vthread.RecvCase(child.Done()),
+				}, false)
+				t0.Join(w)
+				t0.Assert(idx == 0, "gave up at now=%d: %s", t0.Now(), child.Err())
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 61, Name: "gotime.cancel_after_close_bad", Suite: "GoTime", Threads: 3,
+		BugKind: vthread.FailCrash,
+		Desc:    "cancellation cleanup and normal completion race a closed-flag check on the results channel: double close",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				ctx := t0.WithCancel("req", nil)
+				out := t0.NewChan("out", 2)
+				closed := t0.NewVar("closed", 0)
+				w := t0.Spawn(func(tw *vthread.Thread) {
+					out.Send(tw, 1)
+					// Normal completion closes the channel, then publishes
+					// the fact on a plain flag.
+					out.Close(tw)
+					closed.Store(tw, 1)
+				})
+				canceller := t0.Spawn(func(tw *vthread.Thread) {
+					ctx.Done().Recv(tw)
+					// Bug: "close unless already closed" is a check-then-act
+					// on the flag; the worker can close between the load and
+					// the Close (Go: panic on double close).
+					if closed.Load(tw) == 0 {
+						out.Close(tw)
+					}
+				})
+				ctx.Cancel(t0)
+				t0.Join(w)
+				t0.Join(canceller)
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 62, Name: "gotime.timer_stop_race_bad", Suite: "GoTime", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "Timer.Stop after the fire leaves the tick buffered; an undrained channel later reads as a spurious timeout",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				tm := t0.NewTimer("deadline", 2)
+				done := t0.NewChan("done", 1)
+				w := t0.Spawn(func(tw *vthread.Thread) {
+					tw.Yield() // the work
+					// Bug: Stop returning false means the timer already
+					// fired and its tick sits in the channel; correct code
+					// drains tm.C() here (the documented time.Timer.Stop
+					// idiom), this code does not.
+					tm.Stop(tw)
+					done.Send(tw, 1)
+				})
+				idx, _, _ := t0.Select([]vthread.SelectCase{
+					vthread.RecvCase(done),
+					vthread.RecvCase(tm.C()),
+				}, false)
+				t0.Join(w)
+				t0.Assert(idx == 0, "spurious timeout from a stale, undrained tick")
+			}
+		},
+	})
+
+	register(&Benchmark{
+		ID: 63, Name: "gotime.ctx_cancel_race_bad", Suite: "GoTime", Threads: 3,
+		BugKind: vthread.FailAssert,
+		Desc:    "non-blocking Done check then publish: the context can be cancelled in the window, publishing a dead result",
+		New: func() vthread.Program {
+			return func(t0 *vthread.Thread) {
+				ctx := t0.WithCancel("req", nil)
+				published := t0.NewVar("published", 0)
+				w := t0.Spawn(func(tw *vthread.Thread) {
+					// Bug: the default-case Done probe and the publish are
+					// two separate steps; cancellation can land in between,
+					// so the cancelled request still gets a result.
+					idx, _, _ := tw.Select([]vthread.SelectCase{
+						vthread.RecvCase(ctx.Done()),
+					}, true)
+					if idx == vthread.DefaultCase {
+						published.Store(tw, 1)
+					}
+				})
+				ctx.Cancel(t0)
+				seen := published.Load(t0)
+				t0.Join(w)
+				t0.Assert(published.Load(t0) == seen,
+					"result published after the request was cancelled")
+			}
+		},
+	})
+}

@@ -1,0 +1,146 @@
+package explore
+
+// Golden-file regression test: the exact exploration counts and the
+// canonical branch key of the first bug witness are pinned for the CS and
+// GoIdiom suites at a fixed schedule budget. Any change to canonical
+// ordering, cost accounting, enabled-set construction or the benchmark
+// programs themselves shows up here as a diff against testdata — run with
+// -update to regenerate after an intentional change.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/sched"
+	"sctbench/internal/vthread"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+const goldenLimit = 500 // fixed schedule budget for the pinned DFS runs
+
+// goldenRow is what a DFS run at the fixed budget pins per benchmark.
+type goldenRow struct {
+	Schedules  int   `json:"schedules"`
+	Executions int   `json:"executions"`
+	Complete   bool  `json:"complete"`
+	BugFound   bool  `json:"bugFound"`
+	WitnessKey []int `json:"witnessKey,omitempty"` // canonical branch key of the first witness
+}
+
+// branchKeyOf replays witness and records, at every scheduling point, the
+// index of the chosen value within sched.AppendCanonicalOrder — exactly
+// the branch-key elements the engine's nodes would carry. The replaying
+// chooser is not a StepObserver, so forced points also pass through Choose
+// and land in the key as index 0, matching the engine's stack depth.
+func branchKeyOf(t *testing.T, program vthread.Program, witness sched.Schedule) []int {
+	t.Helper()
+	key := make([]int, 0, len(witness))
+	ok := true
+	ch := vthread.ChooserFunc(func(ctx vthread.Context) sched.ThreadID {
+		if ctx.Step >= len(witness) {
+			ok = false
+			return ctx.Enabled[0]
+		}
+		want := witness[ctx.Step]
+		order := sched.AppendCanonicalOrder(nil, ctx.Enabled, ctx.Last, ctx.NumThreads)
+		idx := -1
+		for i, c := range order {
+			if c == want {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			ok = false
+			return ctx.Enabled[0]
+		}
+		key = append(key, idx)
+		return want
+	})
+	out := vthread.NewWorld(vthread.Options{Chooser: ch}).Run(program)
+	if !ok || !out.Trace.Equal(witness) {
+		t.Fatalf("witness %v did not replay canonically (got %v)", witness, out.Trace)
+	}
+	return key
+}
+
+// goldenBenchmarks is the pinned set: the CS suite (the paper's largest)
+// plus the GoIdiom family.
+func goldenBenchmarks() []*bench.Benchmark {
+	var out []*bench.Benchmark
+	for _, b := range bench.All() {
+		if b.Suite == "CS" || b.Suite == "GoIdiom" {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func TestGoldenDFSCountsAndWitnessKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is not short")
+	}
+	got := make(map[string]goldenRow)
+	for _, b := range goldenBenchmarks() {
+		r := RunDFS(Config{Program: b.New(), BoundsCheck: b.BoundsCheck,
+			MaxSteps: b.MaxSteps, Limit: goldenLimit})
+		row := goldenRow{
+			Schedules:  r.Schedules,
+			Executions: r.Executions,
+			Complete:   r.Complete,
+			BugFound:   r.BugFound,
+		}
+		if r.BugFound {
+			row.WitnessKey = branchKeyOf(t, b.New(), r.Witness)
+		}
+		got[b.Name] = row
+	}
+
+	path := filepath.Join("testdata", "golden_dfs.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d rows", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	want := make(map[string]goldenRow)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", path, err)
+	}
+	for name, w := range want {
+		g, here := got[name]
+		if !here {
+			t.Errorf("%s: in golden file but not in registry", name)
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s:\n got %+v\nwant %+v", name, g, w)
+		}
+	}
+	for name := range got {
+		if _, pinned := want[name]; !pinned {
+			t.Errorf("%s: benchmark not pinned in golden file (run with -update)", name)
+		}
+	}
+}

@@ -210,8 +210,9 @@ func RunAll(benches []*bench.Benchmark, cfg Config) []*Row {
 }
 
 // Sanity verifies registry invariants the study depends on: the 52 paper
-// benchmarks in ids 0-51, extension families (GoIdiom) only above them,
-// and contiguous ids throughout. It returns an error description or "".
+// benchmarks in ids 0-51, extension families (GoIdiom, GoTime) only above
+// them, and contiguous ids throughout. It returns an error description
+// or "".
 func Sanity() string {
 	all := bench.All()
 	if len(all) < 52 {
@@ -221,7 +222,7 @@ func Sanity() string {
 		if b.ID != i {
 			return fmt.Sprintf("benchmark ids not contiguous at %d (%s)", i, b.Name)
 		}
-		if i < 52 && b.Suite == "GoIdiom" {
+		if i < 52 && (b.Suite == "GoIdiom" || b.Suite == "GoTime") {
 			return fmt.Sprintf("extension benchmark %s occupies paper row %d", b.Name, i)
 		}
 	}

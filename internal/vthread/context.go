@@ -1,0 +1,136 @@
+package vthread
+
+// Ctx models context.Context as a derived-cancellation tree over the
+// substrate's channel close semantics: each context owns a one-slot Done
+// channel that cancellation closes, children attach to parents, and
+// cancelling a node cancels its whole uncancelled subtree in one visible
+// operation whose footprint is exactly the subtree's done-channel keys —
+// so partial-order reduction sees cancellation races precisely. A
+// deadline context (WithTimeout) additionally arms a clock entry whose
+// fire performs the same subtree cancellation under the clock
+// pseudo-thread, which is how "the deadline raced my result" becomes an
+// explorable interleaving instead of a flaky wall-clock accident.
+//
+// The name Ctx (not Context) avoids a clash with the scheduling-point
+// Context type choosers receive.
+
+// Cancellation cause strings, mirroring context.Canceled and
+// context.DeadlineExceeded.
+const (
+	CtxCanceled         = "context canceled"
+	CtxDeadlineExceeded = "context deadline exceeded"
+)
+
+// Ctx is one node of a cancellation tree.
+type Ctx struct {
+	done      *Chan
+	parent    *Ctx
+	children  []*Ctx
+	cancelled bool
+	err       string
+	dl        *vtimer // deadline entry, nil for WithCancel contexts
+}
+
+// newCtx builds an unattached context node; attachment and inherited
+// cancellation happen in the visible commit (World.attachCtx).
+func newCtx(name string, parent *Ctx) *Ctx {
+	return &Ctx{
+		done:   &Chan{key: "ctx/" + name, buf: make([]int, 1)},
+		parent: parent,
+	}
+}
+
+// attachCtx links c under its parent and, when the parent is already
+// cancelled, cancels c immediately with the parent's cause — a child born
+// of a dead parent is born dead, as in Go.
+func (w *World) attachCtx(t *Thread, c *Ctx) {
+	if c.parent != nil {
+		c.parent.children = append(c.parent.children, c)
+		if c.parent.cancelled {
+			w.cancelSubtree(t, c, c.parent.err)
+		}
+	}
+	t.sinkRelease(c.done.key)
+}
+
+// cancelSubtree cancels c and every uncancelled descendant: records the
+// cause, disarms any deadline entries, and closes the done channels with
+// the same acquire-release pair an explicit Chan.Close performs, under the
+// acting thread's id (a program thread for Cancel, the clock pseudo-thread
+// for a deadline fire). Idempotent per node, so racing cancellers and
+// deadlines compose without double-close crashes — the tree is the one
+// place the substrate closes channels on the program's behalf.
+func (w *World) cancelSubtree(actor *Thread, c *Ctx, cause string) {
+	if c.cancelled {
+		return
+	}
+	c.cancelled = true
+	c.err = cause
+	if c.dl != nil {
+		c.dl.armed = false
+	}
+	if !c.done.closed {
+		actor.sinkAcquire(c.done.key)
+		c.done.closed = true
+		actor.sinkRelease(c.done.key)
+	}
+	for _, child := range c.children {
+		w.cancelSubtree(actor, child, cause)
+	}
+}
+
+// ctxFootprint accumulates the done-channel keys of c's whole subtree
+// (cancelled nodes included — conservative is safe for independence).
+func ctxFootprint(c *Ctx, info *PendingInfo) {
+	info.Objects.add(c.done.key)
+	for _, child := range c.children {
+		ctxFootprint(child, info)
+	}
+}
+
+// WithCancel creates a context cancelled by an explicit Cancel call (or by
+// its parent's cancellation). parent may be nil for a root context.
+// Creation is a visible operation: it attaches to the parent's tree, whose
+// cancellation state it observes.
+func (t *Thread) WithCancel(name string, parent *Ctx) *Ctx {
+	c := newCtx(name, parent)
+	t.visible(pendingOp{kind: opCtxNew, ctx: c})
+	t.w.attachCtx(t, c)
+	return c
+}
+
+// WithTimeout creates a context that cancels itself — and its subtree —
+// when the virtual clock reaches now + d, in addition to explicit and
+// inherited cancellation. The deadline is an ordinary clock entry: its
+// fire is a schedulable pseudo-step racing the program's own progress.
+// Note the deadline is not clamped to the parent's: as in Go, a child
+// given a longer timeout than its parent simply dies with the parent
+// first — the gotime.deadline_inherits_bad benchmark explores exactly
+// that misunderstanding.
+func (t *Thread) WithTimeout(name string, parent *Ctx, d int64) *Ctx {
+	c := newCtx(name, parent)
+	c.dl = &vtimer{kind: timerDeadline, ctx: c}
+	t.visible(pendingOp{kind: opCtxNew, ctx: c})
+	t.w.attachCtx(t, c)
+	if !c.cancelled {
+		t.w.armTimer(c.dl, d)
+	}
+	return c
+}
+
+// Done returns the channel closed by cancellation: Recv on it (or a
+// Select case) blocks until the context is cancelled, then reports
+// ok=false like any closed drained channel. Invisible accessor.
+func (c *Ctx) Done() *Chan { return c.done }
+
+// Cancel cancels the context and its whole subtree. One visible operation
+// whose footprint is the subtree's done keys; idempotent, as in Go.
+func (c *Ctx) Cancel(t *Thread) {
+	t.visible(pendingOp{kind: opCtxCancel, ctx: c})
+	t.w.cancelSubtree(t, c, CtxCanceled)
+}
+
+// Err returns "" while the context is live, CtxCanceled after an explicit
+// or inherited cancellation, and CtxDeadlineExceeded after a deadline
+// fire. Invisible inspection helper, like Chan.Closed.
+func (c *Ctx) Err() string { return c.err }

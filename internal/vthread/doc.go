@@ -128,9 +128,44 @@ package vthread
 // Outcome.SelectPoints counts the decision points. With zero (default
 // fires) or one ready case there is no decision and no extra entry.
 //
+// # Timer-firing protocol (the virtual clock)
+//
+// Timers, tickers and context deadlines (timer.go, context.go) introduce
+// a third step source: the clock pseudo-thread. The first arm of a run
+// appends a goroutine-less Thread with isClock set to the thread table at
+// the next dense id; its permanent pending op is opTimerFire, enabled
+// while some timer is fireable and some program thread is live. To every
+// engine the clock is indistinguishable from a thread: it appears in
+// enabled sets, costs preemptions/delays by the ordinary arithmetic,
+// lands in the trace and replays by position.
+//
+// What differs is execution. The clock has no goroutine, so the baton is
+// never handed to it: when nextStep's decision picks the clock id, the
+// deciding goroutine accounts the step and executes the fire inline
+// (World.fireTimer), then loops to the next decision still holding the
+// baton. Which timer fires is not a choice — the fireable timer with the
+// smallest (deadline, arm sequence) fires and the virtual now advances to
+// its deadline — so a clock trace entry is a deterministic function of
+// the schedule prefix and replay needs no special handling.
+//
+// Fireability doubles as leak semantics: a delivery timer is fireable
+// only while its one-slot channel has room, so a leaked ticker fires
+// once and goes quiet, and a receiver blocked on a stopped or saturated
+// timer is a real modelled deadlock ("blocked forever") while one
+// blocked on a fireable timer is not ("blocked until the timer fires" —
+// finishIdle reports armed-but-dead timers in the deadlock message).
+// Every arm reads the virtual now and every fire advances it, so all
+// arm/fire footprints share clockKey — that is what lets the
+// partial-order engines see that arms and fires never commute. The clock
+// Thread never enters the Executor pool (RunWith filters isClock; the
+// struct is cached on World.clk across runs) and all clock state is
+// cleared by reset, so reuse cannot carry virtual time across runs.
+//
 // # Determinism contract
 //
 // Programs under test must be deterministic modulo scheduling: no Go
-// maps iterated for control flow, no time, no randomness, no I/O. Given
-// that, a recorded Schedule replays to the identical trace, costs and
-// failure — the foundation of stateless model checking (§2 of the paper).
+// maps iterated for control flow, no wall-clock time (virtual time via
+// Thread.NewTimer/After/Sleep/NewTicker is fine — that is what it is
+// for), no randomness, no I/O. Given that, a recorded Schedule replays
+// to the identical trace, costs and failure — the foundation of
+// stateless model checking (§2 of the paper).

@@ -91,8 +91,16 @@ func (e *Executor) RunWith(chooser Chooser, sink EventSink, program Program) *Ou
 	e.w.fillOutcome(&e.outcome)
 
 	// Every body has finished (exec waits on the per-run WaitGroup), so the
-	// workers are parked on their jobs channels again: recycle them.
-	e.free = append(e.free, e.w.threads...)
+	// workers are parked on their jobs channels again: recycle them. The
+	// clock pseudo-thread is not a worker — no goroutine, no jobs channel —
+	// and must never enter the pool (Close would close its nil jobs and
+	// acquire would hand it to a program thread); the World keeps its
+	// struct separately (clock.cached).
+	for _, t := range e.w.threads {
+		if !t.isClock {
+			e.free = append(e.free, t)
+		}
+	}
 	e.w.threads = e.w.threads[:0]
 	return &e.outcome
 }

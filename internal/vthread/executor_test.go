@@ -42,7 +42,7 @@ func deadlockProgram(t0 *Thread) {
 func outcomesEqual(a, b *Outcome) bool {
 	if !a.Trace.Equal(b.Trace) || a.PC != b.PC || a.DC != b.DC ||
 		a.SchedPoints != b.SchedPoints || a.SelectPoints != b.SelectPoints ||
-		a.MaxEnabled != b.MaxEnabled ||
+		a.TimerPoints != b.TimerPoints || a.MaxEnabled != b.MaxEnabled ||
 		a.Threads != b.Threads || a.StepLimitHit != b.StepLimitHit ||
 		a.Aborted != b.Aborted {
 		return false

@@ -38,6 +38,11 @@ const (
 	opWGWait    // WaitGroup Wait: disabled while the counter is positive
 	opOnceDo    // Once entry: disabled while another thread is inside the Once
 	opOnceDone  // Once completion marker: always executable
+	opTimerArm  // NewTimer/After/NewTicker/Reset: always executable, reads the virtual now
+	opTimerStop // Timer.Stop/Ticker.Stop: always executable
+	opTimerFire // the clock pseudo-thread's step: enabled while a timer can fire
+	opCtxNew    // WithCancel/WithTimeout: always executable
+	opCtxCancel // Ctx.Cancel: always executable (cancellation is idempotent)
 )
 
 // pendingOp is the visible operation a parked thread will perform when next
@@ -56,9 +61,11 @@ type pendingOp struct {
 	wg      *WaitGroup
 	once    *Once
 	sel     *selectOp
-	gen     uint64 // barrier generation observed on arrival
-	key     string // accessed variable key (opAccess only)
-	write   bool   // store vs load (opAccess only)
+	timer   *vtimer // timer arm/stop target
+	ctx     *Ctx    // context create/cancel target
+	gen     uint64  // barrier generation observed on arrival
+	key     string  // accessed variable key (opAccess only)
+	write   bool    // store vs load (opAccess only)
 }
 
 // enabled reports whether the operation can execute in the current state.
@@ -105,10 +112,15 @@ func (op pendingOp) enabled(w *World) bool {
 		// completion marker — exactly Go's "Do blocks until f returns"
 		// semantics, including the reentrant-Do self-deadlock.
 		return !op.once.started || op.once.done
+	case opTimerFire:
+		// The clock pseudo-thread: schedulable while some timer can fire
+		// and some program thread is live to observe it.
+		return w.clockEnabled()
 	default:
 		// opSpawn, opYield, opUnlock, opCondWait, opSignal,
 		// opBroadcast, opSemV, opBarrierArrive, opAccess, opAtomic,
-		// opDestroy, opChanTry, opChanClose, opWGAdd, opOnceDone are always
+		// opDestroy, opChanTry, opChanClose, opWGAdd, opOnceDone,
+		// opTimerArm, opTimerStop, opCtxNew, opCtxCancel are always
 		// executable.
 		return true
 	}
@@ -174,6 +186,16 @@ func (k opKind) String() string {
 		return "once-do"
 	case opOnceDone:
 		return "once-done"
+	case opTimerArm:
+		return "timer-arm"
+	case opTimerStop:
+		return "timer-stop"
+	case opTimerFire:
+		return "timer-fire"
+	case opCtxNew:
+		return "ctx-new"
+	case opCtxCancel:
+		return "ctx-cancel"
 	}
 	return "unknown"
 }

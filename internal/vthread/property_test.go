@@ -1,6 +1,7 @@
 package vthread
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -9,8 +10,10 @@ import (
 
 // genProgram builds a deterministic small concurrent program from a shape
 // seed: a few workers doing a seed-derived mix of locked and unlocked
-// counter traffic, semaphore hand-offs and yields. It is bug-free by
-// construction, so any reported failure is a substrate defect.
+// counter traffic, semaphore hand-offs, yields, virtual-time sleeps,
+// ticker receives and context-deadline waits. It is bug-free and
+// deadlock-free by construction (every timer wait is on a fireable timer),
+// so any reported failure is a substrate defect.
 func genProgram(shape uint32) Program {
 	return func(t0 *Thread) {
 		nWorkers := int(shape%3) + 1
@@ -34,7 +37,7 @@ func genProgram(shape uint32) Program {
 			ts = append(ts, t0.Spawn(func(tw *Thread) {
 				mix := shape
 				for o := 0; o < ops; o++ {
-					switch mix % 6 {
+					switch mix % 8 {
 					case 0:
 						m.Lock(tw)
 						v.Add(tw, 1)
@@ -56,10 +59,30 @@ func genProgram(shape uint32) Program {
 						if !a.TrySend(tw, o) {
 							b.TryRecv(tw)
 						}
-					default:
+					case 5:
 						tw.Yield()
+					case 6:
+						// Virtual time: a sleep, then a ticker received once and
+						// stopped. Both waits are on fireable timers, so neither
+						// can deadlock under any schedule.
+						tw.Sleep(fmt.Sprintf("nap/%d/%d", tw.ID(), o), int64(o%3))
+						tk := tw.NewTicker(fmt.Sprintf("tick/%d/%d", tw.ID(), o), 2)
+						tk.C().Recv(tw)
+						tk.Stop(tw)
+					default:
+						// Context deadlines: a child context under a cancellable
+						// parent, waited on until the deadline fires (or, on odd
+						// ops, cancelled by hand first).
+						p := tw.WithCancel(fmt.Sprintf("cp/%d/%d", tw.ID(), o), nil)
+						c := tw.WithTimeout(fmt.Sprintf("cc/%d/%d", tw.ID(), o), p, int64(o%2)+1)
+						if o%2 == 1 {
+							p.Cancel(tw)
+						}
+						if _, ok := c.Done().Recv(tw); ok {
+							tw.Fail("ctx done channel delivered a value")
+						}
 					}
-					mix /= 6
+					mix /= 8
 				}
 				g.Done(tw)
 			}))

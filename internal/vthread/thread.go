@@ -56,6 +56,10 @@ type Thread struct {
 	pending pendingOp
 	state   threadState
 	killed  bool
+	// isClock marks the virtual clock's pseudo-thread (see timer.go): a
+	// Thread-shaped table entry with no goroutine, no gate and no pool
+	// membership, whose steps the World executes inline.
+	isClock bool
 
 	// woken marks a condvar waiter that has been signalled and may now
 	// re-contend for the mutex.
@@ -107,6 +111,7 @@ func (w *World) newThread(body Program) *Thread {
 	t.state = stateParked
 	t.killed = false
 	t.woken = false
+	t.isClock = false
 	t.parkTo = t.first
 	w.threads = append(w.threads, t)
 	w.wg.Add(1)

@@ -1,0 +1,329 @@
+package vthread
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTimerFireIsAScheduledStep pins the core contract: a timer firing is
+// a trace entry naming the clock pseudo-thread, counted in TimerPoints,
+// and the delivered value is the virtual firing time.
+func TestTimerFireIsAScheduledStep(t *testing.T) {
+	var got int
+	var when int64
+	prog := func(t0 *Thread) {
+		ch := t0.After("a", 7)
+		got, _ = ch.Recv(t0)
+		when = t0.Now()
+	}
+	out := NewWorld(Options{Chooser: RoundRobin()}).Run(prog)
+	if out.Failure != nil {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	if out.TimerPoints != 1 {
+		t.Errorf("TimerPoints = %d, want 1", out.TimerPoints)
+	}
+	if out.Threads != 2 {
+		t.Errorf("Threads = %d, want 2 (program thread + clock)", out.Threads)
+	}
+	if got != 7 || when != 7 {
+		t.Errorf("received %d at now %d, want 7 at 7", got, when)
+	}
+	// The clock's trace entry is the pseudo-thread's id (1 here), between
+	// the arm and the receive.
+	clockSteps := 0
+	for _, id := range out.Trace {
+		if id == 1 {
+			clockSteps++
+		}
+	}
+	if clockSteps != 1 {
+		t.Errorf("trace %v names the clock %d times, want 1", out.Trace, clockSteps)
+	}
+}
+
+// TestTimerOrderingDeterministic: fires happen in (deadline, arm order),
+// each advancing the virtual now to its own deadline — so the delivered
+// times are a function of the deadlines alone, not of arm order or of how
+// the chooser interleaved the clock with the program.
+func TestTimerOrderingDeterministic(t *testing.T) {
+	var slowAt, fastAt, tieAt int
+	prog := func(t0 *Thread) {
+		slow := t0.After("slow", 10)
+		fast := t0.After("fast", 2)
+		tie := t0.After("tie", 2) // same deadline as fast, armed later
+		fastAt, _ = fast.Recv(t0)
+		tieAt, _ = tie.Recv(t0)
+		slowAt, _ = slow.Recv(t0)
+		t0.Assert(t0.Now() == 10, "final now %d, want 10", t0.Now())
+	}
+	out := NewWorld(Options{Chooser: RoundRobin()}).Run(prog)
+	if out.Failure != nil {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	if fastAt != 2 || tieAt != 2 || slowAt != 10 {
+		t.Errorf("delivered times fast=%d tie=%d slow=%d, want 2, 2, 10", fastAt, tieAt, slowAt)
+	}
+	if out.TimerPoints != 3 {
+		t.Errorf("TimerPoints = %d, want 3", out.TimerPoints)
+	}
+}
+
+// TestBlockedUntilTimerIsNotDeadlock: a thread waiting on a fireable timer
+// is "blocked until the timer fires" — the clock stays enabled, the fire
+// unblocks it, and the run terminates cleanly.
+func TestBlockedUntilTimerIsNotDeadlock(t *testing.T) {
+	prog := func(t0 *Thread) {
+		t0.Sleep("nap", 5)
+	}
+	out := NewWorld(Options{Chooser: RoundRobin()}).Run(prog)
+	if out.Failure != nil {
+		t.Fatalf("sleeping reported %v, want clean termination", out.Failure)
+	}
+}
+
+// TestBlockedOnDeadTimerIsDeadlock: a thread waiting on a stopped ticker
+// is blocked forever — a real deadlock, and the diagnosis says the armed
+// timers (none here, the ticker was stopped) cannot help. A second program
+// leaves the timer armed but saturated, which the message calls out.
+func TestBlockedOnDeadTimerIsDeadlock(t *testing.T) {
+	stopped := func(t0 *Thread) {
+		tk := t0.NewTicker("tick", 3)
+		tk.Stop(t0)
+		tk.C().Recv(t0) // never fires again
+	}
+	out := NewWorld(Options{Chooser: RoundRobin()}).Run(stopped)
+	if out.Failure == nil || out.Failure.Kind != FailDeadlock {
+		t.Fatalf("stopped-ticker wait: %v, want deadlock", out.Failure)
+	}
+
+	// An armed one-shot whose channel is already full cannot fire either:
+	// the waiter on an unrelated channel deadlocks, and the message names
+	// the stuck timer.
+	saturated := func(t0 *Thread) {
+		tm := t0.NewTimer("t", 1)
+		t0.Sleep("pass", 2) // let tm fire; its slot now holds the tick
+		_ = tm
+		other := t0.NewChan("other", 1)
+		other.Recv(t0) // nobody sends: blocked forever
+	}
+	out = NewWorld(Options{Chooser: RoundRobin()}).Run(saturated)
+	if out.Failure == nil || out.Failure.Kind != FailDeadlock {
+		t.Fatalf("saturated-timer program: %v, want deadlock", out.Failure)
+	}
+	if !strings.Contains(out.Failure.Message, "deadlock") {
+		t.Errorf("message %q does not mention deadlock", out.Failure.Message)
+	}
+}
+
+// TestLeakedTickerFiresOnceThenQuiets: with no receiver the ticker fills
+// its one-slot channel on the first fire and stops being fireable, so the
+// program terminates instead of ticking forever.
+func TestLeakedTickerFiresOnceThenQuiets(t *testing.T) {
+	prog := func(t0 *Thread) {
+		t0.NewTicker("leak", 2) // never received from, never stopped
+		v := t0.NewVar("v", 0)
+		for i := 0; i < 5; i++ {
+			v.Store(t0, i)
+		}
+	}
+	out := NewWorld(Options{Chooser: RoundRobin()}).Run(prog)
+	if out.Failure != nil {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	if out.TimerPoints > 1 {
+		t.Errorf("leaked ticker fired %d times, want at most once", out.TimerPoints)
+	}
+	if out.StepLimitHit {
+		t.Error("leaked ticker ran the execution into the step limit")
+	}
+}
+
+// TestTimerStopAndReset pins the Go-compatible return values: Stop is true
+// only while armed, Reset re-arms from the current virtual now, and a
+// fired value stays buffered across a Stop (Stop does not drain).
+func TestTimerStopAndReset(t *testing.T) {
+	prog := func(t0 *Thread) {
+		tm := t0.NewTimer("t", 4)
+		t0.Assert(tm.Stop(t0), "first Stop should report armed")
+		t0.Assert(!tm.Stop(t0), "second Stop should report already stopped")
+		t0.Assert(!tm.Reset(t0, 3), "Reset of a stopped timer should report not armed")
+		v, ok := tm.C().Recv(t0) // blocks until the reset timer fires
+		t0.Assert(ok && v == 3, "reset timer delivered %d,%v", v, ok)
+		t0.Assert(!tm.Stop(t0), "Stop after firing should report false")
+	}
+	out := NewWorld(Options{Chooser: RoundRobin()}).Run(prog)
+	if out.Failure != nil {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+}
+
+// TestCtxCancelCascade: cancelling a parent cancels the whole subtree with
+// the parent's cause, Done channels close, and a child created under an
+// already-cancelled parent is born cancelled.
+func TestCtxCancelCascade(t *testing.T) {
+	prog := func(t0 *Thread) {
+		root := t0.WithCancel("root", nil)
+		child := t0.WithCancel("child", root)
+		grand := t0.WithTimeout("grand", child, 1000)
+		t0.Assert(root.Err() == "" && child.Err() == "" && grand.Err() == "",
+			"contexts born cancelled: %q %q %q", root.Err(), child.Err(), grand.Err())
+		root.Cancel(t0)
+		t0.Assert(child.Err() == CtxCanceled, "child err %q", child.Err())
+		t0.Assert(grand.Err() == CtxCanceled, "grandchild err %q", grand.Err())
+		_, ok := grand.Done().Recv(t0)
+		t0.Assert(!ok, "Done recv after cancel reported ok")
+		// Born-dead child of a cancelled parent.
+		late := t0.WithCancel("late", root)
+		t0.Assert(late.Err() == CtxCanceled, "late child err %q", late.Err())
+		// Idempotent re-cancel.
+		root.Cancel(t0)
+	}
+	out := NewWorld(Options{Chooser: RoundRobin()}).Run(prog)
+	if out.Failure != nil {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	// The grandchild's 1000-tick deadline was disarmed by the cascade: no
+	// timer ever fired.
+	if out.TimerPoints != 0 {
+		t.Errorf("TimerPoints = %d, want 0 (deadline disarmed by cancellation)", out.TimerPoints)
+	}
+}
+
+// TestCtxDeadlineFires: a WithTimeout context cancels itself — and its
+// subtree — when the clock reaches its deadline, with the deadline cause.
+func TestCtxDeadlineFires(t *testing.T) {
+	prog := func(t0 *Thread) {
+		parent := t0.WithTimeout("p", nil, 3)
+		child := t0.WithCancel("c", parent)
+		_, ok := child.Done().Recv(t0) // blocked until the parent's deadline
+		t0.Assert(!ok, "Done recv reported ok")
+		t0.Assert(parent.Err() == CtxDeadlineExceeded, "parent err %q", parent.Err())
+		t0.Assert(child.Err() == CtxDeadlineExceeded, "child err %q", child.Err())
+		t0.Assert(t0.Now() == 3, "deadline fired at now=%d, want 3", t0.Now())
+	}
+	out := NewWorld(Options{Chooser: RoundRobin()}).Run(prog)
+	if out.Failure != nil {
+		t.Fatalf("unexpected failure: %v", out.Failure)
+	}
+	if out.TimerPoints != 1 {
+		t.Errorf("TimerPoints = %d, want 1 (the deadline fire)", out.TimerPoints)
+	}
+}
+
+// timerLeakProgram ends with an armed-but-unfired timer, an undrained
+// ticker slot and a live (uncancelled) deadline context: the worst case
+// for Executor reuse, which must not carry any of it into the next run.
+func timerLeakProgram(t0 *Thread) {
+	t0.NewTimer("armed", 1000) // never fires: no step blocks long enough
+	tk := t0.NewTicker("tick", 1)
+	tk.C().Recv(t0) // fire once, then leave the ticker armed
+	t0.WithTimeout("live", nil, 5000)
+	ch := t0.After("spare", 2)
+	ch.Recv(t0)
+}
+
+// noTimerProgram is a plain two-thread program with no virtual time.
+func noTimerProgram(t0 *Thread) {
+	v := t0.NewVar("v", 0)
+	c := t0.Spawn(func(tw *Thread) { v.Add(tw, 1) })
+	v.Add(t0, 1)
+	t0.Join(c)
+	t0.Assert(v.Load(t0) == 2, "lost update")
+}
+
+// TestExecutorDoesNotCarryClockState is the reuse/leak regression test:
+// runs ending with armed timers, undrained ticker channels and live
+// deadline contexts must leave no clock state behind — the next run (with
+// or without timers) matches a fresh World bit for bit, and the clock
+// pseudo-thread never enters the worker pool (Close stays sound).
+func TestExecutorDoesNotCarryClockState(t *testing.T) {
+	ex := NewExecutor(Options{Chooser: RoundRobin()})
+	defer ex.Close()
+
+	wantLeak := NewWorld(Options{Chooser: RoundRobin()}).Run(timerLeakProgram)
+	wantPlain := NewWorld(Options{Chooser: RoundRobin()}).Run(noTimerProgram)
+
+	for round := 0; round < 3; round++ {
+		got := ex.Run(timerLeakProgram)
+		if !outcomesEqual(wantLeak, got) {
+			t.Fatalf("round %d: timer run diverged from fresh World:\n got %+v\nwant %+v", round, got, wantLeak)
+		}
+		if got.TimerPoints == 0 {
+			t.Fatalf("round %d: timer run recorded no timer points", round)
+		}
+		got = ex.Run(noTimerProgram)
+		if !outcomesEqual(wantPlain, got) {
+			t.Fatalf("round %d: plain run after timer run diverged:\n got %+v\nwant %+v", round, got, wantPlain)
+		}
+		if got.TimerPoints != 0 {
+			t.Fatalf("round %d: plain run inherited TimerPoints=%d", round, got.TimerPoints)
+		}
+	}
+}
+
+// TestOutcomeCountersResetOnReuse is the counter-reset regression test:
+// SchedPoints, SelectPoints and TimerPoints are recomputed from zero on
+// every Executor run — a counter-free program right after a counter-heavy
+// one reports all zeroes.
+func TestOutcomeCountersResetOnReuse(t *testing.T) {
+	busy := func(t0 *Thread) {
+		a := t0.NewChan("a", 1)
+		b := t0.NewChan("b", 1)
+		a.Send(t0, 1)
+		b.Send(t0, 2)
+		t0.Select([]SelectCase{RecvCase(a), RecvCase(b)}, false) // select point
+		t0.Sleep("s", 1)                                         // timer point
+		done := t0.Spawn(func(tw *Thread) { tw.Yield() })        // contested points
+		t0.Yield()
+		t0.Join(done)
+	}
+	quiet := func(t0 *Thread) {
+		v := t0.NewVar("v", 0)
+		v.Store(t0, 1)
+	}
+	ex := NewExecutor(Options{Chooser: RoundRobin()})
+	defer ex.Close()
+
+	out := ex.Run(busy)
+	if out.SelectPoints == 0 || out.TimerPoints == 0 || out.SchedPoints == 0 {
+		t.Fatalf("busy run: SelectPoints=%d TimerPoints=%d SchedPoints=%d, want all nonzero",
+			out.SelectPoints, out.TimerPoints, out.SchedPoints)
+	}
+	out = ex.Run(quiet)
+	if out.SelectPoints != 0 || out.TimerPoints != 0 || out.SchedPoints != 0 {
+		t.Errorf("quiet run inherited counters: SelectPoints=%d TimerPoints=%d SchedPoints=%d",
+			out.SelectPoints, out.TimerPoints, out.SchedPoints)
+	}
+	if out.Threads != 1 {
+		t.Errorf("quiet run Threads=%d, want 1 (no clock pseudo-thread)", out.Threads)
+	}
+}
+
+// TestTimerReplayRoundTrip: a random-schedule run of a timer/context
+// program replays to the identical trace — timer firings are replayable
+// scheduling points.
+func TestTimerReplayRoundTrip(t *testing.T) {
+	prog := func(t0 *Thread) {
+		ctx := t0.WithTimeout("c", nil, 4)
+		res := t0.NewChan("res", 1)
+		w := t0.Spawn(func(tw *Thread) {
+			tw.Yield()
+			res.TrySend(tw, 42)
+		})
+		t0.Select([]SelectCase{RecvCase(res), RecvCase(ctx.Done())}, false)
+		t0.Join(w)
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		ref := NewWorld(Options{Chooser: NewRandom(seed)}).Run(prog)
+		rep := NewReplay(ref.Trace)
+		out := NewWorld(Options{Chooser: rep}).Run(prog)
+		if rep.Failed() {
+			t.Fatalf("seed %d: replay diverged at %d (trace %v)", seed, rep.FailStep(), ref.Trace)
+		}
+		if !out.Trace.Equal(ref.Trace) || out.TimerPoints != ref.TimerPoints {
+			t.Fatalf("seed %d: replayed trace %v (timers %d), want %v (timers %d)",
+				seed, out.Trace, out.TimerPoints, ref.Trace, ref.TimerPoints)
+		}
+	}
+}

@@ -329,10 +329,16 @@ type Outcome struct {
 	// extra trace entry recording the committed case index). Selects that
 	// had nothing to decide — zero or one ready case — contribute none.
 	SelectPoints int
+	// TimerPoints is the number of timer-firing steps executed: trace
+	// entries naming the clock pseudo-thread. Like SelectPoints and
+	// SchedPoints it is recomputed from zero every run, so an Executor
+	// never carries a previous run's counters (tested).
+	TimerPoints int
 	// MaxEnabled is the largest number of simultaneously enabled threads
 	// observed at any scheduling point.
 	MaxEnabled int
-	// Threads is the total number of threads created.
+	// Threads is the total number of threads created, the clock
+	// pseudo-thread included when the program armed any timer.
 	Threads int
 	// StepLimitHit reports that the execution was cut off by MaxSteps; such
 	// executions are not terminal schedules and their Failure is nil.
@@ -378,6 +384,11 @@ type World struct {
 	schedPoints int
 	maxEnabled  int
 	selPoints   int
+	timerPoints int
+
+	// clk is the virtual-time state: the timer table, the virtual now and
+	// the clock pseudo-thread (see timer.go).
+	clk clock
 
 	failure      *Failure
 	stepLimitHit bool
@@ -455,6 +466,8 @@ func (w *World) reset() {
 	w.pc, w.dc = 0, 0
 	w.schedPoints, w.maxEnabled = 0, 0
 	w.selPoints = 0
+	w.timerPoints = 0
+	w.clk.reset()
 	w.caseSel = nil
 	w.failure = nil
 	w.stepLimitHit = false
@@ -518,70 +531,86 @@ func (w *World) exec(program Program) {
 	w.wg.Wait()
 }
 
-// nextStep runs one scheduling decision: termination checks, accounting,
-// the forced-step fast path or the chooser. It returns the thread to
-// grant, or nil when the execution is over (terminal, deadlock, failure,
-// step limit, or chooser abort). Runs on whichever goroutine holds the
-// baton.
+// nextStep runs scheduling decisions until one grants a program thread:
+// termination checks, accounting, the forced-step fast path or the
+// chooser — and, when the decision picks the clock pseudo-thread, the
+// timer fire itself, performed inline before looping to the next decision
+// (the clock has no goroutine to grant; see timer.go). It returns the
+// thread to grant, or nil when the execution is over (terminal, deadlock,
+// failure, step limit, or chooser abort). Runs on whichever goroutine
+// holds the baton.
 func (w *World) nextStep() *Thread {
-	// A failure may have been reported by the previous step's thread or,
-	// via Spawn's eager prefix execution, by a child it created.
-	if w.failure != nil {
-		return nil
-	}
-	enabled := w.enabledThreads()
-	if len(enabled) == 0 {
-		w.finishIdle()
-		return nil
-	}
-	if len(w.trace) >= w.opts.MaxSteps {
-		w.stepLimitHit = true
-		return nil
-	}
-	// Scheduling-point statistics strictly after the step-limit check: a
-	// step-limited run must not count a scheduling point at which no step
-	// executed.
-	if len(enabled) > 1 {
-		w.schedPoints++
-	}
-	if len(enabled) > w.maxEnabled {
-		w.maxEnabled = len(enabled)
-	}
+	for {
+		// A failure may have been reported by the previous step's thread or,
+		// via Spawn's eager prefix execution, by a child it created.
+		if w.failure != nil {
+			return nil
+		}
+		enabled := w.enabledThreads()
+		if len(enabled) == 0 {
+			w.finishIdle()
+			return nil
+		}
+		if len(w.trace) >= w.opts.MaxSteps {
+			w.stepLimitHit = true
+			return nil
+		}
+		// Scheduling-point statistics strictly after the step-limit check: a
+		// step-limited run must not count a scheduling point at which no step
+		// executed.
+		if len(enabled) > 1 {
+			w.schedPoints++
+		}
+		if len(enabled) > w.maxEnabled {
+			w.maxEnabled = len(enabled)
+		}
 
-	var choice ThreadID
-	if len(enabled) == 1 && w.forcedObs != nil && !w.opts.Debug.NoForcedStep {
-		// Forced-step fast-forward: a single enabled thread leaves nothing
-		// to decide, and the chooser opted in to not being asked.
-		choice = enabled[0]
-		w.forcedObs.ObserveForcedStep(w.makeContext(enabled))
-		if w.aborted {
-			return nil
+		var choice ThreadID
+		if len(enabled) == 1 && w.forcedObs != nil && !w.opts.Debug.NoForcedStep {
+			// Forced-step fast-forward: a single enabled thread leaves nothing
+			// to decide, and the chooser opted in to not being asked.
+			choice = enabled[0]
+			w.forcedObs.ObserveForcedStep(w.makeContext(enabled))
+			if w.aborted {
+				return nil
+			}
+			w.stats.ForcedSteps++
+		} else {
+			choice = w.choose(enabled)
+			if w.aborted {
+				return nil
+			}
 		}
-		w.stats.ForcedSteps++
-	} else {
-		choice = w.choose(enabled)
-		if w.aborted {
-			return nil
+		t := w.threads[choice]
+		if t.isClock {
+			// A clock step: account it like any thread step (it occupies a
+			// trace entry and costs preemptions/delays by the ordinary
+			// arithmetic), fire the due timer inline on this goroutine, and
+			// continue to the next decision — no baton transfer, because
+			// the clock has no goroutine.
+			w.accountStep(choice, enabled)
+			w.last = choice
+			w.fireTimer()
+			continue
 		}
-	}
-	t := w.threads[choice]
-	casePick := NoThread
-	if t.pending.kind == opSelect {
-		var ok bool
-		if casePick, ok = w.resolveSelect(t); !ok {
-			// Aborted at the case-decision point: nothing was accounted, so
-			// the trace holds exactly the executed prefix.
-			return nil
+		casePick := NoThread
+		if t.pending.kind == opSelect {
+			var ok bool
+			if casePick, ok = w.resolveSelect(t); !ok {
+				// Aborted at the case-decision point: nothing was accounted, so
+				// the trace holds exactly the executed prefix.
+				return nil
+			}
 		}
+		w.accountStep(choice, enabled)
+		if casePick != NoThread {
+			// The case-decision entry: trace position step+1, cost zero under
+			// both schedule-cost models (no thread switched).
+			w.trace = append(w.trace, casePick)
+		}
+		w.last = choice
+		return t
 	}
-	w.accountStep(choice, enabled)
-	if casePick != NoThread {
-		// The case-decision entry: trace position step+1, cost zero under
-		// both schedule-cost models (no thread switched).
-		w.trace = append(w.trace, casePick)
-	}
-	w.last = choice
-	return t
 }
 
 // resolveSelect decides which case of t's granted Select commits, writing
@@ -715,6 +744,7 @@ func (w *World) fillOutcome(out *Outcome) {
 		DC:           w.dc,
 		SchedPoints:  w.schedPoints,
 		SelectPoints: w.selPoints,
+		TimerPoints:  w.timerPoints,
 		MaxEnabled:   w.maxEnabled,
 		Threads:      len(w.threads),
 		StepLimitHit: w.stepLimitHit,
@@ -778,19 +808,32 @@ func (w *World) enabledThreads() []ThreadID {
 }
 
 // finishIdle classifies the no-enabled-thread state: clean termination if
-// every thread exited, deadlock otherwise.
+// every program thread exited, deadlock otherwise. The clock pseudo-thread
+// never counts as blocked — a program that exits with timers still armed
+// has leaked them, not deadlocked — but armed-yet-unfireable timers are
+// named in the deadlock message, because "blocked on a stopped ticker" and
+// "blocked forever" deserve different diagnoses even though both are
+// deadlocks (a *fireable* timer would have kept the clock enabled and the
+// execution running).
 func (w *World) finishIdle() {
 	var blocked []ThreadID
 	for _, t := range w.threads {
+		if t.isClock {
+			continue
+		}
 		if t.state != stateExited {
 			blocked = append(blocked, t.id)
 		}
 	}
 	if len(blocked) > 0 && w.failure == nil {
+		msg := fmt.Sprintf("deadlock: threads %v blocked with no enabled thread", blocked)
+		if n := w.clk.armedCount(); n > 0 {
+			msg += fmt.Sprintf(" (%d armed timer(s) can no longer fire)", n)
+		}
 		w.failure = &Failure{
 			Kind:    FailDeadlock,
 			Thread:  blocked[0],
-			Message: fmt.Sprintf("deadlock: threads %v blocked with no enabled thread", blocked),
+			Message: msg,
 		}
 	}
 }
@@ -805,6 +848,12 @@ func (w *World) finishIdle() {
 func (w *World) abortRemaining() {
 	for _, t := range w.threads {
 		if t.state == stateExited {
+			continue
+		}
+		if t.isClock {
+			// The clock pseudo-thread has no goroutine and no gate; there
+			// is nothing to unwind.
+			t.state = stateExited
 			continue
 		}
 		t.killed = true
@@ -870,6 +919,42 @@ func (w *World) pendingOf(t ThreadID) PendingInfo {
 		info.Objects.add(op.wg.key)
 	case opOnceDo, opOnceDone:
 		info.Objects.add(op.once.key)
+	case opTimerArm:
+		// Arming reads the virtual now (deadline = now + d), so arms never
+		// commute with fires — the shared clock key carries that edge.
+		info.Objects.add(clockKey)
+		info.Objects.add(op.timer.ch.key)
+	case opTimerStop:
+		// Stop only disarms: it does not read the now, so it commutes with
+		// a fire unless that fire targets this very timer (whose channel
+		// key the fire's footprint then carries).
+		info.Objects.add(op.timer.ch.key)
+	case opTimerFire:
+		// The clock pseudo-thread's step: advances the virtual now, plus
+		// the effect footprint of the specific timer due at this decision
+		// point — its delivery channel, or the done keys of the context
+		// subtree a deadline would cancel.
+		info.Objects.add(clockKey)
+		if v := w.clk.nextFireable(); v != nil {
+			if v.kind == timerDeadline {
+				ctxFootprint(v.ctx, &info)
+			} else {
+				info.Objects.add(v.ch.key)
+			}
+		}
+	case opCtxNew:
+		// Creation observes the parent's cancellation state and, for a
+		// deadline context, reads the virtual now.
+		if op.ctx.dl != nil {
+			info.Objects.add(clockKey)
+		}
+		if op.ctx.parent != nil {
+			info.Objects.add(op.ctx.parent.done.key)
+		}
+		info.Objects.add(op.ctx.done.key)
+	case opCtxCancel:
+		// Cancellation touches the whole subtree's done channels.
+		ctxFootprint(op.ctx, &info)
 	case opSpawn:
 		// No shared objects: commutes with everything.
 	case opYield:

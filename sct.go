@@ -69,6 +69,20 @@ type (
 	WaitGroup = vthread.WaitGroup
 	// Once models sync.Once (reentrant Do self-deadlocks, as in Go).
 	Once = vthread.Once
+	// Timer is a one-shot virtual timer (time.Timer over the virtual
+	// clock): its firing is a schedulable pseudo-step of the clock thread,
+	// explored like any other scheduling choice instead of raced against
+	// wall time. Created with Thread.NewTimer/Thread.After.
+	Timer = vthread.Timer
+	// Ticker is a repeating virtual timer (time.Ticker over the virtual
+	// clock); a leaked ticker fires once into its full slot and goes
+	// quiet, so a receiver blocked after Stop is a modelled deadlock.
+	Ticker = vthread.Ticker
+	// Ctx models context.Context as a derived-cancellation tree over
+	// channel close semantics: WithCancel/WithTimeout build the tree,
+	// Done exposes the cancellation channel, and deadline firings are
+	// clock steps. Created with Thread.WithCancel/Thread.WithTimeout.
+	Ctx = vthread.Ctx
 	// Footprint is the N-ary set of shared-object keys a pending operation
 	// touches, as exposed to choosers via PendingInfo.
 	Footprint = vthread.Footprint
@@ -112,6 +126,15 @@ type (
 
 // DefaultCase is the index Thread.Select returns when its default fires.
 const DefaultCase = vthread.DefaultCase
+
+// Context cancellation causes reported by Ctx.Err.
+const (
+	// CtxCanceled is Ctx.Err after an explicit Cancel (context.Canceled).
+	CtxCanceled = vthread.CtxCanceled
+	// CtxDeadlineExceeded is Ctx.Err after a deadline fire
+	// (context.DeadlineExceeded).
+	CtxDeadlineExceeded = vthread.CtxDeadlineExceeded
+)
 
 // RecvCase builds a receive case for Thread.Select.
 func RecvCase(c *Chan) SelectCase { return vthread.RecvCase(c) }
