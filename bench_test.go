@@ -138,7 +138,7 @@ func BenchmarkFig4(b *testing.B) {
 // BenchmarkAblationHandoff measures the substrate's context-switch cost:
 // one visible operation = one park/grant handoff.
 func BenchmarkAblationHandoff(b *testing.B) {
-	program := func(t *vthread.Thread) {
+	var program vthread.Program = func(t *vthread.Thread) {
 		for i := 0; i < 1000; i++ {
 			t.Yield()
 		}
@@ -197,7 +197,7 @@ func BenchmarkAblationRacePromotion(b *testing.B) {
 // BenchmarkAblationPCT compares PCT against Rand and IDB on the same
 // program (§7 related work).
 func BenchmarkAblationPCT(b *testing.B) {
-	program := func() vthread.Program { return bench.ByName("CS.twostage_bad").New() }
+	program := func() vthread.Runnable { return bench.ByName("CS.twostage_bad").New() }
 	b.Run("PCT_d2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			pct.Run(pct.Config{Program: program, Runs: benchLimit, Depth: 2, Seed: uint64(i)})
@@ -228,7 +228,7 @@ func BenchmarkAblationMaple(b *testing.B) {
 // partial-order reduction (§7's future-work extension): same bugs, far
 // fewer counted schedules on programs with independent operations.
 func BenchmarkAblationSleepSets(b *testing.B) {
-	program := func() vthread.Program { return bench.ByName("CS.stack_bad").New() }
+	program := func() vthread.Runnable { return bench.ByName("CS.stack_bad").New() }
 	b.Run("DFS", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			explore.RunDFS(explore.Config{Program: program(), Limit: benchLimit})
@@ -245,7 +245,7 @@ func BenchmarkAblationSleepSets(b *testing.B) {
 // bounded search against unbounded DFS on a program whose space dwarfs
 // the limit (the paper's core motivation for schedule bounding).
 func BenchmarkAblationBoundedVsUnbounded(b *testing.B) {
-	program := func() vthread.Program { return bench.ByName("CS.reorder_4_bad").New() }
+	program := func() vthread.Runnable { return bench.ByName("CS.reorder_4_bad").New() }
 	b.Run("DFS", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			explore.RunDFS(explore.Config{Program: program(), Limit: benchLimit})
@@ -263,7 +263,7 @@ func BenchmarkAblationBoundedVsUnbounded(b *testing.B) {
 // embarrassingly parallel end of the parallel driver, expected to scale
 // near-linearly up to GOMAXPROCS.
 func BenchmarkParallelRand(b *testing.B) {
-	program := func() vthread.Program { return bench.ByName("CS.twostage_bad").New() }
+	program := func() vthread.Runnable { return bench.ByName("CS.twostage_bad").New() }
 	const limit = 2000
 	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
@@ -281,7 +281,7 @@ func BenchmarkParallelRand(b *testing.B) {
 // spread over work-stealing workers with the next bound speculated behind
 // the active one.
 func BenchmarkParallelIDB(b *testing.B) {
-	program := func() vthread.Program { return bench.ByName("CS.reorder_5_bad").New() }
+	program := func() vthread.Runnable { return bench.ByName("CS.reorder_5_bad").New() }
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -296,7 +296,7 @@ func BenchmarkParallelIDB(b *testing.B) {
 // BenchmarkParallelDFS measures the work-stealing pool on an unbounded
 // depth-first search truncated at the schedule limit.
 func BenchmarkParallelDFS(b *testing.B) {
-	program := func() vthread.Program { return bench.ByName("CS.reorder_4_bad").New() }
+	program := func() vthread.Runnable { return bench.ByName("CS.reorder_4_bad").New() }
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -9,7 +9,7 @@
 //
 //	sctbench [-limit 10000] [-seed 1] [-bench regex] [-maple] [-dpor]
 //	         [-table1] [-fig3csv path] [-fig4csv path] [-par N] [-workers N]
-//	         [-v]
+//	         [-engine auto|ref] [-cpuprofile path] [-memprofile path] [-v]
 package main
 
 import (
@@ -18,12 +18,14 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"sctbench/internal/bench"
 	"sctbench/internal/explore"
 	"sctbench/internal/report"
 	"sctbench/internal/study"
+	"sctbench/internal/vthread"
 )
 
 func main() {
@@ -41,12 +43,56 @@ func main() {
 	par := flag.Int("par", 0, "parallel benchmark evaluations (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"schedule-exploration workers per technique run (1 = sequential)")
+	engine := flag.String("engine", "auto",
+		"execution engine: auto (compiled benchmarks on the flat single-goroutine "+
+			"engine, closure benchmarks on the goroutine engine) or ref (force "+
+			"everything onto the goroutine reference engine)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the study run to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this path")
 	verbose := flag.Bool("v", false, "progress output per phase")
 	flag.Parse()
 
 	if msg := study.Sanity(); msg != "" {
 		fmt.Fprintln(os.Stderr, "registry error:", msg)
 		os.Exit(1)
+	}
+
+	var debug vthread.Debug
+	switch *engine {
+	case "auto":
+	case "ref":
+		debug.NoFlatEngine = true
+	default:
+		fmt.Fprintln(os.Stderr, "bad -engine (want auto or ref):", *engine)
+		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
 	}
 
 	if *table1 {
@@ -83,6 +129,7 @@ func main() {
 		WithMaple:   *withMaple,
 		Parallelism: *par,
 		Workers:     *workers,
+		Debug:       debug,
 	}
 	if *withDPOR {
 		// The default technique set plus DPOR; POR stays out of the

@@ -8,7 +8,7 @@ import (
 
 // ExampleExplore demonstrates finding and replaying a lost-update bug.
 func ExampleExplore() {
-	program := func(t *sctbench.Thread) {
+	program := sctbench.Program(func(t *sctbench.Thread) {
 		counter := t.NewVar("counter", 0)
 		inc := func(w *sctbench.Thread) { counter.Add(w, 1) }
 		a := t.Spawn(inc)
@@ -16,7 +16,7 @@ func ExampleExplore() {
 		t.Join(a)
 		t.Join(b)
 		t.Assert(counter.Load(t) == 2, "lost update: counter=%d", counter.Load(t))
-	}
+	})
 	res := sctbench.Explore(sctbench.IDB, sctbench.Config{Program: program})
 	fmt.Println("found:", res.BugFound)
 	fmt.Println("delay bound:", res.Bound)
@@ -72,10 +72,10 @@ func ExampleDetectRaces() {
 // ExampleRunOnce shows a single execution under the deterministic
 // round-robin scheduler — the zero-delay schedule of delay bounding.
 func ExampleRunOnce() {
-	out := sctbench.RunOnce(func(t *sctbench.Thread) {
+	out := sctbench.RunOnce(sctbench.Program(func(t *sctbench.Thread) {
 		w := t.Spawn(func(tw *sctbench.Thread) { tw.Yield() })
 		t.Join(w)
-	}, sctbench.WorldOptions{})
+	}), sctbench.WorldOptions{})
 	fmt.Println("preemptions:", out.PC, "delays:", out.DC)
 	// Output:
 	// preemptions: 0 delays: 0

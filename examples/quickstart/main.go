@@ -16,7 +16,7 @@ func main() {
 	// A classic lost-update bug: two workers increment a shared counter
 	// without a lock. IntVar.Add is a load followed by a store, so a
 	// schedule that interleaves the two read-modify-writes loses one.
-	program := func(t *sctbench.Thread) {
+	program := sctbench.Program(func(t *sctbench.Thread) {
 		counter := t.NewVar("counter", 0)
 		inc := func(w *sctbench.Thread) { counter.Add(w, 1) }
 		a := t.Spawn(inc)
@@ -24,7 +24,7 @@ func main() {
 		t.Join(a)
 		t.Join(b)
 		t.Assert(counter.Load(t) == 2, "lost update: counter=%d, want 2", counter.Load(t))
-	}
+	})
 
 	// Iterative delay bounding: explore all zero-delay schedules, then
 	// one-delay schedules, and so on.

@@ -56,7 +56,7 @@ func main() {
 		float64(dfs.Schedules)/float64(ss.Schedules))
 
 	if ss.BugFound {
-		min := sctbench.Minimize(mixed, ss.Witness, nil)
+		min := sctbench.Minimize(func() sctbench.Runnable { return mixed() }, ss.Witness, nil)
 		fmt.Printf("witness simplification: PC %d -> %d over %d replays\n",
 			min.OriginalPC, min.PC, min.Replays)
 		fmt.Printf("minimal witness: %v\n", min.Schedule)

@@ -17,12 +17,15 @@ import (
 // BenchmarkExecutorThroughput contrasts the NewWorld-per-run baseline with
 // a reused Executor on a CS-suite program under the deterministic
 // scheduler: the pure substrate overhead of one execution, allocations
-// included.
+// included. The Executor rows split by engine — "ref" runs the closure
+// twin on the goroutine reference engine (the pre-flat history row),
+// "flat" runs the compiled form on the single-goroutine flat engine — so
+// BENCH_substrate.json carries the before/after of the engine swap.
 func BenchmarkExecutorThroughput(b *testing.B) {
 	bm := bench.ByName("CS.account_bad")
-	prog := bm.New()
 	b.Run("NewWorldPerRun", func(b *testing.B) {
 		b.ReportAllocs()
+		prog := bm.Ref()
 		for i := 0; i < b.N; i++ {
 			out := vthread.NewWorld(vthread.Options{
 				Chooser: vthread.RoundRobin(), BoundsCheck: bm.BoundsCheck, MaxSteps: bm.MaxSteps,
@@ -33,24 +36,33 @@ func BenchmarkExecutorThroughput(b *testing.B) {
 		}
 		reportExecRate(b, b.N)
 	})
-	b.Run("Executor", func(b *testing.B) {
-		b.ReportAllocs()
-		ex := vthread.NewExecutor(vthread.Options{
-			Chooser: vthread.RoundRobin(), BoundsCheck: bm.BoundsCheck, MaxSteps: bm.MaxSteps,
-		})
-		defer ex.Close()
-		b.ResetTimer()
-		steps := 0
-		for i := 0; i < b.N; i++ {
-			out := ex.Run(prog)
-			if out.Threads == 0 {
-				b.Fatal("no threads ran")
+	engines := []struct {
+		name string
+		prog vthread.Runnable
+	}{
+		{"Executor/ref", bm.Ref()},
+		{"Executor/flat", bm.New()},
+	}
+	for _, eng := range engines {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			ex := vthread.NewExecutor(vthread.Options{
+				Chooser: vthread.RoundRobin(), BoundsCheck: bm.BoundsCheck, MaxSteps: bm.MaxSteps,
+			})
+			defer ex.Close()
+			b.ResetTimer()
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				out := ex.Run(eng.prog)
+				if out.Threads == 0 {
+					b.Fatal("no threads ran")
+				}
+				steps += len(out.Trace)
 			}
-			steps += len(out.Trace)
-		}
-		reportExecRate(b, b.N)
-		reportStepCost(b, steps)
-	})
+			reportExecRate(b, b.N)
+			reportStepCost(b, steps)
+		})
+	}
 }
 
 // BenchmarkStepOverhead isolates the per-step handoff cost of the
@@ -67,6 +79,12 @@ func BenchmarkExecutorThroughput(b *testing.B) {
 //   - bounced: the same alternation with direct handoff disabled — every
 //     grant routes through the exec goroutine, the two context switches
 //     per step the central-loop protocol paid for all steps.
+//
+// The flat/* rows run the same yield-loop shapes as compiled programs on
+// the single-goroutine flat engine, where a context switch is a function
+// call: flat/chooser (two threads, chooser consulted every step),
+// flat/forced (one runnable thread, grant without a Choose call) and
+// flat/cross-thread (strict alternation, one interpreter swap per step).
 func BenchmarkStepOverhead(b *testing.B) {
 	const yields = 64
 	yielders := func(threads int) vthread.Program {
@@ -81,6 +99,18 @@ func BenchmarkStepOverhead(b *testing.B) {
 			}
 			t0.SpawnAll(bodies...)
 		}
+	}
+	compiledYielders := func(threads int) *vthread.CompiledProgram {
+		p := vthread.NewBuilder()
+		body := p.Body(0, 0)
+		for s := 0; s < yields; s++ {
+			body.Yield()
+		}
+		main := p.Main()
+		for i := 0; i < threads; i++ {
+			main.Spawn(body)
+		}
+		return p.Build()
 	}
 	// inlineRR mirrors RoundRobin without implementing StepObserver, so
 	// the chooser runs at every point (isolating path (a) from (b)).
@@ -103,18 +133,25 @@ func BenchmarkStepOverhead(b *testing.B) {
 		threads int
 		chooser vthread.Chooser
 		debug   vthread.Debug
+		flat    bool
 	}{
-		{"same-thread", 2, inlineRR, vthread.Debug{}},
-		{"forced", 1, vthread.RoundRobin(), vthread.Debug{}},
-		{"cross-thread", 2, alternate, vthread.Debug{}},
-		{"bounced", 2, alternate, vthread.Debug{NoDirectHandoff: true}},
+		{"same-thread", 2, inlineRR, vthread.Debug{}, false},
+		{"forced", 1, vthread.RoundRobin(), vthread.Debug{}, false},
+		{"cross-thread", 2, alternate, vthread.Debug{}, false},
+		{"bounced", 2, alternate, vthread.Debug{NoDirectHandoff: true}, false},
+		{"flat/chooser", 2, inlineRR, vthread.Debug{}, true},
+		{"flat/forced", 1, vthread.RoundRobin(), vthread.Debug{}, true},
+		{"flat/cross-thread", 2, alternate, vthread.Debug{}, true},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			ex := vthread.NewExecutor(vthread.Options{Chooser: c.chooser, Debug: c.debug})
 			defer ex.Close()
-			prog := yielders(c.threads)
+			var prog vthread.Runnable = yielders(c.threads)
+			if c.flat {
+				prog = compiledYielders(c.threads)
+			}
 			b.ResetTimer()
 			steps := 0
 			for i := 0; i < b.N; i++ {

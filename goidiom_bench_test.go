@@ -80,7 +80,7 @@ func BenchmarkGoIdiom(b *testing.B) {
 // execution of the new op surface costs, allocations included (the
 // N-ary-footprint regression guard alongside BenchmarkExecutorThroughput).
 func BenchmarkGoIdiomThroughput(b *testing.B) {
-	prog := func(t0 *vthread.Thread) {
+	prog := vthread.Program(func(t0 *vthread.Thread) {
 		work := t0.NewChan("work", 2)
 		done := t0.NewChan("done", 1)
 		wg := t0.NewWaitGroup("wg")
@@ -102,7 +102,7 @@ func BenchmarkGoIdiomThroughput(b *testing.B) {
 		}
 		done.Close(t0)
 		wg.Wait(t0)
-	}
+	})
 	b.ReportAllocs()
 	ex := vthread.NewExecutor(vthread.Options{Chooser: vthread.RoundRobin()})
 	defer ex.Close()

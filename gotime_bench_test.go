@@ -80,7 +80,7 @@ func BenchmarkGoTime(b *testing.B) {
 // (the clock-recycling regression guard alongside
 // BenchmarkExecutorThroughput).
 func BenchmarkGoTimeThroughput(b *testing.B) {
-	prog := func(t0 *vthread.Thread) {
+	prog := vthread.Program(func(t0 *vthread.Thread) {
 		ctx := t0.WithTimeout("req", nil, 100)
 		res := t0.NewChan("res", 1)
 		wg := t0.NewWaitGroup("wg")
@@ -99,7 +99,7 @@ func BenchmarkGoTimeThroughput(b *testing.B) {
 		tm.Stop(t0)
 		wg.Wait(t0)
 		ctx.Cancel(t0)
-	}
+	})
 	b.ReportAllocs()
 	ex := vthread.NewExecutor(vthread.Options{Chooser: vthread.RoundRobin()})
 	defer ex.Close()

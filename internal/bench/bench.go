@@ -37,11 +37,18 @@ type Benchmark struct {
 	BoundsCheck bool
 	// MaxSteps overrides the per-execution step budget (0 = default).
 	MaxSteps int
-	// New builds a fresh instance of the program. The returned Program
-	// creates all its state inside the body (via the Thread API), so one
-	// value can be executed any number of times — including concurrently
-	// from the parallel exploration driver's workers.
-	New func() vthread.Program
+	// New builds a fresh instance of the program. The returned Runnable
+	// creates all its state inside the body (compiled programs instantiate
+	// their environment per run), so one value can be executed any number
+	// of times — including concurrently from the parallel exploration
+	// driver's workers. Compiled-form benchmarks run on the flat engine;
+	// closure-form ones run on the goroutine reference engine.
+	New func() vthread.Runnable
+	// Ref, when non-nil, builds the original closure-form twin of New's
+	// compiled program. It exists purely as the equivalence oracle: the
+	// registry test executes both under identical choosers and requires
+	// bit-identical outcomes, failures and event streams.
+	Ref func() vthread.Program
 }
 
 // String returns "id name".

@@ -22,11 +22,14 @@ package bench
 // zero-preemption schedule space alone exceeds the 10,000-schedule limit
 // and IPB misses the bugs that IDB still finds — the Table 3 signature of
 // chess.IWSQ/IWSQWS/SWSQ versus chess.WSQ.
+//
+// Registered in compiled form (New, flat engine) with the closure original
+// as the Ref equivalence twin.
 
 import "sctbench/internal/vthread"
 
-// wsq is the work-stealing deque under test. head/tail are SC atomics
-// (always visible); the item buffer is a shared array.
+// wsq is the work-stealing deque under test (closure form). head/tail are
+// SC atomics (always visible); the item buffer is a shared array.
 type wsq struct {
 	head, tail *vthread.Atomic
 	items      *vthread.Array
@@ -159,29 +162,125 @@ func wsqProgram(n, sts, pingPong, tail int) vthread.Program {
 	}
 }
 
+// compiledWSQ is wsqProgram translated op-for-op to the builder DSL: the
+// deque methods are inlined as instruction sequences with registers
+// standing in for the Go locals, preserving every visible operation and
+// its order.
+func compiledWSQ(n, sts, pingPong, tail int) *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	head := p.Atomic("wsq.head", 0)
+	tailA := p.Atomic("wsq.tail", 0)
+	items := p.Array("wsq.items", n+1)
+	seen := p.Array("seen", n)
+	bookkeeping := p.Var("bookkeeping", 0)
+
+	// record(v): the exactly-once check.
+	record := func(c *vthread.Code, v vthread.Reg) {
+		cnt := c.Get(seen, v)
+		c.Assert(eq(cnt, 0), "item %d obtained twice", v)
+		c.SetAt(seen, v, plus(cnt, 1))
+	}
+
+	owner := p.Body(0, 0)
+	for i := 0; i < n; i++ {
+		// push(i)
+		tl := owner.LoadA(tailA)
+		owner.SetAt(items, tl, i)
+		owner.StoreA(tailA, plus(tl, 1))
+	}
+	for i := 0; i < n; i++ {
+		// v, ok := take(); if ok { record(v) }
+		hd := owner.LoadA(head)
+		tl0 := owner.LoadA(tailA)
+		tl := owner.Let(plus(tl0, -1))
+		v := owner.Let(0)
+		ok := owner.Let(0)
+		owner.IfElse(ltr(tl, hd), func() {}, func() {
+			owner.StoreA(tailA, tl)
+			g := owner.Get(items, tl)
+			owner.IfElse(gtr(tl, hd), func() {
+				owner.Set(v, g)
+				owner.Set(ok, 1)
+			}, func() {
+				cas := owner.CAS(head, hd, plus(hd, 1))
+				owner.StoreA(tailA, plus(hd, 1))
+				owner.If(ne(cas, 0), func() {
+					owner.Set(v, g)
+					owner.Set(ok, 1)
+				})
+			})
+		})
+		owner.If(ne(ok, 0), func() { record(owner, v) })
+	}
+	loopN(owner, tail, func() { owner.AddVar(bookkeeping, 1) })
+
+	thief := p.Body(0, 0)
+	for s := 0; s < sts; s++ {
+		// v, ok := steal(); if ok { record(v) }
+		hd := thief.LoadA(head)
+		tl := thief.LoadA(tailA)
+		thief.If(ltr(hd, tl), func() {
+			g := thief.Get(items, hd)
+			h2 := thief.LoadA(head)
+			thief.If(eqr(h2, hd), func() {
+				thief.StoreA(head, plus(hd, 1))
+				record(thief, g)
+			})
+		})
+	}
+
+	mn := p.Main()
+	var gates []vthread.OReg
+	if pingPong > 0 {
+		a := p.Sem("gate.a", 0)
+		b := p.Sem("gate.b", 0)
+		g1 := p.Body(0, 0)
+		loopN(g1, pingPong, func() {
+			g1.P(a)
+			g1.V(b)
+		})
+		g2 := p.Body(0, 0)
+		loopN(g2, pingPong, func() {
+			g2.V(a)
+			g2.P(b)
+		})
+		gates = append(gates, mn.Spawn(g1), mn.Spawn(g2))
+	}
+	ho := mn.Spawn(owner)
+	ht := mn.Spawn(thief)
+	mn.Join(ho)
+	mn.Join(ht)
+	joinRegs(mn, gates)
+	return p.Build()
+}
+
 func init() {
 	register(&Benchmark{
 		ID: 32, Name: "chess.IWSQ", Suite: "CHESS", Threads: 5,
 		BugKind: vthread.FailAssert,
 		Desc:    "work-stealing queue amid gate traffic: zero-preemption branching buries IPB",
-		New:     func() vthread.Program { return wsqProgram(6, 3, 20, 8) },
+		New:     func() vthread.Runnable { return compiledWSQ(6, 3, 20, 8) },
+		Ref:     func() vthread.Program { return wsqProgram(6, 3, 20, 8) },
 	})
 	register(&Benchmark{
 		ID: 33, Name: "chess.IWSQWS", Suite: "CHESS", Threads: 5,
 		BugKind: vthread.FailAssert,
 		Desc:    "work-stealing queue with steal-half traffic: more items, same buried race",
-		New:     func() vthread.Program { return wsqProgram(8, 4, 24, 8) },
+		New:     func() vthread.Runnable { return compiledWSQ(8, 4, 24, 8) },
+		Ref:     func() vthread.Program { return wsqProgram(8, 4, 24, 8) },
 	})
 	register(&Benchmark{
 		ID: 34, Name: "chess.SWSQ", Suite: "CHESS", Threads: 5,
 		BugKind: vthread.FailAssert,
 		Desc:    "synchronized work-stealing queue stress: longest gated run of the race",
-		New:     func() vthread.Program { return wsqProgram(10, 5, 28, 8) },
+		New:     func() vthread.Runnable { return compiledWSQ(10, 5, 28, 8) },
+		Ref:     func() vthread.Program { return wsqProgram(10, 5, 28, 8) },
 	})
 	register(&Benchmark{
 		ID: 35, Name: "chess.WSQ", Suite: "CHESS", Threads: 3,
 		BugKind: vthread.FailAssert,
 		Desc:    "the classic WorkStealQueue owner/thief race",
-		New:     func() vthread.Program { return wsqProgram(3, 2, 0, 0) },
+		New:     func() vthread.Runnable { return compiledWSQ(3, 2, 0, 0) },
+		Ref:     func() vthread.Program { return wsqProgram(3, 2, 0, 0) },
 	})
 }

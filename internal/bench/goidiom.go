@@ -14,9 +14,11 @@ package bench
 // rest are classic one-preemption check-then-act races dressed in channel
 // clothing.
 //
-// Like every suite file, each program confines all state to the body so
-// one Benchmark value can be executed concurrently by the parallel
-// exploration workers.
+// Like every suite file, each program confines all state to the body (the
+// compiled forms instantiate their environment per run), so one Benchmark
+// value can be executed concurrently by the parallel exploration workers.
+// Plain Go locals shared between closures (pipeline_bad's `total`,
+// select_starve_bad's `processed`) compile to invisible Cells.
 
 import "sctbench/internal/vthread"
 
@@ -25,198 +27,362 @@ func init() {
 		ID: 52, Name: "goidiom.workerpool_bad", Suite: "GoIdiom", Threads: 3,
 		BugKind: vthread.FailAssert,
 		Desc:    "worker pool over a jobs channel: unsynchronised result aggregation loses an update",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
-				jobs := t0.NewChan("jobs", 3)
-				sum := t0.NewVar("sum", 0)
-				wg := t0.NewWaitGroup("wg")
-				wg.Add(t0, 2)
-				worker := func(tw *vthread.Thread) {
-					for {
-						v, ok := jobs.Recv(tw)
-						if !ok {
-							break
-						}
-						// Bug: the aggregate is a plain read-modify-write;
-						// two workers interleaving here lose an update.
-						sum.Add(tw, v)
-					}
-					wg.Done(tw)
-				}
-				t0.Spawn(worker)
-				t0.Spawn(worker)
-				for i := 1; i <= 3; i++ {
-					jobs.Send(t0, i)
-				}
-				jobs.Close(t0)
-				wg.Wait(t0)
-				t0.Assert(sum.Load(t0) == 6, "worker pool lost an update: sum=%d", sum.Load(t0))
-			}
-		},
+		New:     func() vthread.Runnable { return compiledWorkerpool() },
+		Ref:     refWorkerpool,
 	})
 
 	register(&Benchmark{
 		ID: 53, Name: "goidiom.pipeline_bad", Suite: "GoIdiom", Threads: 4,
 		BugKind: vthread.FailCrash,
 		Desc:    "fan-in pipeline: racy last-producer-closes flag double-closes the merged channel",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
-				out := t0.NewChan("out", 4)
-				wg := t0.NewWaitGroup("producers")
-				closed := t0.NewVar("closed", 0)
-				wg.Add(t0, 2)
-				producer := func(base int) vthread.Program {
-					return func(tw *vthread.Thread) {
-						out.Send(tw, base)
-						out.Send(tw, base+1)
-						wg.Done(tw)
-						wg.Wait(tw) // both producers drain past here together
-						// Bug: "whoever gets here first closes" is a
-						// check-then-act on a plain flag; two producers
-						// interleaving between the load and the store both
-						// close the merged channel (Go: panic).
-						if closed.Load(tw) == 0 {
-							closed.Store(tw, 1)
-							out.Close(tw)
-						}
-					}
-				}
-				t0.Spawn(producer(10))
-				t0.Spawn(producer(20))
-				total := 0
-				consumer := t0.Spawn(func(tw *vthread.Thread) {
-					for {
-						v, ok := out.Recv(tw)
-						if !ok {
-							return
-						}
-						total += v
-					}
-				})
-				t0.Join(consumer)
-				t0.Assert(total == 62, "pipeline dropped values: total=%d", total)
-			}
-		},
+		New:     func() vthread.Runnable { return compiledPipeline() },
+		Ref:     refPipeline,
 	})
 
 	register(&Benchmark{
 		ID: 54, Name: "goidiom.cancel_bad", Suite: "GoIdiom", Threads: 3,
 		BugKind: vthread.FailDeadlock,
 		Desc:    "cancellation via closed channel: worker honours the done case while the producer still blocks on a send",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
-				work := t0.NewChan("work", 1)
-				done := t0.NewChan("done", 1)
-				producer := t0.Spawn(func(tw *vthread.Thread) {
-					// The second send blocks until the worker drains the
-					// first; if the worker obeys the cancellation first,
-					// nobody ever will (Go's classic leaked-producer bug,
-					// here surfacing as a modelled deadlock).
-					work.Send(tw, 1)
-					work.Send(tw, 2)
-				})
-				worker := t0.Spawn(func(tw *vthread.Thread) {
-					for {
-						idx, _, _ := tw.Select([]vthread.SelectCase{
-							vthread.RecvCase(work),
-							vthread.RecvCase(done),
-						}, false)
-						if idx == 1 {
-							return // cancelled
-						}
-					}
-				})
-				done.Close(t0)
-				t0.Join(producer)
-				t0.Join(worker)
-			}
-		},
+		New:     func() vthread.Runnable { return compiledCancel() },
+		Ref:     refCancel,
 	})
 
 	register(&Benchmark{
 		ID: 55, Name: "goidiom.wgdone_bad", Suite: "GoIdiom", Threads: 3,
 		BugKind: vthread.FailCrash,
 		Desc:    "double Done: two cleanup paths race on an ownership flag and both decrement the WaitGroup",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
-				wg := t0.NewWaitGroup("wg")
-				owner := t0.NewVar("owner", 0)
-				wg.Add(t0, 1)
-				cleanup := func(tw *vthread.Thread) {
-					// Bug: "whoever sees the flag unset owns the final
-					// Done" is a check-then-act; both cleanups interleaving
-					// here drive the counter negative (Go: panic).
-					if owner.Load(tw) == 0 {
-						owner.Store(tw, 1)
-						wg.Done(tw)
-					}
-				}
-				t0.Spawn(cleanup)
-				t0.Spawn(cleanup)
-				wg.Wait(t0)
-			}
-		},
+		New:     func() vthread.Runnable { return compiledWgdone() },
+		Ref:     refWgdone,
 	})
 
 	register(&Benchmark{
 		ID: 56, Name: "goidiom.select_starve_bad", Suite: "GoIdiom", Threads: 3,
 		BugKind: vthread.FailAssert,
 		Desc:    "select starvation: the quit case can win over pending requests, which then go unprocessed",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
-				reqs := t0.NewChan("reqs", 3)
-				quit := t0.NewChan("quit", 1)
-				processed := 0
-				server := t0.Spawn(func(tw *vthread.Thread) {
-					for {
-						idx, _, _ := tw.Select([]vthread.SelectCase{
-							vthread.RecvCase(reqs),
-							vthread.RecvCase(quit),
-						}, false)
-						if idx == 1 {
-							return // bug: quits even with requests pending
-						}
-						processed++
-					}
-				})
-				client := t0.Spawn(func(tw *vthread.Thread) {
-					for i := 0; i < 3; i++ {
-						reqs.Send(tw, i) // buffered: never blocks
-					}
-					quit.Send(tw, 0)
-				})
-				t0.Join(client)
-				t0.Join(server)
-				t0.Assert(processed == 3, "server quit with %d of 3 requests processed", processed)
-			}
-		},
+		New:     func() vthread.Runnable { return compiledSelectStarve() },
+		Ref:     refSelectStarve,
 	})
 
 	register(&Benchmark{
 		ID: 57, Name: "goidiom.once_reenter_bad", Suite: "GoIdiom", Threads: 3,
 		BugKind: vthread.FailDeadlock,
 		Desc:    "Once reentrancy: a racy readiness flag lets the init body re-enter its own Once (Go: self-deadlock)",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
-				once := t0.NewOnce("init")
-				ready := t0.NewVar("ready", 0)
-				fallback := func(tw *vthread.Thread) {}
-				setter := t0.Spawn(func(tw *vthread.Thread) {
-					ready.Store(tw, 1)
-				})
-				initer := t0.Spawn(func(tw *vthread.Thread) {
-					once.Do(tw, func(ti *vthread.Thread) {
-						// Bug: when the setter has not run yet, the init
-						// body takes the fallback path — which re-enters
-						// the same Once. Go's sync.Once self-deadlocks.
-						if ready.Load(ti) == 0 {
-							once.Do(ti, fallback)
-						}
-					})
-				})
-				t0.Join(setter)
-				t0.Join(initer)
-			}
-		},
+		New:     func() vthread.Runnable { return compiledOnceReenter() },
+		Ref:     refOnceReenter,
 	})
+}
+
+func refWorkerpool() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		jobs := t0.NewChan("jobs", 3)
+		sum := t0.NewVar("sum", 0)
+		wg := t0.NewWaitGroup("wg")
+		wg.Add(t0, 2)
+		worker := func(tw *vthread.Thread) {
+			for {
+				v, ok := jobs.Recv(tw)
+				if !ok {
+					break
+				}
+				// Bug: the aggregate is a plain read-modify-write;
+				// two workers interleaving here lose an update.
+				sum.Add(tw, v)
+			}
+			wg.Done(tw)
+		}
+		t0.Spawn(worker)
+		t0.Spawn(worker)
+		for i := 1; i <= 3; i++ {
+			jobs.Send(t0, i)
+		}
+		jobs.Close(t0)
+		wg.Wait(t0)
+		t0.Assert(sum.Load(t0) == 6, "worker pool lost an update: sum=%d", sum.Load(t0))
+	}
+}
+
+func compiledWorkerpool() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	jobs := p.Chan("jobs", 3)
+	sum := p.Var("sum", 0)
+	wg := p.WaitGroup("wg")
+	wk := p.Body(0, 0)
+	wk.While(true, func() {
+		v, ok := wk.Recv(jobs)
+		wk.If(eq(ok, 0), func() { wk.Break() })
+		wk.AddVar(sum, v)
+	})
+	wk.WGDone(wg)
+	mn := p.Main()
+	mn.WGAdd(wg, 2)
+	mn.Spawn(wk)
+	mn.Spawn(wk)
+	for i := 1; i <= 3; i++ {
+		mn.Send(jobs, i)
+	}
+	mn.CloseChan(jobs)
+	mn.WGWait(wg)
+	c1 := mn.Load(sum)
+	c2 := mn.Load(sum)
+	mn.Assert(eq(c1, 6), "worker pool lost an update: sum=%d", c2)
+	return p.Build()
+}
+
+func refPipeline() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		out := t0.NewChan("out", 4)
+		wg := t0.NewWaitGroup("producers")
+		closed := t0.NewVar("closed", 0)
+		wg.Add(t0, 2)
+		producer := func(base int) vthread.Program {
+			return func(tw *vthread.Thread) {
+				out.Send(tw, base)
+				out.Send(tw, base+1)
+				wg.Done(tw)
+				wg.Wait(tw) // both producers drain past here together
+				// Bug: "whoever gets here first closes" is a
+				// check-then-act on a plain flag; two producers
+				// interleaving between the load and the store both
+				// close the merged channel (Go: panic).
+				if closed.Load(tw) == 0 {
+					closed.Store(tw, 1)
+					out.Close(tw)
+				}
+			}
+		}
+		t0.Spawn(producer(10))
+		t0.Spawn(producer(20))
+		total := 0
+		consumer := t0.Spawn(func(tw *vthread.Thread) {
+			for {
+				v, ok := out.Recv(tw)
+				if !ok {
+					return
+				}
+				total += v
+			}
+		})
+		t0.Join(consumer)
+		t0.Assert(total == 62, "pipeline dropped values: total=%d", total)
+	}
+}
+
+func compiledPipeline() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	out := p.Chan("out", 4)
+	wg := p.WaitGroup("producers")
+	closed := p.Var("closed", 0)
+	total := p.Cell(0) // the consumer's plain Go local, shared with main
+	prod := p.Body(1, 0)
+	prod.Send(out, prod.Arg(0))
+	prod.Send(out, plus(prod.Arg(0), 1))
+	prod.WGDone(wg)
+	prod.WGWait(wg)
+	c := prod.Load(closed)
+	prod.If(eq(c, 0), func() {
+		prod.Store(closed, 1)
+		prod.CloseChan(out)
+	})
+	cons := p.Body(0, 0)
+	cons.While(true, func() {
+		v, ok := cons.Recv(out)
+		cons.If(eq(ok, 0), func() { cons.Return() })
+		cons.SetCell(total, func(t *vthread.Thread) int { return t.Cell(total) + t.Reg(v) })
+	})
+	mn := p.Main()
+	mn.WGAdd(wg, 2)
+	mn.Spawn(prod, 10)
+	mn.Spawn(prod, 20)
+	hc := mn.Spawn(cons)
+	mn.Join(hc)
+	mn.Assert(func(t *vthread.Thread) bool { return t.Cell(total) == 62 },
+		"pipeline dropped values: total=%d", total)
+	return p.Build()
+}
+
+func refCancel() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		work := t0.NewChan("work", 1)
+		done := t0.NewChan("done", 1)
+		producer := t0.Spawn(func(tw *vthread.Thread) {
+			// The second send blocks until the worker drains the
+			// first; if the worker obeys the cancellation first,
+			// nobody ever will (Go's classic leaked-producer bug,
+			// here surfacing as a modelled deadlock).
+			work.Send(tw, 1)
+			work.Send(tw, 2)
+		})
+		worker := t0.Spawn(func(tw *vthread.Thread) {
+			for {
+				idx, _, _ := tw.Select([]vthread.SelectCase{
+					vthread.RecvCase(work),
+					vthread.RecvCase(done),
+				}, false)
+				if idx == 1 {
+					return // cancelled
+				}
+			}
+		})
+		done.Close(t0)
+		t0.Join(producer)
+		t0.Join(worker)
+	}
+}
+
+func compiledCancel() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	work := p.Chan("work", 1)
+	done := p.Chan("done", 1)
+	prod := p.Body(0, 0)
+	prod.Send(work, 1)
+	prod.Send(work, 2)
+	wk := p.Body(0, 0)
+	wk.While(true, func() {
+		idx, _, _ := wk.Select([]vthread.SCase{vthread.RecvC(work), vthread.RecvC(done)}, false)
+		wk.If(eq(idx, 1), func() { wk.Return() })
+	})
+	mn := p.Main()
+	hp := mn.Spawn(prod)
+	hw := mn.Spawn(wk)
+	mn.CloseChan(done)
+	mn.Join(hp)
+	mn.Join(hw)
+	return p.Build()
+}
+
+func refWgdone() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		wg := t0.NewWaitGroup("wg")
+		owner := t0.NewVar("owner", 0)
+		wg.Add(t0, 1)
+		cleanup := func(tw *vthread.Thread) {
+			// Bug: "whoever sees the flag unset owns the final
+			// Done" is a check-then-act; both cleanups interleaving
+			// here drive the counter negative (Go: panic).
+			if owner.Load(tw) == 0 {
+				owner.Store(tw, 1)
+				wg.Done(tw)
+			}
+		}
+		t0.Spawn(cleanup)
+		t0.Spawn(cleanup)
+		wg.Wait(t0)
+	}
+}
+
+func compiledWgdone() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	wg := p.WaitGroup("wg")
+	owner := p.Var("owner", 0)
+	cl := p.Body(0, 0)
+	c := cl.Load(owner)
+	cl.If(eq(c, 0), func() {
+		cl.Store(owner, 1)
+		cl.WGDone(wg)
+	})
+	mn := p.Main()
+	mn.WGAdd(wg, 1)
+	mn.Spawn(cl)
+	mn.Spawn(cl)
+	mn.WGWait(wg)
+	return p.Build()
+}
+
+func refSelectStarve() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		reqs := t0.NewChan("reqs", 3)
+		quit := t0.NewChan("quit", 1)
+		processed := 0
+		server := t0.Spawn(func(tw *vthread.Thread) {
+			for {
+				idx, _, _ := tw.Select([]vthread.SelectCase{
+					vthread.RecvCase(reqs),
+					vthread.RecvCase(quit),
+				}, false)
+				if idx == 1 {
+					return // bug: quits even with requests pending
+				}
+				processed++
+			}
+		})
+		client := t0.Spawn(func(tw *vthread.Thread) {
+			for i := 0; i < 3; i++ {
+				reqs.Send(tw, i) // buffered: never blocks
+			}
+			quit.Send(tw, 0)
+		})
+		t0.Join(client)
+		t0.Join(server)
+		t0.Assert(processed == 3, "server quit with %d of 3 requests processed", processed)
+	}
+}
+
+func compiledSelectStarve() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	reqs := p.Chan("reqs", 3)
+	quit := p.Chan("quit", 1)
+	processed := p.Cell(0) // the server's plain Go local, shared with main
+	srv := p.Body(0, 0)
+	srv.While(true, func() {
+		idx, _, _ := srv.Select([]vthread.SCase{vthread.RecvC(reqs), vthread.RecvC(quit)}, false)
+		srv.If(eq(idx, 1), func() { srv.Return() })
+		srv.SetCell(processed, func(t *vthread.Thread) int { return t.Cell(processed) + 1 })
+	})
+	cli := p.Body(0, 0)
+	for i := 0; i < 3; i++ {
+		cli.Send(reqs, i)
+	}
+	cli.Send(quit, 0)
+	mn := p.Main()
+	hs := mn.Spawn(srv)
+	hc := mn.Spawn(cli)
+	mn.Join(hc)
+	mn.Join(hs)
+	mn.Assert(func(t *vthread.Thread) bool { return t.Cell(processed) == 3 },
+		"server quit with %d of 3 requests processed", processed)
+	return p.Build()
+}
+
+func refOnceReenter() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		once := t0.NewOnce("init")
+		ready := t0.NewVar("ready", 0)
+		fallback := func(tw *vthread.Thread) {}
+		setter := t0.Spawn(func(tw *vthread.Thread) {
+			ready.Store(tw, 1)
+		})
+		initer := t0.Spawn(func(tw *vthread.Thread) {
+			once.Do(tw, func(ti *vthread.Thread) {
+				// Bug: when the setter has not run yet, the init
+				// body takes the fallback path — which re-enters
+				// the same Once. Go's sync.Once self-deadlocks.
+				if ready.Load(ti) == 0 {
+					once.Do(ti, fallback)
+				}
+			})
+		})
+		t0.Join(setter)
+		t0.Join(initer)
+	}
+}
+
+func compiledOnceReenter() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	once := p.Once("init")
+	ready := p.Var("ready", 0)
+	set := p.Body(0, 0)
+	set.Store(ready, 1)
+	ini := p.Body(0, 0)
+	ini.OnceDo(once, func() {
+		r := ini.Load(ready)
+		ini.If(eq(r, 0), func() {
+			ini.OnceDo(once, func() {})
+		})
+	})
+	mn := p.Main()
+	h1 := mn.Spawn(set)
+	h2 := mn.Spawn(ini)
+	mn.Join(h1)
+	mn.Join(h2)
+	return p.Build()
 }

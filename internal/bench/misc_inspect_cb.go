@@ -17,8 +17,8 @@ func init() {
 		ID: 0, Name: "CB.aget-bug2", Suite: "CB", Threads: 4,
 		BugKind: vthread.FailAssert,
 		Desc:    "download resume: interrupt handler saves progress while workers still update it",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
+		New: func() vthread.Runnable {
+			return vthread.Program(func(t0 *vthread.Thread) {
 				bwritten := t0.NewVar("bwritten", 0) // racy progress counter
 				saved := t0.NewVar("saved", -1)
 				// Two downloader threads append chunks and bump the shared
@@ -46,7 +46,7 @@ func init() {
 				// impossible to resume. Lost updates leave bwritten short.
 				total := bwritten.Load(t0)
 				t0.Assert(total == 40, "lost progress update: bwritten=%d, want 40", total)
-			}
+			})
 		},
 	})
 
@@ -54,8 +54,8 @@ func init() {
 		ID: 1, Name: "CB.pbzip2-0.9.4", Suite: "CB", Threads: 4,
 		BugKind: vthread.FailCrash,
 		Desc:    "main frees the work-queue mutex while a consumer can still lock it",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
+		New: func() vthread.Runnable {
+			return vthread.Program(func(t0 *vthread.Thread) {
 				qm := t0.NewMutex("queue")
 				items := t0.NewSem("items", 0)
 				fifo := t0.NewVar("fifo", 0)
@@ -80,7 +80,7 @@ func init() {
 				t0.Join(c1)
 				t0.Join(c2)
 				t0.Join(third)
-			}
+			})
 		},
 	})
 
@@ -88,8 +88,8 @@ func init() {
 		ID: 2, Name: "CB.stringbuffer-jdk1.4", Suite: "CB", Threads: 2,
 		BugKind: vthread.FailAssert,
 		Desc:    "StringBuffer.append: length checked, then the source is erased, then copied",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
+		New: func() vthread.Runnable {
+			return vthread.Program(func(t0 *vthread.Thread) {
 				// sb2 is the source buffer; its length is racy between the
 				// appender's check and its copy (the JDK 1.4 bug).
 				len2 := t0.NewVar("len2", 4)
@@ -110,7 +110,7 @@ func init() {
 				}
 				t0.Assert(copied == 0 || copied == n,
 					"torn append: copied %d of %d characters", copied, n)
-			}
+			})
 		},
 	})
 
@@ -118,8 +118,8 @@ func init() {
 		ID: 36, Name: "inspect.qsort_mt", Suite: "Inspect", Threads: 3,
 		BugKind: vthread.FailAssert,
 		Desc:    "multithreaded quicksort: worker-done flag set before the final swap lands",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
+		New: func() vthread.Runnable {
+			return vthread.Program(func(t0 *vthread.Thread) {
 				arr := t0.NewArray("arr", 4)
 				done := t0.NewSem("done", 0)
 				cmps := t0.NewVar("comparisons", 0)
@@ -162,7 +162,7 @@ func init() {
 				t0.Assert(a0 < a1 && a2 < a3, "half not sorted: [%d %d %d %d]", a0, a1, a2, a3)
 				t0.Join(w1)
 				t0.Join(w2)
-			}
+			})
 		},
 	})
 
@@ -170,8 +170,8 @@ func init() {
 		ID: 37, Name: "misc.ctrace-test", Suite: "Miscellaneous", Threads: 3,
 		BugKind: vthread.FailAssert,
 		Desc:    "ctrace debugging library: unlocked trace-list insert drops an entry",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
+		New: func() vthread.Runnable {
+			return vthread.Program(func(t0 *vthread.Thread) {
 				count := t0.NewVar("count", 0) // racy list length
 				entries := t0.NewArray("entries", 8)
 				trace := func(tw *vthread.Thread, ev int) {
@@ -186,7 +186,7 @@ func init() {
 				joinAll(t0, ts)
 				n := count.Load(t0)
 				t0.Assert(n == 3, "trace list dropped entries: %d of 3", n)
-			}
+			})
 		},
 	})
 
@@ -194,7 +194,7 @@ func init() {
 		ID: 38, Name: "misc.safestack", Suite: "Miscellaneous", Threads: 4,
 		BugKind: vthread.FailAssert,
 		Desc:    "Vyukov lock-free stack: duplicate pop needs 3 threads and ≥5 preemptions",
-		New:     func() vthread.Program { return safestack() },
+		New:     func() vthread.Runnable { return safestack() },
 	})
 }
 

@@ -6,6 +6,12 @@ package bench
 // preserved at miniature scale; the three SPLASH-2 programs share the real
 // suite's bug — a macro set that omits "wait for threads to terminate", so
 // the master can read results before the workers finish writing them.
+//
+// Registered in compiled form (New, flat engine) with the closure original
+// as the Ref equivalence twin. Long noise loops (radbench churn, the
+// streamcluster pre-barrier phases) compile to register-counted While
+// loops rather than unrolled sequences — visible-op-identical, far fewer
+// instructions.
 
 import "sctbench/internal/vthread"
 
@@ -14,25 +20,29 @@ func init() {
 		ID: 39, Name: "parsec.ferret", Suite: "PARSEC", Threads: 11,
 		BugKind: vthread.FailAssert,
 		Desc:    "pipeline: a stage thread must stay unscheduled while all others drain the queue",
-		New:     func() vthread.Program { return ferret() },
+		New:     func() vthread.Runnable { return compiledFerret() },
+		Ref:     ferret,
 	})
 	register(&Benchmark{
 		ID: 40, Name: "parsec.streamcluster", Suite: "PARSEC", Threads: 5,
 		BugKind: vthread.FailAssert,
 		Desc:    "barrier phase: worker reads the median before the master finishes writing it",
-		New:     func() vthread.Program { return streamcluster1() },
+		New:     func() vthread.Runnable { return compiledStreamcluster1() },
+		Ref:     streamcluster1,
 	})
 	register(&Benchmark{
 		ID: 41, Name: "parsec.streamcluster2", Suite: "PARSEC", Threads: 7,
 		BugKind: vthread.FailAssert,
 		Desc:    "three-worker variant: incorrect output when a straggler's contribution is dropped",
-		New:     func() vthread.Program { return streamcluster2() },
+		New:     func() vthread.Runnable { return compiledStreamcluster2() },
+		Ref:     streamcluster2,
 	})
 	register(&Benchmark{
 		ID: 42, Name: "parsec.streamcluster3", Suite: "PARSEC", Threads: 5,
 		BugKind: vthread.FailAssert,
 		Desc:    "out-of-bounds access when the master leaves the barrier after a worker (manual assertion, §4.2)",
-		New:     func() vthread.Program { return streamcluster3() },
+		New:     func() vthread.Runnable { return compiledStreamcluster3() },
+		Ref:     streamcluster3,
 	})
 
 	registerSplash(49, "splash2.barnes", 60)
@@ -43,37 +53,43 @@ func init() {
 		ID: 43, Name: "radbench.bug1", Suite: "RADBench", Threads: 4,
 		BugKind: vthread.FailCrash,
 		Desc:    "SpiderMonkey: hash table destroyed while another thread still dereferences it",
-		New:     func() vthread.Program { return radbench1() },
+		New:     func() vthread.Runnable { return compiledRadbench1() },
+		Ref:     radbench1,
 	})
 	register(&Benchmark{
 		ID: 44, Name: "radbench.bug2", Suite: "RADBench", Threads: 2,
 		BugKind: vthread.FailAssert,
 		Desc:    "two threads, three ordering constraints: needs exactly three preemptions = three delays",
-		New:     func() vthread.Program { return radbench2() },
+		New:     func() vthread.Runnable { return compiledRadbench2() },
+		Ref:     radbench2,
 	})
 	register(&Benchmark{
 		ID: 45, Name: "radbench.bug3", Suite: "RADBench", Threads: 3,
 		BugKind: vthread.FailDeadlock,
 		Desc:    "NSPR: notify on the wrong monitor deadlocks the round-robin schedule itself",
-		New:     func() vthread.Program { return radbench3() },
+		New:     func() vthread.Runnable { return compiledRadbench3() },
+		Ref:     radbench3,
 	})
 	register(&Benchmark{
 		ID: 46, Name: "radbench.bug4", Suite: "RADBench", Threads: 3,
 		BugKind: vthread.FailCrash,
 		Desc:    "lazily initialised lock: double initialisation leads to unlocking an unheld mutex",
-		New:     func() vthread.Program { return radbench4() },
+		New:     func() vthread.Runnable { return compiledRadbench4() },
+		Ref:     radbench4,
 	})
 	register(&Benchmark{
 		ID: 47, Name: "radbench.bug5", Suite: "RADBench", Threads: 7,
 		BugKind: vthread.FailAssert,
 		Desc:    "idiom bug: remote dependency flip buried under six threads of noise",
-		New:     func() vthread.Program { return radbench5() },
+		New:     func() vthread.Runnable { return compiledRadbench5() },
+		Ref:     radbench5,
 	})
 	register(&Benchmark{
 		ID: 48, Name: "radbench.bug6", Suite: "RADBench", Threads: 3,
 		BugKind: vthread.FailAssert,
 		Desc:    "condvar wakeup consumes a state change another waiter needed",
-		New:     func() vthread.Program { return radbench6() },
+		New:     func() vthread.Runnable { return compiledRadbench6() },
+		Ref:     radbench6,
 	})
 }
 
@@ -124,6 +140,40 @@ func ferret() vthread.Program {
 	}
 }
 
+func compiledFerret() *vthread.CompiledProgram {
+	const consumers = 9
+	p := vthread.NewBuilder()
+	m := p.Mutex("pipe")
+	queued := p.Var("queued", 0)
+	processed := p.Var("processed", 0)
+	noise := p.Var("noise", 0)
+	load := p.Body(0, 0)
+	load.Lock(m)
+	load.AddVar(queued, 1)
+	load.Unlock(m)
+	cons := p.Body(0, 0)
+	loopN(cons, 6, func() {
+		cons.Lock(m)
+		cons.AddVar(noise, 1)
+		cons.Unlock(m)
+	})
+	cons.Lock(m)
+	pr := cons.AddVar(processed, 1)
+	cons.If(eq(pr, consumers), func() {
+		q := cons.Load(queued)
+		cons.Assert(gt(q, 0), "pipeline shut down before the load stage ran")
+	})
+	cons.Unlock(m)
+	mn := p.Main()
+	hs := make([]vthread.OReg, 0, consumers+1)
+	hs = append(hs, mn.Spawn(load))
+	for i := 0; i < consumers; i++ {
+		hs = append(hs, mn.Spawn(cons))
+	}
+	joinRegs(mn, hs)
+	return p.Build()
+}
+
 // streamcluster1: four workers iterate six barrier-separated phases; the
 // master is the last-created worker, so under round-robin it is the last
 // arriver, passes straight through the barrier and writes the phase median
@@ -160,6 +210,37 @@ func streamcluster1() vthread.Program {
 	}
 }
 
+func compiledStreamcluster1() *vthread.CompiledProgram {
+	const workers = 4
+	const phases = 6
+	p := vthread.NewBuilder()
+	b := p.Barrier("phase", workers)
+	median := p.Var("median", -1)
+	// The checker workers (i < workers-1): only phase 0 reads the median.
+	wk := p.Body(0, 0)
+	for phase := 0; phase < phases; phase++ {
+		wk.Arrive(b)
+		if phase == 0 {
+			got := wk.Load(median)
+			wk.Assert(eq(got, 0), "read stale median %d before the master wrote it", got)
+		}
+	}
+	// The master (last-created worker) writes after every barrier.
+	ms := p.Body(0, 0)
+	for phase := 0; phase < phases; phase++ {
+		ms.Arrive(b)
+		ms.Store(median, phase)
+	}
+	mn := p.Main()
+	hs := make([]vthread.OReg, 0, workers)
+	for i := 0; i < workers-1; i++ {
+		hs = append(hs, mn.Spawn(wk))
+	}
+	hs = append(hs, mn.Spawn(ms))
+	joinRegs(mn, hs)
+	return p.Build()
+}
+
 // streamcluster2: the three-versions variant with the paper's added output
 // check. Six workers accumulate the clustering cost with a racy
 // read-modify-write in the first phase only; a torn update (one
@@ -185,6 +266,26 @@ func streamcluster2() vthread.Program {
 		// Output check added by the paper (§4.2).
 		t0.Assert(got == workers*10, "incorrect output: cost=%d, want %d", got, workers*10)
 	}
+}
+
+func compiledStreamcluster2() *vthread.CompiledProgram {
+	const workers = 6
+	p := vthread.NewBuilder()
+	b := p.Barrier("phase", workers)
+	cost := p.Var("cost", 0)
+	wk := p.Body(0, 0)
+	wk.AddVar(cost, 10)
+	wk.Arrive(b)
+	wk.Arrive(b)
+	mn := p.Main()
+	hs := make([]vthread.OReg, 0, workers)
+	for i := 0; i < workers; i++ {
+		hs = append(hs, mn.Spawn(wk))
+	}
+	joinRegs(mn, hs)
+	got := mn.Load(cost)
+	mn.Assert(eq(got, workers*10), "incorrect output: cost=%d, want %d", got, workers*10)
+	return p.Build()
 }
 
 // streamcluster3: the previously unknown out-of-bounds access found by the
@@ -236,6 +337,30 @@ func streamcluster3() vthread.Program {
 	}
 }
 
+func compiledStreamcluster3() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	b := p.Barrier("resize", 4)
+	size := p.Var("size", 2)
+	table := p.Array("table", 8)
+	traffic := p.Var("traffic", 0)
+	ms := p.Body(0, 0)
+	ms.Arrive(b)
+	ms.Store(size, 4)
+	ms.SetAt(table, 3, 1)
+	ck := p.Body(0, 0)
+	ck.Arrive(b)
+	n := ck.Load(size)
+	ck.Assert(ge(n, 4), "index 3 out of bounds: table extent still %d", n)
+	ck.Get(table, 3)
+	nz := p.Body(0, 0)
+	loopN(nz, 300, func() { nz.AddVar(traffic, 1) })
+	nz.Arrive(b)
+	mn := p.Main()
+	hs := []vthread.OReg{mn.Spawn(ms), mn.Spawn(ck), mn.Spawn(nz), mn.Spawn(nz)}
+	joinRegs(mn, hs)
+	return p.Build()
+}
+
 // radbench1: SpiderMonkey's JSRuntime hash-table teardown race. The user
 // thread locks the runtime early in its life; the destroyer tears the
 // runtime down at the END of a long shutdown path; four traffic threads
@@ -280,6 +405,31 @@ func radbench1() vthread.Program {
 	}
 }
 
+func compiledRadbench1() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	rt := p.Mutex("runtime")
+	traffic := p.Var("traffic", 0)
+	churn := func(c *vthread.Code, n int) {
+		loopN(c, n, func() { c.AddVar(traffic, 1) })
+	}
+	des := p.Body(0, 0)
+	churn(des, 1000)
+	des.DestroyMutex(rt)
+	noise := p.Body(0, 0)
+	churn(noise, 1000)
+	mn := p.Main()
+	hs := make([]vthread.OReg, 0, 5)
+	hs = append(hs, mn.Spawn(des))
+	for i := 0; i < 4; i++ {
+		hs = append(hs, mn.Spawn(noise))
+	}
+	mn.Lock(rt)
+	mn.Unlock(rt)
+	churn(mn, 1000)
+	joinRegs(mn, hs)
+	return p.Build()
+}
+
 // radbench2: the two-thread SpiderMonkey bug that needs three preemptions
 // — three separate ordering constraints between the same two threads:
 // the watcher must observe the armed flag before main disarms it, main
@@ -320,6 +470,33 @@ func radbench2() vthread.Program {
 	}
 }
 
+func compiledRadbench2() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	armed := p.Var("armed", 0)
+	temp := p.Var("temp", 0)
+	published := p.Var("published", 0)
+	pad := p.Var("pad", 0)
+	wt := p.Body(0, 0)
+	sawArmed := wt.Load(armed)
+	loopN(wt, 4, func() { wt.AddVar(pad, 1) })
+	sawTemp := wt.Load(temp)
+	sawPub := wt.Load(published)
+	wt.Assert(func(t *vthread.Thread) bool {
+		return !(t.Reg(sawArmed) == 1 && t.Reg(sawTemp) == 1 && t.Reg(sawPub) == 1)
+	}, "watcher observed armed, temp and published states out of order")
+	mn := p.Main()
+	w := mn.Spawn(wt)
+	mn.Store(armed, 1)
+	loopN(mn, 5, func() { mn.AddVar(pad, 1) })
+	mn.Store(armed, 0)
+	mn.Store(temp, 1)
+	mn.Store(published, 1)
+	mn.Store(temp, 0)
+	loopN(mn, 5, func() { mn.AddVar(pad, 1) })
+	mn.Join(w)
+	return p.Build()
+}
+
 // radbench3: NSPR monitor misuse — a notification is consumed before the
 // peer waits and the reply notification is missing entirely, so the
 // round-robin schedule (and nearly every other) deadlocks immediately.
@@ -351,6 +528,42 @@ func radbench3() vthread.Program {
 		t0.Join(w)
 		t0.Join(helper)
 	}
+}
+
+func compiledRadbench3() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	m := p.Mutex("mon")
+	cv := p.Cond("mon.cv")
+	stage := p.Var("stage", 0)
+	w := p.Body(0, 0)
+	w.Lock(m)
+	w.Signal(cv)
+	w.Store(stage, 1)
+	s := w.Load(stage)
+	w.While(ne(s, 2), func() {
+		w.Wait(cv, m)
+		l := w.Load(stage)
+		w.Set(s, l)
+	})
+	w.Unlock(m)
+	hp := p.Body(0, 0)
+	hp.Lock(m)
+	hp.Unlock(m)
+	mn := p.Main()
+	hw := mn.Spawn(w)
+	hh := mn.Spawn(hp)
+	mn.Lock(m)
+	s0 := mn.Load(stage)
+	mn.While(ne(s0, 1), func() {
+		mn.Wait(cv, m)
+		l := mn.Load(stage)
+		mn.Set(s0, l)
+	})
+	mn.Store(stage, 2)
+	mn.Unlock(m)
+	mn.Join(hw)
+	mn.Join(hh)
+	return p.Build()
 }
 
 // radbench4: NSPR's lazily initialised lock. Both threads run the
@@ -408,6 +621,42 @@ func radbench4() vthread.Program {
 	}
 }
 
+func compiledRadbench4() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	inited := p.Var("inited", 0)
+	handle := p.Ref("handle")
+	noise := p.Var("noise4", 0)
+	use := func(me, prefix int) *vthread.Code {
+		c := p.Body(0, 0)
+		loopN(c, prefix, func() { c.AddVar(noise, 1) })
+		i := c.Load(inited)
+		c.If(eq(i, 0), func() {
+			loopN(c, 3, func() { c.AddVar(noise, 1) })
+			o := c.NewMutex("lazy" + itoa(me))
+			c.RefStore(handle, o)
+			c.Store(inited, 1)
+		})
+		m := c.RefLoad(handle)
+		c.Lock(m)
+		loopN(c, 4, func() { c.AddVar(noise, 1) })
+		m2 := c.RefLoad(handle)
+		c.Unlock(m2)
+		return c
+	}
+	u1 := use(1, 2)
+	u2 := use(2, 12)
+	nz := p.Body(0, 0)
+	loopN(nz, 200, func() { nz.AddVar(noise, 1) })
+	mn := p.Main()
+	h1 := mn.Spawn(u1)
+	h2 := mn.Spawn(u2)
+	h3 := mn.Spawn(nz)
+	mn.Join(h1)
+	mn.Join(h2)
+	mn.Join(h3)
+	return p.Build()
+}
+
 // radbench5: the MapleAlg-only bug. The draft-state reader (created
 // early) performs its racy check as its very first operation; the writer
 // publishes at the end of a long path, behind four noise threads. Exactly
@@ -447,6 +696,31 @@ func radbench5() vthread.Program {
 		churn(1000)(t0)
 		joinAll(t0, ts)
 	}
+}
+
+func compiledRadbench5() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	published := p.Var("published", 0)
+	noise := p.Var("noise5", 0)
+	churn := func(c *vthread.Code, n int) {
+		loopN(c, n, func() { c.AddVar(noise, 1) })
+	}
+	wr := p.Body(0, 0)
+	churn(wr, 1000)
+	wr.Store(published, 1)
+	nz := p.Body(0, 0)
+	churn(nz, 1000)
+	mn := p.Main()
+	hs := make([]vthread.OReg, 0, 6)
+	hs = append(hs, mn.Spawn(wr))
+	for i := 0; i < 5; i++ {
+		hs = append(hs, mn.Spawn(nz))
+	}
+	pub := mn.Load(published)
+	mn.FailIf(eq(pub, 1), "consumed draft state after publication")
+	churn(mn, 1000)
+	joinRegs(mn, hs)
+	return p.Build()
 }
 
 // radbench6: a condvar wakeup consumes a state change that a second
@@ -508,6 +782,60 @@ func radbench6() vthread.Program {
 	}
 }
 
+func compiledRadbench6() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	m := p.Mutex("m")
+	cv := p.Cond("cv")
+	avail := p.Var("avail", 0)
+	shutdown := p.Var("shutdown", 0)
+	pad := p.Var("pad6", 0)
+	wt := p.Body(0, 0)
+	wt.Lock(m)
+	// The && short-circuits: the shutdown flag loads only when avail
+	// read zero.
+	a := wt.Load(avail)
+	wt.If(eq(a, 0), func() {
+		s := wt.Load(shutdown)
+		wt.If(eq(s, 0), func() {
+			wt.Wait(cv, m)
+		})
+	})
+	got := wt.Load(avail)
+	wt.Assert(gt(got, 0), "woke with nothing available")
+	wt.Store(avail, plus(got, -1))
+	wt.Unlock(m)
+	bg := p.Body(0, 0)
+	bg.Lock(m)
+	ba := bg.Load(avail)
+	bg.If(gt(ba, 0), func() {
+		bg.AddVar(avail, -1)
+	})
+	bg.Unlock(m)
+	loopN(bg, 10, func() { bg.AddVar(pad, 1) })
+	mn := p.Main()
+	hw := mn.Spawn(wt)
+	hb := mn.Spawn(bg)
+	mn.Lock(m)
+	mn.Store(avail, 1)
+	mn.Signal(cv)
+	mn.Unlock(m)
+	mn.Lock(m)
+	pa := mn.Load(avail)
+	mn.If(eq(pa, 0), func() {
+		mn.Store(avail, 1)
+		mn.Signal(cv)
+	})
+	mn.Unlock(m)
+	loopN(mn, 10, func() { mn.AddVar(pad, 1) })
+	mn.Join(hb)
+	mn.Lock(m)
+	mn.Store(shutdown, 1)
+	mn.Broadcast(cv)
+	mn.Unlock(m)
+	mn.Join(hw)
+	return p.Build()
+}
+
 // registerSplash builds the three SPLASH-2 entries. All share one bug: the
 // provided macro set omits WAIT_FOR_END, so the master asserts the
 // workers' completion flags right after the last synchronisation point,
@@ -520,26 +848,47 @@ func registerSplash(id int, name string, steps int) {
 		ID: id, Name: name, Suite: "SPLASH-2", Threads: 2,
 		BugKind: vthread.FailAssert,
 		Desc:    "missing WAIT_FOR_END macro: master checks results before the worker's last store",
-		New: func() vthread.Program {
-			return func(t0 *vthread.Thread) {
-				work := t0.NewVar("work", 0)
-				doneFlag := t0.NewVar("done", 0)
-				started := t0.NewSem("started", 0)
-				w := t0.Spawn(func(tw *vthread.Thread) {
-					for i := 0; i < steps; i++ {
-						work.Add(tw, 1)
-					}
-					started.V(tw)
-					// The worker's very last store: everything before it is
-					// ordered by the semaphore, this one is not.
-					doneFlag.Store(tw, 1)
-				})
-				started.P(t0)
-				// Missing WAIT_FOR_END: the master should Join(w) here.
-				d := doneFlag.Load(t0)
-				t0.Assert(d == 1, "master proceeded before worker termination (done=%d)", d)
-				t0.Join(w)
-			}
-		},
+		New:     func() vthread.Runnable { return compiledSplash(steps) },
+		Ref:     func() vthread.Program { return refSplash(steps) },
 	})
+}
+
+func refSplash(steps int) vthread.Program {
+	return func(t0 *vthread.Thread) {
+		work := t0.NewVar("work", 0)
+		doneFlag := t0.NewVar("done", 0)
+		started := t0.NewSem("started", 0)
+		w := t0.Spawn(func(tw *vthread.Thread) {
+			for i := 0; i < steps; i++ {
+				work.Add(tw, 1)
+			}
+			started.V(tw)
+			// The worker's very last store: everything before it is
+			// ordered by the semaphore, this one is not.
+			doneFlag.Store(tw, 1)
+		})
+		started.P(t0)
+		// Missing WAIT_FOR_END: the master should Join(w) here.
+		d := doneFlag.Load(t0)
+		t0.Assert(d == 1, "master proceeded before worker termination (done=%d)", d)
+		t0.Join(w)
+	}
+}
+
+func compiledSplash(steps int) *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	work := p.Var("work", 0)
+	doneFlag := p.Var("done", 0)
+	started := p.Sem("started", 0)
+	wk := p.Body(0, 0)
+	loopN(wk, steps, func() { wk.AddVar(work, 1) })
+	wk.V(started)
+	wk.Store(doneFlag, 1)
+	mn := p.Main()
+	w := mn.Spawn(wk)
+	mn.P(started)
+	d := mn.Load(doneFlag)
+	mn.Assert(eq(d, 1), "master proceeded before worker termination (done=%d)", d)
+	mn.Join(w)
+	return p.Build()
 }

@@ -58,7 +58,7 @@ func TestDPORPreservesBugFinding(t *testing.T) {
 
 // TestDPORFindsDeadlocks mirrors the sleep-set deadlock test.
 func TestDPORFindsDeadlocks(t *testing.T) {
-	program := func(t0 *vthread.Thread) {
+	var program vthread.Program = func(t0 *vthread.Thread) {
 		a := t0.NewMutex("a")
 		b := t0.NewMutex("b")
 		x := t0.Spawn(func(tw *vthread.Thread) {
@@ -119,7 +119,7 @@ func TestPropertyDPORSoundAndReducing(t *testing.T) {
 
 // replayWitness replays a witness schedule on a fresh World, returning
 // nil when the replay diverges.
-func replayWitness(program vthread.Program, witness sched.Schedule) *vthread.Outcome {
+func replayWitness(program vthread.Runnable, witness sched.Schedule) *vthread.Outcome {
 	rep := vthread.NewReplay(witness.Clone())
 	out := vthread.NewWorld(vthread.Options{Chooser: rep}).Run(program)
 	if rep.Failed() {
@@ -265,7 +265,7 @@ func TestSleepSetAbortCutsWork(t *testing.T) {
 // to the same variable are causally ordered, never a race, so a chain of
 // parent-then-child accesses must still collapse to a single execution.
 func TestDPORSpawnEdgesSuppressFalseRaces(t *testing.T) {
-	program := func(t0 *vthread.Thread) {
+	var program vthread.Program = func(t0 *vthread.Thread) {
 		v := t0.NewVar("v", 0)
 		v.Store(t0, 1)
 		c := t0.Spawn(func(tc *vthread.Thread) {
@@ -291,7 +291,7 @@ func TestDPORSpawnEdgesSuppressFalseRaces(t *testing.T) {
 // writes, so independent children plus a join-then-check parent must
 // still collapse to a single execution.
 func TestDPORJoinEdgesSuppressFalseRaces(t *testing.T) {
-	program := func(t0 *vthread.Thread) {
+	var program vthread.Program = func(t0 *vthread.Thread) {
 		x := t0.NewVar("x", 0)
 		y := t0.NewVar("y", 0)
 		a := t0.Spawn(func(ta *vthread.Thread) { x.Store(ta, 1) })

@@ -1,11 +1,13 @@
 package explore
 
 // Golden-file regression test: the exact exploration counts and the
-// canonical branch key of the first bug witness are pinned for the CS and
-// GoIdiom suites at a fixed schedule budget. Any change to canonical
-// ordering, cost accounting, enabled-set construction or the benchmark
-// programs themselves shows up here as a diff against testdata — run with
-// -update to regenerate after an intentional change.
+// canonical branch key of the first bug witness are pinned for the CS,
+// GoIdiom and GoTime suites at a fixed schedule budget. Any change to
+// canonical ordering, cost accounting, enabled-set construction or the
+// benchmark programs themselves shows up here as a diff against testdata —
+// run with -update to regenerate after an intentional change. Since the
+// registry migrated to compiled programs, these rows also pin the flat
+// engine's scheduling behaviour against the goroutine engine's history.
 
 import (
 	"encoding/json"
@@ -39,7 +41,7 @@ type goldenRow struct {
 // the branch-key elements the engine's nodes would carry. The replaying
 // chooser is not a StepObserver, so forced points also pass through Choose
 // and land in the key as index 0, matching the engine's stack depth.
-func branchKeyOf(t *testing.T, program vthread.Program, witness sched.Schedule) []int {
+func branchKeyOf(t *testing.T, program vthread.Runnable, witness sched.Schedule) []int {
 	t.Helper()
 	key := make([]int, 0, len(witness))
 	ok := true
@@ -72,11 +74,11 @@ func branchKeyOf(t *testing.T, program vthread.Program, witness sched.Schedule) 
 }
 
 // goldenBenchmarks is the pinned set: the CS suite (the paper's largest)
-// plus the GoIdiom family.
+// plus the GoIdiom and GoTime families.
 func goldenBenchmarks() []*bench.Benchmark {
 	var out []*bench.Benchmark
 	for _, b := range bench.All() {
-		if b.Suite == "CS" || b.Suite == "GoIdiom" {
+		if b.Suite == "CS" || b.Suite == "GoIdiom" || b.Suite == "GoTime" {
 			out = append(out, b)
 		}
 	}

@@ -51,7 +51,7 @@ type Config struct {
 	// several worker goroutines (one World each), so its body must confine
 	// all state to the invocation: create shared objects through the Thread
 	// API inside the body, never capture mutable variables across calls.
-	Program vthread.Program
+	Program vthread.Runnable
 	// Visible restricts which shared variables are scheduling points (the
 	// promotion set produced by the race-detection phase). Nil promotes
 	// everything.

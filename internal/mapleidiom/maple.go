@@ -32,7 +32,7 @@ type idiom struct {
 // Config parameterises a MapleAlg run.
 type Config struct {
 	// Program builds a fresh program instance per execution.
-	Program func() vthread.Program
+	Program func() vthread.Runnable
 	// Visible is the promoted-variable predicate shared with the SCT
 	// phases (§5: the racy-instruction information is common input to all
 	// techniques).

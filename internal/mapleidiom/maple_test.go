@@ -9,9 +9,9 @@ import (
 // publishConsume is the idiom shape MapleAlg exists for: the reader's
 // check naturally precedes the writer's publication; flipping that
 // dependency exposes the bug.
-func publishConsume(readerNoise, writerNoise int) func() vthread.Program {
-	return func() vthread.Program {
-		return func(t0 *vthread.Thread) {
+func publishConsume(readerNoise, writerNoise int) func() vthread.Runnable {
+	return func() vthread.Runnable {
+		return vthread.Program(func(t0 *vthread.Thread) {
 			published := t0.NewVar("published", 0)
 			noise := t0.NewVar("noise", 0)
 			w := t0.Spawn(func(tw *vthread.Thread) {
@@ -27,7 +27,7 @@ func publishConsume(readerNoise, writerNoise int) func() vthread.Program {
 				noise.Add(t0, 1)
 			}
 			t0.Join(w)
-		}
+		})
 	}
 }
 
@@ -44,11 +44,11 @@ func TestActivePhaseForcesFlippedIdiom(t *testing.T) {
 }
 
 func TestProfilingFindsRoundRobinBugImmediately(t *testing.T) {
-	p := func() vthread.Program {
-		return func(t0 *vthread.Thread) {
+	p := func() vthread.Runnable {
+		return vthread.Program(func(t0 *vthread.Thread) {
 			t0.Yield()
 			t0.Fail("buggy on every schedule")
-		}
+		})
 	}
 	res := Run(Config{Program: p, Seed: 1})
 	if !res.BugFound || res.SchedulesToFirstBug != 1 {
@@ -60,8 +60,8 @@ func TestProfilingFindsRoundRobinBugImmediately(t *testing.T) {
 }
 
 func TestNoBugNoFalsePositive(t *testing.T) {
-	p := func() vthread.Program {
-		return func(t0 *vthread.Thread) {
+	p := func() vthread.Runnable {
+		return vthread.Program(func(t0 *vthread.Thread) {
 			v := t0.NewVar("v", 0)
 			m := t0.NewMutex("m")
 			w := t0.Spawn(func(tw *vthread.Thread) {
@@ -73,7 +73,7 @@ func TestNoBugNoFalsePositive(t *testing.T) {
 			v.Add(t0, 1)
 			m.Unlock(t0)
 			t0.Join(w)
-		}
+		})
 	}
 	res := Run(Config{Program: p, Seed: 2})
 	if res.BugFound {
@@ -88,8 +88,8 @@ func TestCandidatesAreFlipsOnly(t *testing.T) {
 	// A single writer with a reader ordered by a semaphore: all same-order
 	// dependencies, and the flip is infeasible — the run must terminate
 	// without a bug after trying the candidates.
-	p := func() vthread.Program {
-		return func(t0 *vthread.Thread) {
+	p := func() vthread.Runnable {
+		return vthread.Program(func(t0 *vthread.Thread) {
 			v := t0.NewVar("v", 0)
 			s := t0.NewSem("s", 0)
 			w := t0.Spawn(func(tw *vthread.Thread) {
@@ -99,7 +99,7 @@ func TestCandidatesAreFlipsOnly(t *testing.T) {
 			s.P(t0)
 			_ = v.Load(t0)
 			t0.Join(w)
-		}
+		})
 	}
 	res := Run(Config{Program: p, Seed: 3})
 	if res.BugFound {
@@ -117,8 +117,8 @@ func TestCandidatesAreFlipsOnly(t *testing.T) {
 // later-created helper), so after one hold-back the round-robin default
 // wanders back to the reader: forcing the flip needs at least two steering
 // actions.
-func blockingPublish() vthread.Program {
-	return func(t0 *vthread.Thread) {
+func blockingPublish() vthread.Runnable {
+	return vthread.Program(func(t0 *vthread.Thread) {
 		published := t0.NewVar("published", 0)
 		noise := t0.NewVar("noise", 0)
 		s := t0.NewSem("s", 0)
@@ -138,7 +138,7 @@ func blockingPublish() vthread.Program {
 		}
 		t0.Join(w)
 		t0.Join(helper)
-	}
+	})
 }
 
 func TestGiveUpBoundsInterference(t *testing.T) {

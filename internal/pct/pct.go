@@ -117,7 +117,7 @@ type Result struct {
 // Config parameterises a PCT campaign.
 type Config struct {
 	// Program builds a fresh program per run.
-	Program func() vthread.Program
+	Program func() vthread.Runnable
 	// Runs is the number of independent executions (like Rand's budget).
 	Runs int
 	// Depth is the PCT bug depth d (number of ordering constraints).

@@ -9,8 +9,8 @@ import (
 // depth2Bug is a bug of PCT depth 2: one ordering constraint beyond the
 // initial priority order (the worker's store must land between the
 // checker's two loads).
-func depth2Bug() vthread.Program {
-	return func(t0 *vthread.Thread) {
+func depth2Bug() vthread.Runnable {
+	return vthread.Program(func(t0 *vthread.Thread) {
 		x := t0.NewVar("x", 0)
 		w := t0.Spawn(func(tw *vthread.Thread) {
 			x.Store(tw, 1)
@@ -22,7 +22,7 @@ func depth2Bug() vthread.Program {
 		b := x.Load(t0)
 		t0.Assert(a == b, "torn observation: %d then %d", a, b)
 		t0.Join(w)
-	}
+	})
 }
 
 func TestPCTFindsDepth2Bug(t *testing.T) {
@@ -33,8 +33,8 @@ func TestPCTFindsDepth2Bug(t *testing.T) {
 }
 
 func TestPCTNoFalsePositives(t *testing.T) {
-	clean := func() vthread.Program {
-		return func(t0 *vthread.Thread) {
+	clean := func() vthread.Runnable {
+		return vthread.Program(func(t0 *vthread.Thread) {
 			m := t0.NewMutex("m")
 			v := t0.NewVar("v", 0)
 			w := t0.Spawn(func(tw *vthread.Thread) {
@@ -47,7 +47,7 @@ func TestPCTNoFalsePositives(t *testing.T) {
 			m.Unlock(t0)
 			t0.Join(w)
 			t0.Assert(v.Load(t0) == 2, "v=%d", v.Load(t0))
-		}
+		})
 	}
 	res := Run(Config{Program: clean, Runs: 500, Depth: 3, Seed: 2})
 	if res.BugFound {
@@ -70,13 +70,13 @@ func TestPCTRunsHighestPriorityEnabled(t *testing.T) {
 	// A single chooser must always pick an enabled thread (the World
 	// enforces this with a panic; surviving many runs is the check) and
 	// must not livelock on blocking programs.
-	p := func() vthread.Program {
-		return func(t0 *vthread.Thread) {
+	p := func() vthread.Runnable {
+		return vthread.Program(func(t0 *vthread.Thread) {
 			s := t0.NewSem("s", 0)
 			w := t0.Spawn(func(tw *vthread.Thread) { s.V(tw) })
 			s.P(t0)
 			t0.Join(w)
-		}
+		})
 	}
 	res := Run(Config{Program: p, Runs: 300, Depth: 3, Seed: 3})
 	if res.BugFound {

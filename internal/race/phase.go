@@ -13,7 +13,7 @@ const DefaultRuns = 10
 // PhaseConfig configures a race-detection phase.
 type PhaseConfig struct {
 	// Program is the program under test.
-	Program vthread.Program
+	Program vthread.Runnable
 	// Runs is the number of randomly scheduled executions (0 = DefaultRuns).
 	Runs int
 	// Seed seeds the random schedules.

@@ -30,7 +30,7 @@ func hasKey(keys []string, name string) bool {
 }
 
 func TestUnprotectedCounterRaces(t *testing.T) {
-	p := func(t0 *vthread.Thread) {
+	var p vthread.Program = func(t0 *vthread.Thread) {
 		v := t0.NewVar("counter", 0)
 		inc := func(tw *vthread.Thread) { v.Add(tw, 1) }
 		a := t0.Spawn(inc)
@@ -48,7 +48,7 @@ func TestUnprotectedCounterRaces(t *testing.T) {
 }
 
 func TestLockProtectedCounterDoesNotRace(t *testing.T) {
-	p := func(t0 *vthread.Thread) {
+	var p vthread.Program = func(t0 *vthread.Thread) {
 		v := t0.NewVar("counter", 0)
 		m := t0.NewMutex("m")
 		inc := func(tw *vthread.Thread) {
@@ -69,7 +69,7 @@ func TestLockProtectedCounterDoesNotRace(t *testing.T) {
 }
 
 func TestSpawnAndJoinOrderAccesses(t *testing.T) {
-	p := func(t0 *vthread.Thread) {
+	var p vthread.Program = func(t0 *vthread.Thread) {
 		v := t0.NewVar("v", 0)
 		v.Store(t0, 1) // before spawn: ordered by the spawn edge
 		w := t0.Spawn(func(tw *vthread.Thread) { v.Add(tw, 1) })
@@ -84,7 +84,7 @@ func TestSpawnAndJoinOrderAccesses(t *testing.T) {
 }
 
 func TestSemaphoreOrdersAccesses(t *testing.T) {
-	p := func(t0 *vthread.Thread) {
+	var p vthread.Program = func(t0 *vthread.Thread) {
 		v := t0.NewVar("v", 0)
 		s := t0.NewSem("s", 0)
 		w := t0.Spawn(func(tw *vthread.Thread) {
@@ -103,7 +103,7 @@ func TestSemaphoreOrdersAccesses(t *testing.T) {
 }
 
 func TestBarrierOrdersAccesses(t *testing.T) {
-	p := func(t0 *vthread.Thread) {
+	var p vthread.Program = func(t0 *vthread.Thread) {
 		v := t0.NewVar("v", 0)
 		b := t0.NewBarrier("b", 2)
 		w := t0.Spawn(func(tw *vthread.Thread) {
@@ -122,7 +122,7 @@ func TestBarrierOrdersAccesses(t *testing.T) {
 }
 
 func TestAtomicsDoNotRace(t *testing.T) {
-	p := func(t0 *vthread.Thread) {
+	var p vthread.Program = func(t0 *vthread.Thread) {
 		a := t0.NewAtomic("a", 0)
 		inc := func(tw *vthread.Thread) { a.Add(tw, 1) }
 		x := t0.Spawn(inc)
@@ -140,7 +140,7 @@ func TestAtomicsDoNotRace(t *testing.T) {
 func TestAtomicFlagPublishesData(t *testing.T) {
 	// The busy-wait-free publication idiom: writer stores data then sets an
 	// atomic flag; reader checks the flag (sem-like edge) before reading.
-	p := func(t0 *vthread.Thread) {
+	var p vthread.Program = func(t0 *vthread.Thread) {
 		data := t0.NewVar("data", 0)
 		flag := t0.NewAtomic("flag", 0)
 		w := t0.Spawn(func(tw *vthread.Thread) {
@@ -163,7 +163,7 @@ func TestAtomicFlagPublishesData(t *testing.T) {
 func TestRunPhaseUnionsAcrossRuns(t *testing.T) {
 	// A race that manifests only in some interleavings must still be found
 	// across ten runs, and RunPhase must name both variables.
-	p := func(t0 *vthread.Thread) {
+	var p vthread.Program = func(t0 *vthread.Thread) {
 		x := t0.NewVar("x", 0)
 		y := t0.NewVar("y", 0)
 		w := t0.Spawn(func(tw *vthread.Thread) {
@@ -192,7 +192,7 @@ func TestPromotedPredicate(t *testing.T) {
 
 func TestRacesReportsPairs(t *testing.T) {
 	var races []Race
-	p := func(t0 *vthread.Thread) {
+	var p vthread.Program = func(t0 *vthread.Thread) {
 		v := t0.NewVar("v", 0)
 		w := t0.Spawn(func(tw *vthread.Thread) { v.Store(tw, 1) })
 		v.Store(t0, 2)
@@ -236,7 +236,7 @@ func TestVCJoinAndGet(t *testing.T) {
 // perform).
 func TestTryRecvOnClosedChannelSynchronises(t *testing.T) {
 	d := NewDetector()
-	out := vthread.NewWorld(vthread.Options{Chooser: vthread.RoundRobin(), Sink: d}).Run(func(t0 *vthread.Thread) {
+	out := vthread.NewWorld(vthread.Options{Chooser: vthread.RoundRobin(), Sink: d}).Run(vthread.Program(func(t0 *vthread.Thread) {
 		x := t0.NewVar("x", 0)
 		c := t0.NewChan("c", 1)
 		a := t0.Spawn(func(tw *vthread.Thread) {
@@ -252,7 +252,7 @@ func TestTryRecvOnClosedChannelSynchronises(t *testing.T) {
 		})
 		t0.Join(a)
 		t0.Join(b)
-	})
+	}))
 	if out.Buggy() {
 		t.Fatalf("unexpected failure: %v", out.Failure)
 	}
@@ -270,7 +270,7 @@ func TestTryRecvOnClosedChannelSynchronises(t *testing.T) {
 // T1's by the recv→send edge — the detector must not flag x.
 func TestChannelBackpressureSynchronises(t *testing.T) {
 	d := NewDetector()
-	out := vthread.NewWorld(vthread.Options{Chooser: vthread.RoundRobin(), Sink: d}).Run(func(t0 *vthread.Thread) {
+	out := vthread.NewWorld(vthread.Options{Chooser: vthread.RoundRobin(), Sink: d}).Run(vthread.Program(func(t0 *vthread.Thread) {
 		x := t0.NewVar("x", 0)
 		c := t0.NewChan("c", 1)
 		body := func(tw *vthread.Thread) {
@@ -282,7 +282,7 @@ func TestChannelBackpressureSynchronises(t *testing.T) {
 		b := t0.Spawn(body)
 		t0.Join(a)
 		t0.Join(b)
-	})
+	}))
 	if out.Buggy() {
 		t.Fatalf("unexpected failure: %v", out.Failure)
 	}

@@ -77,7 +77,7 @@ func fromBlocks(bs []block) sched.Schedule {
 // replayCosts replays candidate on the shared executor and reports
 // (feasible && buggy, outcome). The outcome is valid until the next replay;
 // callers clone what they keep.
-func replayCosts(ex *vthread.Executor, program vthread.Program, candidate sched.Schedule) (*vthread.Outcome, bool) {
+func replayCosts(ex *vthread.Executor, program vthread.Runnable, candidate sched.Schedule) (*vthread.Outcome, bool) {
 	rep := vthread.NewReplay(candidate)
 	out := ex.RunWith(rep, nil, program)
 	if rep.Failed() || !out.Buggy() {
@@ -89,7 +89,7 @@ func replayCosts(ex *vthread.Executor, program vthread.Program, candidate sched.
 // Minimize returns a witness for newProgram's bug with a preemption count
 // no larger than the input's. newProgram must build a fresh program
 // instance per call (replays re-execute it repeatedly).
-func Minimize(newProgram func() vthread.Program, witness sched.Schedule, opts Options) *Result {
+func Minimize(newProgram func() vthread.Runnable, witness sched.Schedule, opts Options) *Result {
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 16

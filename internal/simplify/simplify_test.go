@@ -11,8 +11,8 @@ import (
 // racyFlag: the bug needs exactly two preemptions (switch to the writer
 // while the spawner is still enabled, then back between the writer's two
 // stores), so any witness should minimise to PC = 2.
-func racyFlag() vthread.Program {
-	return func(t0 *vthread.Thread) {
+func racyFlag() vthread.Runnable {
+	return vthread.Program(func(t0 *vthread.Thread) {
 		x := t0.NewVar("x", 0)
 		y := t0.NewVar("y", 0)
 		w := t0.Spawn(func(tw *vthread.Thread) {
@@ -23,7 +23,7 @@ func racyFlag() vthread.Program {
 		yv := y.Load(t0)
 		t0.Assert(xv == yv, "x=%d y=%d", xv, yv)
 		t0.Join(w)
-	}
+	})
 }
 
 func TestMinimizeReducesRandomWitness(t *testing.T) {
@@ -74,12 +74,12 @@ func TestMinimizeKeepsAlreadyMinimalWitness(t *testing.T) {
 }
 
 func TestMinimizeRejectsNonWitness(t *testing.T) {
-	clean := func() vthread.Program {
-		return func(t0 *vthread.Thread) {
+	clean := func() vthread.Runnable {
+		return vthread.Program(func(t0 *vthread.Thread) {
 			v := t0.NewVar("v", 0)
 			w := t0.Spawn(func(tw *vthread.Thread) { v.Store(tw, 1) })
 			t0.Join(w)
-		}
+		})
 	}
 	// A feasible but non-buggy schedule: minimisation must report failure
 	// to reproduce rather than inventing a bug.

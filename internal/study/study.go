@@ -16,6 +16,7 @@ import (
 	"sctbench/internal/explore"
 	"sctbench/internal/mapleidiom"
 	"sctbench/internal/race"
+	"sctbench/internal/vthread"
 )
 
 // Config parameterises a study run.
@@ -47,6 +48,12 @@ type Config struct {
 	Workers int
 	// Progress, when non-nil, receives one line per completed phase.
 	Progress func(format string, args ...any)
+	// Debug forwards the substrate's kill switches (engine selection, fast
+	// path disables) to every exploration this study creates. The zero
+	// value is the production configuration: compiled benchmarks on the
+	// flat engine; set NoFlatEngine to force the goroutine reference
+	// engine for an A/B run.
+	Debug vthread.Debug
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +167,7 @@ func RunBenchmark(b *bench.Benchmark, cfg Config) *Row {
 			Limit:       cfg.Limit,
 			Seed:        seedFor(cfg.Seed, b.ID, 2+uint64(tech)),
 			Workers:     cfg.Workers,
+			Debug:       cfg.Debug,
 		})
 		row.Results[tech] = res
 		if cfg.Progress != nil {

@@ -138,6 +138,10 @@ func (c *Chan) TryRecv(t *Thread) (v int, ok bool) {
 // observes ok=false. Closing twice is a modelled crash (Go panics).
 func (c *Chan) Close(t *Thread) {
 	t.visible(pendingOp{kind: opChanClose, ch: c})
+	c.closeCommit(t)
+}
+
+func (c *Chan) closeCommit(t *Thread) {
 	if c.closed {
 		t.crash("close of closed channel %s", c.key)
 	}

@@ -114,7 +114,7 @@ func TestChanProducerConsumerUnderRandomSchedules(t *testing.T) {
 	for seed := uint64(0); seed < 60; seed++ {
 		sum := 0
 		w := NewWorld(Options{Chooser: NewRandom(seed)})
-		out := w.Run(func(t0 *Thread) {
+		out := w.Run(Program(func(t0 *Thread) {
 			c := t0.NewChan("c", 2)
 			prod := t0.Spawn(func(tw *Thread) {
 				for i := 1; i <= 5; i++ {
@@ -133,7 +133,7 @@ func TestChanProducerConsumerUnderRandomSchedules(t *testing.T) {
 			})
 			t0.Join(prod)
 			t0.Join(cons)
-		})
+		}))
 		if out.Buggy() {
 			t.Fatalf("seed %d: %v", seed, out.Failure)
 		}
@@ -168,7 +168,7 @@ func TestRWMutexSharedReaders(t *testing.T) {
 func TestRWMutexWriterExcludesReaders(t *testing.T) {
 	for seed := uint64(0); seed < 80; seed++ {
 		w := NewWorld(Options{Chooser: NewRandom(seed)})
-		out := w.Run(func(t0 *Thread) {
+		out := w.Run(Program(func(t0 *Thread) {
 			l := t0.NewRWMutex("l")
 			readers, writers := 0, 0
 			check := func(tw *Thread) {
@@ -195,7 +195,7 @@ func TestRWMutexWriterExcludesReaders(t *testing.T) {
 			for _, c := range ts {
 				t0.Join(c)
 			}
-		})
+		}))
 		if out.Buggy() {
 			t.Fatalf("seed %d: %v", seed, out.Failure)
 		}

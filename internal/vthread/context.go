@@ -95,8 +95,18 @@ func ctxFootprint(c *Ctx, info *PendingInfo) {
 func (t *Thread) WithCancel(name string, parent *Ctx) *Ctx {
 	c := newCtx(name, parent)
 	t.visible(pendingOp{kind: opCtxNew, ctx: c})
-	t.w.attachCtx(t, c)
+	t.ctxNewCommit(c, 0)
 	return c
+}
+
+// ctxNewCommit is the opCtxNew effect: attach to the parent tree, then
+// (for deadline contexts not already cancelled by inheritance) arm the
+// deadline entry d ticks out.
+func (t *Thread) ctxNewCommit(c *Ctx, d int64) {
+	t.w.attachCtx(t, c)
+	if c.dl != nil && !c.cancelled {
+		t.w.armTimer(c.dl, d)
+	}
 }
 
 // WithTimeout creates a context that cancels itself — and its subtree —
@@ -111,10 +121,7 @@ func (t *Thread) WithTimeout(name string, parent *Ctx, d int64) *Ctx {
 	c := newCtx(name, parent)
 	c.dl = &vtimer{kind: timerDeadline, ctx: c}
 	t.visible(pendingOp{kind: opCtxNew, ctx: c})
-	t.w.attachCtx(t, c)
-	if !c.cancelled {
-		t.w.armTimer(c.dl, d)
-	}
+	t.ctxNewCommit(c, d)
 	return c
 }
 

@@ -161,6 +161,34 @@ package vthread
 // struct is cached on World.clk across runs) and all clock state is
 // cleared by reset, so reuse cannot carry virtual time across runs.
 //
+// # The flat engine and compiled programs
+//
+// Everything above describes the reference engine: virtual threads are
+// goroutines and a schedule is enforced by parking all but one of them.
+// The second engine (flat.go) executes a whole multi-threaded run on the
+// Run caller's single goroutine — but it can only do so for programs in
+// instruction form. A *CompiledProgram (prog.go, built with the Builder
+// DSL in builder.go) is the program as data: declared objects, bodies as
+// instruction slices, operands compiled to closures over a per-thread
+// register file. One interp per thread registers the next visible
+// operation by filling Thread.pending (interp.advance) and performs a
+// granted operation as a plain function call (interp.perform) — a context
+// switch is a switch statement, not a channel rendezvous. Both engines
+// funnel every effect through the same commit helpers and both drive the
+// same World.nextStep decision loop, which is why a flat run is
+// bit-identical — trace, Outcome, Failure, event stream, footprints — to
+// the same program's reference run, and why this whole file remains true
+// under the flat engine with "goroutine switch" read as "function call".
+//
+// Engine selection is by representation, at the Executor: RunWith runs a
+// closure Program on the reference engine and a *CompiledProgram on the
+// flat engine, unless Debug.NoFlatEngine bridges it back onto the
+// reference engine via AsProgram (StepStats counts FlatSteps and
+// FlatFallbacks; a single-use World always takes the bridge). See
+// prog.go for the registration/perform protocol and the op-for-op
+// translation contract that equivalence rests on, and
+// internal/bench/equiv_test.go for the registry-wide enforcement.
+//
 // # Determinism contract
 //
 // Programs under test must be deterministic modulo scheduling: no Go

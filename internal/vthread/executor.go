@@ -38,12 +38,16 @@ import "sync"
 // Close releases the pooled goroutines; dropping an Executor without
 // calling Close leaks its parked workers.
 type Executor struct {
-	w       World
-	free    []*Thread // parked pool workers available for the next run
-	workers sync.WaitGroup
-	outcome Outcome
-	running bool
-	closed  bool
+	w    World
+	free []*Thread // parked pool workers available for the next run
+	// flatFree holds recyclable flat-engine threads: bare structs with an
+	// interp, no goroutine, no channels. They must never enter free (Close
+	// would close their nil jobs channel) and vice versa.
+	flatFree []*Thread
+	workers  sync.WaitGroup
+	outcome  Outcome
+	running  bool
+	closed   bool
 
 	// defChooser and defSink are the Options the Executor was created
 	// with; Run always uses these, regardless of what earlier RunWith
@@ -63,7 +67,7 @@ func NewExecutor(opts Options) *Executor {
 
 // Run executes program once under the Options the Executor was created
 // with. See the type comment for the aliasing contract on the result.
-func (e *Executor) Run(program Program) *Outcome {
+func (e *Executor) Run(program Runnable) *Outcome {
 	return e.RunWith(e.defChooser, e.defSink, program)
 }
 
@@ -71,7 +75,13 @@ func (e *Executor) Run(program Program) *Outcome {
 // (either may differ per run; sink may be nil for no observer). The other
 // Options fields (Visible, MaxSteps, BoundsCheck) stay as configured. See
 // the type comment for the aliasing contract on the result.
-func (e *Executor) RunWith(chooser Chooser, sink EventSink, program Program) *Outcome {
+//
+// Engine selection: a closure Program runs on the reference (goroutine)
+// engine; a *CompiledProgram runs on the flat single-goroutine engine —
+// unless Debug.NoFlatEngine forces it through the blocking bridge onto the
+// reference engine (counted in StepStats.FlatFallbacks). Either way the
+// execution is bit-identical: same trace, Outcome, Failure and events.
+func (e *Executor) RunWith(chooser Chooser, sink EventSink, program Runnable) *Outcome {
 	if chooser == nil {
 		panic("vthread: Executor run without a Chooser")
 	}
@@ -87,17 +97,34 @@ func (e *Executor) RunWith(chooser Chooser, sink EventSink, program Program) *Ou
 	e.w.opts.Chooser = chooser
 	e.w.opts.Sink = sink
 	e.w.reset()
-	e.w.exec(program)
+	switch p := program.(type) {
+	case Program:
+		e.w.exec(p)
+	case *CompiledProgram:
+		if e.w.opts.Debug.NoFlatEngine {
+			e.w.stats.FlatFallbacks++
+			e.w.exec(p.asProgram())
+		} else {
+			e.w.execFlat(p)
+		}
+	default:
+		panic("vthread: Executor run on unknown Runnable implementation")
+	}
 	e.w.fillOutcome(&e.outcome)
 
-	// Every body has finished (exec waits on the per-run WaitGroup), so the
-	// workers are parked on their jobs channels again: recycle them. The
-	// clock pseudo-thread is not a worker — no goroutine, no jobs channel —
-	// and must never enter the pool (Close would close its nil jobs and
-	// acquire would hand it to a program thread); the World keeps its
-	// struct separately (clock.cached).
+	// Every body has finished (exec waits on the per-run WaitGroup; execFlat
+	// retires threads inline), so the workers are parked on their jobs
+	// channels again: recycle them, each kind into its own pool. The clock
+	// pseudo-thread is neither — no goroutine, no jobs channel — and must
+	// never enter a pool (Close would close its nil jobs and acquire would
+	// hand it to a program thread); the World keeps its struct separately
+	// (clock.cached).
 	for _, t := range e.w.threads {
-		if !t.isClock {
+		switch {
+		case t.isClock:
+		case t.flat:
+			e.flatFree = append(e.flatFree, t)
+		default:
 			e.free = append(e.free, t)
 		}
 	}
@@ -127,6 +154,17 @@ func (e *Executor) acquire() *Thread {
 	return t
 }
 
+// acquireFlat pops a recyclable flat-engine thread, or creates a bare
+// struct (no goroutine, no channels). Called by newFlatThread.
+func (e *Executor) acquireFlat() *Thread {
+	if n := len(e.flatFree); n > 0 {
+		t := e.flatFree[n-1]
+		e.flatFree = e.flatFree[:n-1]
+		return t
+	}
+	return &Thread{}
+}
+
 // Close shuts down the pooled worker goroutines and waits for them to
 // exit. Idempotent; must not be called while a run is in flight. After
 // Close, Run and RunWith panic.
@@ -142,5 +180,6 @@ func (e *Executor) Close() {
 		close(t.jobs)
 	}
 	e.free = nil
+	e.flatFree = nil // nothing to shut down: flat threads have no goroutine
 	e.workers.Wait()
 }

@@ -10,7 +10,7 @@ import (
 // executorTestProgram exercises spawn/join, mutexes and shared variables —
 // enough surface that World-vs-Executor divergence in any handoff path
 // would change the trace.
-func executorTestProgram(t0 *Thread) {
+var executorTestProgram Program = func(t0 *Thread) {
 	m := t0.NewMutex("m")
 	v := t0.NewVar("v", 0)
 	worker := func(tw *Thread) {
@@ -28,7 +28,7 @@ func executorTestProgram(t0 *Thread) {
 
 // deadlockProgram leaves three children blocked on a mutex the exiting
 // root still holds, so every run ends in teardown kills.
-func deadlockProgram(t0 *Thread) {
+var deadlockProgram Program = func(t0 *Thread) {
 	m := t0.NewMutex("m")
 	m.Lock(t0)
 	for i := 0; i < 3; i++ {
@@ -214,12 +214,12 @@ func TestExecutorRunWithoutChooserPanics(t *testing.T) {
 // TestExecutorSinkAndVisibleHonoured: per-run sinks observe exactly their
 // own run, and the configured Visible predicate applies across reuse.
 func TestExecutorSinkAndVisibleHonoured(t *testing.T) {
-	prog := func(t0 *Thread) {
+	prog := Program(func(t0 *Thread) {
 		v := t0.NewVar("v", 0)
 		h := t0.NewVar("hidden", 0)
 		v.Store(t0, 1)
 		h.Store(t0, 1)
-	}
+	})
 	ex := NewExecutor(Options{Visible: func(key string) bool { return key == "var/v" }})
 	defer ex.Close()
 	for i := 0; i < 3; i++ {

@@ -147,7 +147,7 @@ func (a *abortAtStep) ObserveForcedStep(ctx Context) {
 
 func TestForcedStepObserverCanAbort(t *testing.T) {
 	// Single-threaded program: every scheduling point is forced.
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		v := t0.NewVar("v", 0)
 		for i := 0; i < 8; i++ {
 			v.Store(t0, i)
@@ -177,7 +177,7 @@ func TestForcedStepObserverCanAbort(t *testing.T) {
 func TestSchedPointsNotCountedAtStepLimit(t *testing.T) {
 	// Thread 0's only step is the spawn (one enabled thread); the cut
 	// happens at the next decision, where all three children are enabled.
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		t0.SpawnAll(
 			func(tw *Thread) { tw.Yield() },
 			func(tw *Thread) { tw.Yield() },
@@ -214,7 +214,7 @@ func TestSchedPointsNotCountedAtStepLimit(t *testing.T) {
 // forced path: a recording that names the wrong thread at a single-enabled
 // point is flagged as diverged whether or not the Choose call was skipped.
 func TestReplayForcedDivergenceDetected(t *testing.T) {
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		v := t0.NewVar("v", 0)
 		v.Store(t0, 1)
 		v.Store(t0, 2)

@@ -1,0 +1,138 @@
+package vthread
+
+// The flat engine: an entire multi-threaded execution stepped by ONE
+// goroutine — the Run caller's. Where the reference engine parks each
+// virtual thread's goroutine on a gate channel and transfers a baton
+// per step (thread.go, world.go), the flat engine keeps every thread as an
+// interp value and dispatches each granted step as a plain function call:
+// a context switch is a switch statement, not a channel rendezvous.
+//
+// The scheduling brain is untouched: execFlat drives the very same
+// World.nextStep loop — enabledness, forced-step fast-forward, the chooser,
+// select case resolution, clock firing, accounting, abort and deadlock
+// detection — so a flat run produces the bit-identical trace, Outcome,
+// Failure and event stream as a reference run of the same program under the
+// same Chooser. The fast-path Debug switches (NoInlineStep and friends)
+// change goroutine routing the flat engine does not have; they are
+// trivially no-ops here, exactly as documented ("transfer route only,
+// never which thread runs").
+//
+// Threads register operations by having interp.advance fill req, published
+// as Thread.pending; a grant is a flatStep call, which performs the pending
+// op's effect (interp.perform, through the same commit helpers) and then
+// advances to the next registration. Thread bodies therefore never block —
+// which is why only CompiledPrograms run here, and why Thread.visible
+// panics on a flat thread: a closure operation inside an operand callback
+// has no goroutine to park (see the misuse guard in thread.go).
+
+// execFlat is exec for compiled programs: same seeding, same decision loop,
+// no goroutines, no baton. A chooser panic propagates directly to the Run
+// caller (the decision runs on its goroutine), matching the reference
+// engine's rethrow contract.
+func (w *World) execFlat(cp *CompiledProgram) {
+	w.forcedObs, _ = w.opts.Chooser.(StepObserver)
+	env := cp.newEnv(w)
+	w.newFlatThread(cp, env, 0, nil, nil)
+	for {
+		t := w.nextStep()
+		if t == nil {
+			break
+		}
+		w.flatStep(t)
+	}
+	w.abortRemainingFlat()
+}
+
+// newFlatThread registers a goroutine-free thread running the given body
+// and runs its invisible prefix (everything before its first visible
+// operation), exactly like newThread's eager prefix run. Called by execFlat
+// for thread 0 and by a spawn's perform for children.
+func (w *World) newFlatThread(cp *CompiledProgram, env *progEnv, body int, args []int, oargs []any) *Thread {
+	id := ThreadID(len(w.threads))
+	w.ensureNames(id)
+	var t *Thread
+	if w.pool != nil {
+		t = w.pool.acquireFlat()
+	} else {
+		t = &Thread{}
+	}
+	t.w = w
+	t.id = id
+	t.name = w.names[id]
+	t.key = w.keys[id]
+	t.pending = pendingOp{}
+	t.state = stateParked
+	t.killed = false
+	t.woken = false
+	t.isClock = false
+	t.parkTo = nil
+	t.flat = true
+	if t.fi == nil {
+		t.fi = &interp{}
+	}
+	t.fi.init(cp, env, body, args, oargs)
+	t.fi.req = &t.pending // registrations land in the published slot directly
+	w.threads = append(w.threads, t)
+	t.runFlatPrefix()
+	return t
+}
+
+// runFlatPrefix mirrors runBody's opening: the spawn/exec acquire edge,
+// then the invisible prefix up to the first registration (or exit). A
+// failure in the prefix (an assertion in fully invisible code) unwinds via
+// killSignal, caught here — the spawner continues and the failure surfaces
+// at the next scheduling decision, as on the reference engine.
+func (t *Thread) runFlatPrefix() {
+	defer recoverKill()
+	t.sinkAcquire(t.key)
+	t.w.flatAdvance(t)
+}
+
+// flatAdvance runs t's interpreter to its next registration, publishing it
+// as the thread's pending op, or retires the thread at body end (the
+// release edge and exited state of runBody's clean-exit path).
+func (w *World) flatAdvance(t *Thread) {
+	if t.fi.advance(t) {
+		t.state = stateParked
+		return
+	}
+	t.sinkRelease(t.key)
+	t.state = stateExited
+}
+
+// flatStep executes one granted step: perform the pending operation's
+// effect, then either publish the op's follow-up phase (condvar
+// re-acquire, barrier wait, Once completion) or advance to the next
+// registration. A failure inside the step (crash, assertion, negative
+// WaitGroup …) unwinds via killSignal, caught here; the recorded failure
+// ends the run at the next nextStep call.
+func (w *World) flatStep(t *Thread) {
+	defer recoverKill()
+	w.stats.FlatSteps++
+	if t.fi.perform(t) {
+		return
+	}
+	w.flatAdvance(t)
+}
+
+// recoverKill swallows the killSignal unwind of a failing flat thread;
+// anything else is a genuine bug and propagates.
+func recoverKill() {
+	if r := recover(); r != nil {
+		if _, ok := r.(killSignal); ok {
+			return
+		}
+		panic(r)
+	}
+}
+
+// abortRemainingFlat is abortRemaining for a flat run: no goroutines to
+// unwind, so retiring a thread is just marking it.
+func (w *World) abortRemainingFlat() {
+	for _, t := range w.threads {
+		if t.state != stateExited {
+			t.killed = true
+			t.state = stateExited
+		}
+	}
+}

@@ -149,7 +149,7 @@ func TestChooserFuncAdapter(t *testing.T) {
 		return ctx.Enabled[0]
 	})
 	w := NewWorld(Options{Chooser: ch})
-	w.Run(func(t0 *Thread) { t0.Yield() })
+	w.Run(Program(func(t0 *Thread) { t0.Yield() }))
 	if !called {
 		t.Error("ChooserFunc not invoked")
 	}
@@ -157,13 +157,13 @@ func TestChooserFuncAdapter(t *testing.T) {
 
 func TestWorldRunTwicePanics(t *testing.T) {
 	w := NewWorld(Options{Chooser: RoundRobin()})
-	w.Run(func(t0 *Thread) {})
+	w.Run(Program(func(t0 *Thread) {}))
 	defer func() {
 		if recover() == nil {
 			t.Error("second Run did not panic")
 		}
 	}()
-	w.Run(func(t0 *Thread) {})
+	w.Run(Program(func(t0 *Thread) {}))
 }
 
 func TestMissingChooserPanics(t *testing.T) {
@@ -183,5 +183,5 @@ func TestInvalidChoicePanics(t *testing.T) {
 			t.Error("invalid choice did not panic")
 		}
 	}()
-	w.Run(func(t0 *Thread) { t0.Yield() })
+	w.Run(Program(func(t0 *Thread) { t0.Yield() }))
 }

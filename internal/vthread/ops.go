@@ -72,7 +72,7 @@ type pendingOp struct {
 // Operations that would immediately fault (locking a destroyed mutex,
 // double unlock, sending on a closed channel, …) are enabled so that the
 // crash can manifest — a disabled crash would silently mask the bug.
-func (op pendingOp) enabled(w *World) bool {
+func (op *pendingOp) enabled(w *World) bool {
 	switch op.kind {
 	case opLock:
 		return op.mutex.owner == nil || op.mutex.destroyed

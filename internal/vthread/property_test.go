@@ -236,7 +236,7 @@ func TestPropertyLockedCounterConsistent(t *testing.T) {
 		n := int(workers%4) + 1
 		k := int(ops%4) + 1
 		var final int
-		p := func(t0 *Thread) {
+		var p Program = func(t0 *Thread) {
 			m := t0.NewMutex("m")
 			v := t0.NewVar("v", 0)
 			ts := make([]*Thread, 0, n)

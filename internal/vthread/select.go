@@ -78,7 +78,12 @@ func (t *Thread) Select(cases []SelectCase, hasDefault bool) (idx int, v int, ok
 	}
 	sel := &selectOp{cases: cases, objs: objs, hasDefault: hasDefault, pick: DefaultCase}
 	t.visible(pendingOp{kind: opSelect, sel: sel})
-	// The World resolved the case pick (resolveSelect) before granting us.
+	return sel.commitPick(t)
+}
+
+// commitPick commits the case the World resolved (resolveSelect) before
+// granting the selecting thread, returning Select's result triple.
+func (sel *selectOp) commitPick(t *Thread) (idx int, v int, ok bool) {
 	if sel.pick == DefaultCase {
 		return DefaultCase, 0, false
 	}

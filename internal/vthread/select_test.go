@@ -172,13 +172,13 @@ func TestSelectCaseCostsAreZero(t *testing.T) {
 	// schedule when no thread switch happens.
 	for pick := ThreadID(0); pick <= 1; pick++ {
 		cf := &caseForcer{picks: []ThreadID{pick}}
-		out := NewWorld(Options{Chooser: cf}).Run(func(t0 *Thread) {
+		out := NewWorld(Options{Chooser: cf}).Run(Program(func(t0 *Thread) {
 			a := t0.NewChan("a", 1)
 			b := t0.NewChan("b", 1)
 			a.Send(t0, 1)
 			b.Send(t0, 2)
 			t0.Select([]SelectCase{RecvCase(a), RecvCase(b)}, false)
-		})
+		}))
 		if out.Buggy() {
 			t.Fatalf("pick %d: %v", pick, out.Failure)
 		}
@@ -228,7 +228,7 @@ func TestSelectFootprintIsAllMemberChannels(t *testing.T) {
 		}
 		return ctx.Enabled[0]
 	})
-	out := NewWorld(Options{Chooser: probe}).Run(func(t0 *Thread) {
+	out := NewWorld(Options{Chooser: probe}).Run(Program(func(t0 *Thread) {
 		a := t0.NewChan("a", 1)
 		b := t0.NewChan("b", 1)
 		c := t0.NewChan("c", 1)
@@ -238,7 +238,7 @@ func TestSelectFootprintIsAllMemberChannels(t *testing.T) {
 		t0.Yield()
 		a.Send(t0, 1)
 		t0.Join(w)
-	})
+	}))
 	if out.Buggy() {
 		t.Fatalf("unexpected failure: %v", out.Failure)
 	}
@@ -358,7 +358,7 @@ func TestSelectRandomSchedulesDeterministicReplay(t *testing.T) {
 	// The foundational SCT assumption must hold for select programs: a
 	// recorded trace (case entries included) replays to the identical
 	// trace and outcome.
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		a := t0.NewChan("a", 2)
 		b := t0.NewChan("b", 2)
 		done := t0.NewChan("done", 2)

@@ -29,6 +29,14 @@ func (t *Thread) NewMutex(name string) *Mutex {
 // Locking a destroyed mutex is a modelled crash.
 func (m *Mutex) Lock(t *Thread) {
 	t.visible(pendingOp{kind: opLock, mutex: m})
+	m.lockCommit(t)
+}
+
+// lockCommit is Lock's granted effect, shared with the compiled-program
+// interpreter (see prog.go): every visible operation in this file is split
+// into its registration (the pendingOp) and its commit so both engines
+// execute the identical effect code.
+func (m *Mutex) lockCommit(t *Thread) {
 	if m.destroyed {
 		t.crash("lock of destroyed mutex %s", m.key)
 	}
@@ -41,6 +49,10 @@ func (m *Mutex) Lock(t *Thread) {
 // failure mode of the radbench.bug4 analogue).
 func (m *Mutex) Unlock(t *Thread) {
 	t.visible(pendingOp{kind: opUnlock, mutex: m})
+	m.unlockCommit(t)
+}
+
+func (m *Mutex) unlockCommit(t *Thread) {
 	if m.destroyed {
 		t.crash("unlock of destroyed mutex %s", m.key)
 	}
@@ -55,6 +67,10 @@ func (m *Mutex) Unlock(t *Thread) {
 // whether or not it succeeds.
 func (m *Mutex) TryLock(t *Thread) bool {
 	t.visible(pendingOp{kind: opAtomic, mutex: m, key: m.key})
+	return m.tryLockCommit(t)
+}
+
+func (m *Mutex) tryLockCommit(t *Thread) bool {
 	if m.destroyed {
 		t.crash("trylock of destroyed mutex %s", m.key)
 	}
@@ -70,6 +86,10 @@ func (m *Mutex) TryLock(t *Thread) bool {
 // held mutex crashes immediately.
 func (m *Mutex) Destroy(t *Thread) {
 	t.visible(pendingOp{kind: opDestroy, mutex: m})
+	m.destroyCommit(t)
+}
+
+func (m *Mutex) destroyCommit(t *Thread) {
 	if m.owner != nil {
 		t.crash("destroy of held mutex %s", m.key)
 	}
@@ -101,6 +121,13 @@ func (t *Thread) NewCond(name string) *Cond {
 // mutex exactly as in pthreads.
 func (c *Cond) Wait(t *Thread, m *Mutex) {
 	t.visible(pendingOp{kind: opCondWait, cond: c, mutex: m})
+	c.waitCommit(t, m)
+	t.visible(pendingOp{kind: opCondResume, cond: c, mutex: m, thread: t})
+	c.resumeCommit(t, m)
+}
+
+// waitCommit is the first phase of Wait: release the mutex and enqueue.
+func (c *Cond) waitCommit(t *Thread, m *Mutex) {
 	if m.owner != t {
 		t.crash("cond wait on %s without holding %s", c.key, m.key)
 	}
@@ -108,8 +135,10 @@ func (c *Cond) Wait(t *Thread, m *Mutex) {
 	m.owner = nil
 	t.woken = false
 	c.waiters = append(c.waiters, t)
+}
 
-	t.visible(pendingOp{kind: opCondResume, cond: c, mutex: m, thread: t})
+// resumeCommit is the second phase of Wait: the woken waiter re-acquires.
+func (c *Cond) resumeCommit(t *Thread, m *Mutex) {
 	if m.destroyed {
 		t.crash("wakeup on destroyed mutex %s", m.key)
 	}
@@ -122,6 +151,10 @@ func (c *Cond) Wait(t *Thread, m *Mutex) {
 // waiter is a no-op (pthread semantics — the wakeup is lost).
 func (c *Cond) Signal(t *Thread) {
 	t.visible(pendingOp{kind: opSignal, cond: c})
+	c.signalCommit(t)
+}
+
+func (c *Cond) signalCommit(t *Thread) {
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
@@ -133,6 +166,10 @@ func (c *Cond) Signal(t *Thread) {
 // Broadcast wakes every waiter.
 func (c *Cond) Broadcast(t *Thread) {
 	t.visible(pendingOp{kind: opBroadcast, cond: c})
+	c.broadcastCommit(t)
+}
+
+func (c *Cond) broadcastCommit(t *Thread) {
 	if len(c.waiters) > 0 {
 		for _, w := range c.waiters {
 			w.woken = true
@@ -160,6 +197,10 @@ func (t *Thread) NewSem(name string, count int) *Sem {
 // P (wait/down) decrements the semaphore, blocking while the count is zero.
 func (s *Sem) P(t *Thread) {
 	t.visible(pendingOp{kind: opSemP, sem: s})
+	s.pCommit(t)
+}
+
+func (s *Sem) pCommit(t *Thread) {
 	s.count--
 	t.sinkAcquire(s.key)
 }
@@ -167,6 +208,10 @@ func (s *Sem) P(t *Thread) {
 // V (post/up) increments the semaphore.
 func (s *Sem) V(t *Thread) {
 	t.visible(pendingOp{kind: opSemV, sem: s})
+	s.vCommit(t)
+}
+
+func (s *Sem) vCommit(t *Thread) {
 	s.count++
 	t.sinkRelease(s.key)
 }
@@ -198,17 +243,25 @@ func (t *Thread) NewBarrier(name string, parties int) *Barrier {
 // become enabled simultaneously and leave in scheduler-chosen order.
 func (b *Barrier) Arrive(t *Thread) {
 	t.visible(pendingOp{kind: opBarrierArrive, barrier: b})
+	if last, gen := b.arriveCommit(t); !last {
+		t.visible(pendingOp{kind: opBarrierWait, barrier: b, gen: gen})
+		t.sinkAcquire(b.key)
+	}
+}
+
+// arriveCommit is the entry phase of Arrive. The last arriver passes
+// through (last=true); every other arriver must park on opBarrierWait with
+// the returned generation snapshot.
+func (b *Barrier) arriveCommit(t *Thread) (last bool, gen uint64) {
 	t.sinkRelease(b.key)
 	b.arrived++
 	if b.arrived == b.parties {
 		b.arrived = 0
 		b.gen++
 		t.sinkAcquire(b.key)
-		return
+		return true, 0
 	}
-	gen := b.gen
-	t.visible(pendingOp{kind: opBarrierWait, barrier: b, gen: gen})
-	t.sinkAcquire(b.key)
+	return false, b.gen
 }
 
 // RWMutex is a writer-preferring reader/writer lock built on the
@@ -231,6 +284,10 @@ func (t *Thread) NewRWMutex(name string) *RWMutex {
 // waits for it.
 func (l *RWMutex) RLock(t *Thread) {
 	t.visible(pendingOp{kind: opRLock, rw: l})
+	l.rlockCommit(t)
+}
+
+func (l *RWMutex) rlockCommit(t *Thread) {
 	l.readers++
 	t.sinkAcquire(l.key)
 }
@@ -238,6 +295,10 @@ func (l *RWMutex) RLock(t *Thread) {
 // RUnlock releases a shared hold; releasing without holding is a crash.
 func (l *RWMutex) RUnlock(t *Thread) {
 	t.visible(pendingOp{kind: opRUnlock, rw: l})
+	l.runlockCommit(t)
+}
+
+func (l *RWMutex) runlockCommit(t *Thread) {
 	if l.readers == 0 {
 		t.crash("RUnlock of %s with no readers", l.key)
 	}
@@ -249,8 +310,12 @@ func (l *RWMutex) RUnlock(t *Thread) {
 // or another writer hold the lock; while it waits, new readers are held
 // off (writer preference).
 func (l *RWMutex) Lock(t *Thread) {
-	l.waitingWriters++
+	l.waitingWriters++ // registration-time: holds off new readers while parked
 	t.visible(pendingOp{kind: opWLock, rw: l})
+	l.wlockCommit(t)
+}
+
+func (l *RWMutex) wlockCommit(t *Thread) {
 	l.waitingWriters--
 	l.writer = t
 	t.sinkAcquire(l.key)
@@ -259,6 +324,10 @@ func (l *RWMutex) Lock(t *Thread) {
 // Unlock releases the exclusive hold; releasing without holding crashes.
 func (l *RWMutex) Unlock(t *Thread) {
 	t.visible(pendingOp{kind: opWUnlock, rw: l})
+	l.wunlockCommit(t)
+}
+
+func (l *RWMutex) wunlockCommit(t *Thread) {
 	if l.writer != t {
 		t.crash("Unlock of %s not held by %s", l.key, t.name)
 	}
@@ -286,6 +355,10 @@ func (t *Thread) NewWaitGroup(name string) *WaitGroup {
 // counter" panic — the double-Done bug class.
 func (g *WaitGroup) Add(t *Thread, delta int) {
 	t.visible(pendingOp{kind: opWGAdd, wg: g})
+	g.addCommit(t, delta)
+}
+
+func (g *WaitGroup) addCommit(t *Thread, delta int) {
 	g.count += delta
 	if g.count < 0 {
 		t.crash("negative WaitGroup counter on %s", g.key)
@@ -329,13 +402,28 @@ func (t *Thread) NewOnce(name string) *Once {
 // the Go memory model.
 func (o *Once) Do(t *Thread, f Program) {
 	t.visible(pendingOp{kind: opOnceDo, once: o})
-	if o.done {
-		t.sinkAcquire(o.key)
+	if !o.entryCommit(t) {
 		return
 	}
-	o.started = true
 	f(t)
 	t.visible(pendingOp{kind: opOnceDone, once: o})
+	o.completeCommit(t)
+}
+
+// entryCommit is the Do entry: false means the Once had completed and the
+// caller returns without running f (the acquire pairs with completeCommit's
+// release).
+func (o *Once) entryCommit(t *Thread) bool {
+	if o.done {
+		t.sinkAcquire(o.key)
+		return false
+	}
+	o.started = true
+	return true
+}
+
+// completeCommit is the opOnceDone effect: f has returned.
+func (o *Once) completeCommit(t *Thread) {
 	o.done = true
 	t.sinkRelease(o.key)
 }

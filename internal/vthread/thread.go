@@ -60,6 +60,15 @@ type Thread struct {
 	// Thread-shaped table entry with no goroutine, no gate and no pool
 	// membership, whose steps the World executes inline.
 	isClock bool
+	// flat marks a goroutine-free thread of the flat engine (flat.go): no
+	// gate, no jobs channel, no goroutine — its steps are function calls
+	// into fi. Blocking through visible is impossible on such a thread and
+	// panics (see the guard there).
+	flat bool
+	// fi is the thread's compiled-program interpreter, set when the thread
+	// runs a CompiledProgram body (on either engine). Recycled with the
+	// Thread struct.
+	fi *interp
 
 	// woken marks a condvar waiter that has been signalled and may now
 	// re-contend for the mutex.
@@ -112,6 +121,7 @@ func (w *World) newThread(body Program) *Thread {
 	t.killed = false
 	t.woken = false
 	t.isClock = false
+	t.flat = false
 	t.parkTo = t.first
 	w.threads = append(w.threads, t)
 	w.wg.Add(1)
@@ -185,6 +195,15 @@ func (t *Thread) grant() { t.gate <- struct{}{} }
 // anyone it runs the scheduling decision itself — and on the same-thread
 // fast path simply keeps going.
 func (t *Thread) visible(op pendingOp) {
+	if t.flat {
+		// A flat-engine thread has no goroutine to park: blocking API calls
+		// are only legal as compiled instructions, which register through
+		// the interpreter's resume points instead of parking. Reaching this
+		// guard means an operand or condition closure of a compiled program
+		// called a blocking operation (Lock, Send, Load on a promoted
+		// var, …) — suspension outside a resume point, a program bug.
+		panic("vthread: blocking operation on a flat-engine thread (suspension outside a compiled resume point; use instructions, not closure calls, for visible operations)")
+	}
 	if t.killed {
 		panic(killSignal{})
 	}
@@ -217,6 +236,12 @@ func (t *Thread) awaitGrant() {
 func (t *Thread) failNow(f *Failure) {
 	t.w.fail(f)
 	t.state = stateExited
+	if t.flat {
+		// No goroutine, no baton: unwind the interpreter call stack; the
+		// flat drive loop catches the signal and the recorded failure ends
+		// the run at its next scheduling decision.
+		panic(killSignal{})
+	}
 	if t.parkTo != nil {
 		t.parkTo <- parkFailed
 	} else {

@@ -248,9 +248,27 @@ type Timer struct {
 func (t *Thread) NewTimer(name string, d int64) *Timer {
 	v := &vtimer{kind: timerOneShot, ch: newTimerChan(name)}
 	t.visible(pendingOp{kind: opTimerArm, timer: v})
+	t.timerArmCommit(v, d)
+	return &Timer{v: v}
+}
+
+// timerArmCommit is the opTimerArm effect for one-shot timers: register
+// with the clock, then release on the delivery channel (the arm
+// happens-before the fire's delivery).
+func (t *Thread) timerArmCommit(v *vtimer, d int64) {
 	t.w.armTimer(v, d)
 	t.sinkRelease(v.ch.key)
-	return &Timer{v: v}
+}
+
+// tickerArmCommit is the opTimerArm effect for tickers, including the
+// modelled crash on a non-positive period (checked after the visible
+// point, as in the public NewTicker).
+func (t *Thread) tickerArmCommit(v *vtimer) {
+	if v.period < 1 {
+		t.crash("non-positive period for ticker %s", v.ch.key)
+	}
+	t.w.armTimer(v, v.period)
+	t.sinkRelease(v.ch.key)
 }
 
 // C returns the timer's delivery channel: Recv on it (or a Select case)
@@ -263,8 +281,12 @@ func (tm *Timer) C() *Chan { return tm.v.ch }
 // exactly the footgun gotime.timer_stop_race_bad explores. Visible.
 func (tm *Timer) Stop(t *Thread) bool {
 	t.visible(pendingOp{kind: opTimerStop, timer: tm.v})
-	was := tm.v.armed
-	tm.v.armed = false
+	return tm.v.stopCommit()
+}
+
+func (v *vtimer) stopCommit() bool {
+	was := v.armed
+	v.armed = false
 	return was
 }
 
@@ -273,8 +295,12 @@ func (tm *Timer) Stop(t *Thread) bool {
 // the virtual now, like NewTimer).
 func (tm *Timer) Reset(t *Thread, d int64) bool {
 	t.visible(pendingOp{kind: opTimerArm, timer: tm.v})
-	was := tm.v.armed
-	t.w.rearmTimer(tm.v, d)
+	return tm.v.resetCommit(t, d)
+}
+
+func (v *vtimer) resetCommit(t *Thread, d int64) bool {
+	was := v.armed
+	t.w.rearmTimer(v, d)
 	return was
 }
 
@@ -283,8 +309,7 @@ func (tm *Timer) Reset(t *Thread, d int64) bool {
 func (t *Thread) After(name string, d int64) *Chan {
 	v := &vtimer{kind: timerOneShot, ch: newTimerChan(name)}
 	t.visible(pendingOp{kind: opTimerArm, timer: v})
-	t.w.armTimer(v, d)
-	t.sinkRelease(v.ch.key)
+	t.timerArmCommit(v, d)
 	return v.ch
 }
 
@@ -316,11 +341,7 @@ type Ticker struct {
 func (t *Thread) NewTicker(name string, period int64) *Ticker {
 	v := &vtimer{kind: timerTicker, ch: newTimerChan(name), period: period}
 	t.visible(pendingOp{kind: opTimerArm, timer: v})
-	if period < 1 {
-		t.crash("non-positive period for ticker %s", v.ch.key)
-	}
-	t.w.armTimer(v, period)
-	t.sinkRelease(v.ch.key)
+	t.tickerArmCommit(v)
 	return &Ticker{v: v}
 }
 
@@ -333,5 +354,5 @@ func (tk *Ticker) C() *Chan { return tk.v.ch }
 // Visible.
 func (tk *Ticker) Stop(t *Thread) {
 	t.visible(pendingOp{kind: opTimerStop, timer: tk.v})
-	tk.v.armed = false
+	tk.v.stopCommit()
 }

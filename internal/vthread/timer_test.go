@@ -11,7 +11,7 @@ import (
 func TestTimerFireIsAScheduledStep(t *testing.T) {
 	var got int
 	var when int64
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		ch := t0.After("a", 7)
 		got, _ = ch.Recv(t0)
 		when = t0.Now()
@@ -48,7 +48,7 @@ func TestTimerFireIsAScheduledStep(t *testing.T) {
 // the chooser interleaved the clock with the program.
 func TestTimerOrderingDeterministic(t *testing.T) {
 	var slowAt, fastAt, tieAt int
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		slow := t0.After("slow", 10)
 		fast := t0.After("fast", 2)
 		tie := t0.After("tie", 2) // same deadline as fast, armed later
@@ -73,7 +73,7 @@ func TestTimerOrderingDeterministic(t *testing.T) {
 // is "blocked until the timer fires" — the clock stays enabled, the fire
 // unblocks it, and the run terminates cleanly.
 func TestBlockedUntilTimerIsNotDeadlock(t *testing.T) {
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		t0.Sleep("nap", 5)
 	}
 	out := NewWorld(Options{Chooser: RoundRobin()}).Run(prog)
@@ -87,7 +87,7 @@ func TestBlockedUntilTimerIsNotDeadlock(t *testing.T) {
 // timers (none here, the ticker was stopped) cannot help. A second program
 // leaves the timer armed but saturated, which the message calls out.
 func TestBlockedOnDeadTimerIsDeadlock(t *testing.T) {
-	stopped := func(t0 *Thread) {
+	var stopped Program = func(t0 *Thread) {
 		tk := t0.NewTicker("tick", 3)
 		tk.Stop(t0)
 		tk.C().Recv(t0) // never fires again
@@ -100,7 +100,7 @@ func TestBlockedOnDeadTimerIsDeadlock(t *testing.T) {
 	// An armed one-shot whose channel is already full cannot fire either:
 	// the waiter on an unrelated channel deadlocks, and the message names
 	// the stuck timer.
-	saturated := func(t0 *Thread) {
+	var saturated Program = func(t0 *Thread) {
 		tm := t0.NewTimer("t", 1)
 		t0.Sleep("pass", 2) // let tm fire; its slot now holds the tick
 		_ = tm
@@ -120,7 +120,7 @@ func TestBlockedOnDeadTimerIsDeadlock(t *testing.T) {
 // its one-slot channel on the first fire and stops being fireable, so the
 // program terminates instead of ticking forever.
 func TestLeakedTickerFiresOnceThenQuiets(t *testing.T) {
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		t0.NewTicker("leak", 2) // never received from, never stopped
 		v := t0.NewVar("v", 0)
 		for i := 0; i < 5; i++ {
@@ -143,7 +143,7 @@ func TestLeakedTickerFiresOnceThenQuiets(t *testing.T) {
 // only while armed, Reset re-arms from the current virtual now, and a
 // fired value stays buffered across a Stop (Stop does not drain).
 func TestTimerStopAndReset(t *testing.T) {
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		tm := t0.NewTimer("t", 4)
 		t0.Assert(tm.Stop(t0), "first Stop should report armed")
 		t0.Assert(!tm.Stop(t0), "second Stop should report already stopped")
@@ -162,7 +162,7 @@ func TestTimerStopAndReset(t *testing.T) {
 // the parent's cause, Done channels close, and a child created under an
 // already-cancelled parent is born cancelled.
 func TestCtxCancelCascade(t *testing.T) {
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		root := t0.WithCancel("root", nil)
 		child := t0.WithCancel("child", root)
 		grand := t0.WithTimeout("grand", child, 1000)
@@ -193,7 +193,7 @@ func TestCtxCancelCascade(t *testing.T) {
 // TestCtxDeadlineFires: a WithTimeout context cancels itself — and its
 // subtree — when the clock reaches its deadline, with the deadline cause.
 func TestCtxDeadlineFires(t *testing.T) {
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		parent := t0.WithTimeout("p", nil, 3)
 		child := t0.WithCancel("c", parent)
 		_, ok := child.Done().Recv(t0) // blocked until the parent's deadline
@@ -214,7 +214,7 @@ func TestCtxDeadlineFires(t *testing.T) {
 // timerLeakProgram ends with an armed-but-unfired timer, an undrained
 // ticker slot and a live (uncancelled) deadline context: the worst case
 // for Executor reuse, which must not carry any of it into the next run.
-func timerLeakProgram(t0 *Thread) {
+var timerLeakProgram Program = func(t0 *Thread) {
 	t0.NewTimer("armed", 1000) // never fires: no step blocks long enough
 	tk := t0.NewTicker("tick", 1)
 	tk.C().Recv(t0) // fire once, then leave the ticker armed
@@ -224,7 +224,7 @@ func timerLeakProgram(t0 *Thread) {
 }
 
 // noTimerProgram is a plain two-thread program with no virtual time.
-func noTimerProgram(t0 *Thread) {
+var noTimerProgram Program = func(t0 *Thread) {
 	v := t0.NewVar("v", 0)
 	c := t0.Spawn(func(tw *Thread) { v.Add(tw, 1) })
 	v.Add(t0, 1)
@@ -267,7 +267,7 @@ func TestExecutorDoesNotCarryClockState(t *testing.T) {
 // every Executor run — a counter-free program right after a counter-heavy
 // one reports all zeroes.
 func TestOutcomeCountersResetOnReuse(t *testing.T) {
-	busy := func(t0 *Thread) {
+	busy := Program(func(t0 *Thread) {
 		a := t0.NewChan("a", 1)
 		b := t0.NewChan("b", 1)
 		a.Send(t0, 1)
@@ -277,11 +277,11 @@ func TestOutcomeCountersResetOnReuse(t *testing.T) {
 		done := t0.Spawn(func(tw *Thread) { tw.Yield() })        // contested points
 		t0.Yield()
 		t0.Join(done)
-	}
-	quiet := func(t0 *Thread) {
+	})
+	quiet := Program(func(t0 *Thread) {
 		v := t0.NewVar("v", 0)
 		v.Store(t0, 1)
-	}
+	})
 	ex := NewExecutor(Options{Chooser: RoundRobin()})
 	defer ex.Close()
 
@@ -304,7 +304,7 @@ func TestOutcomeCountersResetOnReuse(t *testing.T) {
 // program replays to the identical trace — timer firings are replayable
 // scheduling points.
 func TestTimerReplayRoundTrip(t *testing.T) {
-	prog := func(t0 *Thread) {
+	var prog Program = func(t0 *Thread) {
 		ctx := t0.WithTimeout("c", nil, 4)
 		res := t0.NewChan("res", 1)
 		w := t0.Spawn(func(tw *Thread) {

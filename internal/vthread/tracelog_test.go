@@ -8,7 +8,7 @@ import (
 func TestTraceLoggerRecordsEvents(t *testing.T) {
 	log := NewTraceLogger()
 	w := NewWorld(Options{Chooser: RoundRobin(), Sink: log})
-	w.Run(func(t0 *Thread) {
+	w.Run(Program(func(t0 *Thread) {
 		m := t0.NewMutex("m")
 		v := t0.NewVar("v", 0)
 		c := t0.Spawn(func(tw *Thread) {
@@ -18,7 +18,7 @@ func TestTraceLoggerRecordsEvents(t *testing.T) {
 		})
 		t0.Join(c)
 		_ = v.Load(t0)
-	})
+	}))
 	out := log.String()
 	for _, want := range []string{
 		"T0  spawn T1",
@@ -40,10 +40,10 @@ func TestTeeFansOut(t *testing.T) {
 	a := NewTraceLogger()
 	b := NewTraceLogger()
 	w := NewWorld(Options{Chooser: RoundRobin(), Sink: Tee(a, b)})
-	w.Run(func(t0 *Thread) {
+	w.Run(Program(func(t0 *Thread) {
 		v := t0.NewVar("v", 0)
 		v.Store(t0, 1)
-	})
+	}))
 	if a.Len() == 0 || a.Len() != b.Len() {
 		t.Fatalf("tee lengths %d vs %d", a.Len(), b.Len())
 	}

@@ -34,6 +34,10 @@ func (v *IntVar) Load(t *Thread) int {
 	if v.visible {
 		t.visible(pendingOp{kind: opAccess, key: v.key})
 	}
+	return v.loadCommit(t)
+}
+
+func (v *IntVar) loadCommit(t *Thread) int {
 	t.sinkAccess(v.key, false)
 	return v.val
 }
@@ -44,6 +48,10 @@ func (v *IntVar) Store(t *Thread, x int) {
 	if v.visible {
 		t.visible(pendingOp{kind: opAccess, key: v.key, write: true})
 	}
+	v.storeCommit(t, x)
+}
+
+func (v *IntVar) storeCommit(t *Thread, x int) {
 	t.sinkAccess(v.key, true)
 	v.val = x
 }
@@ -77,6 +85,10 @@ func (t *Thread) NewAtomic(name string, init int) *Atomic {
 
 func (a *Atomic) sync(t *Thread) {
 	t.visible(pendingOp{kind: opAtomic, key: a.key})
+	a.syncCommit(t)
+}
+
+func (a *Atomic) syncCommit(t *Thread) {
 	// An SC atomic op is both an acquire and a release on the object.
 	t.sinkAcquire(a.key)
 	t.sinkRelease(a.key)
@@ -145,6 +157,10 @@ func (a *Array) Get(t *Thread, i int) int {
 	if a.visible {
 		t.visible(pendingOp{kind: opAccess, key: a.key})
 	}
+	return a.getCommit(t, i)
+}
+
+func (a *Array) getCommit(t *Thread, i int) int {
 	t.sinkAccess(a.key, false)
 	if i < 0 || i >= len(a.vals) {
 		if t.w.opts.BoundsCheck {
@@ -160,6 +176,10 @@ func (a *Array) Set(t *Thread, i, x int) {
 	if a.visible {
 		t.visible(pendingOp{kind: opAccess, key: a.key, write: true})
 	}
+	a.setCommit(t, i, x)
+}
+
+func (a *Array) setCommit(t *Thread, i, x int) {
 	t.sinkAccess(a.key, true)
 	if i < 0 || i >= len(a.vals) {
 		if t.w.opts.BoundsCheck {

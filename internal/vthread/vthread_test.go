@@ -67,7 +67,7 @@ func TestMutexMutualExclusion(t *testing.T) {
 	// concurrently. We drive with the random chooser over many seeds.
 	for seed := uint64(0); seed < 50; seed++ {
 		w := NewWorld(Options{Chooser: NewRandom(seed)})
-		out := w.Run(func(t0 *Thread) {
+		out := w.Run(Program(func(t0 *Thread) {
 			m := t0.NewMutex("m")
 			in := 0
 			worker := func(tw *Thread) {
@@ -84,7 +84,7 @@ func TestMutexMutualExclusion(t *testing.T) {
 			b := t0.Spawn(worker)
 			t0.Join(a)
 			t0.Join(b)
-		})
+		}))
 		if out.Buggy() {
 			t.Fatalf("seed %d: mutual exclusion violated: %v", seed, out.Failure)
 		}
@@ -103,7 +103,7 @@ func TestDeadlockDetected(t *testing.T) {
 }
 
 func TestABBADeadlockUnderSomeSchedule(t *testing.T) {
-	program := func(t0 *Thread) {
+	var program Program = func(t0 *Thread) {
 		a := t0.NewMutex("a")
 		b := t0.NewMutex("b")
 		t1 := t0.Spawn(func(tx *Thread) {
@@ -306,7 +306,7 @@ func TestIntVarAddIsTwoAccesses(t *testing.T) {
 	found := false
 	for seed := uint64(0); seed < 100 && !found; seed++ {
 		w := NewWorld(Options{Chooser: NewRandom(seed)})
-		out := w.Run(func(t0 *Thread) {
+		out := w.Run(Program(func(t0 *Thread) {
 			v := t0.NewVar("v", 0)
 			inc := func(tw *Thread) { v.Add(tw, 1) }
 			a := t0.Spawn(inc)
@@ -314,7 +314,7 @@ func TestIntVarAddIsTwoAccesses(t *testing.T) {
 			t0.Join(a)
 			t0.Join(b)
 			t0.Assert(v.Load(t0) == 2, "lost update: v=%d", v.Load(t0))
-		})
+		}))
 		if out.Buggy() {
 			found = true
 		}
@@ -327,12 +327,12 @@ func TestIntVarAddIsTwoAccesses(t *testing.T) {
 func TestInvisibleVarIsNoSchedulingPoint(t *testing.T) {
 	vis := func(key string) bool { return false }
 	w := NewWorld(Options{Chooser: RoundRobin(), Visible: vis})
-	out := w.Run(func(t0 *Thread) {
+	out := w.Run(Program(func(t0 *Thread) {
 		v := t0.NewVar("v", 0)
 		v.Store(t0, 1)
 		v.Store(t0, 2)
 		t0.Assert(v.Load(t0) == 2, "v=%d", v.Load(t0))
-	})
+	}))
 	if out.Buggy() {
 		t.Fatalf("unexpected failure: %v", out.Failure)
 	}
@@ -342,7 +342,7 @@ func TestInvisibleVarIsNoSchedulingPoint(t *testing.T) {
 }
 
 func TestArrayBoundsCheckingModes(t *testing.T) {
-	oob := func(t0 *Thread) {
+	var oob Program = func(t0 *Thread) {
 		a := t0.NewArray("a", 2)
 		a.Set(t0, 5, 1)
 		t0.Assert(a.Get(t0, 5) == 0, "unchecked OOB read must return 0")
@@ -361,7 +361,7 @@ func TestArrayBoundsCheckingModes(t *testing.T) {
 }
 
 func TestDeterministicReplay(t *testing.T) {
-	program := func(t0 *Thread) {
+	var program Program = func(t0 *Thread) {
 		v := t0.NewVar("v", 0)
 		m := t0.NewMutex("m")
 		worker := func(tw *Thread) {
@@ -394,7 +394,7 @@ func TestDeterministicReplay(t *testing.T) {
 
 func TestNoGoroutineLeakAcrossManyExecutions(t *testing.T) {
 	before := runtime.NumGoroutine()
-	program := func(t0 *Thread) {
+	var program Program = func(t0 *Thread) {
 		m := t0.NewMutex("m")
 		s := t0.NewSem("s", 0)
 		// One child deadlocks on the semaphore, so every execution aborts
@@ -439,11 +439,11 @@ func TestSpawnAllCreatesOneSchedulingStep(t *testing.T) {
 
 func TestMaxStepsGuard(t *testing.T) {
 	w := NewWorld(Options{Chooser: RoundRobin(), MaxSteps: 10})
-	out := w.Run(func(t0 *Thread) {
+	out := w.Run(Program(func(t0 *Thread) {
 		for {
 			t0.Yield()
 		}
-	})
+	}))
 	if !out.StepLimitHit {
 		t.Fatal("runaway program did not hit the step limit")
 	}

@@ -276,6 +276,13 @@ type Debug struct {
 	// cross-thread grants bounce through the exec goroutine, reproducing
 	// the two context switches per step of the pre-fast-path protocol.
 	NoDirectHandoff bool
+	// NoFlatEngine disables the goroutine-free flat engine for
+	// CompiledPrograms: the program runs through the blocking bridge on the
+	// reference engine instead (counted in StepStats.FlatFallbacks). Like
+	// the other switches this changes only how steps are dispatched, never
+	// which thread runs one — the equivalence tests flip it to prove the
+	// two engines bit-identical.
+	NoFlatEngine bool
 }
 
 // StepStats counts how scheduling decisions and grants were dispatched,
@@ -299,6 +306,14 @@ type StepStats struct {
 	// context switches): the initial grant of every execution, and every
 	// grant suppressed by a Debug kill switch.
 	Bounces int64
+	// FlatSteps counts steps dispatched by the flat engine: a granted
+	// operation performed as a direct function call into the thread's
+	// interpreter — zero goroutine switches by construction, so flat steps
+	// appear in none of the transfer-route fields above.
+	FlatSteps int64
+	// FlatFallbacks counts runs of a CompiledProgram that were routed to
+	// the reference engine instead of the flat engine (Debug.NoFlatEngine).
+	FlatFallbacks int64
 }
 
 // DefaultMaxSteps is the per-execution visible-operation budget used when
@@ -481,14 +496,16 @@ func (w *World) reset() {
 // per World. It returns only after every virtual thread's body has finished
 // (exited or unwound), so nothing touches the program's state afterwards.
 // The returned Outcome and its Trace are owned by the caller: a single-use
-// World never writes to them again.
-func (w *World) Run(program Program) *Outcome {
+// World never writes to them again. A single-use World always runs the
+// blocking reference engine: a *CompiledProgram is bridged via AsProgram
+// (trace-identical to its flat execution under an Executor).
+func (w *World) Run(program Runnable) *Outcome {
 	if w.running {
 		panic("vthread: World.Run called twice")
 	}
 	w.running = true
 
-	w.exec(program)
+	w.exec(AsProgram(program))
 
 	out := &Outcome{}
 	w.fillOutcome(out)

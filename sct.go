@@ -45,6 +45,16 @@ type (
 	Thread = vthread.Thread
 	// Program is the body of the initial thread.
 	Program = vthread.Program
+	// Runnable is either a closure Program or a *CompiledProgram; every
+	// entry point that executes a program accepts both.
+	Runnable = vthread.Runnable
+	// CompiledProgram is a program in instruction form (built with a
+	// Builder); it runs on the goroutine-free flat engine.
+	CompiledProgram = vthread.CompiledProgram
+	// Builder constructs CompiledPrograms.
+	Builder = vthread.Builder
+	// Code is one thread body under construction in a Builder.
+	Code = vthread.Code
 	// Mutex is a non-recursive lock.
 	Mutex = vthread.Mutex
 	// Cond is a FIFO condition variable.
@@ -217,7 +227,7 @@ func ExploreSleepSet(cfg Config) *Result {
 // the "simple counterexample traces" benefit of §1 of the paper, made
 // available for witnesses found by unbounded or random search. newProgram
 // must build a fresh program instance per call.
-func Minimize(newProgram func() Program, witness Schedule, visible func(string) bool) *MinimizedWitness {
+func Minimize(newProgram func() Runnable, witness Schedule, visible func(string) bool) *MinimizedWitness {
 	return simplify.Minimize(newProgram, witness, simplify.Options{Visible: visible})
 }
 
@@ -228,7 +238,7 @@ type MinimizedWitness = simplify.Result
 // randomly scheduled executions of program with every shared access
 // visible, and returns the union of variables involved in data races. Feed
 // the result to Promote to obtain the Visible predicate for Config.
-func DetectRaces(program Program, runs int, seed uint64) []string {
+func DetectRaces(program Runnable, runs int, seed uint64) []string {
 	return race.RunPhase(race.PhaseConfig{Program: program, Runs: runs, Seed: seed}).Racy
 }
 
@@ -242,20 +252,20 @@ func Promote(racy []string) func(key string) bool {
 // Replay executes program under the recorded schedule and returns the
 // outcome. ok is false when the schedule is infeasible for this program
 // (replay diverged). Use it to reproduce a Result.Witness.
-func Replay(program Program, s Schedule) (out *Outcome, ok bool) {
+func Replay(program Runnable, s Schedule) (out *Outcome, ok bool) {
 	rep := vthread.NewReplay(s)
 	w := vthread.NewWorld(vthread.Options{Chooser: rep})
-	o := w.Run(program)
+	o := w.Run(vthread.AsProgram(program))
 	return o, !rep.Failed()
 }
 
 // ReplayVisible is Replay with an explicit visibility predicate; a witness
 // recorded under promoted visibility only replays under the same
 // visibility.
-func ReplayVisible(program Program, s Schedule, visible func(string) bool) (out *Outcome, ok bool) {
+func ReplayVisible(program Runnable, s Schedule, visible func(string) bool) (out *Outcome, ok bool) {
 	rep := vthread.NewReplay(s)
 	w := vthread.NewWorld(vthread.Options{Chooser: rep, Visible: visible})
-	o := w.Run(program)
+	o := w.Run(vthread.AsProgram(program))
 	return o, !rep.Failed()
 }
 
@@ -266,12 +276,23 @@ func ReplayVisible(program Program, s Schedule, visible func(string) bool) (out 
 // program body keeps all state local to the invocation. For a loop of many
 // executions, use NewExecutor instead: it recycles the per-execution
 // goroutines and buffers that RunOnce rebuilds every call.
-func RunOnce(program Program, opts WorldOptions) *Outcome {
+func RunOnce(program Runnable, opts WorldOptions) *Outcome {
 	if opts.Chooser == nil {
 		opts.Chooser = vthread.RoundRobin()
 	}
-	return vthread.NewWorld(opts).Run(program)
+	return vthread.NewWorld(opts).Run(vthread.AsProgram(program))
 }
+
+// NewBuilder starts a new compiled program. Programs in instruction form
+// execute on the flat single-goroutine engine (see the vthread package
+// docs), which steps the same schedules as the goroutine engine several
+// times faster; every entry point taking a Runnable accepts the result of
+// Build.
+func NewBuilder() *Builder { return vthread.NewBuilder() }
+
+// AsProgram converts any Runnable to a closure Program (a CompiledProgram
+// is bridged onto the goroutine engine, trace-identically).
+func AsProgram(r Runnable) Program { return vthread.AsProgram(r) }
 
 // RoundRobin returns the deterministic non-preemptive round-robin chooser
 // (the zero-delay scheduler of delay bounding).

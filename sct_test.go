@@ -6,8 +6,8 @@ import (
 )
 
 // lostUpdate is the quickstart program: a racy counter.
-func lostUpdate() Program {
-	return func(t *Thread) {
+func lostUpdate() Runnable {
+	return Program(func(t *Thread) {
 		counter := t.NewVar("counter", 0)
 		inc := func(w *Thread) { counter.Add(w, 1) }
 		a := t.Spawn(inc)
@@ -15,7 +15,7 @@ func lostUpdate() Program {
 		t.Join(a)
 		t.Join(b)
 		t.Assert(counter.Load(t) == 2, "lost update: %d", counter.Load(t))
-	}
+	})
 }
 
 func TestExploreFindsLostUpdate(t *testing.T) {
@@ -108,7 +108,7 @@ func TestChooserConstructors(t *testing.T) {
 
 func TestRefSharedState(t *testing.T) {
 	type pair struct{ a, b int }
-	p := func(t0 *Thread) {
+	var p Program = func(t0 *Thread) {
 		r := NewRef(t0, "pair", pair{1, 2})
 		w := t0.Spawn(func(tw *Thread) {
 			r.Update(tw, func(v pair) pair { return pair{v.a + 1, v.b + 1} })
