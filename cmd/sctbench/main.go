@@ -9,16 +9,31 @@
 //
 //	sctbench [-limit 10000] [-seed 1] [-bench regex] [-maple] [-dpor]
 //	         [-table1] [-fig3csv path] [-fig4csv path] [-par N] [-workers N]
-//	         [-engine auto|ref] [-cpuprofile path] [-memprofile path] [-v]
+//	         [-engine auto|ref] [-checkpoint path] [-resume] [-max-wall 10m]
+//	         [-cpuprofile path] [-memprofile path] [-v]
+//
+// A study cut short by SIGINT/SIGTERM or -max-wall keeps every cleanly
+// completed benchmark row: the rows are saved to the -checkpoint path, the
+// CSV artifacts are still written (covering the completed rows), and the
+// process exits with status 2. Re-running with -resume skips the saved
+// rows and re-runs only what is missing; since every row is deterministic
+// given the seed, the resumed artifacts match an uninterrupted run's.
+// Exit status: 0 clean (no bugs — unusual, the suite plants bugs), 1 at
+// least one bug found (the expected outcome), 2 truncated, 3 usage or
+// internal error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"regexp"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 	"time"
 
 	"sctbench/internal/bench"
@@ -28,33 +43,72 @@ import (
 	"sctbench/internal/vthread"
 )
 
+// Exit statuses (also asserted by the CLI tests and the CI resume smoke).
+const (
+	exitClean     = 0
+	exitBug       = 1
+	exitTruncated = 2
+	exitError     = 3
+)
+
 func main() {
-	limit := flag.Int("limit", explore.DefaultLimit, "terminal-schedule limit per technique")
-	seed := flag.Uint64("seed", 1, "base random seed")
-	benchRe := flag.String("bench", "", "regexp selecting benchmarks by name (default: all, goidiom and gotime families included)")
-	withMaple := flag.Bool("maple", false, "also run the Maple-style idiom algorithm")
-	withDPOR := flag.Bool("dpor", false,
+	interrupt, stop := notifyInterrupt()
+	defer stop()
+	os.Exit(run(os.Args[1:], interrupt, os.Stdout, os.Stderr))
+}
+
+// notifyInterrupt maps the first SIGINT/SIGTERM to closing the returned
+// channel; a second signal kills the process the usual way.
+func notifyInterrupt() (<-chan struct{}, func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	interrupt := make(chan struct{})
+	var once sync.Once
+	go func() {
+		for range ch {
+			once.Do(func() { close(interrupt) })
+			signal.Stop(ch)
+		}
+	}()
+	return interrupt, func() { signal.Stop(ch) }
+}
+
+// run is the testable entry point: parses args, runs the study, renders
+// the reports, and returns the exit status.
+func run(args []string, interrupt <-chan struct{}, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sctbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	limit := fs.Int("limit", explore.DefaultLimit, "terminal-schedule limit per technique")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	benchRe := fs.String("bench", "", "regexp selecting benchmarks by name (default: all, goidiom and gotime families included)")
+	withMaple := fs.Bool("maple", false, "also run the Maple-style idiom algorithm")
+	withDPOR := fs.Bool("dpor", false,
 		"also run DPOR (source-set dynamic partial-order reduction over unbounded DFS); "+
 			"reduction factors land in the -table3csv output")
-	table1 := flag.Bool("table1", false, "print Table 1 (suite overview) and exit")
-	table3csv := flag.String("table3csv", "", "write the full Table 3 grid as CSV to this path")
-	fig3csv := flag.String("fig3csv", "", "write Figure 3 scatter data CSV to this path")
-	fig4csv := flag.String("fig4csv", "", "write Figure 4 scatter data CSV to this path")
-	par := flag.Int("par", 0, "parallel benchmark evaluations (0 = GOMAXPROCS)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+	table1 := fs.Bool("table1", false, "print Table 1 (suite overview) and exit")
+	table3csv := fs.String("table3csv", "", "write the full Table 3 grid as CSV to this path")
+	fig3csv := fs.String("fig3csv", "", "write Figure 3 scatter data CSV to this path")
+	fig4csv := fs.String("fig4csv", "", "write Figure 4 scatter data CSV to this path")
+	par := fs.Int("par", 0, "parallel benchmark evaluations (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"schedule-exploration workers per technique run (1 = sequential)")
-	engine := flag.String("engine", "auto",
+	engine := fs.String("engine", "auto",
 		"execution engine: auto (compiled benchmarks on the flat single-goroutine "+
 			"engine, closure benchmarks on the goroutine engine) or ref (force "+
 			"everything onto the goroutine reference engine)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the study run to this path")
-	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this path")
-	verbose := flag.Bool("v", false, "progress output per phase")
-	flag.Parse()
+	ckPath := fs.String("checkpoint", "", "save completed rows here when the study is interrupted or times out")
+	resume := fs.Bool("resume", false, "skip rows already completed in the -checkpoint file")
+	maxWall := fs.Duration("max-wall", 0, "wall-clock budget for the study (0 = none)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the study run to this path")
+	memprofile := fs.String("memprofile", "", "write an allocation profile at exit to this path")
+	verbose := fs.Bool("v", false, "progress output per phase")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 
 	if msg := study.Sanity(); msg != "" {
-		fmt.Fprintln(os.Stderr, "registry error:", msg)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "registry error:", msg)
+		return exitError
 	}
 
 	var debug vthread.Debug
@@ -63,20 +117,20 @@ func main() {
 	case "ref":
 		debug.NoFlatEngine = true
 	default:
-		fmt.Fprintln(os.Stderr, "bad -engine (want auto or ref):", *engine)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bad -engine (want auto or ref):", *engine)
+		return exitError
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cpuprofile:", err)
+			return exitError
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cpuprofile:", err)
+			return exitError
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -84,31 +138,31 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				fmt.Fprintln(stderr, "memprofile:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				fmt.Fprintln(stderr, "memprofile:", err)
 			}
 		}()
 	}
 
 	if *table1 {
-		fmt.Printf("%-14s %-60s %5s %8s  %s\n", "Suite", "Benchmark types", "used", "skipped", "skip reason")
+		fmt.Fprintf(stdout, "%-14s %-60s %5s %8s  %s\n", "Suite", "Benchmark types", "used", "skipped", "skip reason")
 		for _, s := range bench.Table1() {
-			fmt.Printf("%-14s %-60s %5d %8d  %s\n", s.Name, s.Kinds, s.Used, s.Skipped, s.SkipReason)
+			fmt.Fprintf(stdout, "%-14s %-60s %5d %8d  %s\n", s.Name, s.Kinds, s.Used, s.Skipped, s.SkipReason)
 		}
-		return
+		return exitClean
 	}
 
 	benches := bench.All()
 	if *benchRe != "" {
 		re, err := regexp.Compile(*benchRe)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bad -bench regexp:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "bad -bench regexp:", err)
+			return exitError
 		}
 		var sel []*bench.Benchmark
 		for _, b := range benches {
@@ -119,17 +173,22 @@ func main() {
 		benches = sel
 	}
 	if len(benches) == 0 {
-		fmt.Fprintln(os.Stderr, "no benchmarks selected")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "no benchmarks selected")
+		return exitError
 	}
 
 	cfg := study.Config{
-		Limit:       *limit,
-		Seed:        *seed,
-		WithMaple:   *withMaple,
-		Parallelism: *par,
-		Workers:     *workers,
-		Debug:       debug,
+		Limit:          *limit,
+		Seed:           *seed,
+		WithMaple:      *withMaple,
+		Parallelism:    *par,
+		Workers:        *workers,
+		Debug:          debug,
+		Interrupt:      interrupt,
+		CheckpointPath: *ckPath,
+	}
+	if *maxWall > 0 {
+		cfg.Deadline = time.Now().Add(*maxWall)
 	}
 	if *withDPOR {
 		// The default technique set plus DPOR; POR stays out of the
@@ -140,47 +199,91 @@ func main() {
 	}
 	if *verbose {
 		cfg.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
 
+	var prior *study.Checkpoint
+	if *resume {
+		if *ckPath == "" {
+			fmt.Fprintln(stderr, "-resume needs -checkpoint to say where the saved rows are")
+			return exitError
+		}
+		ck, err := study.LoadCheckpoint(*ckPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitError
+		}
+		prior = ck
+		fmt.Fprintf(stderr, "resuming: %d rows carried over from %s\n", len(ck.Rows), *ckPath)
+	}
+
 	start := time.Now()
-	rows := study.RunAll(benches, cfg)
+	rows, truncated, err := study.RunStudy(benches, cfg, prior)
 	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitError
+	}
 
-	fmt.Println("=== Table 3: per-benchmark results ===")
-	fmt.Print(report.Table3(rows, *limit))
-	fmt.Println()
-	fmt.Println("=== Table 2: trivial-benchmark properties ===")
-	fmt.Print(report.Table2(rows, *limit))
-	fmt.Println()
-	fmt.Println("=== Figure 2a: bugs found (systematic techniques) ===")
-	fmt.Print(report.VennSystematic(rows).Format())
-	fmt.Println()
-	fmt.Println("=== Figure 2b: IDB vs Rand vs MapleAlg ===")
-	fmt.Print(report.VennVsNaive(rows).Format())
+	if truncated {
+		where := "no checkpoint configured (use -checkpoint)"
+		if *ckPath != "" {
+			where = "rows saved to " + *ckPath
+		}
+		fmt.Fprintf(stderr, "study truncated: %d of %d rows completed; %s\n", len(rows), len(benches), where)
+	}
 
-	fmt.Println()
-	fmt.Println("=== Figure 3: schedules to first bug, IPB vs IDB (misses at the limit) ===")
-	fmt.Print(report.Fig3Scatter(report.Fig3Series(rows, *limit), *limit))
-	fmt.Println()
-	fmt.Println("=== Figure 4: worst case (non-buggy schedules within the bound) ===")
-	fmt.Print(report.Fig4Scatter(report.Fig4Series(rows, *limit), *limit))
+	// Reports cover the completed rows — on a truncated run they are the
+	// partial artifact the checkpoint will later complete.
+	fmt.Fprintln(stdout, "=== Table 3: per-benchmark results ===")
+	fmt.Fprint(stdout, report.Table3(rows, *limit))
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "=== Table 2: trivial-benchmark properties ===")
+	fmt.Fprint(stdout, report.Table2(rows, *limit))
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "=== Figure 2a: bugs found (systematic techniques) ===")
+	fmt.Fprint(stdout, report.VennSystematic(rows).Format())
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "=== Figure 2b: IDB vs Rand vs MapleAlg ===")
+	fmt.Fprint(stdout, report.VennVsNaive(rows).Format())
+
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "=== Figure 3: schedules to first bug, IPB vs IDB (misses at the limit) ===")
+	fmt.Fprint(stdout, report.Fig3Scatter(report.Fig3Series(rows, *limit), *limit))
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "=== Figure 4: worst case (non-buggy schedules within the bound) ===")
+	fmt.Fprint(stdout, report.Fig4Scatter(report.Fig4Series(rows, *limit), *limit))
 
 	if *table3csv != "" {
 		if err := os.WriteFile(*table3csv, []byte(report.Table3CSV(rows)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "table3:", err)
+			fmt.Fprintln(stderr, "table3:", err)
 		}
 	}
 	if *fig3csv != "" {
 		if err := os.WriteFile(*fig3csv, []byte(report.FigCSV(report.Fig3Series(rows, *limit))), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "fig3:", err)
+			fmt.Fprintln(stderr, "fig3:", err)
 		}
 	}
 	if *fig4csv != "" {
 		if err := os.WriteFile(*fig4csv, []byte(report.FigCSV(report.Fig4Series(rows, *limit))), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "fig4:", err)
+			fmt.Fprintln(stderr, "fig4:", err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "\n%d benchmarks in %s\n", len(rows), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stderr, "\n%d benchmarks in %s\n", len(rows), elapsed.Round(time.Millisecond))
+
+	if truncated {
+		return exitTruncated
+	}
+	for _, r := range rows {
+		for _, res := range r.Results {
+			if res.BugFound {
+				return exitBug
+			}
+		}
+		if r.Maple != nil && r.Maple.BugFound {
+			return exitBug
+		}
+	}
+	return exitClean
 }

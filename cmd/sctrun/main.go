@@ -9,15 +9,26 @@
 //	sctrun -bench CS.account_bad [-technique idb|ipb|dfs|dpor|rand|maple|sleepset]
 //	       [-limit 10000] [-seed 1] [-workers N] [-norace] [-replay]
 //	       [-minimize] [-save witness.json] [-load witness.json] [-log]
+//	       [-checkpoint ck.json] [-resume ck.json] [-max-wall 30s]
 //	       [-list]
+//
+// A run cut short by SIGINT/SIGTERM or -max-wall flushes a frontier
+// checkpoint to the -checkpoint path; -resume continues it with identical
+// final results. Exit status: 0 clean (no bug), 1 bug found, 2 truncated
+// without a bug, 3 usage or internal error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"sctbench/internal/bench"
 	"sctbench/internal/explore"
@@ -28,37 +39,88 @@ import (
 	"sctbench/internal/vthread"
 )
 
+// Exit statuses (also asserted by the CLI tests and the CI resume smoke).
+const (
+	exitClean     = 0
+	exitBug       = 1
+	exitTruncated = 2
+	exitError     = 3
+)
+
 func main() {
-	name := flag.String("bench", "", "benchmark name (see -list)")
-	tech := flag.String("technique", "idb", "ipb | idb | dfs | dpor | rand | maple | sleepset")
-	limit := flag.Int("limit", explore.DefaultLimit, "terminal-schedule limit")
-	seed := flag.Uint64("seed", 1, "random seed")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+	interrupt, stop := notifyInterrupt()
+	defer stop()
+	os.Exit(run(os.Args[1:], interrupt, os.Stdout, os.Stderr))
+}
+
+// notifyInterrupt maps the first SIGINT/SIGTERM to closing the returned
+// channel — the explore drivers poll it once per execution and flush a
+// checkpoint. A second signal kills the process the usual way.
+func notifyInterrupt() (<-chan struct{}, func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	interrupt := make(chan struct{})
+	var once sync.Once
+	go func() {
+		for range ch {
+			once.Do(func() { close(interrupt) })
+			signal.Stop(ch)
+		}
+	}()
+	return interrupt, func() { signal.Stop(ch) }
+}
+
+// run is the testable entry point: parses args, runs, and returns the
+// exit status. interrupt may be nil (no signal handling, as in tests that
+// drive truncation via -max-wall instead).
+func run(args []string, interrupt <-chan struct{}, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sctrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("bench", "", "benchmark name (see -list)")
+	tech := fs.String("technique", "idb", "ipb | idb | dfs | dpor | rand | maple | sleepset")
+	limit := fs.Int("limit", explore.DefaultLimit, "terminal-schedule limit")
+	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"schedule-exploration worker goroutines (1 = sequential; applies to ipb/idb/dfs/rand)")
-	noRace := flag.Bool("norace", false, "skip the race-detection phase (every access visible)")
-	replay := flag.Bool("replay", false, "replay the witness schedule and print it")
-	minimize := flag.Bool("minimize", false, "simplify the witness (merge blocks, reduce preemptions)")
-	savePath := flag.String("save", "", "write the witness to this JSON file")
-	loadPath := flag.String("load", "", "replay a witness JSON file instead of exploring")
-	logTrace := flag.Bool("log", false, "print a per-event trace when replaying")
-	list := flag.Bool("list", false, "list all registered benchmarks (SCTBench + goidiom + gotime) and exit")
-	flag.Parse()
+	noRace := fs.Bool("norace", false, "skip the race-detection phase (every access visible)")
+	replay := fs.Bool("replay", false, "replay the witness schedule and print it")
+	minimize := fs.Bool("minimize", false, "simplify the witness (merge blocks, reduce preemptions)")
+	savePath := fs.String("save", "", "write the witness to this JSON file")
+	loadPath := fs.String("load", "", "replay a witness JSON file instead of exploring")
+	logTrace := fs.Bool("log", false, "print a per-event trace when replaying")
+	ckPath := fs.String("checkpoint", "", "write a frontier checkpoint here when the search is interrupted or times out")
+	resumePath := fs.String("resume", "", "resume the search from this checkpoint file")
+	maxWall := fs.Duration("max-wall", 0, "wall-clock budget for the search (0 = none)")
+	list := fs.Bool("list", false, "list all registered benchmarks (SCTBench + goidiom + gotime) and exit")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 
 	if *list {
 		for _, b := range bench.All() {
-			fmt.Printf("%-28s %-8s %2d threads  %-9s  %s\n", b.Name, b.Suite, b.Threads, b.BugKind, b.Desc)
+			fmt.Fprintf(stdout, "%-28s %-8s %2d threads  %-9s  %s\n", b.Name, b.Suite, b.Threads, b.BugKind, b.Desc)
 		}
-		return
+		return exitClean
 	}
+
+	var deadline time.Time
+	if *maxWall > 0 {
+		deadline = time.Now().Add(*maxWall)
+	}
+
+	if *resumePath != "" {
+		return resumeRun(*resumePath, *ckPath, *name, *workers, deadline, interrupt,
+			*replay, *minimize, *savePath, *logTrace, stdout, stderr)
+	}
+
 	b := bench.ByName(*name)
 	if b == nil {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *name)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown benchmark %q (use -list)\n", *name)
+		return exitError
 	}
 
 	if *loadPath != "" {
-		replayWitnessFile(b, *loadPath, *logTrace)
-		return
+		return replayWitnessFile(b, *loadPath, *logTrace, stdout, stderr)
 	}
 
 	var visible func(string) bool
@@ -67,7 +129,7 @@ func main() {
 		phase := race.RunPhase(race.PhaseConfig{
 			Program: b.New(), Seed: *seed, MaxSteps: b.MaxSteps, BoundsCheck: b.BoundsCheck,
 		})
-		fmt.Printf("race phase: %d racy variable(s): %s\n", len(phase.Racy), strings.Join(phase.Racy, ", "))
+		fmt.Fprintf(stdout, "race phase: %d racy variable(s): %s\n", len(phase.Racy), strings.Join(phase.Racy, ", "))
 		racyVars = phase.Racy
 		visible = race.Promoted(phase.Racy)
 	}
@@ -78,28 +140,24 @@ func main() {
 			MaxSteps: b.MaxSteps, Seed: *seed,
 		})
 		if !res.BugFound {
-			fmt.Printf("MapleAlg: no bug in %d schedules (%d candidate idioms)\n", res.Schedules, res.Candidates)
-			return
+			fmt.Fprintf(stdout, "MapleAlg: no bug in %d schedules (%d candidate idioms)\n", res.Schedules, res.Candidates)
+			return exitClean
 		}
-		fmt.Printf("MapleAlg: bug after %d schedules: %v\n", res.SchedulesToFirstBug, res.Failure)
-		finishWitness(b, visible, racyVars, res.Witness, "maple", *replay, *minimize, *savePath, *logTrace)
-		return
+		fmt.Fprintf(stdout, "MapleAlg: bug after %d schedules: %v\n", res.SchedulesToFirstBug, res.Failure)
+		finishWitness(b, visible, racyVars, res.Witness, "maple", *replay, *minimize, *savePath, *logTrace, stdout, stderr)
+		return exitBug
+	}
+
+	cfg := explore.Config{
+		Program: b.New(), Visible: visible, BoundsCheck: b.BoundsCheck,
+		MaxSteps: b.MaxSteps, Limit: *limit, Seed: *seed, Workers: *workers,
+		Interrupt: interrupt, Deadline: deadline, CheckpointPath: *ckPath,
+		Meta: explore.CheckpointMeta{Benchmark: b.Name, Racy: racyVars, NoRace: *noRace},
 	}
 
 	if strings.EqualFold(*tech, "sleepset") {
-		res := explore.RunSleepSetDFS(explore.Config{
-			Program: b.New(), Visible: visible, BoundsCheck: b.BoundsCheck,
-			MaxSteps: b.MaxSteps, Limit: *limit,
-		})
-		if !res.BugFound {
-			fmt.Printf("sleep-set DFS: no bug within %d schedules (complete=%v, %d of %d executions aborted as redundant)\n",
-				res.Schedules, res.Complete, res.AbortedExecutions, res.Executions)
-			return
-		}
-		fmt.Printf("sleep-set DFS: bug after %d schedules (%d executions, %d aborted as redundant): %v\n",
-			res.SchedulesToFirstBug, res.Executions, res.AbortedExecutions, res.Failure)
-		finishWitness(b, visible, racyVars, res.Witness, "sleepset", *replay, *minimize, *savePath, *logTrace)
-		return
+		res := explore.RunSleepSetDFS(cfg)
+		return reportSleepSet(b, visible, racyVars, res, *ckPath, *replay, *minimize, *savePath, *logTrace, stdout, stderr)
 	}
 
 	var t explore.Technique
@@ -115,34 +173,128 @@ func main() {
 	case "rand":
 		t = explore.Rand
 	default:
-		fmt.Fprintf(os.Stderr, "unknown technique %q\n", *tech)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown technique %q\n", *tech)
+		return exitError
 	}
-	res := explore.Run(t, explore.Config{
+	res := explore.Run(t, cfg)
+	return reportResult(b, visible, racyVars, t.String(), res, *ckPath,
+		*replay, *minimize, *savePath, *logTrace, stdout, stderr)
+}
+
+// resumeRun continues an exploration from a frontier checkpoint. The
+// benchmark and the promoted variable set come from the checkpoint itself
+// (what the interrupted run measured); -bench may be given as a
+// cross-check but cannot redirect the checkpoint to another program.
+func resumeRun(path, ckPath, name string, workers int, deadline time.Time, interrupt <-chan struct{},
+	replay, minimize bool, savePath string, logTrace bool, stdout, stderr io.Writer) int {
+	ck, err := explore.LoadCheckpoint(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitError
+	}
+	if ck.Benchmark == "" {
+		fmt.Fprintln(stderr, "checkpoint does not name its benchmark; cannot resume")
+		return exitError
+	}
+	if name != "" && name != ck.Benchmark {
+		fmt.Fprintf(stderr, "checkpoint is for %s, not %s\n", ck.Benchmark, name)
+		return exitError
+	}
+	b := bench.ByName(ck.Benchmark)
+	if b == nil {
+		fmt.Fprintf(stderr, "checkpoint benchmark %q is not registered\n", ck.Benchmark)
+		return exitError
+	}
+	var visible func(string) bool
+	if !ck.NoRace {
+		visible = race.Promoted(ck.Racy)
+	}
+	if ckPath == "" {
+		ckPath = path // a re-interrupted resume checkpoints over its input
+	}
+	fmt.Fprintf(stdout, "resuming %s %s: %d schedules done\n", ck.Technique, ck.Benchmark, ck.Result.Schedules)
+	res, err := explore.Resume(ck, explore.Config{
 		Program: b.New(), Visible: visible, BoundsCheck: b.BoundsCheck,
-		MaxSteps: b.MaxSteps, Limit: *limit, Seed: *seed, Workers: *workers,
+		MaxSteps: b.MaxSteps, Workers: workers,
+		Interrupt: interrupt, Deadline: deadline, CheckpointPath: ckPath,
+		Meta: explore.CheckpointMeta{Benchmark: ck.Benchmark, Racy: ck.Racy, NoRace: ck.NoRace},
 	})
-	if t == explore.DPOR {
-		fmt.Printf("DPOR: %d executions (%d aborted as redundant, %d branches pruned, %d total steps)\n",
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitError
+	}
+	if ck.Technique == "sleepset" {
+		return reportSleepSet(b, visible, ck.Racy, res, ckPath, replay, minimize, savePath, logTrace, stdout, stderr)
+	}
+	return reportResult(b, visible, ck.Racy, ck.Technique, res, ckPath,
+		replay, minimize, savePath, logTrace, stdout, stderr)
+}
+
+// truncatedStatus prints the truncation notice and returns whether the
+// run was cut short (deadline or interrupt).
+func truncatedStatus(res *explore.Result, ckPath string, stdout io.Writer) bool {
+	if res.Stopped != explore.StopDeadline && res.Stopped != explore.StopInterrupted {
+		return false
+	}
+	where := "no checkpoint configured (use -checkpoint)"
+	if ckPath != "" {
+		where = "checkpoint saved to " + ckPath
+	}
+	fmt.Fprintf(stdout, "search truncated (%s) after %d schedules; %s\n", res.Stopped, res.Schedules, where)
+	return true
+}
+
+// reportResult prints an exploration summary and maps it to an exit
+// status: a found bug outranks truncation.
+func reportResult(b *bench.Benchmark, visible func(string) bool, racy []string, tech string,
+	res *explore.Result, ckPath string, replay, minimize bool, savePath string, logTrace bool,
+	stdout, stderr io.Writer) int {
+	truncated := truncatedStatus(res, ckPath, stdout)
+	if tech == explore.DPOR.String() {
+		fmt.Fprintf(stdout, "DPOR: %d executions (%d aborted as redundant, %d branches pruned, %d total steps)\n",
 			res.Executions, res.AbortedExecutions, res.BranchesPruned, res.TotalSteps)
 	}
 	if !res.BugFound {
-		fmt.Printf("%s: no bug within %d schedules (bound reached %d, complete=%v)\n",
-			t, res.Schedules, res.Bound, res.Complete)
-		return
+		fmt.Fprintf(stdout, "%s: no bug within %d schedules (bound reached %d, complete=%v)\n",
+			tech, res.Schedules, res.Bound, res.Complete)
+		if truncated {
+			return exitTruncated
+		}
+		return exitClean
 	}
-	fmt.Printf("%s: bug at bound %d after %d schedules (%d total within bound, %d buggy)\n",
-		t, res.Bound, res.SchedulesToFirstBug, res.Schedules, res.BuggySchedules)
-	fmt.Printf("failure: %v\n", res.Failure)
-	fmt.Printf("witness: %v\n", res.Witness)
-	finishWitness(b, visible, racyVars, res.Witness, t.String(), *replay, *minimize, *savePath, *logTrace)
+	fmt.Fprintf(stdout, "%s: bug at bound %d after %d schedules (%d total within bound, %d buggy)\n",
+		tech, res.Bound, res.SchedulesToFirstBug, res.Schedules, res.BuggySchedules)
+	fmt.Fprintf(stdout, "failure: %v\n", res.Failure)
+	fmt.Fprintf(stdout, "witness: %v\n", res.Witness)
+	finishWitness(b, visible, racy, res.Witness, tech, replay, minimize, savePath, logTrace, stdout, stderr)
+	return exitBug
+}
+
+// reportSleepSet is reportResult with the sleep-set DFS phrasing.
+func reportSleepSet(b *bench.Benchmark, visible func(string) bool, racy []string,
+	res *explore.Result, ckPath string, replay, minimize bool, savePath string, logTrace bool,
+	stdout, stderr io.Writer) int {
+	truncated := truncatedStatus(res, ckPath, stdout)
+	if !res.BugFound {
+		fmt.Fprintf(stdout, "sleep-set DFS: no bug within %d schedules (complete=%v, %d of %d executions aborted as redundant)\n",
+			res.Schedules, res.Complete, res.AbortedExecutions, res.Executions)
+		if truncated {
+			return exitTruncated
+		}
+		return exitClean
+	}
+	fmt.Fprintf(stdout, "sleep-set DFS: bug after %d schedules (%d executions, %d aborted as redundant): %v\n",
+		res.SchedulesToFirstBug, res.Executions, res.AbortedExecutions, res.Failure)
+	finishWitness(b, visible, racy, res.Witness, "sleepset", replay, minimize, savePath, logTrace, stdout, stderr)
+	return exitBug
 }
 
 // finishWitness applies the post-discovery workflow: optional
 // minimisation, optional save, optional replay with trace logging. All
 // replays run on one shared Executor.
 func finishWitness(b *bench.Benchmark, visible func(string) bool, racy []string,
-	witness sched.Schedule, technique string, replay, minimize bool, savePath string, logTrace bool) {
+	witness sched.Schedule, technique string, replay, minimize bool, savePath string, logTrace bool,
+	stdout, stderr io.Writer) {
 	ex := newReplayExecutor(b, visible)
 	defer ex.Close()
 	if minimize {
@@ -150,7 +302,7 @@ func finishWitness(b *bench.Benchmark, visible func(string) bool, racy []string,
 			Visible: visible, BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps,
 		})
 		if res.Failure != nil {
-			fmt.Printf("minimized: PC %d -> %d (%d replays): %v\n",
+			fmt.Fprintf(stdout, "minimized: PC %d -> %d (%d replays): %v\n",
 				res.OriginalPC, res.PC, res.Replays, res.Schedule)
 			witness = res.Schedule
 		}
@@ -169,9 +321,9 @@ func finishWitness(b *bench.Benchmark, visible func(string) bool, racy []string,
 			err = os.WriteFile(savePath, data, 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "save:", err)
+			fmt.Fprintln(stderr, "save:", err)
 		} else {
-			fmt.Printf("witness saved to %s\n", savePath)
+			fmt.Fprintf(stdout, "witness saved to %s\n", savePath)
 		}
 	}
 	if replay {
@@ -180,28 +332,29 @@ func finishWitness(b *bench.Benchmark, visible func(string) bool, racy []string,
 			log = vthread.NewTraceLogger()
 		}
 		out, _ := replayOutcome(ex, b, witness, log)
-		fmt.Printf("replay: %v (PC=%d DC=%d, %d steps)\n", out.Failure, out.PC, out.DC, len(out.Trace))
+		fmt.Fprintf(stdout, "replay: %v (PC=%d DC=%d, %d steps)\n", out.Failure, out.PC, out.DC, len(out.Trace))
 		if log != nil {
-			fmt.Print(log.String())
+			fmt.Fprint(stdout, log.String())
 		}
 	}
 }
 
-// replayWitnessFile loads a saved witness and replays it.
-func replayWitnessFile(b *bench.Benchmark, path string, logTrace bool) {
+// replayWitnessFile loads a saved witness and replays it. Reproducing the
+// recorded bug is the expected outcome and maps to the bug exit status.
+func replayWitnessFile(b *bench.Benchmark, path string, logTrace bool, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "load:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "load:", err)
+		return exitError
 	}
 	wf, err := sched.DecodeWitness(data)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "load:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "load:", err)
+		return exitError
 	}
 	if wf.Benchmark != "" && wf.Benchmark != b.Name {
-		fmt.Fprintf(os.Stderr, "witness is for %s, not %s\n", wf.Benchmark, b.Name)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "witness is for %s, not %s\n", wf.Benchmark, b.Name)
+		return exitError
 	}
 	var log *vthread.TraceLogger
 	if logTrace {
@@ -211,13 +364,17 @@ func replayWitnessFile(b *bench.Benchmark, path string, logTrace bool) {
 	defer ex.Close()
 	out, ok := replayOutcome(ex, b, wf.Schedule, log)
 	if !ok {
-		fmt.Println("replay diverged: witness does not fit this benchmark build")
-		return
+		fmt.Fprintln(stdout, "replay diverged: witness does not fit this benchmark build")
+		return exitError
 	}
-	fmt.Printf("replay: %v (PC=%d DC=%d, %d steps)\n", out.Failure, out.PC, out.DC, len(out.Trace))
+	fmt.Fprintf(stdout, "replay: %v (PC=%d DC=%d, %d steps)\n", out.Failure, out.PC, out.DC, len(out.Trace))
 	if log != nil {
-		fmt.Print(log.String())
+		fmt.Fprint(stdout, log.String())
 	}
+	if out.Failure != nil {
+		return exitBug
+	}
+	return exitClean
 }
 
 // newReplayExecutor builds the reusable execution context the replay

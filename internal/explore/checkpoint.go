@@ -1,0 +1,811 @@
+package explore
+
+// Checkpoint/resume: crash-safe exploration. The sequential drivers and the
+// parallel pool serialize their live frontier — the branch-keyed stack (or
+// parked unit set) of the depth-first walk, per-node backtrack/sleep/done
+// state for the pruning engines, and every counter of the partial Result —
+// into a versioned JSON file, and Resume reconstructs the search from it.
+// A checkpoint is only ever taken when an engine is *positioned to run*:
+// after a successful backtrack (or on a fresh engine), before the next
+// runOnce. Restoring such a state and re-entering the driver loop therefore
+// continues the exact schedule enumeration, so a killed-and-resumed
+// exploration finishes with bit-identical counts and witnesses to an
+// uninterrupted one (verdict-identical for parallel DPOR, whose counts
+// already depend on stealing; see parallel.go).
+//
+// What is NOT serialized: the DPOR race-analysis scratch (vector clocks,
+// prevOf/spawnOf, per-object access state) is per-run and recomputed from
+// step zero by the next analyze() pass, and the Rand scheduler's RNG needs
+// no state at all because every run i is seeded independently from
+// (Seed, i) — see randRun. Checkpoint files are written atomically (temp
+// file + rename), so a crash during the write leaves the previous
+// checkpoint intact; the faultinject.CheckpointWrite point simulates
+// exactly that crash in tests.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"sctbench/internal/faultinject"
+	"sctbench/internal/sched"
+	"sctbench/internal/vthread"
+)
+
+// CheckpointVersion is the checkpoint file format version; Load rejects
+// files written by a different version with a clear error.
+const CheckpointVersion = 1
+
+// CheckpointMeta is CLI-facing context carried verbatim into checkpoint
+// files, so a resuming process can rebuild the same program environment
+// (which benchmark, and the promoted-variable set of its race phase)
+// without re-running the race detection phase.
+type CheckpointMeta struct {
+	// Benchmark names the benchmark under exploration.
+	Benchmark string
+	// Racy is the promoted shared-variable set from the race phase.
+	Racy []string
+	// NoRace records that promotion was disabled (every variable visible).
+	NoRace bool
+}
+
+// Checkpoint is the serialized live state of an interrupted exploration.
+type Checkpoint struct {
+	Version   int    `json:"version"`
+	Technique string `json:"technique"` // DFS | IPB | IDB | Rand | DPOR | sleepset
+
+	// Search parameters, restored on resume (overriding the resuming
+	// Config, so a resumed run cannot diverge from the uninterrupted one).
+	Limit         int    `json:"limit"`
+	Seed          uint64 `json:"seed,omitempty"`
+	MaxBound      int    `json:"maxBound,omitempty"`
+	MaxExecutions int    `json:"maxExecutions,omitempty"`
+
+	// CLI metadata (see CheckpointMeta).
+	Benchmark string   `json:"benchmark,omitempty"`
+	Racy      []string `json:"racy,omitempty"`
+	NoRace    bool     `json:"noRace,omitempty"`
+
+	// Result is the partial result at the moment of interruption. Fields
+	// the drivers fill only at exit (Executions, the engines' pruning
+	// tallies) are reconstructed from the engine state on resume.
+	Result *Result `json:"result"`
+
+	// Engine is the sequential frontier (nil for parallel checkpoints and
+	// for Rand, which has no frontier).
+	Engine *EngineState `json:"engine,omitempty"`
+
+	// Bound and BoundExecs are the iterative-bounding sweep position:
+	// the bound being enumerated and the executions committed by earlier
+	// bounds (IPB/IDB only).
+	Bound      int `json:"bound,omitempty"`
+	BoundExecs int `json:"boundExecs,omitempty"`
+
+	// NextRun is the first unexplored run index (Rand only).
+	NextRun int `json:"nextRun,omitempty"`
+
+	// Pool is the parked worker-pool state (parallel checkpoints only).
+	Pool *PoolState `json:"pool,omitempty"`
+}
+
+// EngineState is the serialized frontier of one searcher.
+type EngineState struct {
+	// Kind identifies the engine: "bounded" (DFS/IPB/IDB), "sleepset" or
+	// "dpor".
+	Kind string `json:"kind"`
+	// Model and Bound are the bounded engine's cost model and budget.
+	Model int `json:"model,omitempty"`
+	Bound int `json:"bound,omitempty"`
+	// Pruned is the bounded engine's skipped-an-over-bound-branch flag.
+	Pruned bool `json:"pruned,omitempty"`
+	// PrunedBranches is the pruning engines' retired-sibling count.
+	PrunedBranches int `json:"prunedBranches,omitempty"`
+	// Executions performed by this engine so far.
+	Executions int `json:"executions"`
+	// MaxThreads, AnalyzeFrom and Borrowed are DPOR bookkeeping (dpor.go).
+	MaxThreads  int `json:"maxThreads,omitempty"`
+	AnalyzeFrom int `json:"analyzeFrom,omitempty"`
+	Borrowed    int `json:"borrowed,omitempty"`
+	// Nodes is the DFS stack, shallowest first.
+	Nodes []NodeState `json:"nodes"`
+}
+
+// NodeState is one serialized scheduling point of an engine's stack. Which
+// fields are meaningful depends on the engine kind; irrelevant ones are
+// omitted.
+type NodeState struct {
+	Order []int `json:"order"`
+	Idx   int   `json:"idx"`
+	// Bounded engine: per-choice costs, owned sibling range, prefix cost.
+	Costs []int `json:"costs,omitempty"`
+	Hi    int   `json:"hi,omitempty"`
+	Base  int   `json:"base,omitempty"`
+	// Pruning engines: per-choice pending footprints and the sleep set.
+	Infos []PendingState `json:"infos,omitempty"`
+	Sleep []SleepEntry   `json:"sleep,omitempty"`
+	// Sleep-set engine: case-decision marker.
+	IsCase bool `json:"isCase,omitempty"`
+	// DPOR: explored and to-explore choice sets, thread count at this
+	// point, and the selecting thread of a case node (-1 = thread node).
+	Done      []bool `json:"done,omitempty"`
+	Backtrack []bool `json:"backtrack,omitempty"`
+	NThreads  int    `json:"nthreads,omitempty"`
+	SelOf     int    `json:"selOf,omitempty"`
+}
+
+// PendingState mirrors vthread.PendingInfo for serialization (Footprint is
+// opaque; it round-trips through its object-key list).
+type PendingState struct {
+	IsAccess bool     `json:"isAccess,omitempty"`
+	Key      string   `json:"key,omitempty"`
+	IsWrite  bool     `json:"isWrite,omitempty"`
+	Objects  []string `json:"objects,omitempty"`
+	ReadOnly bool     `json:"readOnly,omitempty"`
+	Opaque   bool     `json:"opaque,omitempty"`
+	IsJoin   bool     `json:"isJoin,omitempty"`
+	JoinOf   int      `json:"joinOf,omitempty"`
+}
+
+// SleepEntry is one sleep-set member; entries are sorted by thread id so a
+// checkpoint's bytes are deterministic.
+type SleepEntry struct {
+	Thread int          `json:"thread"`
+	Info   PendingState `json:"info"`
+}
+
+// PoolState is a suspended parallel job: every parked unit (engine plus
+// partial per-unit tallies), every finished unit's result, and the job's
+// shared budgets and counters.
+type PoolState struct {
+	BudgetLeft    int64 `json:"budgetLeft"`
+	ExecLimitLeft int64 `json:"execLimitLeft"`
+	OwnExecs      int64 `json:"ownExecs,omitempty"`
+	Execs         int64 `json:"execs"`
+	Steps         int64 `json:"steps"`
+	Aborts        int64 `json:"aborts,omitempty"`
+	// Counted and CommittedExecs are the schedules and executions committed
+	// by earlier bounds (iterative parallel only).
+	Counted        int   `json:"counted,omitempty"`
+	CommittedExecs int64 `json:"committedExecs,omitempty"`
+
+	Units []UnitState       `json:"units"`
+	Done  []UnitResultState `json:"done,omitempty"`
+}
+
+// UnitState is one parked unit of a suspended job.
+type UnitState struct {
+	Key []int `json:"key"`
+	// Positioned units run immediately on resume; unpositioned (donated,
+	// never started) units backtrack first — unit.fresh, serialized.
+	Positioned bool             `json:"positioned"`
+	Engine     *EngineState     `json:"engine"`
+	Partial    *UnitResultState `json:"partial,omitempty"`
+}
+
+// UnitResultState serializes a unitResult.
+type UnitResultState struct {
+	Key        []int            `json:"key"`
+	Schedules  int              `json:"schedules"`
+	BuggyOffs  []int            `json:"buggyOffs,omitempty"`
+	Failure    *vthread.Failure `json:"failure,omitempty"`
+	Witness    sched.Schedule   `json:"witness,omitempty"`
+	Pruned     bool             `json:"pruned,omitempty"`
+	Branches   int              `json:"branches,omitempty"`
+	MaxEnabled int              `json:"maxEnabled,omitempty"`
+	SchedPts   int              `json:"schedPoints,omitempty"`
+	Threads    int              `json:"threads,omitempty"`
+	PanicMsg   string           `json:"panic,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Stop control: interruption, deadline, and the Stopped verdict.
+
+// StopReason says why an exploration stopped. The zero value means the
+// search ran to its natural end (exhaustion, or Rand's full sweep).
+type StopReason int
+
+const (
+	// StopCompleted: the search was not cut short.
+	StopCompleted StopReason = iota
+	// StopLimit: the schedule or execution budget stopped it.
+	StopLimit
+	// StopDeadline: the wall-clock deadline expired.
+	StopDeadline
+	// StopInterrupted: an interrupt (SIGINT/SIGTERM, or an injected fault)
+	// stopped it.
+	StopInterrupted
+)
+
+// String returns the reason as reported in the CSV status column.
+func (s StopReason) String() string {
+	switch s {
+	case StopCompleted:
+		return "completed"
+	case StopLimit:
+		return "limit"
+	case StopDeadline:
+		return "deadline"
+	case StopInterrupted:
+		return "interrupted"
+	}
+	return "unknown"
+}
+
+// stopCtl is the shared stop signal of one exploration: polled once before
+// every execution by the sequential drivers and by every pool worker. The
+// fast path when nothing is configured and nothing armed is two nil checks
+// and one atomic load.
+type stopCtl struct {
+	interrupt <-chan struct{}
+	deadline  time.Time
+	tripped   atomic.Int32 // 0 = running, else StopReason+1
+	// crashed marks a simulated mid-write death (faultinject): the final
+	// stop path must then NOT write the checkpoint again — the process is
+	// pretending to be dead, and the on-disk file must stay whatever the
+	// crash left behind.
+	crashed atomic.Bool
+}
+
+func newStopCtl(cfg Config) *stopCtl {
+	return &stopCtl{interrupt: cfg.Interrupt, deadline: cfg.Deadline}
+}
+
+// trip latches the first stop reason.
+func (c *stopCtl) trip(r StopReason) {
+	c.tripped.CompareAndSwap(0, int32(r)+1)
+}
+
+// reason returns the latched stop reason, false while running.
+func (c *stopCtl) reason() (StopReason, bool) {
+	if v := c.tripped.Load(); v != 0 {
+		return StopReason(v - 1), true
+	}
+	return StopCompleted, false
+}
+
+// poll checks every stop source and latches the first that fires.
+func (c *stopCtl) poll() (StopReason, bool) {
+	if c == nil {
+		return StopCompleted, false
+	}
+	if v := c.tripped.Load(); v != 0 {
+		return StopReason(v - 1), true
+	}
+	if faultinject.Hit(faultinject.ExploreInterrupt) {
+		c.trip(StopInterrupted)
+		return c.reason()
+	}
+	if c.interrupt != nil {
+		select {
+		case <-c.interrupt:
+			c.trip(StopInterrupted)
+			return c.reason()
+		default:
+		}
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		c.trip(StopDeadline)
+		return c.reason()
+	}
+	return StopCompleted, false
+}
+
+// ckWriter paces periodic checkpoint writes by execution count.
+type ckWriter struct {
+	path  string
+	every int
+	last  int
+}
+
+func newCkWriter(cfg Config) *ckWriter {
+	if cfg.CheckpointPath == "" || cfg.CheckpointEvery <= 0 {
+		return nil
+	}
+	return &ckWriter{path: cfg.CheckpointPath, every: cfg.CheckpointEvery}
+}
+
+// due reports that another periodic write is owed at this execution count.
+func (w *ckWriter) due(execs int) bool {
+	return w != nil && execs-w.last >= w.every
+}
+
+// ---------------------------------------------------------------------------
+// File I/O.
+
+// Save writes the checkpoint atomically: the bytes land in path+".tmp" and
+// are renamed over path, so a crash mid-write never destroys the previous
+// checkpoint. The faultinject.CheckpointWrite point simulates that crash
+// (half the bytes written, no rename) and returns faultinject.ErrInjected.
+func (ck *Checkpoint) Save(path string) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if faultinject.Hit(faultinject.CheckpointWrite) {
+		_ = os.WriteFile(tmp, data[:len(data)/2], 0o644)
+		return faultinject.ErrInjected
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file, with clear errors
+// for corrupt or truncated files and unsupported versions.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: corrupt or truncated: %v", path, err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return ck, nil
+}
+
+func (ck *Checkpoint) validate() error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("format version %d, this build reads version %d",
+			ck.Version, CheckpointVersion)
+	}
+	switch ck.Technique {
+	case "DFS", "IPB", "IDB", "Rand", "DPOR", "sleepset":
+	default:
+		return fmt.Errorf("unknown technique %q", ck.Technique)
+	}
+	if ck.Result == nil {
+		return errors.New("missing partial result")
+	}
+	if ck.Limit <= 0 {
+		return fmt.Errorf("non-positive limit %d", ck.Limit)
+	}
+	return nil
+}
+
+// newCheckpoint builds the envelope every driver's snapshot shares.
+func newCheckpoint(cfg Config, tech string, r *Result) *Checkpoint {
+	return &Checkpoint{
+		Version:       CheckpointVersion,
+		Technique:     tech,
+		Limit:         cfg.Limit,
+		Seed:          cfg.Seed,
+		MaxBound:      cfg.MaxBound,
+		MaxExecutions: cfg.MaxExecutions,
+		Benchmark:     cfg.Meta.Benchmark,
+		Racy:          cfg.Meta.Racy,
+		NoRace:        cfg.Meta.NoRace,
+		Result:        r,
+	}
+}
+
+// writeCheckpoint saves ck to cfg.CheckpointPath when one is configured.
+// An injected crash returns true (the caller must stop as if killed); a
+// real write error is recorded on r and the search continues — losing the
+// checkpoint must not lose the run.
+func writeCheckpoint(cfg Config, r *Result, ck *Checkpoint) (crashed bool) {
+	if cfg.CheckpointPath == "" {
+		return false
+	}
+	err := ck.Save(cfg.CheckpointPath)
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, faultinject.ErrInjected) {
+		return true
+	}
+	r.CheckpointError = err.Error()
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Engine snapshot/restore.
+
+func threadsToInts(ts []sched.ThreadID) []int {
+	out := make([]int, len(ts))
+	for i, t := range ts {
+		out[i] = int(t)
+	}
+	return out
+}
+
+func intsToThreads(xs []int) []sched.ThreadID {
+	out := make([]sched.ThreadID, len(xs))
+	for i, x := range xs {
+		out[i] = sched.ThreadID(x)
+	}
+	return out
+}
+
+func pendingToState(p vthread.PendingInfo) PendingState {
+	ps := PendingState{
+		IsAccess: p.IsAccess, Key: p.Key, IsWrite: p.IsWrite,
+		ReadOnly: p.ReadOnly, Opaque: p.Opaque,
+		IsJoin: p.IsJoin, JoinOf: int(p.JoinOf),
+	}
+	for i := 0; i < p.Objects.Len(); i++ {
+		ps.Objects = append(ps.Objects, p.Objects.Obj(i))
+	}
+	return ps
+}
+
+func stateToPending(ps PendingState) vthread.PendingInfo {
+	return vthread.PendingInfo{
+		IsAccess: ps.IsAccess, Key: ps.Key, IsWrite: ps.IsWrite,
+		Objects:  vthread.NewFootprint(ps.Objects...),
+		ReadOnly: ps.ReadOnly, Opaque: ps.Opaque,
+		IsJoin: ps.IsJoin, JoinOf: sched.ThreadID(ps.JoinOf),
+	}
+}
+
+func pendingsToStates(ps []vthread.PendingInfo) []PendingState {
+	out := make([]PendingState, len(ps))
+	for i, p := range ps {
+		out[i] = pendingToState(p)
+	}
+	return out
+}
+
+func statesToPendings(ss []PendingState) []vthread.PendingInfo {
+	out := make([]vthread.PendingInfo, len(ss))
+	for i, s := range ss {
+		out[i] = stateToPending(s)
+	}
+	return out
+}
+
+func sleepToEntries(m map[sched.ThreadID]vthread.PendingInfo) []SleepEntry {
+	if len(m) == 0 {
+		return nil
+	}
+	es := make([]SleepEntry, 0, len(m))
+	for t, info := range m {
+		es = append(es, SleepEntry{Thread: int(t), Info: pendingToState(info)})
+	}
+	sort.Slice(es, func(a, b int) bool { return es[a].Thread < es[b].Thread })
+	return es
+}
+
+func sleepFromEntries(es []SleepEntry) map[sched.ThreadID]vthread.PendingInfo {
+	m := make(map[sched.ThreadID]vthread.PendingInfo, len(es))
+	for _, e := range es {
+		m[sched.ThreadID(e.Thread)] = stateToPending(e.Info)
+	}
+	return m
+}
+
+// engineTechName maps a searcher to its checkpoint technique string.
+func engineTechName(eng searcher) string {
+	switch e := eng.(type) {
+	case *engine:
+		switch e.model {
+		case CostPreemptions:
+			return "IPB"
+		case CostDelays:
+			return "IDB"
+		}
+		return "DFS"
+	case *ssEngine:
+		return "sleepset"
+	case *dporEngine:
+		return "DPOR"
+	}
+	return "unknown"
+}
+
+// snapshotSearcher serializes any searcher's frontier.
+func snapshotSearcher(eng searcher) *EngineState {
+	switch e := eng.(type) {
+	case *engine:
+		return e.snapshot()
+	case *ssEngine:
+		return e.snapshot()
+	case *dporEngine:
+		return e.snapshot()
+	}
+	panic("explore: unsnapshotable searcher")
+}
+
+// restoreSearcher rebuilds a searcher from its serialized frontier,
+// validating every structural invariant so a hand-edited or damaged
+// checkpoint fails loudly instead of corrupting the search.
+func restoreSearcher(cfg Config, st *EngineState) (searcher, error) {
+	if st == nil {
+		return nil, errors.New("missing engine state")
+	}
+	switch st.Kind {
+	case "bounded":
+		return restoreBounded(cfg, st)
+	case "sleepset":
+		return restoreSleepSet(cfg, st)
+	case "dpor":
+		return restoreDPOR(cfg, st)
+	}
+	return nil, fmt.Errorf("unknown engine kind %q", st.Kind)
+}
+
+func (e *engine) snapshot() *EngineState {
+	st := &EngineState{Kind: "bounded", Model: int(e.model), Bound: e.bound,
+		Pruned: e.pruned, Executions: e.executions,
+		Nodes: make([]NodeState, len(e.stack))}
+	for i := range e.stack {
+		nd := &e.stack[i]
+		st.Nodes[i] = NodeState{
+			Order: threadsToInts(nd.order),
+			Costs: append([]int(nil), nd.costs...),
+			Idx:   nd.idx, Hi: nd.hi, Base: nd.base,
+		}
+	}
+	return st
+}
+
+func restoreBounded(cfg Config, st *EngineState) (*engine, error) {
+	if st.Model < int(CostNone) || st.Model > int(CostDelays) {
+		return nil, fmt.Errorf("bad cost model %d", st.Model)
+	}
+	e := newEngine(cfg, CostModel(st.Model), st.Bound)
+	e.pruned = st.Pruned
+	e.executions = st.Executions
+	e.stack = make([]node, len(st.Nodes))
+	for i, ns := range st.Nodes {
+		if len(ns.Order) == 0 || len(ns.Costs) != len(ns.Order) ||
+			ns.Idx < 0 || ns.Idx > ns.Hi || ns.Hi >= len(ns.Order) {
+			return nil, fmt.Errorf("inconsistent frontier node %d", i)
+		}
+		e.stack[i] = node{
+			order: intsToThreads(ns.Order),
+			costs: append([]int(nil), ns.Costs...),
+			idx:   ns.Idx, hi: ns.Hi, base: ns.Base,
+		}
+	}
+	return e, nil
+}
+
+func (e *ssEngine) snapshot() *EngineState {
+	st := &EngineState{Kind: "sleepset", Executions: e.executions,
+		PrunedBranches: e.pruned, Nodes: make([]NodeState, len(e.stack))}
+	for i := range e.stack {
+		nd := &e.stack[i]
+		st.Nodes[i] = NodeState{
+			Order:  threadsToInts(nd.order),
+			Infos:  pendingsToStates(nd.infos),
+			Idx:    nd.idx,
+			Sleep:  sleepToEntries(nd.sleep),
+			IsCase: nd.isCase,
+		}
+	}
+	return st
+}
+
+func restoreSleepSet(cfg Config, st *EngineState) (*ssEngine, error) {
+	e := &ssEngine{cfg: cfg}
+	e.executions = st.Executions
+	e.pruned = st.PrunedBranches
+	e.stack = make([]ssNode, len(st.Nodes))
+	for i, ns := range st.Nodes {
+		if len(ns.Order) == 0 || len(ns.Infos) != len(ns.Order) ||
+			ns.Idx < 0 || ns.Idx >= len(ns.Order) {
+			return nil, fmt.Errorf("inconsistent frontier node %d", i)
+		}
+		e.stack[i] = ssNode{
+			order:  intsToThreads(ns.Order),
+			infos:  statesToPendings(ns.Infos),
+			idx:    ns.Idx,
+			sleep:  sleepFromEntries(ns.Sleep),
+			isCase: ns.IsCase,
+		}
+	}
+	return e, nil
+}
+
+func (e *dporEngine) snapshot() *EngineState {
+	st := &EngineState{Kind: "dpor", Executions: e.executions,
+		PrunedBranches: e.pruned, MaxThreads: e.maxThreads,
+		AnalyzeFrom: e.analyzeFrom, Borrowed: e.borrowed,
+		Nodes: make([]NodeState, len(e.stack))}
+	for i := range e.stack {
+		nd := &e.stack[i]
+		st.Nodes[i] = NodeState{
+			Order:     threadsToInts(nd.order),
+			Infos:     pendingsToStates(nd.infos),
+			Idx:       nd.idx,
+			Done:      append([]bool(nil), nd.done...),
+			Backtrack: append([]bool(nil), nd.backtrack...),
+			Sleep:     sleepToEntries(nd.sleep),
+			NThreads:  nd.nthreads,
+			SelOf:     int(nd.selOf),
+		}
+	}
+	return st
+}
+
+func restoreDPOR(cfg Config, st *EngineState) (*dporEngine, error) {
+	e := newDPOREngine(cfg)
+	e.executions = st.Executions
+	e.pruned = st.PrunedBranches
+	e.maxThreads = st.MaxThreads
+	e.borrowed = st.Borrowed
+	e.analyzeFrom = st.AnalyzeFrom
+	if e.analyzeFrom < 0 || e.analyzeFrom > len(st.Nodes) {
+		return nil, fmt.Errorf("analyzeFrom %d out of range", e.analyzeFrom)
+	}
+	e.stack = make([]dporNode, len(st.Nodes))
+	for i, ns := range st.Nodes {
+		if len(ns.Order) == 0 || len(ns.Infos) != len(ns.Order) ||
+			len(ns.Done) != len(ns.Order) || len(ns.Backtrack) != len(ns.Order) ||
+			ns.Idx < 0 || ns.Idx >= len(ns.Order) {
+			return nil, fmt.Errorf("inconsistent frontier node %d", i)
+		}
+		e.stack[i] = dporNode{
+			order:     intsToThreads(ns.Order),
+			infos:     statesToPendings(ns.Infos),
+			idx:       ns.Idx,
+			done:      append([]bool(nil), ns.Done...),
+			backtrack: append([]bool(nil), ns.Backtrack...),
+			sleep:     sleepFromEntries(ns.Sleep),
+			nthreads:  ns.NThreads,
+			selOf:     sched.ThreadID(ns.SelOf),
+		}
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Resume.
+
+// Resume reconstructs an interrupted exploration from a checkpoint and
+// runs it onward — to completion, the limit, or the next interruption.
+// cfg supplies the program and environment (Program, Visible, BoundsCheck,
+// MaxSteps, Debug, Workers) plus fresh stop/checkpoint controls; the search
+// parameters (Limit, Seed, MaxBound, MaxExecutions) come from the
+// checkpoint. A sequential checkpoint resumes sequentially regardless of
+// cfg.Workers; a parallel (pool) checkpoint resumes on the pool; Rand
+// checkpoints carry no frontier and resume on either driver with identical
+// results.
+func Resume(ck *Checkpoint, cfg Config) (*Result, error) {
+	if err := ck.validate(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	cfg.Limit = ck.Limit
+	cfg.Seed = ck.Seed
+	cfg.MaxBound = ck.MaxBound
+	cfg.MaxExecutions = ck.MaxExecutions
+	cfg = cfg.withDefaults()
+	rr := *ck.Result
+	r := &rr
+	// The carried-over partial result says why the *previous* run stopped;
+	// this run's fate is its own (the drivers set Stopped only when they
+	// stop early, so a natural finish must read completed).
+	r.Stopped = StopCompleted
+	r.CheckpointError = ""
+	if ck.Pool != nil {
+		return resumeParallel(ck, cfg, r)
+	}
+	switch ck.Technique {
+	case "DFS", "sleepset", "DPOR":
+		wantKind := map[string]string{"DFS": "bounded", "sleepset": "sleepset", "DPOR": "dpor"}[ck.Technique]
+		if ck.Engine == nil || ck.Engine.Kind != wantKind {
+			return nil, fmt.Errorf("checkpoint: technique %s needs engine kind %q", ck.Technique, wantKind)
+		}
+		eng, err := restoreSearcher(cfg, ck.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		return runSequentialTree(cfg, r, eng), nil
+	case "IPB", "IDB":
+		model := CostPreemptions
+		if ck.Technique == "IDB" {
+			model = CostDelays
+		}
+		if ck.Engine == nil || ck.Engine.Kind != "bounded" {
+			return nil, errors.New("checkpoint: iterative resume needs a bounded engine state")
+		}
+		eng, err := restoreBounded(cfg, ck.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		if eng.model != model || eng.bound != ck.Bound {
+			return nil, fmt.Errorf("checkpoint: engine model/bound %v/%d does not match technique %s at bound %d",
+				eng.model, eng.bound, ck.Technique, ck.Bound)
+		}
+		return iterSequential(cfg, model, r, ck.Bound, ck.BoundExecs, eng), nil
+	case "Rand":
+		if ck.NextRun < 0 || ck.NextRun > cfg.Limit {
+			return nil, fmt.Errorf("checkpoint: nextRun %d out of range", ck.NextRun)
+		}
+		if cfg.Workers > 1 {
+			return runRandParallel(cfg, r, ck.NextRun), nil
+		}
+		return randSequential(cfg, r, ck.NextRun), nil
+	}
+	return nil, fmt.Errorf("checkpoint: unknown technique %q", ck.Technique)
+}
+
+// resumeParallel reconstructs a suspended pool job.
+func resumeParallel(ck *Checkpoint, cfg Config, r *Result) (*Result, error) {
+	ps := ck.Pool
+	rs := &poolResume{
+		budget:         ps.BudgetLeft,
+		execLimit:      ps.ExecLimitLeft,
+		ownExecs:       ps.OwnExecs,
+		execs:          ps.Execs,
+		steps:          ps.Steps,
+		aborts:         ps.Aborts,
+		counted:        ps.Counted,
+		committedExecs: ps.CommittedExecs,
+		bound:          ck.Bound,
+	}
+	for i, us := range ps.Units {
+		eng, err := restoreSearcher(cfg, us.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: unit %d: %w", i, err)
+		}
+		u := &unit{eng: eng, key: append([]int(nil), us.Key...), fresh: us.Positioned}
+		if us.Partial != nil {
+			u.res = stateToUnitResult(us.Partial)
+		}
+		rs.units = append(rs.units, u)
+	}
+	for _, ds := range ps.Done {
+		rs.results = append(rs.results, stateToUnitResult(&ds))
+	}
+	switch ck.Technique {
+	case "DFS", "DPOR":
+		return treeParallel(cfg, r, rs), nil
+	case "IPB", "IDB":
+		model := CostPreemptions
+		if ck.Technique == "IDB" {
+			model = CostDelays
+		}
+		return runIterativeParallel(cfg, model, r, rs), nil
+	}
+	return nil, fmt.Errorf("checkpoint: technique %q has no pool state", ck.Technique)
+}
+
+// unitResult <-> UnitResultState.
+
+func unitResultToState(u *unitResult) *UnitResultState {
+	return &UnitResultState{
+		Key:        append([]int(nil), u.key...),
+		Schedules:  u.schedules,
+		BuggyOffs:  append([]int(nil), u.buggyOffs...),
+		Failure:    u.failure,
+		Witness:    u.witness,
+		Pruned:     u.pruned,
+		Branches:   u.branches,
+		MaxEnabled: u.maxEnabled,
+		SchedPts:   u.schedPts,
+		Threads:    u.threads,
+		PanicMsg:   u.panicMsg,
+	}
+}
+
+func stateToUnitResult(s *UnitResultState) *unitResult {
+	u := &unitResult{
+		key:       append([]int(nil), s.Key...),
+		schedules: s.Schedules,
+		buggyOffs: append([]int(nil), s.BuggyOffs...),
+		failure:   s.Failure,
+		witness:   s.Witness,
+		pruned:    s.Pruned,
+		branches:  s.Branches,
+		panicMsg:  s.PanicMsg,
+	}
+	u.maxEnabled = s.MaxEnabled
+	u.schedPts = s.SchedPts
+	u.threads = s.Threads
+	return u
+}

@@ -1,0 +1,535 @@
+package explore
+
+// Kill-and-resume equivalence: a search interrupted at an arbitrary
+// per-execution poll, checkpointed, and resumed must finish with exactly
+// the result an uninterrupted run produces. The interruption point is
+// driven deterministically by the fault-injection registry, so every
+// technique is killed early, in the middle, and one execution before the
+// end. The same harness exercises crash-during-checkpoint-write (the old
+// file must survive intact) and the parallel pool's worker-panic
+// containment.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/faultinject"
+)
+
+// ckBenchNames are the CS benchmarks the equivalence matrix runs on:
+// small enough to keep the matrix fast, varied enough to hit multi-thread
+// frontiers, select nodes and pruning.
+var ckBenchNames = []string{"CS.account_bad", "CS.circular_buffer_bad", "CS.queue_bad"}
+
+// ckTechniques names every sequential driver the checkpoint format covers.
+var ckTechniques = []struct {
+	name string
+	run  func(Config) *Result
+}{
+	{"DFS", RunDFS},
+	{"IPB", func(c Config) *Result { return RunIterative(c, CostPreemptions) }},
+	{"IDB", func(c Config) *Result { return RunIterative(c, CostDelays) }},
+	{"Rand", RunRand},
+	{"sleepset", RunSleepSetDFS},
+	{"DPOR", RunDPOR},
+}
+
+func ckCfg(t *testing.T, name string, limit int) Config {
+	t.Helper()
+	b := bench.ByName(name)
+	if b == nil {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	return Config{
+		Program:     b.New(),
+		BoundsCheck: b.BoundsCheck,
+		MaxSteps:    b.MaxSteps,
+		Limit:       limit,
+		Seed:        7,
+	}
+}
+
+// diffResults compares every Result field that kill-and-resume must
+// preserve, returning human-readable mismatches. CheckpointError is
+// excluded (it describes the run's own checkpoint writes, not the search).
+func diffResults(want, got *Result) []string {
+	var d []string
+	chk := func(field string, w, g any) {
+		if !reflect.DeepEqual(w, g) {
+			d = append(d, fmt.Sprintf("%s: got %v, want %v", field, g, w))
+		}
+	}
+	chk("Technique", want.Technique, got.Technique)
+	chk("BugFound", want.BugFound, got.BugFound)
+	chk("Bound", want.Bound, got.Bound)
+	chk("SchedulesToFirstBug", want.SchedulesToFirstBug, got.SchedulesToFirstBug)
+	chk("Schedules", want.Schedules, got.Schedules)
+	chk("NewSchedules", want.NewSchedules, got.NewSchedules)
+	chk("BuggySchedules", want.BuggySchedules, got.BuggySchedules)
+	chk("Complete", want.Complete, got.Complete)
+	chk("LimitHit", want.LimitHit, got.LimitHit)
+	chk("MaxEnabled", want.MaxEnabled, got.MaxEnabled)
+	chk("MaxSchedPoints", want.MaxSchedPoints, got.MaxSchedPoints)
+	chk("Threads", want.Threads, got.Threads)
+	chk("Executions", want.Executions, got.Executions)
+	chk("AbortedExecutions", want.AbortedExecutions, got.AbortedExecutions)
+	chk("BranchesPruned", want.BranchesPruned, got.BranchesPruned)
+	chk("TotalSteps", want.TotalSteps, got.TotalSteps)
+	chk("Stopped", want.Stopped, got.Stopped)
+	chk("WorkerPanics", want.WorkerPanics, got.WorkerPanics)
+	if !want.Witness.Equal(got.Witness) {
+		d = append(d, fmt.Sprintf("Witness: got %v, want %v", got.Witness, want.Witness))
+	}
+	if !reflect.DeepEqual(want.Failure, got.Failure) {
+		d = append(d, fmt.Sprintf("Failure: got %+v, want %+v", got.Failure, want.Failure))
+	}
+	return d
+}
+
+func requireSameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if d := diffResults(want, got); len(d) != 0 {
+		t.Errorf("%s: resumed result diverged:\n  %s", label, strings.Join(d, "\n  "))
+	}
+}
+
+// interruptAndResume kills run at its nth per-execution poll, requires a
+// checkpoint, resumes it, and returns the resumed final result.
+func interruptAndResume(t *testing.T, run func(Config) *Result, cfg Config, n int) *Result {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ck.json")
+	killed := cfg
+	killed.CheckpointPath = path
+	faultinject.Arm(faultinject.ExploreInterrupt, int64(n))
+	r := run(killed)
+	faultinject.Reset()
+	if r.Stopped != StopInterrupted {
+		t.Fatalf("poll %d: Stopped = %v, want interrupted", n, r.Stopped)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("poll %d: LoadCheckpoint: %v", n, err)
+	}
+	res, err := Resume(ck, cfg)
+	if err != nil {
+		t.Fatalf("poll %d: Resume: %v", n, err)
+	}
+	return res
+}
+
+// TestKillAndResumeEquivalence is the tentpole acceptance matrix: every
+// technique on every matrix benchmark, killed early / mid / late, resumes
+// to a bit-identical final result.
+func TestKillAndResumeEquivalence(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	const limit = 150
+	for _, tech := range ckTechniques {
+		for _, name := range ckBenchNames {
+			t.Run(tech.name+"/"+name, func(t *testing.T) {
+				base := tech.run(ckCfg(t, name, limit))
+				if base.Stopped != StopCompleted && base.Stopped != StopLimit {
+					t.Fatalf("baseline Stopped = %v", base.Stopped)
+				}
+				if base.Executions < 4 {
+					t.Fatalf("baseline too small to interrupt: %d executions", base.Executions)
+				}
+				for _, n := range []int{1, base.Executions / 2, base.Executions - 1} {
+					res := interruptAndResume(t, tech.run, ckCfg(t, name, limit), n)
+					requireSameResult(t, fmt.Sprintf("poll %d", n), base, res)
+				}
+			})
+		}
+	}
+}
+
+// TestPeriodicCheckpointResume drives the CheckpointEvery path: a run that
+// completes normally leaves its last periodic snapshot behind, and
+// resuming that snapshot re-explores only the tail — landing on the same
+// final result.
+func TestPeriodicCheckpointResume(t *testing.T) {
+	const limit = 120
+	for _, tech := range ckTechniques {
+		t.Run(tech.name, func(t *testing.T) {
+			base := tech.run(ckCfg(t, "CS.account_bad", limit))
+			path := filepath.Join(t.TempDir(), "ck.json")
+			cfg := ckCfg(t, "CS.account_bad", limit)
+			cfg.CheckpointPath = path
+			cfg.CheckpointEvery = 3
+			full := tech.run(cfg)
+			requireSameResult(t, "periodic-checkpointed run", base, full)
+			ck, err := LoadCheckpoint(path)
+			if err != nil {
+				t.Fatalf("no periodic checkpoint left behind: %v", err)
+			}
+			res, err := Resume(ck, ckCfg(t, "CS.account_bad", limit))
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+			requireSameResult(t, "resume from periodic snapshot", base, res)
+		})
+	}
+}
+
+// TestDeadlineStops: an already-expired wall-clock deadline stops the
+// search at its first poll with StopDeadline and a resumable checkpoint.
+func TestDeadlineStops(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	base := RunDFS(ckCfg(t, "CS.queue_bad", 100))
+	cfg := ckCfg(t, "CS.queue_bad", 100)
+	cfg.Deadline = time.Now().Add(-time.Second)
+	cfg.CheckpointPath = path
+	r := RunDFS(cfg)
+	if r.Stopped != StopDeadline {
+		t.Fatalf("Stopped = %v, want deadline", r.Stopped)
+	}
+	if r.Executions != 0 {
+		t.Fatalf("expired deadline still ran %d executions", r.Executions)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	res, err := Resume(ck, ckCfg(t, "CS.queue_bad", 100))
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	requireSameResult(t, "resume after deadline", base, res)
+}
+
+// tryInterruptAndResume is interruptAndResume for the parallel pool,
+// where the number of per-execution polls before natural completion is
+// timing-dependent: when the injected interrupt never fires, it reports
+// ok=false instead of failing, and the caller skips that point.
+func tryInterruptAndResume(t *testing.T, run func(Config) *Result, cfg Config, n int) (*Result, bool) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ck.json")
+	killed := cfg
+	killed.CheckpointPath = path
+	faultinject.Arm(faultinject.ExploreInterrupt, int64(n))
+	r := run(killed)
+	faultinject.Reset()
+	if r.Stopped != StopInterrupted {
+		return nil, false
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("poll %d: LoadCheckpoint: %v", n, err)
+	}
+	res, err := Resume(ck, cfg)
+	if err != nil {
+		t.Fatalf("poll %d: Resume: %v", n, err)
+	}
+	return res, true
+}
+
+// maskWorkMetrics zeroes the fields the parallel pool does not promise to
+// reproduce exactly: workers may have an execution in flight when the
+// budget or the suspension lands, and the speculative iterative job's
+// discarded progress is re-done on resume — so raw execution and step
+// totals can differ while every schedule count stays exact.
+func maskWorkMetrics(r *Result) *Result {
+	m := *r
+	m.Executions = 0
+	m.TotalSteps = 0
+	m.AbortedExecutions = 0
+	return &m
+}
+
+// TestKillAndResumeParallel covers the worker pool: DFS with 8 workers is
+// interrupted mid-pass (stop-the-world suspension parks positioned units),
+// checkpointed, and resumed — schedule counts, bounds, verdicts and the
+// witness must equal the sequential run exactly, per the pool's
+// determinism contract. DPOR's parallel partition legitimately explores a
+// different (sound) subset, so it is held to verdict-level equivalence.
+func TestKillAndResumeParallel(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	const limit = 300
+	t.Run("DFS", func(t *testing.T) {
+		base := RunDFS(ckCfg(t, "CS.account_bad", limit))
+		cfg := ckCfg(t, "CS.account_bad", limit)
+		cfg.Workers = 8
+		fired := 0
+		for _, n := range []int{1, 40, 150} {
+			res, ok := tryInterruptAndResume(t, RunDFS, cfg, n)
+			if !ok {
+				continue
+			}
+			fired++
+			requireSameResult(t, fmt.Sprintf("workers=8 poll %d", n),
+				maskWorkMetrics(base), maskWorkMetrics(res))
+		}
+		if fired == 0 {
+			t.Fatal("no interruption point fired")
+		}
+	})
+	t.Run("IPB", func(t *testing.T) {
+		seq := ckCfg(t, "CS.circular_buffer_bad", limit)
+		base := RunIterative(seq, CostPreemptions)
+		cfg := ckCfg(t, "CS.circular_buffer_bad", limit)
+		cfg.Workers = 8
+		run := func(c Config) *Result { return RunIterative(c, CostPreemptions) }
+		fired := 0
+		for _, n := range []int{1, 10, 25} {
+			res, ok := tryInterruptAndResume(t, run, cfg, n)
+			if !ok {
+				continue
+			}
+			fired++
+			requireSameResult(t, fmt.Sprintf("workers=8 poll %d", n),
+				maskWorkMetrics(base), maskWorkMetrics(res))
+		}
+		if fired == 0 {
+			t.Fatal("no interruption point fired")
+		}
+	})
+	t.Run("DPOR", func(t *testing.T) {
+		base := RunDPOR(ckCfg(t, "CS.queue_bad", limit))
+		cfg := ckCfg(t, "CS.queue_bad", limit)
+		cfg.Workers = 8
+		fired := 0
+		for _, n := range []int{1, 10} {
+			res, ok := tryInterruptAndResume(t, RunDPOR, cfg, n)
+			if !ok {
+				continue
+			}
+			fired++
+			if res.BugFound != base.BugFound {
+				t.Errorf("poll %d: BugFound = %v, want %v", n, res.BugFound, base.BugFound)
+			}
+			if base.Complete && !res.Complete {
+				t.Errorf("poll %d: resumed DPOR incomplete, sequential completed", n)
+			}
+			if res.BugFound && res.Witness == nil {
+				t.Errorf("poll %d: bug without witness", n)
+			}
+		}
+		if fired == 0 {
+			t.Fatal("no interruption point fired")
+		}
+	})
+}
+
+// TestCheckpointWriteCrash: a simulated mid-write death while saving must
+// leave the previous checkpoint byte-identical on disk, and that old file
+// must still resume to the uninterrupted result.
+func TestCheckpointWriteCrash(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	const limit = 150
+	base := RunDFS(ckCfg(t, "CS.queue_bad", limit))
+	path := filepath.Join(t.TempDir(), "ck.json")
+
+	// First interruption writes a good checkpoint.
+	cfg := ckCfg(t, "CS.queue_bad", limit)
+	cfg.CheckpointPath = path
+	faultinject.Arm(faultinject.ExploreInterrupt, 5)
+	r1 := RunDFS(cfg)
+	faultinject.Reset()
+	if r1.Stopped != StopInterrupted {
+		t.Fatalf("first run Stopped = %v", r1.Stopped)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume, then die halfway through writing the next checkpoint.
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.ExploreInterrupt, 5)
+	faultinject.Arm(faultinject.CheckpointWrite, 1)
+	r2, err := Resume(ck, cfg)
+	faultinject.Reset()
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if r2.Stopped != StopInterrupted {
+		t.Fatalf("second run Stopped = %v", r2.Stopped)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(good, after) {
+		t.Fatal("crashed checkpoint write corrupted the previous checkpoint")
+	}
+
+	// The surviving old checkpoint still resumes to the full result.
+	ck2, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resume(ck2, ckCfg(t, "CS.queue_bad", limit))
+	if err != nil {
+		t.Fatalf("Resume from surviving checkpoint: %v", err)
+	}
+	requireSameResult(t, "resume from pre-crash checkpoint", base, res)
+}
+
+// TestLoadCheckpointErrors pins the failure modes a user actually hits:
+// garbage bytes, a file truncated mid-write, a version from the future,
+// and an internally inconsistent frontier.
+func TestLoadCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+	wantErr := func(name, contents, frag string) {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadCheckpoint(p)
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("%s: error %v, want mention of %q", name, err, frag)
+		}
+	}
+	wantErr("garbage.json", "not json at all {", "corrupt or truncated")
+	wantErr("empty.json", "", "corrupt or truncated")
+
+	// A real checkpoint, then damaged in controlled ways.
+	path := filepath.Join(dir, "real.json")
+	cfg := ckCfg(t, "CS.account_bad", 100)
+	cfg.CheckpointPath = path
+	faultinject.Arm(faultinject.ExploreInterrupt, 3)
+	RunDFS(cfg)
+	faultinject.Reset()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr("truncated.json", string(raw[:len(raw)/2]), "corrupt or truncated")
+
+	var ck Checkpoint
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.Version = 99
+	if _, err := mutatedLoad(dir, "version.json", &ck); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version: error %v, want version complaint", err)
+	}
+	ck.Version = CheckpointVersion
+	ck.Technique = "quantum"
+	if _, err := mutatedLoad(dir, "tech.json", &ck); err == nil || !strings.Contains(err.Error(), "technique") {
+		t.Errorf("unknown technique: error %v, want technique complaint", err)
+	}
+
+	// An inconsistent frontier node fails at Resume with a clear error.
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Engine == nil || len(ck.Engine.Nodes) == 0 {
+		t.Fatal("DFS checkpoint has no frontier nodes")
+	}
+	ck.Engine.Nodes[0].Idx = 99
+	if _, err := Resume(&ck, ckCfg(t, "CS.account_bad", 100)); err == nil {
+		t.Error("Resume accepted an out-of-range frontier index")
+	}
+}
+
+func mutatedLoad(dir, name string, ck *Checkpoint) (*Checkpoint, error) {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return nil, err
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return nil, err
+	}
+	return LoadCheckpoint(p)
+}
+
+// TestCheckpointGoldenFormat pins the on-disk checkpoint schema. The
+// interruption point is fault-injected, so the serialized frontier is
+// fully deterministic; any change to the format or to what the engines
+// snapshot shows up as a diff here. Run with -update after an intentional
+// format change (and bump CheckpointVersion when the change is not
+// backward compatible).
+func TestCheckpointGoldenFormat(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	runs := []struct {
+		key string
+		run func(Config) *Result
+	}{
+		{"dfs", RunDFS},
+		{"ipb", func(c Config) *Result { return RunIterative(c, CostPreemptions) }},
+		{"dpor", RunDPOR},
+		{"rand", RunRand},
+	}
+	got := map[string]json.RawMessage{}
+	for _, tc := range runs {
+		path := filepath.Join(t.TempDir(), tc.key+".json")
+		cfg := ckCfg(t, "CS.account_bad", 100)
+		cfg.CheckpointPath = path
+		cfg.Meta = CheckpointMeta{Benchmark: "CS.account_bad", Racy: []string{"balance"}}
+		faultinject.Arm(faultinject.ExploreInterrupt, 6)
+		r := tc.run(cfg)
+		faultinject.Reset()
+		if r.Stopped != StopInterrupted {
+			t.Fatalf("%s: Stopped = %v", tc.key, r.Stopped)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[tc.key] = raw
+	}
+	blob, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+
+	golden := filepath.Join("testdata", "golden_checkpoint.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(want, blob) {
+		t.Errorf("checkpoint format drifted from %s (run with -update if intentional)", golden)
+	}
+}
+
+// TestWorkerPanicPoolSurvives: a worker dying mid-unit (outside the
+// substrate's containment) must not wedge the pool — the unit's counts
+// are forfeited, the rest of the pass drains, and the result reports the
+// panic and withholds Complete. Run under -race in CI.
+func TestWorkerPanicPoolSurvives(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	const limit = 400
+	base := RunDFS(ckCfg(t, "CS.account_bad", limit))
+	cfg := ckCfg(t, "CS.account_bad", limit)
+	cfg.Workers = 8
+	faultinject.Arm(faultinject.PoolUnitPanic, 30)
+	r := RunDFS(cfg)
+	faultinject.Reset()
+	if r.WorkerPanics != 1 {
+		t.Fatalf("WorkerPanics = %d, want 1", r.WorkerPanics)
+	}
+	if !strings.Contains(r.WorkerPanicMsg, "faultinject") {
+		t.Fatalf("WorkerPanicMsg = %q", r.WorkerPanicMsg)
+	}
+	if r.Complete {
+		t.Fatal("Complete reported despite a forfeited unit")
+	}
+	// The dead unit's counts — and its unexplored frontier — are forfeited,
+	// so the total can only shrink. How much survives depends on when work
+	// was donated to other units before the death, which is timing-dependent.
+	if r.Schedules > base.Schedules {
+		t.Fatalf("Schedules = %d after worker panic, sequential explored %d", r.Schedules, base.Schedules)
+	}
+}

@@ -42,11 +42,14 @@ package explore
 // is promoted and its partial progress is kept.
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"sctbench/internal/faultinject"
 	"sctbench/internal/sched"
 	"sctbench/internal/vthread"
 )
@@ -266,6 +269,9 @@ type unit struct {
 	eng   searcher
 	key   []int
 	fresh bool
+	// res carries a parked unit's partial tallies across a suspension
+	// (checkpoint/resume); nil for units that have never run.
+	res *unitResult
 }
 
 // runStats is the per-benchmark max-statistics fold of Table 3 (max
@@ -326,6 +332,10 @@ type unitResult struct {
 	witness   sched.Schedule
 	pruned    bool
 	branches  int // enabled siblings retired unexplored by POR
+	// panicMsg marks a unit whose worker panicked mid-unit: its schedule
+	// counts are forfeited (the merge skips them), only its run statistics
+	// fold in, and the job reports the panic instead of completeness.
+	panicMsg string
 }
 
 // job is one complete pass over the tree (one DFS, or one bound of an
@@ -355,6 +365,16 @@ type job struct {
 	aborts    *atomic.Int64
 	own       atomic.Int64
 	execLimit atomic.Int64
+
+	// ctl is the exploration's shared stop signal; workers poll it before
+	// every execution and suspend the job when it trips.
+	ctl *stopCtl
+	// suspend asks running units to park instead of continuing; queued
+	// units are parked by suspendJob directly. suspended (guarded by
+	// pool.mu) collects the parked units — each a positioned engine plus
+	// its partial tallies — for checkpointing or in-process reseeding.
+	suspend   atomic.Bool
+	suspended []*unit
 
 	done chan struct{}
 }
@@ -456,7 +476,14 @@ func (p *pool) worker() {
 			ex = newExecutor(j.cfg)
 		}
 		u.eng.setExec(ex)
-		p.runUnit(j, u)
+		if !p.runUnit(j, u) {
+			// The unit panicked mid-execution: the executor may hold a
+			// wedged run (on the reference engine, parked goroutines), so
+			// abandon it and build a fresh one for the next unit. The flat
+			// engine leaks nothing; the reference engine leaks that run's
+			// parked goroutines, which is the price of surviving.
+			ex = nil
+		}
 	}
 }
 
@@ -512,7 +539,8 @@ func (p *pool) finishUnit(j *job, res *unitResult) {
 // unit when the pool is starving and the job's queue is empty.
 func (p *pool) maybeDonate(j *job, eng searcher) {
 	p.mu.Lock()
-	starving := p.idle > 0 && len(j.queue) == 0 && !j.stop.Load() && !p.closed
+	starving := p.idle > 0 && len(j.queue) == 0 && !j.stop.Load() &&
+		!j.suspend.Load() && !p.closed
 	p.mu.Unlock()
 	if !starving {
 		return
@@ -536,12 +564,38 @@ func (p *pool) maybeDonate(j *job, eng searcher) {
 }
 
 // runUnit explores one unit to exhaustion (or cancellation), donating work
-// along the way.
-func (p *pool) runUnit(j *job, u *unit) {
-	res := &unitResult{key: u.key}
+// along the way. It returns false when the unit panicked: the panic is
+// recovered here — the pool survives a worker panic by failing that unit
+// alone — and the caller must abandon the worker's executor.
+func (p *pool) runUnit(j *job, u *unit) (ok bool) {
+	res := u.res
+	if res == nil {
+		res = &unitResult{key: u.key}
+	}
 	eng := u.eng
+	ok = true
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok = false
+			res.panicMsg = fmt.Sprint(rec)
+			p.finishUnit(j, res)
+		}
+	}()
 	alive := u.fresh || eng.backtrack()
 	for alive && !j.stop.Load() {
+		if _, stop := j.ctl.poll(); stop {
+			p.suspendJob(j)
+		}
+		if j.suspend.Load() {
+			// Park positioned: the engine sits post-backtrack, ready for
+			// its next runOnce, which is exactly the state checkpoints
+			// serialize and Resume re-enters.
+			p.parkUnit(j, &unit{eng: eng, key: u.key, fresh: true, res: res})
+			return true
+		}
+		if faultinject.Hit(faultinject.PoolUnitPanic) {
+			panic("faultinject: worker death mid-unit")
+		}
 		out := eng.runOnce()
 		j.execs.Add(1)
 		j.steps.Add(int64(len(out.Trace)))
@@ -579,6 +633,64 @@ func (p *pool) runUnit(j *job, u *unit) {
 	res.pruned = eng.wasPruned()
 	res.branches = eng.prunedBranches()
 	p.finishUnit(j, res)
+	return true
+}
+
+// suspendJob asks a running job to park: queued units move to the
+// suspended list immediately, running units park at their next
+// per-execution check. Idempotent, and a no-op on a stopped job (a
+// cancelled job's state is discarded, not checkpointed).
+func (p *pool) suspendJob(j *job) {
+	p.mu.Lock()
+	if j.stop.Load() || j.suspend.Load() {
+		p.mu.Unlock()
+		return
+	}
+	j.suspend.Store(true)
+	j.suspended = append(j.suspended, j.queue...)
+	j.pending -= len(j.queue)
+	j.queue = nil
+	if j.pending == 0 && !j.closed {
+		j.closed = true
+		close(j.done)
+	}
+	p.mu.Unlock()
+}
+
+// parkUnit records a running unit parked by a suspension.
+func (p *pool) parkUnit(j *job, u *unit) {
+	p.mu.Lock()
+	j.suspended = append(j.suspended, u)
+	j.pending--
+	if j.pending == 0 && !j.closed {
+		j.closed = true
+		close(j.done)
+	}
+	p.mu.Unlock()
+}
+
+// collectJob gathers a drained job's parked units and finished results;
+// safe only after j.done has closed (no worker owns any of them then).
+func (p *pool) collectJob(j *job) (parked []*unit, results []*unitResult) {
+	p.mu.Lock()
+	parked = j.suspended
+	j.suspended = nil
+	p.mu.Unlock()
+	j.resMu.Lock()
+	results = j.results
+	j.resMu.Unlock()
+	return parked, results
+}
+
+// addJobUnits registers a job seeded with restored units (pool resume).
+func (p *pool) addJobUnits(j *job, units []*unit) *job {
+	p.mu.Lock()
+	j.queue = append(j.queue, units...)
+	j.pending = len(units)
+	p.jobs = append(p.jobs, j)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	return j
 }
 
 // passResult is the merged outcome of one job.
@@ -593,21 +705,43 @@ type passResult struct {
 	pruned         bool
 	branches       int
 	truncated      bool // the merge-time budget cut the walk short
+	workerPanics   int
+	panicMsg       string
 }
 
-// mergeJob concatenates a job's unit results in canonical order, applying
-// the exact remaining schedule budget. On a fully enumerated pass this
-// reproduces the sequential visit order (see the package comment).
-func mergeJob(j *job, budget int) passResult {
-	j.resMu.Lock()
-	units := j.results
-	j.resMu.Unlock()
+// mergeJob merges a drained job: its finished unit results plus the
+// partial tallies of any units parked by a suspension — a suspension that
+// raced a budget stop must not silently drop counted (budget-consuming)
+// schedules.
+func mergeJob(p *pool, j *job, budget int) passResult {
+	parked, results := p.collectJob(j)
+	for _, u := range parked {
+		if u.res != nil {
+			results = append(results, u.res)
+		}
+	}
+	return mergeUnits(results, budget)
+}
+
+// mergeUnits concatenates unit results in canonical order, applying the
+// exact remaining schedule budget. On a fully enumerated pass this
+// reproduces the sequential visit order (see the package comment). Units
+// whose worker panicked contribute their run statistics only: their counts
+// are forfeited and surface as workerPanics instead.
+func mergeUnits(units []*unitResult, budget int) passResult {
 	sort.Slice(units, func(a, b int) bool {
 		return sched.CompareBranchKeys(units[a].key, units[b].key) < 0
 	})
 	var m passResult
 	for _, u := range units {
 		m.fold(u.runStats)
+		if u.panicMsg != "" {
+			m.workerPanics++
+			if m.panicMsg == "" {
+				m.panicMsg = u.panicMsg
+			}
+			continue
+		}
 		m.pruned = m.pruned || u.pruned
 		m.branches += u.branches
 		take := u.schedules
@@ -638,31 +772,198 @@ func newCounters() (execs, steps, aborts *atomic.Int64) {
 	return new(atomic.Int64), new(atomic.Int64), new(atomic.Int64)
 }
 
+// poolResume carries a restored pool checkpoint's live state into the
+// parallel drivers: the parked units, the finished unit results, and every
+// shared budget and counter of the suspended job.
+type poolResume struct {
+	units          []*unit
+	results        []*unitResult
+	budget         int64
+	execLimit      int64
+	ownExecs       int64
+	execs          int64
+	steps          int64
+	aborts         int64
+	counted        int   // iterative: schedules committed by earlier bounds
+	committedExecs int64 // iterative: executions committed by earlier bounds
+	bound          int   // iterative: the bound being enumerated
+}
+
+// withParkedPartials appends the partial tallies of parked units to a
+// drained job's finished results — counted (budget-consuming) schedules
+// must never be dropped, whether the merge is for a checkpointed partial
+// result or for a suspension that raced a budget stop.
+func withParkedPartials(results []*unitResult, parked []*unit) []*unitResult {
+	for _, u := range parked {
+		if u.res != nil {
+			results = append(results, u.res)
+		}
+	}
+	return results
+}
+
+// poolCheckpoint serializes a drained job: its parked units (each a
+// positioned engine plus partial tallies), its finished unit results, and
+// its budgets and counters. r must be the *pre-merge* cross-pass result:
+// the serialized units' contributions are folded in on resume, so folding
+// them here too would double-count.
+func poolCheckpoint(cfg Config, r *Result, tech string, j *job,
+	parked []*unit, results []*unitResult) *Checkpoint {
+	ck := newCheckpoint(cfg, tech, r)
+	ps := &PoolState{
+		BudgetLeft:    j.budget.Load(),
+		ExecLimitLeft: j.execLimit.Load(),
+		OwnExecs:      j.own.Load(),
+		Execs:         j.execs.Load(),
+		Steps:         j.steps.Load(),
+		Aborts:        j.aborts.Load(),
+	}
+	for _, u := range parked {
+		us := UnitState{
+			Key:        append([]int(nil), u.key...),
+			Positioned: u.fresh,
+			Engine:     snapshotSearcher(u.eng),
+		}
+		if u.res != nil {
+			us.Partial = unitResultToState(u.res)
+		}
+		ps.Units = append(ps.Units, us)
+	}
+	for _, ur := range results {
+		ps.Done = append(ps.Done, *unitResultToState(ur))
+	}
+	ck.Pool = ps
+	return ck
+}
+
 // runTreeParallel is the shared single-pass driver behind parallel DFS and
 // DPOR: one job seeded with root, explored to completion or the schedule
 // limit.
 func runTreeParallel(cfg Config, r *Result, root searcher) *Result {
-	p := newPool(cfg.Workers)
+	return treeParallel(cfg, r, &poolResume{
+		units:     []*unit{{eng: root, fresh: true}},
+		budget:    int64(cfg.Limit),
+		execLimit: math.MaxInt64, // unbounded passes have no execution guard
+	})
+}
+
+// treeParallel runs one single-pass job — fresh, or restored from a pool
+// checkpoint — to completion, the limit, or interruption.
+func treeParallel(cfg Config, r *Result, rs *poolResume) *Result {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	p := newPool(workers)
 	defer p.close()
 	execs, steps, aborts := newCounters()
-	j := &job{cfg: cfg, execs: execs, steps: steps, aborts: aborts,
+	execs.Store(rs.execs)
+	steps.Store(rs.steps)
+	aborts.Store(rs.aborts)
+	ctl := newStopCtl(cfg)
+	j := &job{cfg: cfg, ctl: ctl, execs: execs, steps: steps, aborts: aborts,
 		done: make(chan struct{})}
-	j.execLimit.Store(math.MaxInt64) // unbounded passes have no execution guard
-	j.budget.Store(int64(cfg.Limit))
-	p.addJob(j, root)
-	<-j.done
-	m := mergeJob(j, cfg.Limit)
+	j.execLimit.Store(rs.execLimit)
+	j.budget.Store(rs.budget)
+	j.own.Store(rs.ownExecs)
+	j.results = rs.results
+	p.addJobUnits(j, rs.units)
+	j = p.waitTree(cfg, r, j, newCkWriter(cfg))
+	parked, results := p.collectJob(j)
+	reason, stopped := ctl.reason()
+	truncated := stopped && !j.limitHit.Load()
+	if truncated && !ctl.crashed.Load() {
+		writeCheckpoint(cfg, r, poolCheckpoint(cfg, r, r.Technique.String(), j, parked, results))
+	}
+	m := mergeUnits(withParkedPartials(results, parked), cfg.Limit)
 	foldPass(r, &m, 0)
 	r.Schedules = m.schedules
-	if r.Schedules >= cfg.Limit || j.limitHit.Load() || m.truncated {
+	if truncated {
+		r.Stopped = reason
+	} else if r.Schedules >= cfg.Limit || j.limitHit.Load() || m.truncated {
 		r.LimitHit = true
-	} else {
+		r.Stopped = StopLimit
+	} else if r.WorkerPanics == 0 {
 		r.Complete = true
 	}
 	r.Executions = int(execs.Load())
 	r.TotalSteps = steps.Load()
 	r.AbortedExecutions = int(aborts.Load())
 	return r
+}
+
+// waitTree waits for a single-pass job to drain, taking periodic
+// stop-the-world checkpoints when configured. Reseeding replaces the job
+// object, so the job that finally drained is returned.
+func (p *pool) waitTree(cfg Config, r *Result, j *job, ckw *ckWriter) *job {
+	if ckw == nil {
+		<-j.done
+		return j
+	}
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.done:
+			return j
+		case <-tick.C:
+			if _, stopped := j.ctl.reason(); stopped || !ckw.due(int(j.execs.Load())) {
+				continue
+			}
+			nj, ok := p.periodicTreeCheckpoint(cfg, r, j)
+			j = nj
+			if !ok {
+				<-j.done
+				return j
+			}
+			ckw.last = int(j.execs.Load())
+		}
+	}
+}
+
+// periodicTreeCheckpoint stop-the-world checkpoints a running job:
+// suspend, wait for every unit to park, serialize, then reseed an
+// identical job with the very same parked units (in-process — no
+// serialization round trip). ok=false when the job finished or stopped
+// instead of parking, or a simulated mid-write crash ended the run; the
+// parked units (if any) are put back for the final drain path either way.
+func (p *pool) periodicTreeCheckpoint(cfg Config, r *Result, j *job) (*job, bool) {
+	p.suspendJob(j)
+	<-j.done
+	p.removeJob(j)
+	p.mu.Lock()
+	parked := j.suspended
+	j.suspended = nil
+	stopped := j.stop.Load()
+	p.mu.Unlock()
+	restore := func() {
+		p.mu.Lock()
+		j.suspended = parked
+		p.mu.Unlock()
+	}
+	if _, trip := j.ctl.reason(); stopped || trip || len(parked) == 0 {
+		restore()
+		return j, false
+	}
+	j.resMu.Lock()
+	results := j.results
+	j.resMu.Unlock()
+	if writeCheckpoint(cfg, r, poolCheckpoint(cfg, r, r.Technique.String(), j, parked, results)) {
+		// Simulated death mid-write: stop everything, leave the file as
+		// the crash left it.
+		j.ctl.crashed.Store(true)
+		j.ctl.trip(StopInterrupted)
+		restore()
+		return j, false
+	}
+	j2 := &job{cfg: cfg, ctl: j.ctl, execs: j.execs, steps: j.steps,
+		aborts: j.aborts, done: make(chan struct{})}
+	j2.budget.Store(j.budget.Load())
+	j2.execLimit.Store(j.execLimit.Load())
+	j2.own.Store(j.own.Load())
+	j2.results = results
+	p.addJobUnits(j2, parked)
+	return j2, true
 }
 
 // runDFSParallel is RunDFS with cfg.Workers > 1.
@@ -679,37 +980,92 @@ func runDPORParallel(cfg Config) *Result {
 }
 
 // runIterativeParallel is RunIterative with cfg.Workers > 1: each bound is
-// one job, with the next bound running speculatively behind it.
-func runIterativeParallel(cfg Config, model CostModel) *Result {
+// one job, with the next bound running speculatively behind it. A non-nil
+// rs resumes a suspended sweep: the active bound's parked units are
+// reseeded exactly, while the speculative bound (whose progress a
+// checkpoint discards — its results would have been recomputed anyway)
+// restarts from scratch.
+func runIterativeParallel(cfg Config, model CostModel, r *Result, rs *poolResume) *Result {
 	cfg = cfg.withDefaults()
 	tech := IPB
 	if model == CostDelays {
 		tech = IDB
 	}
-	r := &Result{Technique: tech}
-	p := newPool(cfg.Workers)
+	if r == nil {
+		r = &Result{Technique: tech}
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	p := newPool(workers)
 	defer p.close()
 	execs, steps, aborts := newCounters()
+	ctl := newStopCtl(cfg)
 
 	committedExecs := int64(0)
+	counted := 0
+	startBound := 0
 	newJob := func(bound, budget int) *job {
-		j := &job{cfg: cfg, execs: execs, steps: steps, aborts: aborts,
+		j := &job{cfg: cfg, ctl: ctl, execs: execs, steps: steps, aborts: aborts,
 			done: make(chan struct{})}
 		j.execLimit.Store(int64(cfg.MaxExecutions) - committedExecs)
 		j.budget.Store(int64(budget))
 		return p.addJob(j, newEngine(cfg, model, bound))
 	}
 
-	counted := 0
-	active := newJob(0, cfg.Limit)
-	var spec *job
-	if cfg.MaxBound >= 1 {
-		spec = newJob(1, cfg.Limit)
+	var active *job
+	if rs != nil {
+		counted = rs.counted
+		committedExecs = rs.committedExecs
+		startBound = rs.bound
+		execs.Store(rs.execs)
+		steps.Store(rs.steps)
+		aborts.Store(rs.aborts)
+		if len(rs.units) > 0 {
+			active = &job{cfg: cfg, ctl: ctl, execs: execs, steps: steps,
+				aborts: aborts, done: make(chan struct{})}
+			active.execLimit.Store(rs.execLimit)
+			active.budget.Store(rs.budget)
+			active.own.Store(rs.ownExecs)
+			active.results = rs.results
+			p.addJobUnits(active, rs.units)
+		} else {
+			active = newJob(startBound, cfg.Limit-counted)
+		}
+	} else {
+		active = newJob(0, cfg.Limit)
 	}
-	for bound := 0; ; bound++ {
+	var spec *job
+	if startBound+1 <= cfg.MaxBound {
+		spec = newJob(startBound+1, cfg.Limit-counted)
+	}
+	for bound := startBound; ; bound++ {
 		<-active.done
 		p.removeJob(active)
-		m := mergeJob(active, cfg.Limit-counted)
+		parked, results := p.collectJob(active)
+		reason, stopped := ctl.reason()
+		if stopped && !active.limitHit.Load() {
+			if spec != nil {
+				p.stopJob(spec)
+			}
+			r.Bound = bound
+			if !ctl.crashed.Load() {
+				ck := poolCheckpoint(cfg, r, tech.String(), active, parked, results)
+				ck.Bound = bound
+				ck.Pool.Counted = counted
+				ck.Pool.CommittedExecs = committedExecs
+				writeCheckpoint(cfg, r, ck)
+			}
+			m := mergeUnits(withParkedPartials(results, parked), cfg.Limit-counted)
+			r.NewSchedules = m.schedules
+			foldPass(r, &m, counted)
+			counted += m.schedules
+			r.Schedules = counted
+			r.Stopped = reason
+			break
+		}
+		m := mergeUnits(withParkedPartials(results, parked), cfg.Limit-counted)
 		r.Bound = bound
 		r.NewSchedules = m.schedules
 		foldPass(r, &m, counted)
@@ -717,12 +1073,17 @@ func runIterativeParallel(cfg Config, model CostModel) *Result {
 		r.Schedules = counted
 		if r.Schedules >= cfg.Limit || active.limitHit.Load() || m.truncated {
 			r.LimitHit = true
+			r.Stopped = StopLimit
 			break
 		}
 		if !m.pruned {
 			// Nothing was pruned anywhere: every schedule costs at most
-			// bound, so the space is fully explored.
-			r.Complete = true
+			// bound, so the space is fully explored — unless a worker
+			// panic forfeited a unit, in which case completeness cannot be
+			// claimed.
+			if r.WorkerPanics == 0 {
+				r.Complete = true
+			}
 			break
 		}
 		if r.BugFound {
@@ -759,6 +1120,10 @@ func foldPass(r *Result, m *passResult, prior int) {
 	m.runStats.foldInto(r)
 	r.BuggySchedules += m.buggy
 	r.BranchesPruned += m.branches
+	r.WorkerPanics += m.workerPanics
+	if m.panicMsg != "" && r.WorkerPanicMsg == "" {
+		r.WorkerPanicMsg = m.panicMsg
+	}
 	if m.bugFound && !r.BugFound {
 		r.BugFound = true
 		r.Failure = m.failure
@@ -772,10 +1137,12 @@ func foldPass(r *Result, m *passResult, prior int) {
 // dispenser makes the parallel result — including the witness — identical
 // to the sequential one. Workers capture the witness of the lowest-index
 // buggy run as they go, so exactly Limit executions are performed, as in
-// the sequential sweep.
-func runRandParallel(cfg Config) *Result {
-	cfg = cfg.withDefaults()
-	r := &Result{Technique: Rand}
+// the sequential sweep. start > 0 resumes a checkpointed sweep at that
+// run index. An interruption checkpoints the watermark — the first run
+// index not yet accounted for; runs a worker overshot beyond it re-run on
+// resume, which is harmless because every run is a pure function of its
+// index.
+func runRandParallel(cfg Config, r *Result, start int) *Result {
 	n := cfg.Limit
 
 	type rec struct {
@@ -783,7 +1150,10 @@ func runRandParallel(cfg Config) *Result {
 		steps           int
 	}
 	recs := make([]rec, n)
+	done := make([]atomic.Bool, n)
+	ctl := newStopCtl(cfg)
 	var next atomic.Int64
+	next.Store(int64(start))
 	var wg sync.WaitGroup
 	stats := make([]runStats, cfg.Workers)
 	var witMu sync.Mutex
@@ -797,6 +1167,9 @@ func runRandParallel(cfg Config) *Result {
 			ex := newExecutor(cfg)
 			defer ex.Close()
 			for {
+				if _, stop := ctl.poll(); stop {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -813,12 +1186,25 @@ func runRandParallel(cfg Config) *Result {
 					}
 					witMu.Unlock()
 				}
+				done[i].Store(true)
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	for _, rc := range recs {
+	reason, stopped := ctl.reason()
+	end := n
+	if stopped {
+		// The dispenser hands out indices in order and a claimed index
+		// always runs to completion, so the done flags are a contiguous
+		// prefix [start, end).
+		end = start
+		for end < n && done[end].Load() {
+			end++
+		}
+	}
+	for i := start; i < end; i++ {
+		rc := recs[i]
 		r.TotalSteps += int64(rc.steps)
 		if !rc.terminal {
 			continue
@@ -826,7 +1212,7 @@ func runRandParallel(cfg Config) *Result {
 		r.Schedules++
 		if rc.buggy {
 			r.BuggySchedules++
-			if !r.BugFound {
+			if !r.BugFound && i == witIdx {
 				r.BugFound = true
 				r.SchedulesToFirstBug = r.Schedules
 				r.Failure = failure
@@ -834,11 +1220,20 @@ func runRandParallel(cfg Config) *Result {
 			}
 		}
 	}
+	// The max-fold statistics may include overshot runs beyond the
+	// watermark; re-folding them on resume is idempotent.
 	for _, s := range stats {
 		s.foldInto(r)
 	}
+	if stopped {
+		r.Stopped = reason
+		r.Executions = end
+		writeCheckpoint(cfg, r, randCheckpoint(cfg, r, end))
+		return r
+	}
 	r.Executions = n
 	r.LimitHit = true
+	r.Stopped = StopLimit
 	return r
 }
 

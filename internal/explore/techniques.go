@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"time"
 
 	"sctbench/internal/sched"
 	"sctbench/internal/vthread"
@@ -86,6 +87,22 @@ type Config struct {
 	// sequential search; see internal/explore/parallel.go for the exact
 	// determinism contract under a truncating Limit.
 	Workers int
+	// Deadline, when nonzero, stops the search at that wall-clock time
+	// with Stopped = StopDeadline (and a checkpoint, when configured).
+	Deadline time.Time
+	// Interrupt, when non-nil, stops the search when it is closed — the
+	// CLIs close it from their signal handlers. The search notices at its
+	// next per-execution poll and stops with Stopped = StopInterrupted.
+	Interrupt <-chan struct{}
+	// CheckpointPath, when nonempty, is where the search writes its
+	// frontier checkpoint on interruption or deadline (atomically:
+	// temp file + rename). See Resume.
+	CheckpointPath string
+	// CheckpointEvery additionally writes a checkpoint every N executions
+	// (0 = only at interruption/deadline).
+	CheckpointEvery int
+	// Meta is CLI context carried verbatim into checkpoint files.
+	Meta CheckpointMeta
 }
 
 // Defaults for Config fields left zero.
@@ -165,6 +182,23 @@ type Result struct {
 	// metric the abort path reduces (a redundancy detected at step k saves
 	// the schedule's tail beyond k).
 	TotalSteps int64
+	// Stopped says why the search ended: StopCompleted (zero) for a
+	// natural end, StopLimit when a budget truncated it, StopDeadline or
+	// StopInterrupted when it was cut short externally. A truncated
+	// (deadline/interrupted) result is a valid partial result, and — with
+	// Config.CheckpointPath set — is accompanied by a checkpoint Resume
+	// can continue from.
+	Stopped StopReason
+	// WorkerPanics counts parallel-pool workers that panicked mid-unit
+	// (outside the substrate's own containment); each such unit's counts
+	// are forfeited, the pool drains the rest, and Complete is withheld.
+	// WorkerPanicMsg is the first such panic's message.
+	WorkerPanics   int
+	WorkerPanicMsg string
+	// CheckpointError records a failed (non-injected) checkpoint write;
+	// the search itself continues — losing a checkpoint never loses the
+	// run.
+	CheckpointError string
 }
 
 // Run explores the program with the given technique.
@@ -216,11 +250,29 @@ func (r *Result) recordBug(out *vthread.Outcome) {
 // DPOR) over the whole tree to exhaustion or the schedule limit — the
 // sequential counterpart of runTreeParallel, shared so that limit
 // accounting and observation live in exactly one place per driver shape.
+// The engine must be positioned to run: fresh, or restored from a
+// checkpoint (which is only ever taken at the loop top, post-backtrack).
 func runSequentialTree(cfg Config, r *Result, eng searcher) *Result {
 	ex := newExecutor(cfg)
 	defer ex.Close()
 	eng.setExec(ex)
+	ctl := newStopCtl(cfg)
+	ckw := newCkWriter(cfg)
 	for {
+		if reason, stop := ctl.poll(); stop {
+			r.Stopped = reason
+			writeCheckpoint(cfg, r, treeCheckpoint(cfg, r, eng))
+			break
+		}
+		if ckw.due(eng.execCount()) {
+			if writeCheckpoint(cfg, r, treeCheckpoint(cfg, r, eng)) {
+				// Simulated death mid-write: stop as if killed, leaving
+				// whatever the crash left on disk.
+				r.Stopped = StopInterrupted
+				break
+			}
+			ckw.last = eng.execCount()
+		}
 		out := eng.runOnce()
 		r.observe(out)
 		// Step-limited and chooser-aborted runs are not terminal schedules.
@@ -232,6 +284,7 @@ func runSequentialTree(cfg Config, r *Result, eng searcher) *Result {
 		}
 		if r.Schedules >= cfg.Limit {
 			r.LimitHit = true
+			r.Stopped = StopLimit
 			break
 		}
 		if !eng.backtrack() {
@@ -242,6 +295,16 @@ func runSequentialTree(cfg Config, r *Result, eng searcher) *Result {
 	r.Executions = eng.execCount()
 	r.BranchesPruned += eng.prunedBranches()
 	return r
+}
+
+// treeCheckpoint snapshots a single-pass sequential search. The partial
+// Result is serialized as-is: the fields the driver fills only at exit
+// (Executions, BranchesPruned) stay zero in the file and are reconstructed
+// from the engine's own counters when the resumed run exits.
+func treeCheckpoint(cfg Config, r *Result, eng searcher) *Checkpoint {
+	ck := newCheckpoint(cfg, engineTechName(eng), r)
+	ck.Engine = snapshotSearcher(eng)
+	return ck
 }
 
 // RunDFS performs unbounded depth-first search up to the schedule limit.
@@ -270,25 +333,51 @@ func RunIterative(cfg Config, model CostModel) *Result {
 		panic("explore: RunIterative needs a bounding cost model")
 	}
 	if cfg.Workers > 1 {
-		return runIterativeParallel(cfg, model)
+		return runIterativeParallel(cfg, model, nil, nil)
 	}
 	cfg = cfg.withDefaults()
 	tech := IPB
 	if model == CostDelays {
 		tech = IDB
 	}
-	r := &Result{Technique: tech}
-	executions := 0
+	return iterSequential(cfg, model, &Result{Technique: tech}, 0, 0, nil)
+}
+
+// iterSequential drives the bound sweeps of a sequential iterative search
+// from startBound upward. A non-nil eng resumes mid-bound: it must be
+// positioned to run at startBound, with r carrying the partial sweep and
+// priorExecs the executions committed by earlier bounds.
+func iterSequential(cfg Config, model CostModel, r *Result, startBound, priorExecs int, eng *engine) *Result {
+	executions := priorExecs
 	ex := newExecutor(cfg) // one pool of recycled threads across all bounds
 	defer ex.Close()
+	ctl := newStopCtl(cfg)
+	ckw := newCkWriter(cfg)
 
-	for bound := 0; bound <= cfg.MaxBound; bound++ {
+	for bound := startBound; bound <= cfg.MaxBound; bound++ {
 		r.Bound = bound
-		r.NewSchedules = 0
-		eng := newEngine(cfg, model, bound)
+		if eng == nil {
+			r.NewSchedules = 0
+			eng = newEngine(cfg, model, bound)
+		}
 		eng.exec = ex
 		boundDone := false
+		stopped := false
 		for {
+			if reason, stop := ctl.poll(); stop {
+				r.Stopped = reason
+				writeCheckpoint(cfg, r, iterCheckpoint(cfg, r, bound, executions, eng))
+				stopped = true
+				break
+			}
+			if ckw.due(executions + eng.executions) {
+				if writeCheckpoint(cfg, r, iterCheckpoint(cfg, r, bound, executions, eng)) {
+					r.Stopped = StopInterrupted
+					stopped = true
+					break
+				}
+				ckw.last = executions + eng.executions
+			}
 			out := eng.runOnce()
 			r.observe(out)
 			if !out.StepLimitHit {
@@ -306,10 +395,12 @@ func RunIterative(cfg Config, model CostModel) *Result {
 			}
 			if r.Schedules >= cfg.Limit {
 				r.LimitHit = true
+				r.Stopped = StopLimit
 				break
 			}
 			if executions+eng.executions >= cfg.MaxExecutions {
 				r.LimitHit = true
+				r.Stopped = StopLimit
 				break
 			}
 			if !eng.backtrack() {
@@ -318,10 +409,12 @@ func RunIterative(cfg Config, model CostModel) *Result {
 			}
 		}
 		executions += eng.executions
-		if r.LimitHit {
+		pruned := eng.pruned
+		eng = nil
+		if stopped || r.LimitHit {
 			break
 		}
-		if boundDone && !eng.pruned {
+		if boundDone && !pruned {
 			// Nothing was pruned anywhere: every schedule costs at most
 			// bound, so the space is fully explored.
 			r.Complete = true
@@ -337,18 +430,49 @@ func RunIterative(cfg Config, model CostModel) *Result {
 	return r
 }
 
+// iterCheckpoint snapshots a sequential iterative search mid-bound.
+func iterCheckpoint(cfg Config, r *Result, bound, priorExecs int, eng *engine) *Checkpoint {
+	ck := newCheckpoint(cfg, engineTechName(eng), r)
+	ck.Bound = bound
+	ck.BoundExecs = priorExecs
+	ck.Engine = eng.snapshot()
+	return ck
+}
+
 // RunRand performs Limit independent runs under the naive random scheduler.
 // No state is kept between runs, so duplicate schedules are possible and
 // the search never "completes" (§3 of the paper).
 func RunRand(cfg Config) *Result {
-	if cfg.Workers > 1 {
-		return runRandParallel(cfg)
-	}
 	cfg = cfg.withDefaults()
-	r := &Result{Technique: Rand}
+	if cfg.Workers > 1 {
+		return runRandParallel(cfg, &Result{Technique: Rand}, 0)
+	}
+	return randSequential(cfg, &Result{Technique: Rand}, 0)
+}
+
+// randSequential sweeps run indices [start, Limit). Rand's checkpoint is
+// just the next run index: every run i is independently seeded from
+// (cfg.Seed, i), so no scheduler state needs to survive an interruption.
+func randSequential(cfg Config, r *Result, start int) *Result {
 	ex := newExecutor(cfg)
 	defer ex.Close()
-	for i := 0; i < cfg.Limit; i++ {
+	ctl := newStopCtl(cfg)
+	ckw := newCkWriter(cfg)
+	for i := start; i < cfg.Limit; i++ {
+		if reason, stop := ctl.poll(); stop {
+			r.Stopped = reason
+			writeCheckpoint(cfg, r, randCheckpoint(cfg, r, i))
+			r.Executions = i
+			return r
+		}
+		if ckw.due(i) {
+			if writeCheckpoint(cfg, r, randCheckpoint(cfg, r, i)) {
+				r.Stopped = StopInterrupted
+				r.Executions = i
+				return r
+			}
+			ckw.last = i
+		}
 		out := randRun(ex, cfg, i)
 		r.observe(out)
 		if out.StepLimitHit {
@@ -361,5 +485,14 @@ func RunRand(cfg Config) *Result {
 	}
 	r.Executions = cfg.Limit
 	r.LimitHit = true
+	r.Stopped = StopLimit
 	return r
+}
+
+// randCheckpoint snapshots a Rand sweep: the watermark below which every
+// run's contribution is already folded into r.
+func randCheckpoint(cfg Config, r *Result, nextRun int) *Checkpoint {
+	ck := newCheckpoint(cfg, "Rand", r)
+	ck.NextRun = nextRun
+	return ck
 }

@@ -1,0 +1,100 @@
+// Package faultinject provides deterministic crash points for the
+// robustness tests of the exploration stack. A point is armed with a
+// countdown; the n-th Hit call on that point fires exactly once, letting a
+// test kill a search at execution N, corrupt a checkpoint write mid-file,
+// or panic a pool worker between steal and merge — and then prove that
+// resume reproduces the uninterrupted run.
+//
+// The package is a process-global registry, so tests that arm points must
+// not run concurrently with each other (the explore/study test suites run
+// their faultinject cases sequentially). Production code only pays one
+// atomic load per call site while nothing is armed.
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Point identifies one crash site compiled into the exploration stack.
+type Point int
+
+const (
+	// ExploreInterrupt fires in the exploration drivers' per-execution
+	// poll, simulating a SIGINT arriving before the N-th execution.
+	ExploreInterrupt Point = iota
+	// CheckpointWrite fires inside Checkpoint.Save, simulating the process
+	// dying mid-write: a truncated temp file is left behind and the real
+	// checkpoint is never replaced.
+	CheckpointWrite
+	// PoolUnitPanic fires inside the parallel pool's runUnit, panicking the
+	// worker between stealing a unit and merging its result.
+	PoolUnitPanic
+	numPoints
+)
+
+// ErrInjected is the sentinel returned by code paths that simulate a crash
+// (rather than panic): callers treat it as "the process died here".
+var ErrInjected = errors.New("faultinject: simulated crash")
+
+var (
+	armed atomic.Int32 // number of armed points; the fast-path gate
+	mu    sync.Mutex
+	count [numPoints]int64 // remaining Hit calls before firing; 0 = disarmed
+)
+
+// Arm schedules point to fire on its n-th Hit call (n >= 1). Arming
+// replaces any previous countdown for the point.
+func Arm(p Point, n int64) {
+	if n < 1 {
+		panic("faultinject: Arm needs n >= 1")
+	}
+	mu.Lock()
+	if count[p] == 0 {
+		armed.Add(1)
+	}
+	count[p] = n
+	mu.Unlock()
+}
+
+// Disarm cancels a pending countdown for point.
+func Disarm(p Point) {
+	mu.Lock()
+	if count[p] != 0 {
+		count[p] = 0
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	for p := range count {
+		if count[p] != 0 {
+			count[p] = 0
+			armed.Add(-1)
+		}
+	}
+	mu.Unlock()
+}
+
+// Hit decrements point's countdown and reports whether it fired. With
+// nothing armed anywhere it is a single atomic load.
+func Hit(p Point) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count[p] == 0 {
+		return false
+	}
+	count[p]--
+	if count[p] == 0 {
+		armed.Add(-1)
+		return true
+	}
+	return false
+}

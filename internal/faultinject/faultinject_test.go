@@ -1,0 +1,44 @@
+package faultinject
+
+import "testing"
+
+func TestCountdownFiresExactlyOnce(t *testing.T) {
+	defer Reset()
+	Arm(ExploreInterrupt, 3)
+	for i := 0; i < 2; i++ {
+		if Hit(ExploreInterrupt) {
+			t.Fatalf("fired at call %d, want call 3", i+1)
+		}
+	}
+	if !Hit(ExploreInterrupt) {
+		t.Fatal("did not fire at call 3")
+	}
+	for i := 0; i < 5; i++ {
+		if Hit(ExploreInterrupt) {
+			t.Fatal("fired again after the countdown elapsed")
+		}
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	defer Reset()
+	Arm(CheckpointWrite, 1)
+	if Hit(PoolUnitPanic) {
+		t.Fatal("unarmed point fired")
+	}
+	if !Hit(CheckpointWrite) {
+		t.Fatal("armed point did not fire")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	defer Reset()
+	Arm(PoolUnitPanic, 1)
+	Disarm(PoolUnitPanic)
+	if Hit(PoolUnitPanic) {
+		t.Fatal("disarmed point fired")
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed gate not restored: %d", armed.Load())
+	}
+}

@@ -16,12 +16,12 @@ func Table3CSV(rows []*study.Row) string {
 	var b strings.Builder
 	b.WriteString("id,name,threads,max_enabled,max_sched_points,racy_vars")
 	for _, tech := range []string{"ipb", "idb"} {
-		fmt.Fprintf(&b, ",%s_found,%s_bound,%s_first,%s_total,%s_new,%s_buggy", tech, tech, tech, tech, tech, tech)
+		fmt.Fprintf(&b, ",%s_found,%s_bound,%s_first,%s_total,%s_new,%s_buggy,%s_status", tech, tech, tech, tech, tech, tech, tech)
 	}
-	b.WriteString(",dfs_found,dfs_first,dfs_total,dfs_buggy,dfs_complete,dfs_execs,dfs_steps")
+	b.WriteString(",dfs_found,dfs_first,dfs_total,dfs_buggy,dfs_complete,dfs_execs,dfs_steps,dfs_status")
 	b.WriteString(",dpor_found,dpor_first,dpor_total,dpor_buggy,dpor_complete")
-	b.WriteString(",dpor_execs,dpor_aborted,dpor_pruned,dpor_steps,dpor_exec_reduction")
-	b.WriteString(",rand_found,rand_first,rand_buggy")
+	b.WriteString(",dpor_execs,dpor_aborted,dpor_pruned,dpor_steps,dpor_exec_reduction,dpor_status")
+	b.WriteString(",rand_found,rand_first,rand_buggy,rand_status")
 	b.WriteString(",maple_found,maple_first,maple_total\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%d,%s,%d,%d,%d,%d", r.Bench.ID, r.Bench.Name,
@@ -29,19 +29,20 @@ func Table3CSV(rows []*study.Row) string {
 		for _, tech := range []explore.Technique{explore.IPB, explore.IDB} {
 			res := r.Results[tech]
 			if res == nil {
-				b.WriteString(",,,,,,")
+				b.WriteString(",,,,,,,")
 				continue
 			}
-			fmt.Fprintf(&b, ",%v,%d,%d,%d,%d,%d", res.BugFound, res.Bound,
-				res.SchedulesToFirstBug, res.Schedules, res.NewSchedules, res.BuggySchedules)
+			fmt.Fprintf(&b, ",%v,%d,%d,%d,%d,%d,%s", res.BugFound, res.Bound,
+				res.SchedulesToFirstBug, res.Schedules, res.NewSchedules, res.BuggySchedules,
+				res.Stopped)
 		}
 		dfs := r.Results[explore.DFS]
 		if dfs != nil {
-			fmt.Fprintf(&b, ",%v,%d,%d,%d,%v,%d,%d", dfs.BugFound,
+			fmt.Fprintf(&b, ",%v,%d,%d,%d,%v,%d,%d,%s", dfs.BugFound,
 				dfs.SchedulesToFirstBug, dfs.Schedules, dfs.BuggySchedules, dfs.Complete,
-				dfs.Executions, dfs.TotalSteps)
+				dfs.Executions, dfs.TotalSteps, dfs.Stopped)
 		} else {
-			b.WriteString(",,,,,,,")
+			b.WriteString(",,,,,,,,")
 		}
 		if res := r.Results[explore.DPOR]; res != nil {
 			fmt.Fprintf(&b, ",%v,%d,%d,%d,%v,%d,%d,%d,%d", res.BugFound,
@@ -54,13 +55,14 @@ func Table3CSV(rows []*study.Row) string {
 			} else {
 				b.WriteString(",")
 			}
+			fmt.Fprintf(&b, ",%s", res.Stopped)
 		} else {
-			b.WriteString(",,,,,,,,,,")
+			b.WriteString(",,,,,,,,,,,")
 		}
 		if res := r.Results[explore.Rand]; res != nil {
-			fmt.Fprintf(&b, ",%v,%d,%d", res.BugFound, res.SchedulesToFirstBug, res.BuggySchedules)
+			fmt.Fprintf(&b, ",%v,%d,%d,%s", res.BugFound, res.SchedulesToFirstBug, res.BuggySchedules, res.Stopped)
 		} else {
-			b.WriteString(",,,")
+			b.WriteString(",,,,")
 		}
 		if r.Maple != nil {
 			fmt.Fprintf(&b, ",%v,%d,%d", r.Maple.BugFound, r.Maple.SchedulesToFirstBug, r.Maple.Schedules)

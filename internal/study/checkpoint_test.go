@@ -1,0 +1,159 @@
+package study
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sctbench/internal/bench"
+)
+
+func studyBenches(t *testing.T) []*bench.Benchmark {
+	t.Helper()
+	var out []*bench.Benchmark
+	for _, name := range []string{"CS.account_bad", "CS.circular_buffer_bad", "CS.queue_bad", "CS.stack_bad"} {
+		b := bench.ByName(name)
+		if b == nil {
+			t.Fatalf("unknown benchmark %s", name)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// rowsEqual compares two row slices via their serialized form, which is
+// exactly what the CSV artifacts are derived from.
+func rowsEqual(t *testing.T, want, got []*Row) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("row count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, _ := json.Marshal(newCheckpoint(Config{}, want[i:i+1]).Rows)
+		g, _ := json.Marshal(newCheckpoint(Config{}, got[i:i+1]).Rows)
+		if !reflect.DeepEqual(w, g) {
+			t.Errorf("row %d (%s) differs after resume:\n got %s\nwant %s",
+				i, want[i].Bench.Name, g, w)
+		}
+	}
+}
+
+// TestStudyKillAndResume: a study truncated mid-run saves its completed
+// rows; resuming with the saved checkpoint re-runs only the missing rows
+// and reproduces the uninterrupted study exactly, row for row.
+func TestStudyKillAndResume(t *testing.T) {
+	benches := studyBenches(t)
+	cfg := Config{Limit: 120, Seed: 3, RaceRuns: 3, Parallelism: 1}
+
+	base, truncated, err := RunStudy(benches, cfg, nil)
+	if err != nil || truncated {
+		t.Fatalf("baseline study: truncated=%v err=%v", truncated, err)
+	}
+	if len(base) != len(benches) {
+		t.Fatalf("baseline completed %d of %d rows", len(base), len(benches))
+	}
+
+	// Interrupt immediately: a pre-closed channel stops every row before
+	// it starts, so the truncated study completes zero rows but still
+	// writes a (row-less) checkpoint; then resume in two more stages with
+	// the interrupt lifted partway to exercise carried-over rows.
+	path := filepath.Join(t.TempDir(), "study.json")
+	closed := make(chan struct{})
+	close(closed)
+	tcfg := cfg
+	tcfg.Interrupt = closed
+	tcfg.CheckpointPath = path
+	rows, truncated, err := RunStudy(benches, tcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(rows) != 0 {
+		t.Fatalf("pre-closed interrupt: truncated=%v rows=%d", truncated, len(rows))
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 2: resume but interrupt again after the first two benchmarks
+	// (Parallelism=1 runs them in order; close the channel from a progress
+	// callback once two rows are done).
+	done, fired := 0, false
+	stage2 := cfg
+	intr := make(chan struct{})
+	stage2.Interrupt = intr
+	stage2.CheckpointPath = path
+	// Count completed technique phases via the progress callback — four
+	// per row — and pull the plug after the second row's last technique.
+	stage2.Progress = func(format string, args ...any) {
+		if strings.Contains(format, "done (bug=") {
+			done++
+			if done == 8 && !fired {
+				fired = true
+				close(intr)
+			}
+		}
+	}
+	rows, truncated, err = RunStudy(benches, stage2, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("stage 2 was not truncated")
+	}
+	if len(rows) == 0 || len(rows) >= len(benches) {
+		t.Fatalf("stage 2 completed %d rows, want partial progress", len(rows))
+	}
+	ck, err = LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Rows) != len(rows) {
+		t.Fatalf("checkpoint has %d rows, run returned %d", len(ck.Rows), len(rows))
+	}
+
+	// Stage 3: final resume, uninterrupted.
+	final, truncated, err := RunStudy(benches, cfg, ck)
+	if err != nil || truncated {
+		t.Fatalf("final resume: truncated=%v err=%v", truncated, err)
+	}
+	rowsEqual(t, base, final)
+}
+
+// TestStudyCheckpointMismatch: resuming under a different configuration
+// is refused rather than silently mixing experiments.
+func TestStudyCheckpointMismatch(t *testing.T) {
+	cfg := Config{Limit: 100, Seed: 3, RaceRuns: 3}.withDefaults()
+	ck := newCheckpoint(cfg, nil)
+	bad := cfg
+	bad.Seed = 4
+	if _, _, err := RunStudy(studyBenches(t), bad, ck); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	badTech := cfg
+	badTech.WithMaple = true
+	if _, _, err := RunStudy(studyBenches(t), badTech, ck); err == nil {
+		t.Fatal("maple mismatch accepted")
+	}
+}
+
+// TestStudyCheckpointCorrupt pins the clear-error contract for damaged
+// study checkpoints.
+func TestStudyCheckpointCorrupt(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(p, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(p); err == nil || !strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Fatalf("corrupt file: %v", err)
+	}
+	if err := os.WriteFile(p, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(p); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: %v", err)
+	}
+}

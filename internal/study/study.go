@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"sctbench/internal/bench"
 	"sctbench/internal/explore"
@@ -54,6 +55,16 @@ type Config struct {
 	// flat engine; set NoFlatEngine to force the goroutine reference
 	// engine for an A/B run.
 	Debug vthread.Debug
+	// Interrupt, when non-nil, truncates the study when it is closed: rows
+	// not yet started are skipped, rows in flight finish dirty and are
+	// discarded (see RunStudy).
+	Interrupt <-chan struct{}
+	// Deadline, when nonzero, truncates the study at that wall-clock time,
+	// same semantics as Interrupt.
+	Deadline time.Time
+	// CheckpointPath, when nonempty, is where a truncated RunStudy saves
+	// its completed rows for a later resume.
+	CheckpointPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +101,18 @@ type Row struct {
 func (r *Row) Found(t explore.Technique) bool {
 	res := r.Results[t]
 	return res != nil && res.BugFound
+}
+
+// Truncated reports that an interrupt or deadline cut one of this row's
+// explorations short, so its counts do not represent the full pipeline
+// and the row must be re-run rather than carried into a resumed study.
+func (r *Row) Truncated() bool {
+	for _, res := range r.Results {
+		if res.Stopped == explore.StopDeadline || res.Stopped == explore.StopInterrupted {
+			return true
+		}
+	}
+	return false
 }
 
 // MaxEnabled and MaxSchedPoints aggregate the per-technique statistics,
@@ -168,6 +191,8 @@ func RunBenchmark(b *bench.Benchmark, cfg Config) *Row {
 			Seed:        seedFor(cfg.Seed, b.ID, 2+uint64(tech)),
 			Workers:     cfg.Workers,
 			Debug:       cfg.Debug,
+			Interrupt:   cfg.Interrupt,
+			Deadline:    cfg.Deadline,
 		})
 		row.Results[tech] = res
 		if cfg.Progress != nil {
@@ -195,26 +220,96 @@ func RunBenchmark(b *bench.Benchmark, cfg Config) *Row {
 
 // RunAll evaluates the pipeline over the given benchmarks (all of SCTBench
 // when benches is nil), parallelising across benchmarks. Rows come back in
-// Table 3 (id) order.
+// Table 3 (id) order. Truncated rows (possible only when cfg carries an
+// Interrupt or Deadline) are dropped; use RunStudy to also learn whether
+// the run was cut short and to checkpoint/resume it.
 func RunAll(benches []*bench.Benchmark, cfg Config) []*Row {
+	rows, _, err := RunStudy(benches, cfg, nil)
+	if err != nil {
+		// Unreachable without a prior checkpoint; keep the legacy
+		// signature honest anyway.
+		panic(err)
+	}
+	return rows
+}
+
+// RunStudy is RunAll with crash safety: rows already completed in a prior
+// checkpoint are carried over verbatim instead of re-run, and when
+// cfg.Interrupt fires or cfg.Deadline passes, benchmarks not yet started
+// are skipped, in-flight rows finish dirty and are discarded, and the
+// cleanly completed rows are saved to cfg.CheckpointPath. Because every
+// row is deterministic given the study seed, the union of carried-over
+// and freshly run rows is exactly what one uninterrupted run produces —
+// truncation never changes a row, it only defers it.
+//
+// The returned rows are the completed ones, in benches order; truncated
+// reports whether any were deferred. A prior checkpoint from a different
+// configuration (limit, seed, technique set) is an error.
+func RunStudy(benches []*bench.Benchmark, cfg Config, prior *Checkpoint) (rows []*Row, truncated bool, err error) {
 	cfg = cfg.withDefaults()
 	if benches == nil {
 		benches = bench.All()
 	}
-	rows := make([]*Row, len(benches))
+
+	done := make(map[string]*Row)
+	if prior != nil {
+		if err := prior.matches(cfg); err != nil {
+			return nil, false, err
+		}
+		for i := range prior.Rows {
+			if row := prior.Rows[i].row(); row != nil {
+				done[row.Bench.Name] = row
+			}
+		}
+	}
+
+	stopped := func() bool {
+		if cfg.Interrupt != nil {
+			select {
+			case <-cfg.Interrupt:
+				return true
+			default:
+			}
+		}
+		return !cfg.Deadline.IsZero() && !time.Now().Before(cfg.Deadline)
+	}
+
+	all := make([]*Row, len(benches))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Parallelism)
 	for i, b := range benches {
+		if row := done[b.Name]; row != nil {
+			all[i] = row
+			continue
+		}
 		wg.Add(1)
 		go func(i int, b *bench.Benchmark) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i] = RunBenchmark(b, cfg)
+			if stopped() {
+				return // skipped: deferred to the resumed run
+			}
+			row := RunBenchmark(b, cfg)
+			if !row.Truncated() {
+				all[i] = row
+			}
 		}(i, b)
 	}
 	wg.Wait()
-	return rows
+
+	for _, row := range all {
+		if row != nil {
+			rows = append(rows, row)
+		}
+	}
+	truncated = len(rows) < len(benches)
+	if truncated && cfg.CheckpointPath != "" {
+		if err := newCheckpoint(cfg, rows).Save(cfg.CheckpointPath); err != nil {
+			return rows, true, err
+		}
+	}
+	return rows, truncated, nil
 }
 
 // Sanity verifies registry invariants the study depends on: the 52 paper

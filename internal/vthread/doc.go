@@ -98,6 +98,23 @@ package vthread
 // plain World spawns runOne instead — same runBody, goroutine exits after
 // one body.
 //
+// # Panic containment
+//
+// A Go panic escaping a program body is a found bug, not a crash: the
+// recover in runBody (reference engine) and the interp.perform wrapper
+// (flat engine) convert it into Failure{Kind: FailPanic} carrying the
+// panicking thread id and the panic value's message, with the executed
+// prefix as the trace — so a panic is replayable and minimisable exactly
+// like an assertion failure or a deadlock. Containment reuses the normal
+// failure teardown (abortRemaining, wg.Wait), so the Executor and its
+// thread pool stay reusable after a panicking run, and a worker pool
+// exploring in parallel survives a panicking unit. The one exception is
+// engine-misuse panics (misuseError, e.g. using a Thread outside its
+// execution): those are rethrown to the Run caller instead of
+// masquerading as a found FailPanic bug, as are panics out of a Chooser
+// (w.schedPanic above). Both engines take the same path and report the
+// same verdict; panic_test.go pins the contract.
+//
 // # Chooser-initiated abort
 //
 // A Chooser may end an execution early by calling ctx.Abort() inside

@@ -15,6 +15,12 @@ const (
 	// FailCrash is a modelled memory-safety crash: double unlock, use of a
 	// destroyed object, out-of-bounds access with checking enabled.
 	FailCrash
+	// FailPanic is a Go panic escaping a program body (closure or
+	// compiled-instruction operand): recovered by the engine, reported as a
+	// found bug with the trace intact, and replayable like any other
+	// failure. Panics in the substrate or a Chooser are NOT converted —
+	// those crash loudly, as implementation bugs should.
+	FailPanic
 )
 
 // String returns the human-readable kind.
@@ -26,6 +32,8 @@ func (k FailureKind) String() string {
 		return "deadlock"
 	case FailCrash:
 		return "crash"
+	case FailPanic:
+		return "panic"
 	}
 	return "unknown"
 }

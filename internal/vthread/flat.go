@@ -1,5 +1,7 @@
 package vthread
 
+import "fmt"
+
 // The flat engine: an entire multi-threaded execution stepped by ONE
 // goroutine — the Run caller's. Where the reference engine parks each
 // virtual thread's goroutine on a gate channel and transfers a baton
@@ -81,9 +83,12 @@ func (w *World) newFlatThread(cp *CompiledProgram, env *progEnv, body int, args 
 // then the invisible prefix up to the first registration (or exit). A
 // failure in the prefix (an assertion in fully invisible code) unwinds via
 // killSignal, caught here — the spawner continues and the failure surfaces
-// at the next scheduling decision, as on the reference engine.
+// at the next scheduling decision, as on the reference engine. Any other
+// panic out of the prefix (an operand closure crashing) is contained as a
+// FailPanic failure, matching runBody's containment on the reference
+// engine.
 func (t *Thread) runFlatPrefix() {
-	defer recoverKill()
+	defer t.w.containFlatPanic(t)
 	t.sinkAcquire(t.key)
 	t.w.flatAdvance(t)
 }
@@ -105,9 +110,12 @@ func (w *World) flatAdvance(t *Thread) {
 // re-acquire, barrier wait, Once completion) or advance to the next
 // registration. A failure inside the step (crash, assertion, negative
 // WaitGroup …) unwinds via killSignal, caught here; the recorded failure
-// ends the run at the next nextStep call.
+// ends the run at the next nextStep call. A non-killSignal panic — an
+// instruction operand or condition closure crashing — is converted into a
+// FailPanic failure the same way, so a crashing compiled program is a
+// found bug with its trace intact, not a dead process.
 func (w *World) flatStep(t *Thread) {
-	defer recoverKill()
+	defer w.containFlatPanic(t)
 	w.stats.FlatSteps++
 	if t.fi.perform(t) {
 		return
@@ -115,15 +123,27 @@ func (w *World) flatStep(t *Thread) {
 	w.flatAdvance(t)
 }
 
-// recoverKill swallows the killSignal unwind of a failing flat thread;
-// anything else is a genuine bug and propagates.
-func recoverKill() {
-	if r := recover(); r != nil {
-		if _, ok := r.(killSignal); ok {
-			return
-		}
-		panic(r)
+// containFlatPanic is the flat engine's teardown/containment recover,
+// deferred once per step (same count as the former killSignal-only
+// recover, so the hot path is untaxed): killSignal unwinds of a failing
+// thread are swallowed as before; any other panic is recorded as the
+// execution's FailPanic failure and the thread retired. The recorded
+// failure ends the run at the next nextStep call with the trace intact,
+// and the World resets cleanly for the executor's next run.
+func (w *World) containFlatPanic(t *Thread) {
+	r := recover()
+	if r == nil {
+		return
 	}
+	if _, ok := r.(killSignal); ok {
+		return
+	}
+	if m, ok := r.(misuseError); ok {
+		panic(m)
+	}
+	w.fail(&Failure{Kind: FailPanic, Thread: t.id,
+		Message: fmt.Sprintf("panic: %v", r)})
+	t.state = stateExited
 }
 
 // abortRemainingFlat is abortRemaining for a flat run: no goroutines to

@@ -299,8 +299,8 @@ func TestFlatMisusePanics(t *testing.T) {
 		if r == nil {
 			t.Fatal("misuse did not panic")
 		}
-		msg, ok := r.(string)
-		if !ok || !strings.Contains(msg, "flat-engine thread") {
+		msg, ok := r.(misuseError)
+		if !ok || !strings.Contains(string(msg), "flat-engine thread") {
 			t.Fatalf("misuse panicked with %v, want the flat-engine diagnostic", r)
 		}
 	}()

@@ -21,6 +21,12 @@ const (
 // return to the pool; one-shot goroutines recover it and exit.
 type killSignal struct{}
 
+// misuseError is the panic payload of substrate misuse diagnostics (API
+// contract violations in the harness, not scheduling bugs in the program).
+// The panic-containment recovers rethrow it so misuse crashes loudly
+// instead of masquerading as a found FailPanic bug.
+type misuseError string
+
 // Thread is a virtual thread. All operations on shared objects take the
 // current thread as an argument, which is how the substrate serialises the
 // program: each such operation is (or may be) a scheduling point.
@@ -155,14 +161,16 @@ func (t *Thread) runOne(body Program) {
 
 // runBody executes one virtual-thread body to completion: clean exit,
 // failure, or teardown unwind. It never lets killSignal escape, so pooled
-// workers survive to serve the next execution.
+// workers survive to serve the next execution; any other panic out of the
+// body is a found bug (Failure{Kind: FailPanic}), contained exactly like a
+// Fail call so the Executor stays reusable.
 func (t *Thread) runBody(body Program) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killSignal); ok {
 				return // execution teardown; state handled by the World
 			}
-			panic(r) // genuine bug in a program under test: crash loudly
+			t.containPanic(r)
 		}
 	}()
 
@@ -181,6 +189,28 @@ func (t *Thread) runBody(body Program) {
 		return
 	}
 	t.w.exitFrom()
+}
+
+// containPanic converts a panic escaping a program body into the
+// execution's failure and hands the baton on, following failNow's routing:
+// the spawner consumes the park during the eager prefix, the exec
+// goroutine otherwise. A body only runs while it holds the baton (chooser
+// and substrate-protocol panics are captured elsewhere, see
+// threadSideStep), so the send below always has a waiting receiver. The
+// goroutine then returns to its pool normally — a crashing program is a
+// found bug, not a dead process.
+func (t *Thread) containPanic(r any) {
+	if m, ok := r.(misuseError); ok {
+		panic(m)
+	}
+	t.w.fail(&Failure{Kind: FailPanic, Thread: t.id,
+		Message: fmt.Sprintf("panic: %v", r)})
+	t.state = stateExited
+	if t.parkTo != nil {
+		t.parkTo <- parkFailed
+		return
+	}
+	t.w.parked <- parkFailed
 }
 
 // grant wakes the thread to perform its pending operation (or, with
@@ -202,7 +232,7 @@ func (t *Thread) visible(op pendingOp) {
 		// guard means an operand or condition closure of a compiled program
 		// called a blocking operation (Lock, Send, Load on a promoted
 		// var, …) — suspension outside a resume point, a program bug.
-		panic("vthread: blocking operation on a flat-engine thread (suspension outside a compiled resume point; use instructions, not closure calls, for visible operations)")
+		panic(misuseError("vthread: blocking operation on a flat-engine thread (suspension outside a compiled resume point; use instructions, not closure calls, for visible operations)"))
 	}
 	if t.killed {
 		panic(killSignal{})

@@ -110,6 +110,17 @@ type (
 	Result = explore.Result
 	// Technique selects an exploration technique.
 	Technique = explore.Technique
+	// Checkpoint is a serialized exploration frontier: an interrupted or
+	// deadline-stopped search (Config.CheckpointPath) can be reloaded with
+	// LoadCheckpoint and continued with Resume, finishing with exactly the
+	// result an uninterrupted run produces.
+	Checkpoint = explore.Checkpoint
+	// CheckpointMeta is caller context (benchmark name, promoted variable
+	// set) carried verbatim inside checkpoint files so a resume can rebuild
+	// the same program and visibility.
+	CheckpointMeta = explore.CheckpointMeta
+	// StopReason says why an exploration ended (Result.Stopped).
+	StopReason = explore.StopReason
 	// Chooser decides the next thread at each scheduling point; implement
 	// it to plug in a custom search strategy. A Chooser instance is
 	// confined to one execution — it is never called concurrently, though
@@ -186,7 +197,38 @@ const (
 	FailDeadlock = vthread.FailDeadlock
 	// FailCrash is a modelled memory-safety crash.
 	FailCrash = vthread.FailCrash
+	// FailPanic is a Go panic in the program body, contained by the
+	// substrate and reported as an ordinary replayable failure.
+	FailPanic = vthread.FailPanic
 )
+
+// Stop reasons (Result.Stopped).
+const (
+	// StopCompleted (the zero value) is a natural end of the search.
+	StopCompleted = explore.StopCompleted
+	// StopLimit means a schedule or execution budget truncated the search.
+	StopLimit = explore.StopLimit
+	// StopDeadline means Config.Deadline passed.
+	StopDeadline = explore.StopDeadline
+	// StopInterrupted means Config.Interrupt was closed.
+	StopInterrupted = explore.StopInterrupted
+)
+
+// LoadCheckpoint reads and validates a checkpoint file written by an
+// exploration with Config.CheckpointPath set.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	return explore.LoadCheckpoint(path)
+}
+
+// Resume continues a checkpointed exploration. cfg supplies the program
+// and environment (Program, Visible, BoundsCheck, MaxSteps, Debug,
+// Workers) plus fresh stop/checkpoint controls; the search parameters
+// (Limit, Seed, MaxBound, MaxExecutions) come from the checkpoint. A run
+// that was interrupted, checkpointed and resumed finishes with exactly
+// the result — counts, bounds, witness — of an uninterrupted run.
+func Resume(ck *Checkpoint, cfg Config) (*Result, error) {
+	return explore.Resume(ck, cfg)
+}
 
 // Explore searches the schedule space of cfg.Program with the given
 // technique and reports what it found (bug, witness schedule, schedule
