@@ -234,6 +234,19 @@ func run(args []string, interrupt <-chan struct{}, stdout, stderr io.Writer) int
 		fmt.Fprintf(stderr, "study truncated: %d of %d rows completed; %s\n", len(rows), len(benches), where)
 	}
 
+	// Contained worker panics make the affected rows lower bounds, never
+	// complete coverage — say so loudly rather than letting the tables
+	// pass as exhaustive.
+	for _, r := range rows {
+		for tech, res := range r.Results {
+			if res != nil && res.WorkerPanics > 0 {
+				fmt.Fprintf(stderr, "warning: %s %s: %d exploration worker(s) panicked (%s); "+
+					"schedule counts are lower bounds and completeness is not claimed\n",
+					r.Bench.Name, tech, res.WorkerPanics, res.WorkerPanicMsg)
+			}
+		}
+	}
+
 	// Reports cover the completed rows — on a truncated run they are the
 	// partial artifact the checkpoint will later complete.
 	fmt.Fprintln(stdout, "=== Table 3: per-benchmark results ===")

@@ -230,6 +230,19 @@ func resumeRun(path, ckPath, name string, workers int, deadline time.Time, inter
 		replay, minimize, savePath, logTrace, stdout, stderr)
 }
 
+// warnWorkerPanics surfaces contained exploration-worker panics on
+// stderr: the run's counts are then lower bounds (the panicked unit's
+// schedules were forfeited) and completeness is never claimed, so the
+// user must not read the summary as full coverage.
+func warnWorkerPanics(res *explore.Result, stderr io.Writer) {
+	if res.WorkerPanics == 0 {
+		return
+	}
+	fmt.Fprintf(stderr, "warning: %d exploration worker(s) panicked (%s); "+
+		"schedule counts are lower bounds and completeness is not claimed\n",
+		res.WorkerPanics, res.WorkerPanicMsg)
+}
+
 // truncatedStatus prints the truncation notice and returns whether the
 // run was cut short (deadline or interrupt).
 func truncatedStatus(res *explore.Result, ckPath string, stdout io.Writer) bool {
@@ -249,6 +262,7 @@ func truncatedStatus(res *explore.Result, ckPath string, stdout io.Writer) bool 
 func reportResult(b *bench.Benchmark, visible func(string) bool, racy []string, tech string,
 	res *explore.Result, ckPath string, replay, minimize bool, savePath string, logTrace bool,
 	stdout, stderr io.Writer) int {
+	warnWorkerPanics(res, stderr)
 	truncated := truncatedStatus(res, ckPath, stdout)
 	if tech == explore.DPOR.String() {
 		fmt.Fprintf(stdout, "DPOR: %d executions (%d aborted as redundant, %d branches pruned, %d total steps)\n",
@@ -274,6 +288,7 @@ func reportResult(b *bench.Benchmark, visible func(string) bool, racy []string, 
 func reportSleepSet(b *bench.Benchmark, visible func(string) bool, racy []string,
 	res *explore.Result, ckPath string, replay, minimize bool, savePath string, logTrace bool,
 	stdout, stderr io.Writer) int {
+	warnWorkerPanics(res, stderr)
 	truncated := truncatedStatus(res, ckPath, stdout)
 	if !res.BugFound {
 		fmt.Fprintf(stdout, "sleep-set DFS: no bug within %d schedules (complete=%v, %d of %d executions aborted as redundant)\n",

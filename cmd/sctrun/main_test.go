@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sctbench/internal/faultinject"
 )
 
 func runCLI(t *testing.T, args ...string) (int, string, string) {
@@ -82,6 +84,23 @@ func TestTruncateAndResume(t *testing.T) {
 	// A checkpoint for one benchmark refuses to resume as another.
 	if code, _, _ := runCLI(t, "-resume", ck, "-bench", "CS.queue_bad"); code != exitError {
 		t.Fatalf("mismatched -bench on resume exited %d, want %d", code, exitError)
+	}
+}
+
+// TestWorkerPanicWarning: a contained exploration-worker panic must be
+// surfaced on stderr — the counts are lower bounds, and a user reading
+// only the summary line would otherwise mistake them for full coverage.
+func TestWorkerPanicWarning(t *testing.T) {
+	faultinject.Arm(faultinject.PoolUnitPanic, 1)
+	t.Cleanup(faultinject.Reset)
+	code, _, errOut := runCLI(t, "-bench", "CS.account_bad", "-technique", "dfs",
+		"-limit", "200", "-workers", "2", "-norace")
+	if code != exitBug && code != exitClean {
+		t.Fatalf("panic-containing run exited %d, want %d or %d", code, exitBug, exitClean)
+	}
+	if !strings.Contains(errOut, "worker(s) panicked") ||
+		!strings.Contains(errOut, "lower bounds") {
+		t.Fatalf("missing worker-panic warning on stderr:\n%s", errOut)
 	}
 }
 

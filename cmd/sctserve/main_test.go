@@ -1,0 +1,97 @@
+package main
+
+// In-process CLI tests: the exit-status contract, the distributed ==
+// sequential CSV identity, and the drain → resume cycle, as promised in
+// the README's sctserve quickstart.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, interrupt <-chan struct{}, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, interrupt, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-worker"}, // no -connect
+		{"-bench", "no.such.benchmark"},
+		{"-bench", "CS.account_bad", "-technique", "rand"}, // not distributable
+		{"-local", "-bench", "CS.account_bad", "-technique", "quantum"},
+		{"-no-such-flag"},
+	} {
+		if code, _, _ := runCLI(t, nil, args...); code != exitError {
+			t.Errorf("%v exited %d, want %d", args, code, exitError)
+		}
+	}
+}
+
+// TestDistributedMatchesLocal: the README's core claim at CLI level — a
+// coordinator plus two workers produces exactly the CSV row the
+// sequential in-process run produces, and the same exit status.
+func TestDistributedMatchesLocal(t *testing.T) {
+	args := []string{"-bench", "CS.account_bad", "-technique", "dfs",
+		"-limit", "20000", "-norace", "-csv"}
+	baseCode, baseCSV, _ := runCLI(t, nil, append([]string{"-local"}, args...)...)
+	if baseCode != exitBug {
+		t.Fatalf("local baseline exited %d, want %d", baseCode, exitBug)
+	}
+
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	distArgs := append([]string{"-local-workers", "2", "-listen", "127.0.0.1:0",
+		"-addr-file", addrFile, "-lease-ttl", "500ms"}, args...)
+	code, csv, errOut := runCLI(t, nil, distArgs...)
+	if code != baseCode {
+		t.Fatalf("distributed exited %d, want %d\n%s", code, baseCode, errOut)
+	}
+	if csv != baseCSV {
+		t.Fatalf("distributed CSV diverged from sequential:\n got: %s\nwant: %s", csv, baseCSV)
+	}
+	addr, err := os.ReadFile(addrFile)
+	if err != nil || !strings.HasPrefix(string(addr), "127.0.0.1:") {
+		t.Errorf("addr-file = %q (%v), want a bound 127.0.0.1 address", addr, err)
+	}
+}
+
+// TestDrainAndResume: an interrupted job exits with the truncation
+// status and a resumable checkpoint; resuming it distributed finishes
+// with the exact sequential CSV row.
+func TestDrainAndResume(t *testing.T) {
+	args := []string{"-bench", "CS.account_bad", "-technique", "dfs",
+		"-limit", "20000", "-norace", "-csv"}
+	baseCode, baseCSV, _ := runCLI(t, nil, append([]string{"-local"}, args...)...)
+	if baseCode != exitBug {
+		t.Fatalf("local baseline exited %d, want %d", baseCode, exitBug)
+	}
+
+	ck := filepath.Join(t.TempDir(), "job.ckpt")
+	interrupt := make(chan struct{})
+	close(interrupt) // drain immediately: nothing but the seed run happens
+	code, _, errOut := runCLI(t, interrupt,
+		append([]string{"-local-workers", "1", "-checkpoint", ck, "-lease-ttl", "200ms"}, args...)...)
+	if code != exitTruncated {
+		t.Fatalf("drained run exited %d, want %d\n%s", code, exitTruncated, errOut)
+	}
+	if !strings.Contains(errOut, "job truncated") || !strings.Contains(errOut, ck) {
+		t.Fatalf("truncation notice missing:\n%s", errOut)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	code, csv, errOut := runCLI(t, nil,
+		"-resume", ck, "-local-workers", "2", "-lease-ttl", "500ms", "-csv")
+	if code != exitBug {
+		t.Fatalf("resumed run exited %d, want %d\n%s", code, exitBug, errOut)
+	}
+	if csv != baseCSV {
+		t.Fatalf("resumed CSV diverged from sequential:\n got: %s\nwant: %s", csv, baseCSV)
+	}
+}

@@ -1,0 +1,464 @@
+package dist
+
+// The chaos harness: every fault the protocol claims to survive is
+// injected here — worker kills mid-unit, dropped/duplicated messages,
+// lease expiry with stale-park fencing, coordinator crash mid-merge with
+// resume — and every surviving run must be bit-identical to the sequential
+// in-process exploration (DFS/IPB/IDB) or verdict-identical (DPOR).
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/explore"
+	"sctbench/internal/faultinject"
+)
+
+const distLimit = 20000
+
+// baseCfg is the sequential baseline configuration: everything visible
+// (the jobs run NoRace for the same promotion-free environment).
+func baseCfg(t *testing.T, name string, limit int) explore.Config {
+	t.Helper()
+	b := bench.ByName(name)
+	if b == nil {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return explore.Config{
+		Program: b.New(), BoundsCheck: b.BoundsCheck, MaxSteps: b.MaxSteps,
+		Limit: limit, Seed: 7,
+	}
+}
+
+// testJob builds a JobConfig with chaos-friendly knobs: short leases so
+// expiry-based failover happens within test time.
+func testJob(t *testing.T, name string, tech explore.Technique, limit int) JobConfig {
+	t.Helper()
+	b := bench.ByName(name)
+	if b == nil {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return JobConfig{
+		Bench: b, Technique: tech, Limit: limit, Seed: 7, NoRace: true,
+		LeaseTTL: 200 * time.Millisecond, Shards: 6,
+	}
+}
+
+// startCoord serves a coordinator on an ephemeral localhost port.
+func startCoord(t *testing.T, c *Coordinator) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	c.Serve(l)
+	t.Cleanup(c.Close)
+}
+
+// fastClient retries aggressively so injected faults resolve quickly.
+func fastClient(c *Coordinator) *Client {
+	return &Client{Base: "http://" + c.Addr(), Backoff: 2 * time.Millisecond}
+}
+
+// runWorkers runs n workers to completion and returns their errors.
+func runWorkers(c *Coordinator, n int) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(WorkerConfig{
+				Addr: "http://" + c.Addr(), Name: fmt.Sprintf("w%d", i),
+				Client: fastClient(c),
+			})
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+func requireSame(t *testing.T, label string, want, got *explore.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: result differs from sequential baseline\n want %+v\n  got %+v", label, want, got)
+	}
+}
+
+// TestDistEquivalence: a fault-free distributed run over two workers is
+// bit-identical to the sequential in-process run, for the single-pass and
+// the iterative techniques alike.
+func TestDistEquivalence(t *testing.T) {
+	cases := []struct {
+		bench string
+		tech  explore.Technique
+	}{
+		{"CS.account_bad", explore.DFS},
+		{"CS.queue_bad", explore.DFS},
+		{"CS.circular_buffer_bad", explore.DFS},
+		{"CS.account_bad", explore.IPB},
+		{"CS.account_bad", explore.IDB},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s/%s", tc.bench, tc.tech), func(t *testing.T) {
+			base := explore.Run(tc.tech, baseCfg(t, tc.bench, distLimit))
+			if base.LimitHit {
+				t.Fatalf("baseline hit the limit; bit-identity needs a completed run")
+			}
+			c, err := NewCoordinator(testJob(t, tc.bench, tc.tech, distLimit))
+			if err != nil {
+				t.Fatalf("NewCoordinator: %v", err)
+			}
+			startCoord(t, c)
+			for i, werr := range runWorkers(c, 2) {
+				if werr != nil {
+					t.Errorf("worker %d: %v", i, werr)
+				}
+			}
+			got, err := c.Wait()
+			if err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+			requireSame(t, tc.tech.String(), base, got)
+		})
+	}
+}
+
+// TestDistDPORVerdict: distributed DPOR keeps the pool's verdict-level
+// contract — bug and completeness survive sharding across workers.
+func TestDistDPORVerdict(t *testing.T) {
+	base := explore.Run(explore.DPOR, baseCfg(t, "CS.account_bad", 500))
+	c, err := NewCoordinator(testJob(t, "CS.account_bad", explore.DPOR, 500))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	startCoord(t, c)
+	for i, werr := range runWorkers(c, 2) {
+		if werr != nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+	got, err := c.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if base.BugFound != got.BugFound || base.Complete != got.Complete {
+		t.Errorf("verdict = (bug %v, complete %v), want (%v, %v)",
+			got.BugFound, got.Complete, base.BugFound, base.Complete)
+	}
+}
+
+// TestDistWorkerFailover: an injected kill -9 takes one worker down
+// mid-unit; the lease expires, the survivor re-runs the unit from its
+// original frontier, and the merged result is still bit-identical.
+func TestDistWorkerFailover(t *testing.T) {
+	base := explore.RunDFS(baseCfg(t, "CS.account_bad", distLimit))
+	if !base.Complete {
+		t.Fatalf("baseline did not complete")
+	}
+	c, err := NewCoordinator(testJob(t, "CS.account_bad", explore.DFS, distLimit))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	startCoord(t, c)
+	faultinject.Arm(faultinject.DistWorkerCrash, 10)
+	t.Cleanup(faultinject.Reset)
+	killed := 0
+	for i, werr := range runWorkers(c, 2) {
+		switch {
+		case errors.Is(werr, ErrWorkerKilled):
+			killed++
+		case werr != nil:
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+	if killed != 1 {
+		t.Fatalf("killed workers = %d, want exactly 1 (the armed crash)", killed)
+	}
+	got, err := c.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	requireSame(t, "failover", base, got)
+}
+
+// TestDistRPCFaults: lost requests, lost replies (the server-side effect
+// happened — the retry must be absorbed idempotently) and duplicated
+// deliveries do not perturb the result.
+func TestDistRPCFaults(t *testing.T) {
+	base := explore.RunDFS(baseCfg(t, "CS.account_bad", distLimit))
+	if !base.Complete {
+		t.Fatalf("baseline did not complete")
+	}
+	faults := []struct {
+		name  string
+		point faultinject.Point
+	}{
+		{"drop-request", faultinject.RPCDropRequest},
+		{"drop-reply", faultinject.RPCDropReply},
+		{"duplicate", faultinject.RPCDuplicate},
+	}
+	for _, f := range faults {
+		t.Run(f.name, func(t *testing.T) {
+			c, err := NewCoordinator(testJob(t, "CS.account_bad", explore.DFS, distLimit))
+			if err != nil {
+				t.Fatalf("NewCoordinator: %v", err)
+			}
+			startCoord(t, c)
+			// The 5th RPC of the job lands mid-protocol (past the job
+			// fetches, into lease/complete traffic).
+			faultinject.Arm(f.point, 5)
+			t.Cleanup(faultinject.Reset)
+			for i, werr := range runWorkers(c, 2) {
+				if werr != nil {
+					t.Errorf("worker %d: %v", i, werr)
+				}
+			}
+			got, err := c.Wait()
+			if err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+			requireSame(t, f.name, base, got)
+		})
+	}
+}
+
+// TestDistLeaseExpiryFencing drives the protocol by hand through the
+// nastiest interleaving: a worker goes silent holding a lease, the unit is
+// re-dispatched, and then the silent worker comes back — its park must be
+// rejected (a stale park could regress the unit's frontier) while its
+// completed result is accepted idempotently (first wins) and the
+// re-dispatched worker is cancelled at its next heartbeat.
+func TestDistLeaseExpiryFencing(t *testing.T) {
+	base := explore.RunDFS(baseCfg(t, "CS.account_bad", distLimit))
+	jc := testJob(t, "CS.account_bad", explore.DFS, distLimit)
+	jc.LeaseTTL = 100 * time.Millisecond
+	c, err := NewCoordinator(jc)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	startCoord(t, c)
+	cl := fastClient(c)
+
+	// The hung worker takes a lease and goes silent.
+	var hung LeaseReply
+	for {
+		if err := cl.call("/v1/lease", LeaseRequest{Worker: "hung"}, &hung); err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if hung.Status == StatusUnit {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Its lease expires and the unit is re-dispatched to a second worker.
+	var redisp LeaseReply
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("unit %d was never re-dispatched", hung.UnitID)
+		}
+		if err := cl.call("/v1/lease", LeaseRequest{Worker: "second"}, &redisp); err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if redisp.Status == StatusUnit && redisp.UnitID == hung.UnitID {
+			break
+		}
+		if redisp.Status == StatusUnit {
+			// Not the unit we're watching; hand it straight back via a
+			// park of its own dispatched state (a no-op park).
+			var pr ParkReply
+			if err := cl.call("/v1/park", ParkRequest{
+				LeaseID: redisp.LeaseID, UnitID: redisp.UnitID, Unit: redisp.Unit,
+			}, &pr); err != nil {
+				t.Fatalf("park: %v", err)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The expired worker's heartbeat reports the lease gone.
+	var hb HeartbeatReply
+	if err := cl.call("/v1/heartbeat", HeartbeatRequest{LeaseID: hung.LeaseID}, &hb); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if hb.Status != StatusStale {
+		t.Errorf("expired heartbeat = %q, want %q", hb.Status, StatusStale)
+	}
+
+	// A park under the expired lease must be fenced off.
+	var pr ParkReply
+	if err := cl.call("/v1/park", ParkRequest{
+		LeaseID: hung.LeaseID, UnitID: hung.UnitID, Unit: hung.Unit,
+	}, &pr); err != nil {
+		t.Fatalf("park: %v", err)
+	}
+	if pr.Status != StatusStale {
+		t.Errorf("stale park = %q, want %q", pr.Status, StatusStale)
+	}
+
+	// But its finished result is accepted — first completion wins.
+	ur, err := explore.RunUnit(baseCfg(t, "CS.account_bad", distLimit), hung.Unit, hung.Budget, nil)
+	if err != nil || ur.Done == nil {
+		t.Fatalf("RunUnit: %v (%+v)", err, ur)
+	}
+	var cr CompleteReply
+	if err := cl.call("/v1/complete", CompleteRequest{
+		LeaseID: hung.LeaseID, UnitID: hung.UnitID, Result: ur.Done,
+	}, &cr); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if cr.Status != StatusOK {
+		t.Errorf("expired-lease completion = %q, want %q", cr.Status, StatusOK)
+	}
+
+	// The re-dispatched worker is told to stop wasting its time...
+	if err := cl.call("/v1/heartbeat", HeartbeatRequest{LeaseID: redisp.LeaseID}, &hb); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if hb.Status != StatusCancel {
+		t.Errorf("re-dispatch heartbeat = %q, want %q", hb.Status, StatusCancel)
+	}
+	// ...and its duplicate completion is discarded idempotently.
+	if err := cl.call("/v1/complete", CompleteRequest{
+		LeaseID: redisp.LeaseID, UnitID: redisp.UnitID, Result: ur.Done,
+	}, &cr); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if cr.Status != StatusOK {
+		t.Errorf("duplicate completion = %q, want %q", cr.Status, StatusOK)
+	}
+
+	// Real workers finish the rest; nothing was corrupted.
+	for i, werr := range runWorkers(c, 2) {
+		if werr != nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+	got, err := c.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	requireSame(t, "fencing", base, got)
+}
+
+// TestDistCoordCrashResume: the coordinator dies mid-merge (after
+// recording a completion, before acknowledging it). A fresh coordinator
+// rebuilt from the durable checkpoint finishes the job bit-identically.
+func TestDistCoordCrashResume(t *testing.T) {
+	base := explore.RunDFS(baseCfg(t, "CS.account_bad", distLimit))
+	if !base.Complete {
+		t.Fatalf("baseline did not complete")
+	}
+	ckPath := filepath.Join(t.TempDir(), "job.ckpt")
+	jc := testJob(t, "CS.account_bad", explore.DFS, distLimit)
+	jc.CheckpointPath = ckPath
+	c, err := NewCoordinator(jc)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	startCoord(t, c)
+	faultinject.Arm(faultinject.DistCoordCrash, 2)
+	t.Cleanup(faultinject.Reset)
+	for _, werr := range runWorkers(c, 2) {
+		if werr == nil {
+			t.Errorf("a worker exited cleanly through a coordinator crash")
+		}
+	}
+	if _, err := c.Wait(); !errors.Is(err, ErrCoordinatorCrashed) {
+		t.Fatalf("Wait error = %v, want ErrCoordinatorCrashed", err)
+	}
+	c.Close()
+
+	ck, err := explore.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	c2, err := ResumeCoordinator(ck, testJob(t, "CS.account_bad", explore.DFS, distLimit))
+	if err != nil {
+		t.Fatalf("ResumeCoordinator: %v", err)
+	}
+	startCoord(t, c2)
+	for i, werr := range runWorkers(c2, 2) {
+		if werr != nil {
+			t.Errorf("resumed worker %d: %v", i, werr)
+		}
+	}
+	got, err := c2.Wait()
+	if err != nil {
+		t.Fatalf("resumed Wait: %v", err)
+	}
+	requireSame(t, "coord-crash-resume", base, got)
+}
+
+// TestDistDrainResumeInProcess: SIGTERM-style drain parks the in-flight
+// frontiers and writes a job checkpoint that the *in-process* resume path
+// (sctrun -resume) finishes bit-identically — the cross-driver half of the
+// checkpoint contract.
+func TestDistDrainResumeInProcess(t *testing.T) {
+	base := explore.RunDFS(baseCfg(t, "CS.account_bad", distLimit))
+	if !base.Complete {
+		t.Fatalf("baseline did not complete")
+	}
+	ckPath := filepath.Join(t.TempDir(), "job.ckpt")
+	interrupt := make(chan struct{})
+	jc := testJob(t, "CS.account_bad", explore.DFS, distLimit)
+	jc.CheckpointPath = ckPath
+	jc.Interrupt = interrupt
+	jc.LeaseTTL = 90 * time.Millisecond // heartbeat ≈30ms: parks land fast
+	c, err := NewCoordinator(jc)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	startCoord(t, c)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(WorkerConfig{
+				Addr: "http://" + c.Addr(), Name: fmt.Sprintf("w%d", i),
+				Client: fastClient(c),
+			})
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(interrupt)
+	wg.Wait()
+	for i, werr := range errs {
+		if werr != nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+	r1, err := c.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if r1.Stopped == explore.StopCompleted {
+		// The job beat the interrupt; equivalence is still required, but
+		// there is nothing to resume.
+		requireSame(t, "drain(too fast)", base, r1)
+		return
+	}
+	if r1.Stopped != explore.StopInterrupted {
+		t.Fatalf("Stopped = %v, want interrupted", r1.Stopped)
+	}
+	ck, err := explore.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	got, err := explore.Resume(ck, baseCfg(t, "CS.account_bad", distLimit))
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	requireSame(t, "drain-resume", base, got)
+}

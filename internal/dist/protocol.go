@@ -1,0 +1,145 @@
+// Package dist is the fault-tolerant distributed exploration service: a
+// coordinator that shards one exploration job into leased units and
+// workers that execute them with their own Executors, speaking JSON over
+// HTTP on localhost-first listeners. The wire format for search state is
+// the explore package's checkpoint vocabulary (UnitState out,
+// UnitResultState back), so a distributed job checkpoints, resumes and
+// merges with the machinery the in-process drivers already prove correct.
+//
+// Robustness is the design center, not speed:
+//
+//   - Every dispatched unit is covered by a lease with a TTL; workers
+//     heartbeat to keep it alive. A dead, hung or partitioned worker's
+//     lease expires and the coordinator re-dispatches the unit's original
+//     frontier — determinism makes the re-run bit-identical to the run
+//     that was lost.
+//   - Completions are idempotent and deduplicated per unit (first wins;
+//     determinism makes any later duplicate identical), so re-dispatch
+//     races cannot corrupt counts. Parks are fenced by lease ID: a stale
+//     park from an expired lease is rejected, never regressing a unit.
+//   - The merge is the canonical branch-key merge of the in-process pool:
+//     a fully completed distributed run is bit-identical to the
+//     sequential (-workers 1) run for DFS/IPB/IDB and verdict-identical
+//     for DPOR; truncated runs are verdict-level, as in the pool.
+//   - Workers retry transient RPC failures with exponential backoff and
+//     jitter; the coordinator propagates the schedule budget and the
+//     wall-clock deadline to every worker.
+//   - SIGTERM drains gracefully: workers park their in-flight frontiers
+//     and hand them back, and the coordinator writes a resumable job
+//     checkpoint (durable via fsatomic) preserving the exit contract.
+package dist
+
+import "sctbench/internal/explore"
+
+// Reply status strings shared across endpoints.
+const (
+	// StatusOK acknowledges the request.
+	StatusOK = "ok"
+	// StatusUnit carries a leased unit (lease endpoint).
+	StatusUnit = "unit"
+	// StatusWait asks the worker to retry shortly (seeding, or nothing
+	// pending while the pass drains).
+	StatusWait = "wait"
+	// StatusDone reports the job finished; the worker should exit.
+	StatusDone = "done"
+	// StatusDrain asks the worker to park its unit (or exit, on lease).
+	StatusDrain = "drain"
+	// StatusCancel asks the worker to abandon its unit: the unit or pass
+	// no longer needs it (completed elsewhere, budget hit).
+	StatusCancel = "cancel"
+	// StatusStale rejects a request whose lease or unit is unknown.
+	StatusStale = "stale"
+)
+
+// JobSpec describes the job to a connecting worker: everything it needs
+// to rebuild the same program environment the coordinator shards under.
+// The promoted racy-variable set rides along so every process promotes the
+// same scheduling points without re-running the race phase — cross-process
+// determinism by construction.
+type JobSpec struct {
+	Benchmark string   `json:"benchmark"`
+	Technique string   `json:"technique"`
+	Limit     int      `json:"limit"`
+	Seed      uint64   `json:"seed,omitempty"`
+	Racy      []string `json:"racy,omitempty"`
+	NoRace    bool     `json:"noRace,omitempty"`
+	// DeadlineMillis is the job deadline as Unix milliseconds (0 = none);
+	// workers park past it even if the coordinator is unreachable.
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+}
+
+// LeaseRequest asks for a unit to execute.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseReply grants a unit (StatusUnit) or tells the worker what to do
+// instead (wait/drain/done).
+type LeaseReply struct {
+	Status  string `json:"status"`
+	LeaseID int64  `json:"leaseId,omitempty"`
+	UnitID  int    `json:"unitId,omitempty"`
+	// Unit is the frontier to execute, in checkpoint wire form.
+	Unit *explore.UnitState `json:"unit,omitempty"`
+	// Budget is the remaining global schedule budget; the worker reports
+	// LimitHit when this unit alone counts that many schedules.
+	Budget int `json:"budget,omitempty"`
+	// HeartbeatMillis is how often the worker must heartbeat to keep the
+	// lease alive; RetryMillis is the wait before retrying after
+	// StatusWait.
+	HeartbeatMillis int64 `json:"heartbeatMillis,omitempty"`
+	RetryMillis     int64 `json:"retryMillis,omitempty"`
+}
+
+// HeartbeatRequest extends a lease.
+type HeartbeatRequest struct {
+	LeaseID int64 `json:"leaseId"`
+}
+
+// HeartbeatReply: ok, drain (park now), cancel (abandon now) or stale
+// (lease expired; abandon).
+type HeartbeatReply struct {
+	Status string `json:"status"`
+}
+
+// CompleteRequest submits a finished unit's result. UnitID identifies the
+// unit so a completion that outlived its lease (expiry re-dispatch race)
+// is still accepted when the unit has no result yet — determinism makes
+// it identical to what the re-dispatched run will produce.
+type CompleteRequest struct {
+	LeaseID  int64                    `json:"leaseId"`
+	UnitID   int                      `json:"unitId"`
+	Result   *explore.UnitResultState `json:"result"`
+	LimitHit bool                     `json:"limitHit,omitempty"`
+}
+
+// CompleteReply: ok (recorded, or an idempotently-ignored duplicate) or
+// stale (the pass moved on; the result was discarded).
+type CompleteReply struct {
+	Status string `json:"status"`
+}
+
+// ParkRequest hands an in-flight unit's positioned frontier back (drain,
+// or worker-side interrupt). Parks are fenced by lease: a stale park is
+// rejected so an expired lease can never regress a re-dispatched unit.
+type ParkRequest struct {
+	LeaseID int64              `json:"leaseId"`
+	UnitID  int                `json:"unitId"`
+	Unit    *explore.UnitState `json:"unit"`
+}
+
+// ParkReply: ok or stale.
+type ParkReply struct {
+	Status string `json:"status"`
+}
+
+// StatusReply is the coordinator's progress snapshot (GET /v1/status).
+type StatusReply struct {
+	Phase      string `json:"phase"`
+	Bound      int    `json:"bound"`
+	UnitsDone  int    `json:"unitsDone"`
+	UnitsTotal int    `json:"unitsTotal"`
+	Leases     int    `json:"leases"`
+	Schedules  int    `json:"schedules"`
+	Workers    int    `json:"workers"`
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"sctbench/internal/faultinject"
+	"sctbench/internal/fsatomic"
 	"sctbench/internal/sched"
 	"sctbench/internal/vthread"
 )
@@ -199,6 +200,11 @@ type UnitResultState struct {
 	SchedPts   int              `json:"schedPoints,omitempty"`
 	Threads    int              `json:"threads,omitempty"`
 	PanicMsg   string           `json:"panic,omitempty"`
+	// Per-unit work tallies (distributed units only; the in-process pool
+	// counts work on shared job counters and leaves these zero).
+	Executions int   `json:"executions,omitempty"`
+	Steps      int64 `json:"steps,omitempty"`
+	Aborted    int   `json:"aborted,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -316,25 +322,27 @@ func (w *ckWriter) due(execs int) bool {
 // ---------------------------------------------------------------------------
 // File I/O.
 
-// Save writes the checkpoint atomically: the bytes land in path+".tmp" and
-// are renamed over path, so a crash mid-write never destroys the previous
-// checkpoint. The faultinject.CheckpointWrite point simulates that crash
-// (half the bytes written, no rename) and returns faultinject.ErrInjected.
+// Save writes the checkpoint atomically and durably (temp file, fsync,
+// rename, parent-directory fsync — see fsatomic.WriteFile), so a crash or
+// power loss mid-write never destroys the previous checkpoint. The
+// faultinject.CheckpointWrite point simulates a death mid-write (half the
+// bytes in the temp file, no rename) and the faultinject.CheckpointDirSync
+// point a death between the rename and the directory sync; both return
+// faultinject.ErrInjected, which callers treat as "the process died here".
 func (ck *Checkpoint) Save(path string) error {
 	data, err := json.MarshalIndent(ck, "", "  ")
 	if err != nil {
 		return fmt.Errorf("checkpoint: encode: %w", err)
 	}
 	data = append(data, '\n')
-	tmp := path + ".tmp"
 	if faultinject.Hit(faultinject.CheckpointWrite) {
-		_ = os.WriteFile(tmp, data[:len(data)/2], 0o644)
+		_ = os.WriteFile(path+".tmp", data[:len(data)/2], 0o644)
 		return faultinject.ErrInjected
 	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsatomic.WriteFile(path, data, 0o644); err != nil {
+		if errors.Is(err, faultinject.ErrInjected) {
+			return err
+		}
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil
@@ -790,6 +798,9 @@ func unitResultToState(u *unitResult) *UnitResultState {
 		SchedPts:   u.schedPts,
 		Threads:    u.threads,
 		PanicMsg:   u.panicMsg,
+		Executions: u.executions,
+		Steps:      u.steps,
+		Aborted:    u.aborted,
 	}
 }
 
@@ -807,5 +818,8 @@ func stateToUnitResult(s *UnitResultState) *unitResult {
 	u.maxEnabled = s.MaxEnabled
 	u.schedPts = s.SchedPts
 	u.threads = s.Threads
+	u.executions = s.Executions
+	u.steps = s.Steps
+	u.aborted = s.Aborted
 	return u
 }

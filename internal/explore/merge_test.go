@@ -1,0 +1,281 @@
+package explore
+
+// The canonical-merge contract under forfeiture and the distribution
+// hooks' equivalence to the sequential drivers. mergeUnits is the one
+// place where duplicate, panicked or abandoned work is reconciled, so its
+// properties — canonical order, exact budget, forfeited counts dropped but
+// honest work kept — are pinned directly here; the end-to-end distributed
+// equivalence (coordinator, leases, failover) lives in internal/dist.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sctbench/internal/vthread"
+)
+
+// TestMergeUnitsForfeited pins the forfeiture contract: a panicked unit's
+// schedule counts, bug offsets and witness are dropped, its run statistics
+// and work tallies still fold in, and the panic surfaces as workerPanics.
+func TestMergeUnitsForfeited(t *testing.T) {
+	units := []*unitResult{
+		// Arrives out of canonical order: key [2] sorts after [1 0].
+		{key: []int{2}, schedules: 4, buggyOffs: []int{2},
+			failure:    &vthread.Failure{Kind: vthread.FailAssert, Message: "late"},
+			executions: 4},
+		// Forfeited: panicked mid-unit with 3 schedules and a "bug" that
+		// must NOT be reported.
+		{key: []int{1, 0}, schedules: 3, buggyOffs: []int{1},
+			failure:  &vthread.Failure{Kind: vthread.FailAssert, Message: "forfeited"},
+			panicMsg: "worker died", executions: 5, steps: 50, aborted: 1,
+			runStats: runStats{maxEnabled: 7, schedPts: 9, threads: 5}},
+		// The canonical head: the donor's nil key sorts first.
+		{key: nil, schedules: 2, executions: 2, steps: 8},
+	}
+	m := mergeUnits(units, 100)
+	if m.schedules != 6 {
+		t.Errorf("schedules = %d, want 6 (forfeited unit's 3 dropped)", m.schedules)
+	}
+	if m.workerPanics != 1 || m.panicMsg != "worker died" {
+		t.Errorf("workerPanics = %d (%q), want 1 (worker died)", m.workerPanics, m.panicMsg)
+	}
+	// The surviving bug is at canonical offset 2 (donor) + 2 (within its
+	// own unit) = 4; the forfeited unit's earlier "bug" must not win.
+	if !m.bugFound || m.firstBugOffset != 4 || m.failure.Message != "late" {
+		t.Errorf("bug = %v at %d (%+v), want offset 4 from the surviving unit",
+			m.bugFound, m.firstBugOffset, m.failure)
+	}
+	if m.buggy != 1 {
+		t.Errorf("buggy = %d, want 1", m.buggy)
+	}
+	// Honest work: the forfeited unit's executions/steps/aborts and run
+	// statistics describe executions that really happened.
+	if m.executions != 11 || m.steps != 58 || m.aborted != 1 {
+		t.Errorf("work = %d execs / %d steps / %d aborts, want 11/58/1",
+			m.executions, m.steps, m.aborted)
+	}
+	if m.maxEnabled != 7 || m.schedPts != 9 || m.threads != 5 {
+		t.Errorf("runStats = %d/%d/%d, want 7/9/5 (folded from the forfeited unit)",
+			m.maxEnabled, m.schedPts, m.threads)
+	}
+}
+
+// TestMergeUnitsForfeitedBudget: the budget still truncates canonically
+// when a forfeited unit sits between surviving ones — forfeited schedules
+// do not consume budget.
+func TestMergeUnitsForfeitedBudget(t *testing.T) {
+	units := []*unitResult{
+		{key: nil, schedules: 3},
+		{key: []int{1}, schedules: 5, panicMsg: "gone"},
+		{key: []int{2}, schedules: 4, buggyOffs: []int{4}},
+	}
+	m := mergeUnits(units, 5)
+	if m.schedules != 5 || !m.truncated {
+		t.Errorf("schedules = %d truncated = %v, want 5/true", m.schedules, m.truncated)
+	}
+	// The last unit's bug sits at its offset 4, i.e. canonical 3+4 = 7,
+	// beyond the budget of 5: it must not be reported.
+	if m.bugFound {
+		t.Errorf("bug beyond the budget cut was reported")
+	}
+	if m.workerPanics != 1 {
+		t.Errorf("workerPanics = %d, want 1", m.workerPanics)
+	}
+}
+
+// distRun explores cfg's whole space through the distribution hooks:
+// shard into want units, run every unit to completion via RunUnit, merge
+// canonically, and fold into a Result exactly as the coordinator does for
+// a single-pass technique.
+func distRun(t *testing.T, cfg Config, tech Technique, want int) *Result {
+	t.Helper()
+	set, err := ShardTree(cfg, tech, 0, want)
+	if err != nil {
+		t.Fatalf("ShardTree: %v", err)
+	}
+	done := make([]*UnitResultState, 0, len(set.Done)+len(set.Units))
+	for i := range set.Done {
+		done = append(done, &set.Done[i])
+	}
+	for i := range set.Units {
+		ur, err := RunUnit(cfg, &set.Units[i], cfg.Limit, nil)
+		if err != nil {
+			t.Fatalf("RunUnit(%v): %v", set.Units[i].Key, err)
+		}
+		if ur.Done == nil {
+			t.Fatalf("RunUnit(%v): no result", set.Units[i].Key)
+		}
+		done = append(done, ur.Done)
+	}
+	m := MergeUnitStates(done, cfg.Limit)
+	r := &Result{Technique: tech}
+	m.FoldInto(r, 0)
+	r.Schedules = m.Schedules
+	if m.Truncated {
+		r.LimitHit = true
+		r.Stopped = StopLimit
+	} else if m.WorkerPanics == 0 {
+		r.Complete = true
+	}
+	return r
+}
+
+// TestDistHooksEquivalence: shard + per-unit RunUnit + canonical merge is
+// bit-identical to the sequential driver on a completed DFS, however many
+// units the tree was cut into. (Truncated runs are verdict-level — the
+// per-unit budgets over-explore and the merge reapplies the exact limit —
+// matching the pool's contract; the completed case is the bit-exact one.)
+func TestDistHooksEquivalence(t *testing.T) {
+	const limit = 20000
+	for _, name := range ckBenchNames {
+		for _, want := range []int{1, 2, 5} {
+			t.Run(fmt.Sprintf("%s/units=%d", name, want), func(t *testing.T) {
+				base := RunDFS(ckCfg(t, name, limit))
+				if !base.Complete {
+					t.Fatalf("baseline did not complete (%d schedules); raise the limit", base.Schedules)
+				}
+				got := distRun(t, ckCfg(t, name, limit), DFS, want)
+				requireSameResult(t, "dist", base, got)
+			})
+		}
+	}
+}
+
+// TestDistHooksParkResume: parking a unit after every execution and
+// re-dispatching the parked frontier loses nothing — the final merged
+// result is still bit-identical to the sequential run.
+func TestDistHooksParkResume(t *testing.T) {
+	const limit = 20000
+	cfg := ckCfg(t, "CS.account_bad", limit)
+	base := RunDFS(cfg)
+	if !base.Complete {
+		t.Fatalf("baseline did not complete; raise the limit")
+	}
+
+	shardCfg := ckCfg(t, "CS.account_bad", limit)
+	set, err := ShardTree(shardCfg, DFS, 0, 3)
+	if err != nil {
+		t.Fatalf("ShardTree: %v", err)
+	}
+	var done []*UnitResultState
+	for i := range set.Done {
+		done = append(done, &set.Done[i])
+	}
+	for i := range set.Units {
+		us := &set.Units[i]
+		for hops := 0; ; hops++ {
+			if hops > base.Executions+10 {
+				t.Fatalf("unit %v never completed", set.Units[i].Key)
+			}
+			// Park at the fourth poll: three executions per dispatch.
+			polls := 0
+			ur, err := RunUnit(shardCfg, us, 0, func() UnitAction {
+				polls++
+				if polls > 3 {
+					return UnitPark
+				}
+				return UnitContinue
+			})
+			if err != nil {
+				t.Fatalf("RunUnit: %v", err)
+			}
+			if ur.Done != nil {
+				done = append(done, ur.Done)
+				break
+			}
+			us = ur.Parked
+		}
+	}
+	m := MergeUnitStates(done, shardCfg.Limit)
+	r := &Result{Technique: DFS}
+	m.FoldInto(r, 0)
+	r.Schedules = m.Schedules
+	if m.WorkerPanics == 0 && !m.Truncated {
+		r.Complete = true
+	}
+	requireSameResult(t, "park-resume", base, r)
+}
+
+// TestDistHooksDPORVerdict: distributed DPOR keeps the pool's contract —
+// verdict and completeness survive sharding even though duplicated
+// reversals may inflate counts.
+func TestDistHooksDPORVerdict(t *testing.T) {
+	for _, name := range ckBenchNames {
+		t.Run(name, func(t *testing.T) {
+			cfg := ckCfg(t, name, 500)
+			base := RunDPOR(cfg)
+			got := distRun(t, ckCfg(t, name, 500), DPOR, 4)
+			if base.BugFound != got.BugFound {
+				t.Errorf("BugFound = %v, want %v", got.BugFound, base.BugFound)
+			}
+			if base.Complete != got.Complete {
+				t.Errorf("Complete = %v, want %v", got.Complete, base.Complete)
+			}
+		})
+	}
+}
+
+// TestResumeAllUnitsDone: a checkpoint may carry only completed units —
+// the stop landed right after the last unit finished, before the pass was
+// merged (a drained coordinator writes exactly this shape). Resuming it
+// must terminate (regression: addJobUnits never closed a born-drained
+// job's done channel, hanging waitTree forever) and fold the done units
+// into the sequential result.
+func TestResumeAllUnitsDone(t *testing.T) {
+	const limit = 20000
+	base := RunDFS(ckCfg(t, "CS.account_bad", limit))
+	if !base.Complete {
+		t.Fatalf("baseline did not complete; raise the limit")
+	}
+
+	cfg := ckCfg(t, "CS.account_bad", limit)
+	set, err := ShardTree(cfg, DFS, 0, 3)
+	if err != nil {
+		t.Fatalf("ShardTree: %v", err)
+	}
+	ps := &PoolState{BudgetLeft: limit, ExecLimitLeft: int64(DefaultMaxExecutions)}
+	ps.Done = append(ps.Done, set.Done...)
+	for i := range set.Units {
+		ur, err := RunUnit(cfg, &set.Units[i], limit, nil)
+		if err != nil || ur.Done == nil {
+			t.Fatalf("RunUnit(%v): %+v, %v", set.Units[i].Key, ur, err)
+		}
+		ps.Done = append(ps.Done, *ur.Done)
+	}
+	for i := range ps.Done {
+		ps.Execs += int64(ps.Done[i].Executions)
+		ps.Steps += ps.Done[i].Steps
+		ps.Aborts += int64(ps.Done[i].Aborted)
+	}
+	ps.OwnExecs = ps.Execs
+	ck := &Checkpoint{Version: CheckpointVersion, Technique: "DFS",
+		Limit: limit, Seed: cfg.Seed, MaxExecutions: DefaultMaxExecutions,
+		Result: &Result{Technique: DFS}, Pool: ps}
+
+	rcfg := ckCfg(t, "CS.account_bad", limit)
+	type out struct {
+		r   *Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		r, err := Resume(ck, rcfg)
+		ch <- out{r, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("Resume: %v", o.err)
+		}
+		if !o.r.Complete || o.r.Schedules != base.Schedules ||
+			o.r.BugFound != base.BugFound || o.r.Executions != base.Executions {
+			t.Errorf("resumed all-done checkpoint diverged: complete=%v schedules=%d "+
+				"bug=%v execs=%d, want %v/%d/%v/%d", o.r.Complete, o.r.Schedules,
+				o.r.BugFound, o.r.Executions,
+				base.Complete, base.Schedules, base.BugFound, base.Executions)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Resume hung on an all-done checkpoint")
+	}
+}

@@ -336,6 +336,14 @@ type unitResult struct {
 	// counts are forfeited (the merge skips them), only its run statistics
 	// fold in, and the job reports the panic instead of completeness.
 	panicMsg string
+	// executions/steps/aborted are the unit's own work tallies, filled by
+	// the distributed driver (ShardTree/RunUnit), which has no process-wide
+	// atomics to count on; the in-process pool leaves them zero and counts
+	// work on the job's shared counters instead. Summed over a disjoint
+	// covering set of completed units they equal the sequential totals.
+	executions int
+	steps      int64
+	aborted    int
 }
 
 // job is one complete pass over the tree (one DFS, or one bound of an
@@ -683,10 +691,17 @@ func (p *pool) collectJob(j *job) (parked []*unit, results []*unitResult) {
 }
 
 // addJobUnits registers a job seeded with restored units (pool resume).
+// A resume checkpoint may carry only completed units — the stop landed
+// right after the last unit finished — in which case the job is born
+// drained and its done channel must close here or nothing ever will.
 func (p *pool) addJobUnits(j *job, units []*unit) *job {
 	p.mu.Lock()
 	j.queue = append(j.queue, units...)
 	j.pending = len(units)
+	if j.pending == 0 && !j.closed {
+		j.closed = true
+		close(j.done)
+	}
 	p.jobs = append(p.jobs, j)
 	p.mu.Unlock()
 	p.cond.Broadcast()
@@ -707,6 +722,10 @@ type passResult struct {
 	truncated      bool // the merge-time budget cut the walk short
 	workerPanics   int
 	panicMsg       string
+	// Summed per-unit work tallies (distributed units only; see unitResult).
+	executions int
+	steps      int64
+	aborted    int
 }
 
 // mergeJob merges a drained job: its finished unit results plus the
@@ -723,11 +742,31 @@ func mergeJob(p *pool, j *job, budget int) passResult {
 	return mergeUnits(results, budget)
 }
 
-// mergeUnits concatenates unit results in canonical order, applying the
-// exact remaining schedule budget. On a fully enumerated pass this
-// reproduces the sequential visit order (see the package comment). Units
-// whose worker panicked contribute their run statistics only: their counts
-// are forfeited and surface as workerPanics instead.
+// mergeUnits concatenates unit results in canonical order (branch-key
+// lexicographic, prefix-orders-first — sched.CompareBranchKeys), applying
+// the exact remaining schedule budget as it goes. Every DFS/IPB/IDB unit
+// covers a contiguous lexicographic range, so on a fully enumerated pass
+// this reproduces the sequential visit order — totals, the budget cut,
+// the first-bug offset and its witness all land exactly where a
+// sequential walk would put them (see the package comment; DPOR is
+// verdict-level under stealing).
+//
+// Forfeited units — a worker panicked mid-unit, or (in the distributed
+// driver) a lease was abandoned and the unit's stale result discarded —
+// keep the merge honest rather than optimistic:
+//   - the unit's schedule counts, bug offsets and witness are dropped, so
+//     a half-explored range can never masquerade as an enumerated one;
+//   - its run statistics (max enabled threads, scheduling points, thread
+//     count) and work tallies still fold in — they describe executions
+//     that really happened;
+//   - the forfeiture surfaces as workerPanics/panicMsg, and every driver
+//     withholds Complete whenever workerPanics > 0.
+//
+// The contract under forfeiture is therefore verdict-level: a bug found
+// by a surviving unit is reported at its canonical offset, counts remain
+// exact over the surviving coverage and the budget still truncates
+// canonically, but completeness and totals describe only the units that
+// survived.
 func mergeUnits(units []*unitResult, budget int) passResult {
 	sort.Slice(units, func(a, b int) bool {
 		return sched.CompareBranchKeys(units[a].key, units[b].key) < 0
@@ -735,6 +774,9 @@ func mergeUnits(units []*unitResult, budget int) passResult {
 	var m passResult
 	for _, u := range units {
 		m.fold(u.runStats)
+		m.executions += u.executions
+		m.steps += u.steps
+		m.aborted += u.aborted
 		if u.panicMsg != "" {
 			m.workerPanics++
 			if m.panicMsg == "" {

@@ -31,6 +31,33 @@ const (
 	// PoolUnitPanic fires inside the parallel pool's runUnit, panicking the
 	// worker between stealing a unit and merging its result.
 	PoolUnitPanic
+	// CheckpointDirSync fires inside fsatomic.WriteFile between the rename
+	// and the parent-directory fsync, simulating a power loss in the window
+	// where the new file's bytes are durable but its directory entry may
+	// not be: after "reboot" either the old or the new file is present,
+	// both complete.
+	CheckpointDirSync
+	// RPCDropRequest fires in the distributed client before a request is
+	// sent: the message is lost on the wire and the caller sees a transient
+	// error (retry with backoff covers it).
+	RPCDropRequest
+	// RPCDropReply fires in the distributed client after the server
+	// processed a request but before the reply is read: the server-side
+	// effect happened, the client retries, and the server must treat the
+	// duplicate idempotently.
+	RPCDropReply
+	// RPCDuplicate fires in the distributed client and delivers the same
+	// request twice back to back; the server must absorb the duplicate.
+	RPCDuplicate
+	// DistWorkerCrash fires in a distributed worker's per-execution poll,
+	// simulating kill -9 mid-unit: the worker abandons its lease without a
+	// word and the coordinator must re-dispatch after expiry.
+	DistWorkerCrash
+	// DistCoordCrash fires in the coordinator's unit-completion handler
+	// after the result is recorded but before it is acknowledged,
+	// simulating the coordinator dying mid-merge; a resumed coordinator
+	// must reconstruct the job from its last checkpoint.
+	DistCoordCrash
 	numPoints
 )
 

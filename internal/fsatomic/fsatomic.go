@@ -1,0 +1,69 @@
+// Package fsatomic writes files atomically AND durably. The classic
+// tmp+rename idiom is atomic with respect to concurrent readers, but not
+// to power loss: without an fsync of the file the rename can publish a
+// name whose bytes never reached the platter, and without an fsync of the
+// parent directory the rename itself can be rolled back by a crash. Every
+// checkpoint writer in this repository (explore frontier checkpoints,
+// study row checkpoints, sctserve job checkpoints) goes through WriteFile
+// so that after any crash the path holds either the previous complete
+// file or the new complete file — never a torn one.
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+
+	"sctbench/internal/faultinject"
+)
+
+// WriteFile writes data to path atomically and durably: the bytes land in
+// path+".tmp", are fsynced, renamed over path, and the parent directory
+// is fsynced so the rename survives power loss. The
+// faultinject.CheckpointDirSync point simulates a crash between the
+// rename and the directory sync (the narrowest durability window): the
+// renamed file is already complete, so callers treating the error as "the
+// process died here" still find a loadable checkpoint on disk.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if faultinject.Hit(faultinject.CheckpointDirSync) {
+		return faultinject.ErrInjected
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry in it is durable.
+// Filesystems that cannot fsync directories (some network mounts) make
+// this a no-op rather than an error: the write already succeeded, and
+// surfacing an EINVAL here would turn a durability nicety into a spurious
+// checkpoint failure.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,54 @@
+package fsatomic
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sctbench/internal/faultinject"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "ck.json")
+	if err := WriteFile(p, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(p, []byte("new contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents" {
+		t.Fatalf("read %q, want %q", got, "new contents")
+	}
+	if _, err := os.Stat(p + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// A crash between the rename and the directory fsync is the narrowest
+// durability window; the caller sees ErrInjected ("the process died
+// here") but the file at path must already be the complete new version —
+// the file itself was fsynced before the rename published it.
+func TestWriteFileCrashBetweenRenameAndDirSync(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "ck.json")
+	if err := WriteFile(p, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.CheckpointDirSync, 1)
+	defer faultinject.Reset()
+	err := WriteFile(p, []byte("new complete checkpoint"), 0o644)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	got, readErr := os.ReadFile(p)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if string(got) != "new complete checkpoint" {
+		t.Fatalf("after simulated crash file holds %q, want the complete new contents", got)
+	}
+}

@@ -1,0 +1,23 @@
+package report
+
+import (
+	"fmt"
+
+	"sctbench/internal/explore"
+)
+
+// JobCSVHeader is the column list of JobCSVRow. The row carries both the
+// verdict columns (found/first/buggy/complete/status) and the exact work
+// tallies (total/executions/steps), because a fully completed distributed
+// run is bit-identical to the sequential one for DFS/IPB/IDB — the CI
+// smoke diffs the whole row, not just the verdict.
+const JobCSVHeader = "bench,technique,found,bound,first,total,new,buggy,complete,limit_hit,worker_panics,executions,steps,status\n"
+
+// JobCSVRow renders one exploration result as a single CSV row matching
+// JobCSVHeader.
+func JobCSVRow(benchName, technique string, res *explore.Result) string {
+	return fmt.Sprintf("%s,%s,%v,%d,%d,%d,%d,%d,%v,%v,%d,%d,%d,%s\n",
+		benchName, technique, res.BugFound, res.Bound, res.SchedulesToFirstBug,
+		res.Schedules, res.NewSchedules, res.BuggySchedules, res.Complete,
+		res.LimitHit, res.WorkerPanics, res.Executions, res.TotalSteps, res.Stopped)
+}

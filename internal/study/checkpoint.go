@@ -21,6 +21,7 @@ import (
 
 	"sctbench/internal/bench"
 	"sctbench/internal/explore"
+	"sctbench/internal/fsatomic"
 	"sctbench/internal/mapleidiom"
 )
 
@@ -154,19 +155,15 @@ func (ck *Checkpoint) validate() error {
 	return nil
 }
 
-// Save writes the checkpoint atomically (temp file + rename), mirroring
-// explore.Checkpoint.Save.
+// Save writes the checkpoint atomically and durably (temp file, fsync,
+// rename, parent-directory fsync), mirroring explore.Checkpoint.Save.
 func (ck *Checkpoint) Save(path string) error {
 	data, err := json.MarshalIndent(ck, "", "  ")
 	if err != nil {
 		return fmt.Errorf("study checkpoint: encode: %w", err)
 	}
 	data = append(data, '\n')
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("study checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsatomic.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("study checkpoint: %w", err)
 	}
 	return nil
