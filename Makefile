@@ -29,7 +29,7 @@ bench:
 # shell with an EXIT trap so the BENCH_*.txt intermediates are removed
 # even when a benchmark or benchjson fails mid-way.
 bench-json:
-	@set -e; trap 'rm -f BENCH_substrate.txt BENCH_explore.txt BENCH_goidiom.txt BENCH_gotime.txt' EXIT; \
+	@set -e; trap 'rm -f BENCH_substrate.txt BENCH_explore.txt BENCH_goidiom.txt BENCH_gotime.txt BENCH_swarm.txt' EXIT; \
 	$(GO) test -run xxx -bench 'BenchmarkExecutorThroughput|BenchmarkSubstrateThroughput|BenchmarkStepOverhead' \
 		-benchmem -benchtime 1000x . > BENCH_substrate.txt; \
 	$(GO) run ./cmd/benchjson -o BENCH_substrate.json < BENCH_substrate.txt; \
@@ -39,7 +39,9 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_goidiom.json < BENCH_goidiom.txt; \
 	$(GO) test -run xxx -bench 'BenchmarkGoTime' -benchmem -benchtime 3x . > BENCH_gotime.txt; \
 	$(GO) run ./cmd/benchjson -o BENCH_gotime.json < BENCH_gotime.txt; \
-	cat BENCH_substrate.json BENCH_explore.json BENCH_goidiom.json BENCH_gotime.json
+	$(GO) test -run xxx -bench 'BenchmarkSwarmCorpusReplay' -benchtime 3x . > BENCH_swarm.txt; \
+	$(GO) run ./cmd/benchjson -o BENCH_swarm.json < BENCH_swarm.txt; \
+	cat BENCH_substrate.json BENCH_explore.json BENCH_goidiom.json BENCH_gotime.json BENCH_swarm.json
 
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \

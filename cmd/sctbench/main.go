@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"sctbench/internal/bench"
+	"sctbench/internal/corpus"
 	"sctbench/internal/explore"
 	"sctbench/internal/report"
 	"sctbench/internal/study"
@@ -96,6 +97,16 @@ func run(args []string, interrupt <-chan struct{}, stdout, stderr io.Writer) int
 		"execution engine: auto (compiled benchmarks on the flat single-goroutine "+
 			"engine, closure benchmarks on the goroutine engine) or ref (force "+
 			"everything onto the goroutine reference engine)")
+	corpusDir := fs.String("corpus", "",
+		"schedule corpus directory (created if missing): explorations replay stored "+
+			"witnesses before searching and write every fresh witness back")
+	swarm := fs.Bool("swarm", false,
+		"swarm mode: sweep technique x bound x seed over the selected benchmarks "+
+			"and emit one consolidated CSV (see -swarm-seeds, -swarm-bounds, -swarmcsv)")
+	swarmSeeds := fs.String("swarm-seeds", "1,2,3,4,5", "comma-separated seed axis for -swarm")
+	swarmBounds := fs.String("swarm-bounds", "0",
+		"comma-separated bound axis for -swarm's bounded techniques (0 = default cap)")
+	swarmCSV := fs.String("swarmcsv", "", "write the swarm CSV to this path (default: stdout)")
 	ckPath := fs.String("checkpoint", "", "save completed rows here when the study is interrupted or times out")
 	resume := fs.Bool("resume", false, "skip rows already completed in the -checkpoint file")
 	maxWall := fs.Duration("max-wall", 0, "wall-clock budget for the study (0 = none)")
@@ -177,6 +188,32 @@ func run(args []string, interrupt <-chan struct{}, stdout, stderr io.Writer) int
 		return exitError
 	}
 
+	var store *corpus.Store
+	if *corpusDir != "" {
+		var err error
+		if store, err = corpus.Open(*corpusDir); err != nil {
+			fmt.Fprintln(stderr, "corpus:", err)
+			return exitError
+		}
+	}
+
+	if *swarm {
+		return runSwarm(benches, swarmOptions{
+			seeds:     *swarmSeeds,
+			bounds:    *swarmBounds,
+			csvPath:   *swarmCSV,
+			limit:     *limit,
+			par:       *par,
+			workers:   *workers,
+			withDPOR:  *withDPOR,
+			maxWall:   *maxWall,
+			verbose:   *verbose,
+			debug:     debug,
+			store:     store,
+			interrupt: interrupt,
+		}, stdout, stderr)
+	}
+
 	cfg := study.Config{
 		Limit:          *limit,
 		Seed:           *seed,
@@ -186,6 +223,7 @@ func run(args []string, interrupt <-chan struct{}, stdout, stderr io.Writer) int
 		Debug:          debug,
 		Interrupt:      interrupt,
 		CheckpointPath: *ckPath,
+		Corpus:         store,
 	}
 	if *maxWall > 0 {
 		cfg.Deadline = time.Now().Add(*maxWall)

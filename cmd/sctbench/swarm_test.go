@@ -1,0 +1,136 @@
+package main
+
+// CLI tests for swarm mode: the CSV shape and determinism contract, the
+// corpus replay-first speedup across invocations, and flag validation.
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSwarmCSVShapeAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	sel := "CS.account_bad$|CS.lazy01_bad$"
+	args := func(corpus, csv string) []string {
+		return []string{"-swarm", "-bench", sel, "-limit", "500", "-par", "1",
+			"-workers", "1", "-swarm-seeds", "1,2", "-swarm-bounds", "2,3",
+			"-corpus", corpus, "-swarmcsv", csv}
+	}
+
+	csv1 := filepath.Join(dir, "a.csv")
+	code, _, errOut := runCLI(t, args(filepath.Join(dir, "corpus-a"), csv1)...)
+	if code != exitBug {
+		t.Fatalf("swarm exited %d, want %d\n%s", code, exitBug, errOut)
+	}
+	a, err := os.ReadFile(csv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(a), "\n"), "\n")
+	// 2 benches x (IPB,IDB x 2 bounds + DFS + Rand) x 2 seeds = 24 rows.
+	if want := 1 + 24; len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), want, a)
+	}
+	if !strings.HasPrefix(lines[0], "bench_id,bench,suite,technique,bound,seed") {
+		t.Fatalf("unexpected header: %s", lines[0])
+	}
+
+	// A second sweep with the same seeds into a fresh corpus is
+	// byte-identical.
+	csv2 := filepath.Join(dir, "b.csv")
+	if code, _, errOut := runCLI(t, args(filepath.Join(dir, "corpus-b"), csv2)...); code != exitBug {
+		t.Fatalf("second swarm exited %d, want %d\n%s", code, exitBug, errOut)
+	}
+	b, err := os.ReadFile(csv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("swarm CSV not deterministic across runs:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestSwarmReplayFirstAcrossInvocations pins the corpus acceptance
+// criterion end to end: a rerun against the corpus the first invocation
+// populated reproduces every previously found bug with at least ten times
+// fewer executions (for cells whose cold search was non-trivial).
+func TestSwarmReplayFirstAcrossInvocations(t *testing.T) {
+	dir := t.TempDir()
+	corpusDir := filepath.Join(dir, "corpus")
+	args := func(csv string) []string {
+		return []string{"-swarm", "-bench", "CS.account_bad$|CS.queue_bad$",
+			"-limit", "2000", "-par", "1", "-workers", "1", "-swarm-seeds", "1",
+			"-corpus", corpusDir, "-swarmcsv", filepath.Join(dir, csv)}
+	}
+	if code, _, errOut := runCLI(t, args("cold.csv")...); code != exitBug {
+		t.Fatalf("cold swarm exited %d\n%s", code, errOut)
+	}
+	if code, _, errOut := runCLI(t, args("warm.csv")...); code != exitBug {
+		t.Fatalf("warm swarm exited %d\n%s", code, errOut)
+	}
+
+	parse := func(name string) map[string][2]int { // row key -> {executions, hit}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][2]int)
+		for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			if i == 0 {
+				continue
+			}
+			f := strings.Split(line, ",")
+			// bench,technique,bound,seed key; found col 7, execs col 11, hit col 16.
+			if f[7] != "true" {
+				continue
+			}
+			execs, err := strconv.Atoi(f[11])
+			if err != nil {
+				t.Fatalf("bad executions in %q: %v", line, err)
+			}
+			hit := 0
+			if f[16] == "true" {
+				hit = 1
+			}
+			out[f[1]+"/"+f[3]+"/"+f[4]+"/"+f[5]] = [2]int{execs, hit}
+		}
+		return out
+	}
+	cold, warm := parse("cold.csv"), parse("warm.csv")
+	if len(cold) == 0 {
+		t.Fatal("cold sweep found no bugs")
+	}
+	checked := 0
+	for key, c := range cold {
+		w, ok := warm[key]
+		if !ok {
+			t.Fatalf("%s: bug found cold but not on the warm rerun", key)
+		}
+		if w[1] != 1 {
+			t.Errorf("%s: warm rerun did not hit the stored witness", key)
+		}
+		if c[0] >= 10 {
+			checked++
+			if w[0]*10 > c[0] {
+				t.Errorf("%s: warm executions %d vs cold %d — less than 10x cheaper", key, w[0], c[0])
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cell had a non-trivial cold search; the 10x criterion went unchecked")
+	}
+}
+
+func TestSwarmBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-swarm", "-bench", "CS.account_bad$", "-swarm-seeds", "1,x"},
+		{"-swarm", "-bench", "CS.account_bad$", "-swarm-bounds", "-2"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != exitError {
+			t.Errorf("%v exited %d, want %d", args, code, exitError)
+		}
+	}
+}

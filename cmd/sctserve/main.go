@@ -16,6 +16,10 @@
 //
 //	sctserve -worker -connect http://127.0.0.1:PORT [-name w1]
 //
+// Watcher (progress lines on stderr while a job runs elsewhere):
+//
+//	sctserve -watch -connect http://127.0.0.1:PORT [-watch-interval 500ms]
+//
 // Baseline (the sequential run the distributed one must match):
 //
 //	sctserve -local -bench CS.account_bad -technique dfs -csv
@@ -83,7 +87,9 @@ func run(args []string, interrupt <-chan struct{}, stdout, stderr io.Writer) int
 	fs := flag.NewFlagSet("sctserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	worker := fs.Bool("worker", false, "run as a worker instead of a coordinator")
-	connect := fs.String("connect", "", "coordinator URL, e.g. http://127.0.0.1:4077 (worker mode)")
+	watch := fs.Bool("watch", false, "poll the coordinator's /v1/status and print progress lines to stderr (-connect required)")
+	watchInterval := fs.Duration("watch-interval", 500*time.Millisecond, "poll interval for -watch")
+	connect := fs.String("connect", "", "coordinator URL, e.g. http://127.0.0.1:4077 (worker and watch modes)")
 	wname := fs.String("name", "", "worker name shown in coordinator status (default w-<pid>)")
 	local := fs.Bool("local", false, "run the job sequentially in-process — the baseline a distributed run must match")
 	name := fs.String("bench", "", "benchmark name (see sctrun -list)")
@@ -104,6 +110,9 @@ func run(args []string, interrupt <-chan struct{}, stdout, stderr io.Writer) int
 		return exitError
 	}
 
+	if *watch {
+		return runWatch(*connect, *watchInterval, interrupt, stderr)
+	}
 	if *worker {
 		return runWorker(*connect, *wname, interrupt, stderr)
 	}

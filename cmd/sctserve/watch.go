@@ -1,0 +1,81 @@
+package main
+
+// Watch mode: `sctserve -watch -connect http://HOST:PORT` polls a running
+// coordinator's GET /v1/status and prints one progress line to stderr per
+// change. It exits clean when the coordinator goes away (the job ended and
+// the server shut down) or on interrupt, and with an error when it never
+// managed to reach the coordinator at all.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sctbench/internal/dist"
+)
+
+// watchStartupPolls is how many failed polls watch tolerates before
+// concluding the coordinator was never there (covers starting the watcher
+// a moment before the coordinator binds its port).
+const watchStartupPolls = 20
+
+// watchLine renders one status snapshot as the progress line the CLI test
+// asserts on.
+func watchLine(st dist.StatusReply) string {
+	return fmt.Sprintf("watch: phase=%s bound=%d units=%d/%d leases=%d schedules=%d workers=%d",
+		st.Phase, st.Bound, st.UnitsDone, st.UnitsTotal, st.Leases, st.Schedules, st.Workers)
+}
+
+func runWatch(connect string, interval time.Duration, interrupt <-chan struct{}, stderr io.Writer) int {
+	if connect == "" {
+		fmt.Fprintln(stderr, "-watch needs -connect http://HOST:PORT")
+		return exitError
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	connected := false
+	failures := 0
+	last := ""
+	for {
+		st, err := pollStatus(client, connect)
+		switch {
+		case err == nil:
+			connected = true
+			failures = 0
+			if line := watchLine(st); line != last {
+				fmt.Fprintln(stderr, line)
+				last = line
+			}
+		case connected:
+			// The coordinator served us before and is gone now: the job
+			// ended and the server shut down.
+			fmt.Fprintln(stderr, "watch: coordinator gone, job over")
+			return exitClean
+		default:
+			if failures++; failures >= watchStartupPolls {
+				fmt.Fprintf(stderr, "watch: cannot reach coordinator at %s: %v\n", connect, err)
+				return exitError
+			}
+		}
+		select {
+		case <-interrupt:
+			return exitClean
+		case <-time.After(interval):
+		}
+	}
+}
+
+func pollStatus(client *http.Client, addr string) (dist.StatusReply, error) {
+	var st dist.StatusReply
+	resp, err := client.Get(addr + "/v1/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status endpoint returned %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}

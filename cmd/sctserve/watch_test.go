@@ -1,0 +1,92 @@
+package main
+
+// CLI tests for watch mode: the progress-line shape, change-only
+// printing, the clean exit when the coordinator goes away, and flag
+// validation.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"sctbench/internal/dist"
+)
+
+func TestWatchPrintsProgressAndExitsWhenJobEnds(t *testing.T) {
+	// A canned coordinator: two distinct snapshots, a repeat of the
+	// second, then the server "shuts down" (the job ended).
+	snapshots := []dist.StatusReply{
+		{Phase: "bound", Bound: 2, UnitsDone: 1, UnitsTotal: 8, Leases: 2, Schedules: 120, Workers: 2},
+		{Phase: "bound", Bound: 3, UnitsDone: 5, UnitsTotal: 8, Leases: 1, Schedules: 900, Workers: 2},
+		{Phase: "bound", Bound: 3, UnitsDone: 5, UnitsTotal: 8, Leases: 1, Schedules: 900, Workers: 2},
+	}
+	var mu sync.Mutex
+	served := 0
+	var srv *httptest.Server
+	srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/status" {
+			http.NotFound(w, r)
+			return
+		}
+		mu.Lock()
+		i := served
+		served++
+		mu.Unlock()
+		if i >= len(snapshots) {
+			go srv.CloseClientConnections()
+			srv.Listener.Close()
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(snapshots[i])
+	}))
+	defer srv.Close()
+
+	code, _, errOut := runCLI(t, nil, "-watch", "-connect", srv.URL, "-watch-interval", "5ms")
+	if code != exitClean {
+		t.Fatalf("watch exited %d, want %d\n%s", code, exitClean, errOut)
+	}
+	var lines []string
+	for _, l := range strings.Split(strings.TrimRight(errOut, "\n"), "\n") {
+		if strings.HasPrefix(l, "watch:") {
+			lines = append(lines, l)
+		}
+	}
+	// Two distinct snapshots (the repeat is deduped) plus the job-over line.
+	if len(lines) != 3 {
+		t.Fatalf("got %d watch lines, want 3:\n%s", len(lines), errOut)
+	}
+	shape := regexp.MustCompile(`^watch: phase=\S+ bound=\d+ units=\d+/\d+ leases=\d+ schedules=\d+ workers=\d+$`)
+	for _, l := range lines[:2] {
+		if !shape.MatchString(l) {
+			t.Errorf("progress line %q does not match the documented shape", l)
+		}
+	}
+	if want := "watch: phase=bound bound=2 units=1/8 leases=2 schedules=120 workers=2"; lines[0] != want {
+		t.Errorf("first line = %q, want %q", lines[0], want)
+	}
+	if lines[2] != "watch: coordinator gone, job over" {
+		t.Errorf("final line = %q, want the job-over notice", lines[2])
+	}
+}
+
+func TestWatchNeedsConnect(t *testing.T) {
+	if code, _, _ := runCLI(t, nil, "-watch"); code != exitError {
+		t.Errorf("-watch without -connect exited %d, want %d", code, exitError)
+	}
+}
+
+func TestWatchUnreachableCoordinatorIsAnError(t *testing.T) {
+	code, _, errOut := runCLI(t, nil, "-watch", "-connect", "http://127.0.0.1:1",
+		"-watch-interval", "1ms")
+	if code != exitError {
+		t.Fatalf("watch on a dead address exited %d, want %d\n%s", code, exitError, errOut)
+	}
+	if !strings.Contains(errOut, "cannot reach coordinator") {
+		t.Errorf("missing unreachable notice:\n%s", errOut)
+	}
+}

@@ -13,6 +13,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sctbench/internal/vthread"
 )
@@ -49,10 +50,25 @@ type Benchmark struct {
 	// registry test executes both under identical choosers and requires
 	// bit-identical outcomes, failures and event streams.
 	Ref func() vthread.Program
+
+	hashOnce sync.Once
+	hash     string
 }
 
 // String returns "id name".
 func (b *Benchmark) String() string { return fmt.Sprintf("%02d %s", b.ID, b.Name) }
+
+// Hash returns the benchmark's program content hash (vthread.ProgramHash
+// of a fresh New() instance), the key under which the schedule corpus
+// stores its witnesses and prefixes. Computed once per process and cached;
+// stable across processes and across benchmark renames, changed by any
+// semantic edit to the program.
+func (b *Benchmark) Hash() string {
+	b.hashOnce.Do(func() {
+		b.hash = vthread.ProgramHash(b.New(), b.MaxSteps)
+	})
+	return b.hash
+}
 
 var registry []*Benchmark
 

@@ -98,11 +98,11 @@ func TestCompiledMatchesReference(t *testing.T) {
 			}
 		})
 	}
-	// The closure-only residue (CB, Inspect, Miscellaneous) stays as the
-	// live exerciser of the reference engine and the automatic fallback;
-	// everything else must be paired.
-	if want := len(All()) - 6; paired != want {
-		t.Fatalf("%d benchmarks carry a Ref twin, want %d (all but the 6 closure-form CB/Inspect/Misc entries)", paired, want)
+	// misc.safestack is the one deliberate closure-only entry left: the
+	// live exerciser of the goroutine reference engine and the automatic
+	// fallback path. Everything else must be paired.
+	if want := len(All()) - 1; paired != want {
+		t.Fatalf("%d benchmarks carry a Ref twin, want %d (all but the closure-form misc.safestack)", paired, want)
 	}
 }
 

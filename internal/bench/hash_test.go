@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestRegistryHashes pins the corpus-key properties of the registry: every
+// entry has a stable 16-hex-digit content hash, no two entries collide
+// (the registry has no duplicate programs, so colliding keys would merge
+// unrelated corpus entries), and the hash does not depend on the
+// registry name (content addressing survives renames by construction —
+// the name is simply never folded in).
+func TestRegistryHashes(t *testing.T) {
+	seen := make(map[string]string)
+	for _, b := range All() {
+		h := b.Hash()
+		if len(h) != 16 {
+			t.Fatalf("%s: hash %q is not 16 hex digits", b.Name, h)
+		}
+		if other, dup := seen[h]; dup {
+			t.Fatalf("hash collision: %s and %s both hash to %s", other, b.Name, h)
+		}
+		seen[h] = b.Name
+		if again := b.Hash(); again != h {
+			t.Fatalf("%s: hash not stable across calls: %s vs %s", b.Name, h, again)
+		}
+	}
+}

@@ -9,6 +9,12 @@ package bench
 // final assertion. misc.safestack models Vyukov's lock-free stack bug,
 // which needs three threads and at least five preemptions — found by no
 // technique within the limit, exactly as in Table 3.
+//
+// All entries but misc.safestack are registered in compiled (builder-DSL)
+// form with their closure originals as Ref twins, like the rest of the
+// registry. misc.safestack deliberately stays closure-form: it is the one
+// live exerciser of the goroutine reference engine left in the registry,
+// keeping the automatic closure-program fallback path honest.
 
 import "sctbench/internal/vthread"
 
@@ -17,177 +23,40 @@ func init() {
 		ID: 0, Name: "CB.aget-bug2", Suite: "CB", Threads: 4,
 		BugKind: vthread.FailAssert,
 		Desc:    "download resume: interrupt handler saves progress while workers still update it",
-		New: func() vthread.Runnable {
-			return vthread.Program(func(t0 *vthread.Thread) {
-				bwritten := t0.NewVar("bwritten", 0) // racy progress counter
-				saved := t0.NewVar("saved", -1)
-				// Two downloader threads append chunks and bump the shared
-				// progress counter without synchronisation.
-				worker := func(chunks int) vthread.Program {
-					return func(tw *vthread.Thread) {
-						for i := 0; i < chunks; i++ {
-							bwritten.Add(tw, 10) // load+store: the racy update
-						}
-					}
-				}
-				ts := []*vthread.Thread{
-					t0.Spawn(worker(2)),
-					t0.Spawn(worker(2)),
-					// The signal handler (modelled as an async thread, as
-					// the paper did): snapshots progress for the resume
-					// file.
-					t0.Spawn(func(tw *vthread.Thread) {
-						saved.Store(tw, bwritten.Load(tw))
-					}),
-				}
-				joinAll(t0, ts)
-				// Output check (§4.2): the resume record must equal a
-				// consistent prefix: a torn counter update makes it
-				// impossible to resume. Lost updates leave bwritten short.
-				total := bwritten.Load(t0)
-				t0.Assert(total == 40, "lost progress update: bwritten=%d, want 40", total)
-			})
-		},
+		New:     func() vthread.Runnable { return compiledAgetBug2() },
+		Ref:     refAgetBug2,
 	})
 
 	register(&Benchmark{
 		ID: 1, Name: "CB.pbzip2-0.9.4", Suite: "CB", Threads: 4,
 		BugKind: vthread.FailCrash,
 		Desc:    "main frees the work-queue mutex while a consumer can still lock it",
-		New: func() vthread.Runnable {
-			return vthread.Program(func(t0 *vthread.Thread) {
-				qm := t0.NewMutex("queue")
-				items := t0.NewSem("items", 0)
-				fifo := t0.NewVar("fifo", 0)
-				consumer := func(tw *vthread.Thread) {
-					items.P(tw)
-					qm.Lock(tw) // crashes if the teardown already destroyed it
-					fifo.Add(tw, -1)
-					qm.Unlock(tw)
-				}
-				c1 := t0.Spawn(consumer)
-				c2 := t0.Spawn(consumer)
-				qm.Lock(t0)
-				fifo.Store(t0, 2)
-				qm.Unlock(t0)
-				items.V(t0)
-				items.V(t0)
-				// Bug (pbzip2 0.9.4): the queue is torn down without
-				// waiting for the consumers to drain it.
-				third := t0.Spawn(func(tw *vthread.Thread) {
-					qm.Destroy(tw)
-				})
-				t0.Join(c1)
-				t0.Join(c2)
-				t0.Join(third)
-			})
-		},
+		New:     func() vthread.Runnable { return compiledPbzip2() },
+		Ref:     refPbzip2,
 	})
 
 	register(&Benchmark{
 		ID: 2, Name: "CB.stringbuffer-jdk1.4", Suite: "CB", Threads: 2,
 		BugKind: vthread.FailAssert,
 		Desc:    "StringBuffer.append: length checked, then the source is erased, then copied",
-		New: func() vthread.Runnable {
-			return vthread.Program(func(t0 *vthread.Thread) {
-				// sb2 is the source buffer; its length is racy between the
-				// appender's check and its copy (the JDK 1.4 bug).
-				len2 := t0.NewVar("len2", 4)
-				data2 := t0.NewArray("data2", 4)
-				t0.Spawn(func(tw *vthread.Thread) {
-					// erase(): truncate the source.
-					len2.Store(tw, 0)
-				})
-				// append(sb2): check-then-act over the source length.
-				n := len2.Load(t0)
-				copied := 0
-				for i := 0; i < n; i++ {
-					cur := len2.Load(t0)
-					if i < cur || cur == 4 {
-						_ = data2.Get(t0, i)
-						copied++
-					}
-				}
-				t0.Assert(copied == 0 || copied == n,
-					"torn append: copied %d of %d characters", copied, n)
-			})
-		},
+		New:     func() vthread.Runnable { return compiledStringbuffer() },
+		Ref:     refStringbuffer,
 	})
 
 	register(&Benchmark{
 		ID: 36, Name: "inspect.qsort_mt", Suite: "Inspect", Threads: 3,
 		BugKind: vthread.FailAssert,
 		Desc:    "multithreaded quicksort: worker-done flag set before the final swap lands",
-		New: func() vthread.Runnable {
-			return vthread.Program(func(t0 *vthread.Thread) {
-				arr := t0.NewArray("arr", 4)
-				done := t0.NewSem("done", 0)
-				cmps := t0.NewVar("comparisons", 0)
-				// Pre-fill unsorted with distinct values so a half-applied
-				// swap ([3,1] → [1,1]) is distinguishable from a sorted
-				// half.
-				for i, v := range []int{3, 1, 2, 0} {
-					arr.Set(t0, i, v)
-				}
-				sortHalf := func(lo int) vthread.Program {
-					return func(tw *vthread.Thread) {
-						// Tiny bubble over two elements.
-						a := arr.Get(tw, lo)
-						b := arr.Get(tw, lo+1)
-						if a > b {
-							arr.Set(tw, lo, b)
-							// Bug: completion signalled before the second
-							// store of the swap lands.
-							done.V(tw)
-							arr.Set(tw, lo+1, a)
-						} else {
-							done.V(tw)
-						}
-						// Comparison-count bookkeeping after the sort: deep,
-						// harmless interleavings that keep depth-first
-						// search away from the shallow buggy window.
-						for i := 0; i < 8; i++ {
-							cmps.Add(tw, 1)
-						}
-					}
-				}
-				w1 := t0.Spawn(sortHalf(0))
-				w2 := t0.Spawn(sortHalf(2))
-				// Main merges as soon as both halves signal completion —
-				// which can be before the last swap store.
-				done.P(t0)
-				done.P(t0)
-				a0, a1 := arr.Get(t0, 0), arr.Get(t0, 1)
-				a2, a3 := arr.Get(t0, 2), arr.Get(t0, 3)
-				t0.Assert(a0 < a1 && a2 < a3, "half not sorted: [%d %d %d %d]", a0, a1, a2, a3)
-				t0.Join(w1)
-				t0.Join(w2)
-			})
-		},
+		New:     func() vthread.Runnable { return compiledQsortMt() },
+		Ref:     refQsortMt,
 	})
 
 	register(&Benchmark{
 		ID: 37, Name: "misc.ctrace-test", Suite: "Miscellaneous", Threads: 3,
 		BugKind: vthread.FailAssert,
 		Desc:    "ctrace debugging library: unlocked trace-list insert drops an entry",
-		New: func() vthread.Runnable {
-			return vthread.Program(func(t0 *vthread.Thread) {
-				count := t0.NewVar("count", 0) // racy list length
-				entries := t0.NewArray("entries", 8)
-				trace := func(tw *vthread.Thread, ev int) {
-					n := count.Load(tw)
-					entries.Set(tw, n, ev)
-					count.Store(tw, n+1)
-				}
-				ts := []*vthread.Thread{
-					t0.Spawn(func(tw *vthread.Thread) { trace(tw, 1); trace(tw, 2) }),
-					t0.Spawn(func(tw *vthread.Thread) { trace(tw, 3) }),
-				}
-				joinAll(t0, ts)
-				n := count.Load(t0)
-				t0.Assert(n == 3, "trace list dropped entries: %d of 3", n)
-			})
-		},
+		New:     func() vthread.Runnable { return compiledCtraceTest() },
+		Ref:     refCtraceTest,
 	})
 
 	register(&Benchmark{
@@ -196,6 +65,299 @@ func init() {
 		Desc:    "Vyukov lock-free stack: duplicate pop needs 3 threads and ≥5 preemptions",
 		New:     func() vthread.Runnable { return safestack() },
 	})
+}
+
+func refAgetBug2() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		bwritten := t0.NewVar("bwritten", 0) // racy progress counter
+		saved := t0.NewVar("saved", -1)
+		// Two downloader threads append chunks and bump the shared
+		// progress counter without synchronisation.
+		worker := func(chunks int) vthread.Program {
+			return func(tw *vthread.Thread) {
+				for i := 0; i < chunks; i++ {
+					bwritten.Add(tw, 10) // load+store: the racy update
+				}
+			}
+		}
+		ts := []*vthread.Thread{
+			t0.Spawn(worker(2)),
+			t0.Spawn(worker(2)),
+			// The signal handler (modelled as an async thread, as
+			// the paper did): snapshots progress for the resume
+			// file.
+			t0.Spawn(func(tw *vthread.Thread) {
+				saved.Store(tw, bwritten.Load(tw))
+			}),
+		}
+		joinAll(t0, ts)
+		// Output check (§4.2): the resume record must equal a
+		// consistent prefix: a torn counter update makes it
+		// impossible to resume. Lost updates leave bwritten short.
+		total := bwritten.Load(t0)
+		t0.Assert(total == 40, "lost progress update: bwritten=%d, want 40", total)
+	}
+}
+
+func compiledAgetBug2() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	bwritten := p.Var("bwritten", 0)
+	saved := p.Var("saved", -1)
+	worker := func() *vthread.Code {
+		c := p.Body(0, 0)
+		loopN(c, 2, func() { c.AddVar(bwritten, 10) })
+		return c
+	}
+	w1, w2 := worker(), worker()
+	sig := p.Body(0, 0)
+	snap := sig.Load(bwritten)
+	sig.Store(saved, snap)
+	mn := p.Main()
+	hs := []vthread.OReg{mn.Spawn(w1), mn.Spawn(w2), mn.Spawn(sig)}
+	joinRegs(mn, hs)
+	total := mn.Load(bwritten)
+	mn.Assert(eq(total, 40), "lost progress update: bwritten=%d, want 40", total)
+	return p.Build()
+}
+
+func refPbzip2() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		qm := t0.NewMutex("queue")
+		items := t0.NewSem("items", 0)
+		fifo := t0.NewVar("fifo", 0)
+		consumer := func(tw *vthread.Thread) {
+			items.P(tw)
+			qm.Lock(tw) // crashes if the teardown already destroyed it
+			fifo.Add(tw, -1)
+			qm.Unlock(tw)
+		}
+		c1 := t0.Spawn(consumer)
+		c2 := t0.Spawn(consumer)
+		qm.Lock(t0)
+		fifo.Store(t0, 2)
+		qm.Unlock(t0)
+		items.V(t0)
+		items.V(t0)
+		// Bug (pbzip2 0.9.4): the queue is torn down without
+		// waiting for the consumers to drain it.
+		third := t0.Spawn(func(tw *vthread.Thread) {
+			qm.Destroy(tw)
+		})
+		t0.Join(c1)
+		t0.Join(c2)
+		t0.Join(third)
+	}
+}
+
+func compiledPbzip2() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	qm := p.Mutex("queue")
+	items := p.Sem("items", 0)
+	fifo := p.Var("fifo", 0)
+	consumer := func() *vthread.Code {
+		c := p.Body(0, 0)
+		c.P(items)
+		c.Lock(qm)
+		c.AddVar(fifo, -1)
+		c.Unlock(qm)
+		return c
+	}
+	c1b, c2b := consumer(), consumer()
+	third := p.Body(0, 0)
+	third.DestroyMutex(qm)
+	mn := p.Main()
+	h1 := mn.Spawn(c1b)
+	h2 := mn.Spawn(c2b)
+	mn.Lock(qm)
+	mn.Store(fifo, 2)
+	mn.Unlock(qm)
+	mn.V(items)
+	mn.V(items)
+	h3 := mn.Spawn(third)
+	mn.Join(h1)
+	mn.Join(h2)
+	mn.Join(h3)
+	return p.Build()
+}
+
+func refStringbuffer() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		// sb2 is the source buffer; its length is racy between the
+		// appender's check and its copy (the JDK 1.4 bug).
+		len2 := t0.NewVar("len2", 4)
+		data2 := t0.NewArray("data2", 4)
+		t0.Spawn(func(tw *vthread.Thread) {
+			// erase(): truncate the source.
+			len2.Store(tw, 0)
+		})
+		// append(sb2): check-then-act over the source length.
+		n := len2.Load(t0)
+		copied := 0
+		for i := 0; i < n; i++ {
+			cur := len2.Load(t0)
+			if i < cur || cur == 4 {
+				_ = data2.Get(t0, i)
+				copied++
+			}
+		}
+		t0.Assert(copied == 0 || copied == n,
+			"torn append: copied %d of %d characters", copied, n)
+	}
+}
+
+func compiledStringbuffer() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	len2 := p.Var("len2", 4)
+	data2 := p.Array("data2", 4)
+	er := p.Body(0, 0)
+	er.Store(len2, 0)
+	mn := p.Main()
+	mn.Spawn(er)
+	n := mn.Load(len2)
+	copied := mn.Let(0)
+	i := mn.Let(0)
+	mn.While(ltr(i, n), func() {
+		cur := mn.Load(len2)
+		inWindow := func(t *vthread.Thread) bool {
+			return t.Reg(i) < t.Reg(cur) || t.Reg(cur) == 4
+		}
+		mn.If(inWindow, func() {
+			mn.Get(data2, i)
+			mn.Set(copied, plus(copied, 1))
+		})
+		mn.Set(i, plus(i, 1))
+	})
+	consistent := func(t *vthread.Thread) bool {
+		return t.Reg(copied) == 0 || t.Reg(copied) == t.Reg(n)
+	}
+	mn.Assert(consistent, "torn append: copied %d of %d characters", copied, n)
+	return p.Build()
+}
+
+func refQsortMt() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		arr := t0.NewArray("arr", 4)
+		done := t0.NewSem("done", 0)
+		cmps := t0.NewVar("comparisons", 0)
+		// Pre-fill unsorted with distinct values so a half-applied
+		// swap ([3,1] → [1,1]) is distinguishable from a sorted
+		// half.
+		for i, v := range []int{3, 1, 2, 0} {
+			arr.Set(t0, i, v)
+		}
+		sortHalf := func(lo int) vthread.Program {
+			return func(tw *vthread.Thread) {
+				// Tiny bubble over two elements.
+				a := arr.Get(tw, lo)
+				b := arr.Get(tw, lo+1)
+				if a > b {
+					arr.Set(tw, lo, b)
+					// Bug: completion signalled before the second
+					// store of the swap lands.
+					done.V(tw)
+					arr.Set(tw, lo+1, a)
+				} else {
+					done.V(tw)
+				}
+				// Comparison-count bookkeeping after the sort: deep,
+				// harmless interleavings that keep depth-first
+				// search away from the shallow buggy window.
+				for i := 0; i < 8; i++ {
+					cmps.Add(tw, 1)
+				}
+			}
+		}
+		w1 := t0.Spawn(sortHalf(0))
+		w2 := t0.Spawn(sortHalf(2))
+		// Main merges as soon as both halves signal completion —
+		// which can be before the last swap store.
+		done.P(t0)
+		done.P(t0)
+		a0, a1 := arr.Get(t0, 0), arr.Get(t0, 1)
+		a2, a3 := arr.Get(t0, 2), arr.Get(t0, 3)
+		t0.Assert(a0 < a1 && a2 < a3, "half not sorted: [%d %d %d %d]", a0, a1, a2, a3)
+		t0.Join(w1)
+		t0.Join(w2)
+	}
+}
+
+func compiledQsortMt() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	arr := p.Array("arr", 4)
+	done := p.Sem("done", 0)
+	cmps := p.Var("comparisons", 0)
+	sh := p.Body(1, 0)
+	lo := sh.Arg(0)
+	a := sh.Get(arr, lo)
+	b := sh.Get(arr, plus(lo, 1))
+	sh.IfElse(gtr(a, b), func() {
+		sh.SetAt(arr, lo, b)
+		sh.V(done)
+		sh.SetAt(arr, plus(lo, 1), a)
+	}, func() {
+		sh.V(done)
+	})
+	loopN(sh, 8, func() { sh.AddVar(cmps, 1) })
+	mn := p.Main()
+	for i, v := range []int{3, 1, 2, 0} {
+		mn.SetAt(arr, i, v)
+	}
+	w1 := mn.Spawn(sh, 0)
+	w2 := mn.Spawn(sh, 2)
+	mn.P(done)
+	mn.P(done)
+	a0 := mn.Get(arr, 0)
+	a1 := mn.Get(arr, 1)
+	a2 := mn.Get(arr, 2)
+	a3 := mn.Get(arr, 3)
+	sorted := func(t *vthread.Thread) bool {
+		return t.Reg(a0) < t.Reg(a1) && t.Reg(a2) < t.Reg(a3)
+	}
+	mn.Assert(sorted, "half not sorted: [%d %d %d %d]", a0, a1, a2, a3)
+	mn.Join(w1)
+	mn.Join(w2)
+	return p.Build()
+}
+
+func refCtraceTest() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		count := t0.NewVar("count", 0) // racy list length
+		entries := t0.NewArray("entries", 8)
+		trace := func(tw *vthread.Thread, ev int) {
+			n := count.Load(tw)
+			entries.Set(tw, n, ev)
+			count.Store(tw, n+1)
+		}
+		ts := []*vthread.Thread{
+			t0.Spawn(func(tw *vthread.Thread) { trace(tw, 1); trace(tw, 2) }),
+			t0.Spawn(func(tw *vthread.Thread) { trace(tw, 3) }),
+		}
+		joinAll(t0, ts)
+		n := count.Load(t0)
+		t0.Assert(n == 3, "trace list dropped entries: %d of 3", n)
+	}
+}
+
+func compiledCtraceTest() *vthread.CompiledProgram {
+	p := vthread.NewBuilder()
+	count := p.Var("count", 0)
+	entries := p.Array("entries", 8)
+	emitTrace := func(c *vthread.Code, ev int) {
+		n := c.Load(count)
+		c.SetAt(entries, n, ev)
+		c.Store(count, plus(n, 1))
+	}
+	t1 := p.Body(0, 0)
+	emitTrace(t1, 1)
+	emitTrace(t1, 2)
+	t2 := p.Body(0, 0)
+	emitTrace(t2, 3)
+	mn := p.Main()
+	hs := []vthread.OReg{mn.Spawn(t1), mn.Spawn(t2)}
+	joinRegs(mn, hs)
+	n := mn.Load(count)
+	mn.Assert(eq(n, 3), "trace list dropped entries: %d of 3", n)
+	return p.Build()
 }
 
 // safestack models the lock-free index-stack from Dmitry Vyukov's CHESS

@@ -1,0 +1,216 @@
+package explore
+
+import (
+	"testing"
+
+	"sctbench/internal/corpus"
+	"sctbench/internal/sched"
+	"sctbench/internal/vthread"
+)
+
+// lostUpdate is the canonical corpus-test bug: three unlocked
+// read-modify-write threads and a final-sum assertion. Round-robin passes;
+// a preemption between a load and its store loses an update. The schedule
+// space is large enough that every technique needs well over ten
+// executions cold, which is what the replay-first ratio tests lean on.
+func lostUpdate() vthread.Program {
+	return func(t0 *vthread.Thread) {
+		v := t0.NewVar("v", 0)
+		add := func(tw *vthread.Thread) {
+			x := v.Load(tw)
+			tw.Yield()
+			v.Store(tw, x+1)
+		}
+		ts := []*vthread.Thread{t0.Spawn(add), t0.Spawn(add), t0.Spawn(add)}
+		for _, c := range ts {
+			t0.Join(c)
+		}
+		got := v.Load(t0)
+		t0.Assert(got == 3, "lost update: v=%d", got)
+	}
+}
+
+// corpusRunners names every corpus-aware search entry point.
+var corpusRunners = []struct {
+	name string
+	run  func(Config) *Result
+}{
+	{"DFS", func(c Config) *Result { return Run(DFS, c) }},
+	{"IPB", func(c Config) *Result { return Run(IPB, c) }},
+	{"IDB", func(c Config) *Result { return Run(IDB, c) }},
+	{"DPOR", func(c Config) *Result { return Run(DPOR, c) }},
+	{"sleepset", RunSleepSetDFS},
+}
+
+func openCorpus(t *testing.T) *corpus.Store {
+	t.Helper()
+	s, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestReplayFirstReproducesTenfoldCheaper pins the corpus's headline
+// property for every technique: a second run against the corpus the first
+// run populated reproduces the bug straight from the stored witness, with
+// at least ten times fewer executions than the cold search spent.
+func TestReplayFirstReproducesTenfoldCheaper(t *testing.T) {
+	prog := lostUpdate()
+	hash := vthread.ProgramHash(prog, 0)
+	for _, tr := range corpusRunners {
+		t.Run(tr.name, func(t *testing.T) {
+			cold := tr.run(Config{Program: prog})
+			if !cold.BugFound {
+				t.Fatalf("cold %s missed the planted bug", tr.name)
+			}
+			if cold.Executions < 10 {
+				t.Fatalf("cold %s spent only %d executions; the ratio test needs a harder program", tr.name, cold.Executions)
+			}
+
+			store := openCorpus(t)
+			first := tr.run(Config{Program: prog, Corpus: store, ProgramHash: hash})
+			if !first.BugFound || first.CorpusHit {
+				t.Fatalf("first corpus run: BugFound=%v CorpusHit=%v, want found cold", first.BugFound, first.CorpusHit)
+			}
+			if first.CorpusError != "" {
+				t.Fatalf("first corpus run: corpus error %q", first.CorpusError)
+			}
+			e, ok := store.Get(hash)
+			if !ok || len(e.Witnesses) == 0 {
+				t.Fatalf("first run did not store a witness: %+v", e)
+			}
+
+			second := tr.run(Config{Program: prog, Corpus: store, ProgramHash: hash})
+			if !second.BugFound || !second.CorpusHit {
+				t.Fatalf("second corpus run: BugFound=%v CorpusHit=%v, want a stored-witness hit", second.BugFound, second.CorpusHit)
+			}
+			if second.Failure == nil || second.Failure.Kind != cold.Failure.Kind {
+				t.Fatalf("replayed failure %v, want kind %v", second.Failure, cold.Failure.Kind)
+			}
+			if second.Executions*10 > cold.Executions {
+				t.Fatalf("replay-first spent %d executions vs %d cold — less than the pledged 10x", second.Executions, cold.Executions)
+			}
+		})
+	}
+}
+
+// TestCorpusSeededVerdictIdentical pins the seeding equivalence: a
+// corpus-seeded exploration that runs to completion reaches the same
+// verdict as a cold one. Bug-free side: prefixes are planted so the probe
+// phase actually runs, and the complete search must still agree with cold
+// on every schedule count. Buggy side: the first corpus run (probes, then
+// the unchanged cold search) must agree with the cold verdict.
+func TestCorpusSeededVerdictIdentical(t *testing.T) {
+	clean := yielders(3, 2)
+	cleanHash := vthread.ProgramHash(clean, 0)
+	buggy := lostUpdate()
+	buggyHash := vthread.ProgramHash(buggy, 0)
+	for _, tr := range corpusRunners {
+		t.Run(tr.name, func(t *testing.T) {
+			cold := tr.run(Config{Program: clean})
+			if cold.BugFound || !cold.Complete {
+				t.Fatalf("cold run on the bug-free program: BugFound=%v Complete=%v", cold.BugFound, cold.Complete)
+			}
+			store := openCorpus(t)
+			if err := store.AddPrefixes(cleanHash, "clean", []sched.Schedule{{0, 1}, {0, 1, 2}, {0, 2, 2}}); err != nil {
+				t.Fatal(err)
+			}
+			seeded := tr.run(Config{Program: clean, Corpus: store, ProgramHash: cleanHash})
+			if seeded.CorpusProbes == 0 {
+				t.Fatalf("planted prefixes were not probed")
+			}
+			if seeded.BugFound != cold.BugFound || seeded.Complete != cold.Complete {
+				t.Fatalf("seeded verdict (BugFound=%v Complete=%v) != cold (BugFound=%v Complete=%v)",
+					seeded.BugFound, seeded.Complete, cold.BugFound, cold.Complete)
+			}
+			if seeded.Schedules != cold.Schedules {
+				t.Fatalf("seeded complete run counted %d schedules, cold %d", seeded.Schedules, cold.Schedules)
+			}
+			if seeded.Executions != cold.Executions+seeded.CorpusProbes {
+				t.Fatalf("seeded executions %d != cold %d + probes %d",
+					seeded.Executions, cold.Executions, seeded.CorpusProbes)
+			}
+
+			bcold := tr.run(Config{Program: buggy})
+			bstore := openCorpus(t)
+			bseeded := tr.run(Config{Program: buggy, Corpus: bstore, ProgramHash: buggyHash})
+			if bseeded.BugFound != bcold.BugFound {
+				t.Fatalf("seeded buggy verdict %v != cold %v", bseeded.BugFound, bcold.BugFound)
+			}
+			if bseeded.Failure.Kind != bcold.Failure.Kind {
+				t.Fatalf("seeded failure kind %v != cold %v", bseeded.Failure.Kind, bcold.Failure.Kind)
+			}
+		})
+	}
+}
+
+// TestReplayFirstDropsStaleWitness plants a witness that no longer
+// reproduces (a pure round-robin schedule, which this program survives)
+// and checks the run discards it, falls through to the cold search, and
+// replaces it with a real one.
+func TestReplayFirstDropsStaleWitness(t *testing.T) {
+	prog := lostUpdate()
+	hash := vthread.ProgramHash(prog, 0)
+	store := openCorpus(t)
+	stale := sched.Schedule{0, 0, 0, 0}
+	if err := store.AddWitness(hash, "test", corpus.Witness{
+		Schedule: stale, Kind: "assertion", Message: "from an older binary", Technique: "dfs",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	res := Run(DFS, Config{Program: prog, Corpus: store, ProgramHash: hash})
+	if res.CorpusHit {
+		t.Fatalf("stale witness reported as a hit")
+	}
+	if res.CorpusReplays != 1 {
+		t.Fatalf("CorpusReplays = %d, want 1", res.CorpusReplays)
+	}
+	if !res.BugFound {
+		t.Fatalf("cold fallback missed the bug")
+	}
+	e, ok := store.Get(hash)
+	if !ok {
+		t.Fatalf("entry dropped entirely; want the fresh witness stored")
+	}
+	for _, w := range e.Witnesses {
+		if w.Schedule.Equal(stale) {
+			t.Fatalf("stale witness still stored: %+v", e.Witnesses)
+		}
+	}
+	if len(e.Witnesses) == 0 {
+		t.Fatalf("fresh witness not stored")
+	}
+
+	// And the fresh witness must now hit.
+	again := Run(DFS, Config{Program: prog, Corpus: store, ProgramHash: hash})
+	if !again.CorpusHit {
+		t.Fatalf("fresh witness did not reproduce on replay")
+	}
+}
+
+// TestTruncatedRunStoresFrontierPrefixes checks that a limit-truncated
+// sequential search banks frontier prefixes for the next run to probe.
+func TestTruncatedRunStoresFrontierPrefixes(t *testing.T) {
+	prog := yielders(3, 3) // 1680 schedules, bug-free
+	hash := vthread.ProgramHash(prog, 0)
+	store := openCorpus(t)
+	res := Run(DFS, Config{Program: prog, Limit: 50, Corpus: store, ProgramHash: hash})
+	if !res.LimitHit || res.Complete {
+		t.Fatalf("expected a truncated run, got LimitHit=%v Complete=%v", res.LimitHit, res.Complete)
+	}
+	e, ok := store.Get(hash)
+	if !ok || len(e.Prefixes) == 0 {
+		t.Fatalf("truncated run stored no frontier prefixes: %+v", e)
+	}
+
+	// The next run probes them.
+	next := Run(DFS, Config{Program: prog, Limit: 50, Corpus: store, ProgramHash: hash})
+	if next.CorpusProbes == 0 {
+		t.Fatalf("stored prefixes were not probed")
+	}
+	if next.BugFound {
+		t.Fatalf("spurious bug on the bug-free program: %v", next.Failure)
+	}
+}

@@ -213,7 +213,16 @@ func (e *ssEngine) backtrack() bool {
 // often dramatically — fewer executions. A run whose enabled threads are
 // all asleep is chooser-aborted on the spot (Result.AbortedExecutions),
 // so redundant runs cost only their shared prefix, not the full schedule.
+// With Config.Corpus and Config.ProgramHash set, the run is replay-first
+// like Run's techniques, with witnesses labelled "sleepset".
 func RunSleepSetDFS(cfg Config) *Result {
+	if cfg.Corpus != nil && cfg.ProgramHash != "" {
+		return replayFirst(DFS, "sleepset", cfg, runSleepSetCold)
+	}
+	return runSleepSetCold(cfg)
+}
+
+func runSleepSetCold(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	return runSequentialTree(cfg, &Result{Technique: DFS}, &ssEngine{cfg: cfg})
 }

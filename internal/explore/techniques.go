@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"sctbench/internal/corpus"
 	"sctbench/internal/sched"
 	"sctbench/internal/vthread"
 )
@@ -103,6 +104,22 @@ type Config struct {
 	CheckpointEvery int
 	// Meta is CLI context carried verbatim into checkpoint files.
 	Meta CheckpointMeta
+	// Corpus, together with ProgramHash, turns on replay-first
+	// exploration: stored witnesses are replayed before any technique runs
+	// (bug still present — reported after a handful of executions; gone —
+	// the stale entry is dropped), stored frontier prefixes seed probe
+	// executions next, and everything the search then finds is minimised
+	// and written back. See corpus.go in this package.
+	Corpus *corpus.Store
+	// ProgramHash is the program's content hash (vthread.ProgramHash) —
+	// the key under which Corpus stores this program's schedules. Empty
+	// disables the corpus even when Corpus is non-nil.
+	ProgramHash string
+
+	// frontier, when non-nil, receives the search's unexplored frontier
+	// prefixes at exit (truncated sequential runs only). Set by the
+	// replay-first wrapper to harvest seeds for the corpus.
+	frontier *[]sched.Schedule
 }
 
 // Defaults for Config fields left zero.
@@ -199,10 +216,30 @@ type Result struct {
 	// the search itself continues — losing a checkpoint never loses the
 	// run.
 	CheckpointError string
+	// CorpusReplays and CorpusProbes count the replay-first phase's
+	// executions (stored-witness replays and prefix-seeded probes; both
+	// are included in Executions). CorpusHit reports the bug was
+	// reproduced straight from a stored witness, so the search itself
+	// never ran. CorpusError records a failed corpus read-back or
+	// write-back; like a failed checkpoint it never fails the run.
+	CorpusReplays int
+	CorpusProbes  int
+	CorpusHit     bool
+	CorpusError   string
 }
 
-// Run explores the program with the given technique.
+// Run explores the program with the given technique. With Config.Corpus
+// and Config.ProgramHash set, the run is replay-first: stored witnesses
+// and prefixes go first and the findings are written back (see corpus.go).
 func Run(t Technique, cfg Config) *Result {
+	if cfg.Corpus != nil && cfg.ProgramHash != "" {
+		return runReplayFirst(t, cfg)
+	}
+	return runCold(t, cfg)
+}
+
+// runCold dispatches the technique with no corpus involvement.
+func runCold(t Technique, cfg Config) *Result {
 	switch t {
 	case DFS:
 		return RunDFS(cfg)
@@ -294,6 +331,7 @@ func runSequentialTree(cfg Config, r *Result, eng searcher) *Result {
 	}
 	r.Executions = eng.execCount()
 	r.BranchesPruned += eng.prunedBranches()
+	captureFrontier(cfg, r, eng)
 	return r
 }
 
@@ -410,10 +448,12 @@ func iterSequential(cfg Config, model CostModel, r *Result, startBound, priorExe
 		}
 		executions += eng.executions
 		pruned := eng.pruned
-		eng = nil
 		if stopped || r.LimitHit {
+			captureFrontier(cfg, r, eng)
+			eng = nil
 			break
 		}
+		eng = nil
 		if boundDone && !pruned {
 			// Nothing was pruned anywhere: every schedule costs at most
 			// bound, so the space is fully explored.

@@ -58,6 +58,10 @@ const (
 	// simulating the coordinator dying mid-merge; a resumed coordinator
 	// must reconstruct the job from its last checkpoint.
 	DistCoordCrash
+	// CorpusWrite fires in the schedule corpus's entry save, before any
+	// byte reaches the filesystem: the process dies with the update lost
+	// and the previous on-disk entry must remain byte-identical.
+	CorpusWrite
 	numPoints
 )
 

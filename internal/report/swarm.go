@@ -1,0 +1,45 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sctbench/internal/study"
+)
+
+// SwarmCSVHeader is the column list of SwarmCSVRow. Rows carry no
+// timestamps or durations: given the same seeds (and corpus starting
+// state) the whole CSV is byte-identical across runs, which the CI swarm
+// smoke diffs directly.
+const SwarmCSVHeader = "bench_id,bench,suite,technique,bound,seed,racy,found,kind,first,schedules,executions,complete,limit_hit,replays,probes,corpus_hit,status\n"
+
+// SwarmCSVRow renders one swarm cell as a single CSV row matching
+// SwarmCSVHeader. A skipped cell (nil Result — the sweep was truncated
+// before it started) renders with zeroed counts and status "skipped".
+func SwarmCSVRow(c *study.SwarmCell) string {
+	res := c.Result
+	if res == nil {
+		return fmt.Sprintf("%d,%s,%s,%s,%d,%d,0,false,,0,0,0,false,false,0,0,false,skipped\n",
+			c.Bench.ID, c.Bench.Name, c.Bench.Suite, c.Technique, c.Bound, c.Seed)
+	}
+	kind := ""
+	if res.Failure != nil {
+		kind = res.Failure.Kind.String()
+	}
+	return fmt.Sprintf("%d,%s,%s,%s,%d,%d,%d,%v,%s,%d,%d,%d,%v,%v,%d,%d,%v,%s\n",
+		c.Bench.ID, c.Bench.Name, c.Bench.Suite, c.Technique, c.Bound, c.Seed,
+		c.Racy, res.BugFound, kind, res.SchedulesToFirstBug, res.Schedules,
+		res.Executions, res.Complete, res.LimitHit,
+		res.CorpusReplays, res.CorpusProbes, res.CorpusHit, res.Stopped)
+}
+
+// SwarmCSV renders the consolidated Table-3-style sweep CSV: header plus
+// one row per cell, in the canonical order RunSwarm returns.
+func SwarmCSV(cells []*study.SwarmCell) string {
+	var b strings.Builder
+	b.WriteString(SwarmCSVHeader)
+	for _, c := range cells {
+		b.WriteString(SwarmCSVRow(c))
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/corpus"
+	"sctbench/internal/explore"
+	"sctbench/internal/study"
+)
+
+func swarmBenches(t *testing.T, names ...string) []*bench.Benchmark {
+	t.Helper()
+	byName := make(map[string]*bench.Benchmark)
+	for _, b := range bench.All() {
+		byName[b.Name] = b
+	}
+	var out []*bench.Benchmark
+	for _, n := range names {
+		b, ok := byName[n]
+		if !ok {
+			t.Fatalf("benchmark %q not in the registry", n)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestSwarmCSVDeterministic pins the swarm's headline output contract:
+// two sweeps with the same seeds (and the same corpus starting state —
+// here, a fresh store each) render byte-identical CSV.
+func TestSwarmCSVDeterministic(t *testing.T) {
+	benches := swarmBenches(t, "CS.account_bad", "CS.lazy01_bad", "CS.deadlock01_bad")
+	run := func() string {
+		store, err := corpus.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := study.RunSwarm(benches, study.SwarmConfig{
+			Techniques: []explore.Technique{explore.IPB, explore.IDB, explore.DFS, explore.Rand},
+			Bounds:     []int{2, 3},
+			Seeds:      []uint64{1, 2, 3},
+			Limit:      500,
+			Workers:    1,
+			Corpus:     store,
+		})
+		return SwarmCSV(cells)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("swarm CSV not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, SwarmCSVHeader) {
+		t.Fatalf("CSV does not start with the header:\n%s", a)
+	}
+	wantRows := 3 * (2*2 + 1 + 1) * 3 // benches × (IPB,IDB × bounds + DFS + Rand) × seeds
+	if got := strings.Count(a, "\n") - 1; got != wantRows {
+		t.Fatalf("CSV has %d data rows, want %d", got, wantRows)
+	}
+}
+
+// TestSwarmCSVRowSkipped pins the rendering of a cell the sweep never
+// started.
+func TestSwarmCSVRowSkipped(t *testing.T) {
+	b := bench.All()[0]
+	row := SwarmCSVRow(&study.SwarmCell{Bench: b, Technique: explore.IPB, Bound: 2, Seed: 7})
+	if !strings.HasSuffix(row, ",skipped\n") {
+		t.Fatalf("skipped row = %q, want status skipped", row)
+	}
+	if cols := strings.Count(SwarmCSVHeader, ","); strings.Count(row, ",") != cols {
+		t.Fatalf("skipped row has %d commas, header %d", strings.Count(row, ","), cols)
+	}
+}

@@ -1,0 +1,60 @@
+// These tests feed explore-produced witnesses into the minimiser. They
+// live in an external test package because internal/explore now imports
+// internal/simplify for the corpus harvest — an in-package test importing
+// explore would close an import cycle.
+package simplify_test
+
+import (
+	"testing"
+
+	"sctbench/internal/explore"
+	"sctbench/internal/simplify"
+	"sctbench/internal/vthread"
+)
+
+// racyFlag mirrors the in-package fixture: the bug needs exactly two
+// preemptions, so any witness should minimise to PC = 2.
+func racyFlag() vthread.Runnable {
+	return vthread.Program(func(t0 *vthread.Thread) {
+		x := t0.NewVar("x", 0)
+		y := t0.NewVar("y", 0)
+		w := t0.Spawn(func(tw *vthread.Thread) {
+			x.Store(tw, 1)
+			y.Store(tw, 1)
+		})
+		xv := x.Load(t0)
+		yv := y.Load(t0)
+		t0.Assert(xv == yv, "x=%d y=%d", xv, yv)
+		t0.Join(w)
+	})
+}
+
+func TestMinimizeKeepsAlreadyMinimalWitness(t *testing.T) {
+	r := explore.RunIterative(explore.Config{Program: racyFlag()}, explore.CostPreemptions)
+	if !r.BugFound {
+		t.Fatal("IPB missed the bug")
+	}
+	res := simplify.Minimize(racyFlag, r.Witness, simplify.Options{})
+	if res.PC != r.Bound {
+		t.Fatalf("minimisation changed an already-minimal witness: PC=%d, bound=%d", res.PC, r.Bound)
+	}
+}
+
+func TestMinimizeTruncatesTrailingSteps(t *testing.T) {
+	// Build a witness by hand with junk appended after the failing step;
+	// replay truncates at the failure, so the minimised witness must be
+	// no longer than the failing prefix.
+	r := explore.RunIterative(explore.Config{Program: racyFlag()}, explore.CostPreemptions)
+	if !r.BugFound {
+		t.Fatal("no witness")
+	}
+	padded := append(r.Witness.Clone(), 0, 0, 0, 1, 1)
+	res := simplify.Minimize(racyFlag, padded, simplify.Options{})
+	if res.Failure == nil {
+		t.Fatal("padded witness lost the bug")
+	}
+	if len(res.Schedule) > len(r.Witness) {
+		t.Fatalf("minimised schedule longer than the failing prefix: %d > %d",
+			len(res.Schedule), len(r.Witness))
+	}
+}

@@ -3,7 +3,6 @@ package simplify
 import (
 	"testing"
 
-	"sctbench/internal/explore"
 	"sctbench/internal/sched"
 	"sctbench/internal/vthread"
 )
@@ -62,17 +61,6 @@ func TestMinimizeReducesRandomWitness(t *testing.T) {
 	}
 }
 
-func TestMinimizeKeepsAlreadyMinimalWitness(t *testing.T) {
-	r := explore.RunIterative(explore.Config{Program: racyFlag()}, explore.CostPreemptions)
-	if !r.BugFound {
-		t.Fatal("IPB missed the bug")
-	}
-	res := Minimize(racyFlag, r.Witness, Options{})
-	if res.PC != r.Bound {
-		t.Fatalf("minimisation changed an already-minimal witness: PC=%d, bound=%d", res.PC, r.Bound)
-	}
-}
-
 func TestMinimizeRejectsNonWitness(t *testing.T) {
 	clean := func() vthread.Runnable {
 		return vthread.Program(func(t0 *vthread.Thread) {
@@ -98,24 +86,5 @@ func TestBlocksRoundTrip(t *testing.T) {
 	bs := toBlocks(s)
 	if len(bs) != 4 {
 		t.Fatalf("blocks = %v, want 4 blocks", bs)
-	}
-}
-
-func TestMinimizeTruncatesTrailingSteps(t *testing.T) {
-	// Build a witness by hand with junk appended after the failing step;
-	// replay truncates at the failure, so the minimised witness must be
-	// no longer than the failing prefix.
-	r := explore.RunIterative(explore.Config{Program: racyFlag()}, explore.CostPreemptions)
-	if !r.BugFound {
-		t.Fatal("no witness")
-	}
-	padded := append(r.Witness.Clone(), 0, 0, 0, 1, 1)
-	res := Minimize(racyFlag, padded, Options{})
-	if res.Failure == nil {
-		t.Fatal("padded witness lost the bug")
-	}
-	if len(res.Schedule) > len(r.Witness) {
-		t.Fatalf("minimised schedule longer than the failing prefix: %d > %d",
-			len(res.Schedule), len(r.Witness))
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sctbench/internal/bench"
+	"sctbench/internal/corpus"
 	"sctbench/internal/explore"
 	"sctbench/internal/mapleidiom"
 	"sctbench/internal/race"
@@ -65,6 +66,10 @@ type Config struct {
 	// CheckpointPath, when nonempty, is where a truncated RunStudy saves
 	// its completed rows for a later resume.
 	CheckpointPath string
+	// Corpus, when non-nil, makes every exploration replay-first against
+	// the schedule corpus (keyed by each benchmark's content hash) and
+	// writes every fresh witness back. See internal/corpus.
+	Corpus *corpus.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -181,6 +186,10 @@ func RunBenchmark(b *bench.Benchmark, cfg Config) *Row {
 	}
 
 	// Phases 2–5: the exploration techniques, sharing the promoted set.
+	hash := ""
+	if cfg.Corpus != nil {
+		hash = b.Hash()
+	}
 	for _, tech := range cfg.Techniques {
 		res := explore.Run(tech, explore.Config{
 			Program:     b.New(),
@@ -193,6 +202,9 @@ func RunBenchmark(b *bench.Benchmark, cfg Config) *Row {
 			Debug:       cfg.Debug,
 			Interrupt:   cfg.Interrupt,
 			Deadline:    cfg.Deadline,
+			Corpus:      cfg.Corpus,
+			ProgramHash: hash,
+			Meta:        explore.CheckpointMeta{Benchmark: b.Name, Racy: phase.Racy},
 		})
 		row.Results[tech] = res
 		if cfg.Progress != nil {

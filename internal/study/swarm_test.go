@@ -1,0 +1,128 @@
+package study
+
+import (
+	"testing"
+
+	"sctbench/internal/bench"
+	"sctbench/internal/corpus"
+	"sctbench/internal/explore"
+)
+
+// pick selects registry benchmarks by exact name, failing on a miss so the
+// tests don't silently shrink when the registry changes.
+func pick(t *testing.T, names ...string) []*bench.Benchmark {
+	t.Helper()
+	byName := make(map[string]*bench.Benchmark)
+	for _, b := range bench.All() {
+		byName[b.Name] = b
+	}
+	var out []*bench.Benchmark
+	for _, n := range names {
+		b, ok := byName[n]
+		if !ok {
+			t.Fatalf("benchmark %q not in the registry", n)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestSwarmGridShape pins the cell grid: bounded techniques sweep the
+// bound axis, unbounded ones collapse it, and cells come back in canonical
+// (bench, technique, bound, seed) order.
+func TestSwarmGridShape(t *testing.T) {
+	benches := pick(t, "CS.account_bad", "CS.lazy01_bad")
+	cfg := SwarmConfig{
+		Techniques: []explore.Technique{explore.IPB, explore.DFS},
+		Bounds:     []int{2, 3},
+		Seeds:      []uint64{1, 2},
+		Limit:      200,
+		Workers:    1,
+	}
+	cells := RunSwarm(benches, cfg)
+	// Per benchmark: IPB × 2 bounds × 2 seeds + DFS × 1 × 2 seeds = 6.
+	if want := 2 * 6; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	for i := 1; i < len(cells); i++ {
+		a, b := cells[i-1], cells[i]
+		ka := [4]uint64{uint64(a.Bench.ID), uint64(a.Technique), uint64(a.Bound), a.Seed}
+		kb := [4]uint64{uint64(b.Bench.ID), uint64(b.Technique), uint64(b.Bound), b.Seed}
+		if !(ka[0] < kb[0] || ka[0] == kb[0] && (ka[1] < kb[1] || ka[1] == kb[1] &&
+			(ka[2] < kb[2] || ka[2] == kb[2] && ka[3] < kb[3]))) {
+			t.Fatalf("cells out of canonical order at %d: %v then %v", i, ka, kb)
+		}
+	}
+	for _, c := range cells {
+		if c.Result == nil {
+			t.Fatalf("unskipped cell %s/%s has no result", c.Bench.Name, c.Technique)
+		}
+		if c.Technique == explore.DFS && c.Bound != 0 {
+			t.Fatalf("unbounded technique swept the bound axis: bound=%d", c.Bound)
+		}
+	}
+}
+
+// TestSwarmFillsCorpusAndReplaysCheaper pins the corpus integration: a
+// first sweep populates the corpus with every bug's witness, and a second
+// sweep against the same corpus reproduces each of those bugs straight
+// from the stored witness with at least ten times fewer executions.
+func TestSwarmFillsCorpusAndReplaysCheaper(t *testing.T) {
+	benches := pick(t, "CS.account_bad", "CS.lazy01_bad")
+	store, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SwarmConfig{
+		Techniques: []explore.Technique{explore.IPB, explore.DFS},
+		Seeds:      []uint64{1},
+		Limit:      2000,
+		Workers:    1,
+		Corpus:     store,
+	}
+	cold := RunSwarm(benches, cfg)
+	bugs := 0
+	for _, c := range cold {
+		if c.Result.BugFound {
+			bugs++
+		}
+	}
+	if bugs == 0 {
+		t.Fatalf("cold sweep found no bugs; the replay comparison needs buggy cells")
+	}
+	if store.Len() == 0 {
+		t.Fatalf("cold sweep wrote nothing into the corpus")
+	}
+
+	warm := RunSwarm(benches, cfg)
+	if len(warm) != len(cold) {
+		t.Fatalf("sweep shape changed: %d vs %d cells", len(warm), len(cold))
+	}
+	ratioChecked := 0
+	for i, c := range cold {
+		w := warm[i]
+		if !c.Result.BugFound {
+			continue
+		}
+		if !w.Result.BugFound || !w.Result.CorpusHit {
+			t.Fatalf("%s/%s: warm sweep BugFound=%v CorpusHit=%v, want a stored-witness hit",
+				c.Bench.Name, c.Technique, w.Result.BugFound, w.Result.CorpusHit)
+		}
+		if w.Result.Executions > c.Result.Executions {
+			t.Errorf("%s/%s: warm sweep spent %d executions vs %d cold — replay made it dearer",
+				c.Bench.Name, c.Technique, w.Result.Executions, c.Result.Executions)
+		}
+		// The 10x pledge only means something where the cold search was
+		// actually expensive; trivial cells find the bug on execution one.
+		if c.Result.Executions >= 10 {
+			ratioChecked++
+			if w.Result.Executions*10 > c.Result.Executions {
+				t.Errorf("%s/%s: warm sweep spent %d executions vs %d cold — less than 10x cheaper",
+					c.Bench.Name, c.Technique, w.Result.Executions, c.Result.Executions)
+			}
+		}
+	}
+	if ratioChecked == 0 {
+		t.Fatalf("no cell had an expensive cold search; the 10x pledge went unchecked")
+	}
+}

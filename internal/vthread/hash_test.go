@@ -1,0 +1,97 @@
+package vthread
+
+import "testing"
+
+// twoThreadProg builds a tiny racy program; bump selects between two
+// variants that differ only in an integer literal inside the main body.
+func twoThreadProg(init, bump int) *CompiledProgram {
+	p := NewBuilder()
+	m := p.Mutex("m")
+	v := p.Var("v", init)
+	w := p.Body(0, 0)
+	w.Lock(m)
+	w.AddVar(v, bump)
+	w.Unlock(m)
+	mn := p.Main()
+	h1 := mn.Spawn(w)
+	h2 := mn.Spawn(w)
+	mn.Join(h1)
+	mn.Join(h2)
+	got := mn.Load(v)
+	mn.Assert(func(t *Thread) bool { return t.Reg(got) >= init }, "v=%d", got)
+	return p.Build()
+}
+
+func TestProgramHashStable(t *testing.T) {
+	a := ProgramHash(twoThreadProg(0, 1), 0)
+	b := ProgramHash(twoThreadProg(0, 1), 0)
+	if a != b {
+		t.Fatalf("identical programs hash differently: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("hash %q is not a 16-digit hex string", a)
+	}
+	// Re-hashing the same value must not drift either (the canonical runs
+	// may not leave state behind).
+	cp := twoThreadProg(0, 1)
+	if h1, h2 := ProgramHash(cp, 0), ProgramHash(cp, 0); h1 != h2 {
+		t.Fatalf("re-hashing one program value drifts: %s vs %s", h1, h2)
+	}
+}
+
+func TestProgramHashSensitivity(t *testing.T) {
+	base := ProgramHash(twoThreadProg(0, 1), 0)
+	if got := ProgramHash(twoThreadProg(7, 1), 0); got == base {
+		t.Fatalf("changing a declared initial value did not change the hash")
+	}
+	// The bump literal lives inside an operand closure — invisible to the
+	// structural walk, caught by the behavioral component.
+	if got := ProgramHash(twoThreadProg(0, 2), 0); got == base {
+		t.Fatalf("changing an operand literal did not change the hash")
+	}
+	// A structurally different program: one more worker thread.
+	p := NewBuilder()
+	v := p.Var("v", 0)
+	w := p.Body(0, 0)
+	w.AddVar(v, 1)
+	mn := p.Main()
+	h1 := mn.Spawn(w)
+	h2 := mn.Spawn(w)
+	h3 := mn.Spawn(w)
+	mn.Join(h1)
+	mn.Join(h2)
+	mn.Join(h3)
+	if got := ProgramHash(p.Build(), 0); got == base {
+		t.Fatalf("a different thread structure did not change the hash")
+	}
+}
+
+func TestProgramHashClosureForm(t *testing.T) {
+	// Closure programs hash behaviorally: the variants here differ in
+	// thread structure, which the canonical runs observe in the trace.
+	mk := func(n int) Program {
+		return func(t0 *Thread) {
+			v := t0.NewVar("v", 0)
+			w := func(tw *Thread) { v.Add(tw, 1) }
+			var ts []*Thread
+			for i := 0; i < 1+n; i++ {
+				ts = append(ts, t0.Spawn(w))
+			}
+			for _, c := range ts {
+				t0.Join(c)
+			}
+		}
+	}
+	h1 := ProgramHash(mk(1), 0)
+	if h2 := ProgramHash(mk(1), 0); h1 != h2 {
+		t.Fatalf("identical closure programs hash differently: %s vs %s", h1, h2)
+	}
+	if h3 := ProgramHash(mk(2), 0); h3 == h1 {
+		t.Fatalf("behaviorally different closure programs hash equal")
+	}
+	// Compiled and closure forms of even the same behavior must not
+	// collide: the compiled form carries the structural component.
+	if hc := ProgramHash(twoThreadProg(0, 1), 0); hc == h1 {
+		t.Fatalf("compiled and closure hashes collide: %s", hc)
+	}
+}
